@@ -1,0 +1,137 @@
+// A5 — §4 (COSOFT) ablation: indirect coupling of parameter fields vs
+// direct coupling of expensive dependent displays.
+//
+// "Partial coupling can be very efficient since it allows for indirect
+// coupling: often it is sufficient to couple UI objects that contain
+// information (e.g. certain input fields for parameters, function terms, or
+// other data) from which the content or behavior of other components can be
+// generated. For these dependent objects (e.g. simulations or graphical
+// displays), direct coupling might be much more costly."
+//
+// Setup: a parameter slider drives a simulation canvas whose rendered
+// content is `render_size` strokes. Indirect: couple the slider — one small
+// event crosses the wire, each site re-renders locally. Direct: couple the
+// canvas — the rendered strokes themselves are shipped (one state copy per
+// update).
+#include "bench_util.hpp"
+#include "cosoft/apps/local_session.hpp"
+
+namespace {
+
+using namespace cosoft;
+using namespace cosoft::bench;
+using apps::LocalSession;
+using toolkit::EventType;
+using toolkit::Widget;
+using toolkit::WidgetClass;
+
+struct Rig {
+    std::unique_ptr<LocalSession> session;
+    std::size_t render_size;
+
+    Rig(std::size_t peers, std::size_t render_size_, bool indirect) : render_size(render_size_) {
+        session = std::make_unique<LocalSession>();
+        for (std::size_t i = 0; i < peers; ++i) {
+            auto& app = session->add_app("sim", "u" + std::to_string(i), static_cast<UserId>(i + 1));
+            Widget* param = app.ui().root().add_child(WidgetClass::kSlider, "param").value();
+            (void)app.ui().root().add_child(WidgetClass::kCanvas, "display").value();
+            // The dependent display is *generated* from the parameter.
+            param->add_callback(EventType::kValueChanged, [this, &app](Widget& w, const toolkit::Event&) {
+                render(app, w.real("value"));
+            });
+        }
+        for (std::size_t i = 1; i < peers; ++i) {
+            if (indirect) {
+                session->app(0).couple("param", session->app(i).ref("param"));
+            } else {
+                session->app(0).couple("display", session->app(i).ref("display"));
+            }
+            session->run();
+        }
+    }
+
+    void render(client::CoApp& app, double parameter) {
+        std::vector<std::string> strokes;
+        strokes.reserve(render_size);
+        for (std::size_t i = 0; i < render_size; ++i) {
+            char buf[48];
+            std::snprintf(buf, sizeof buf, "seg(%zu,%.3f)", i, parameter * static_cast<double>(i));
+            strokes.emplace_back(buf);
+        }
+        (void)app.ui().find("display")->set_attribute("strokes", std::move(strokes));
+    }
+
+    /// Indirect update: one slider event; remote sites re-render locally.
+    void update_indirect(double v) {
+        session->app(0).emit("param",
+                             session->app(0).ui().find("param")->make_event(EventType::kValueChanged, v));
+        session->run();
+    }
+
+    /// Direct update: render locally, then ship the display state to peers.
+    void update_direct(double v) {
+        render(session->app(0), v);
+        for (std::size_t i = 1; i < session->app_count(); ++i) {
+            session->app(0).copy_to("display", session->app(i).ref("display"),
+                                    protocol::MergeMode::kStrict);
+        }
+        session->run();
+    }
+
+    std::uint64_t wire_bytes() const {
+        std::uint64_t bytes = 0;
+        for (std::size_t i = 0; i < session->app_count(); ++i) {
+            bytes += session->client_stats(i).bytes_sent + session->client_stats(i).bytes_received;
+        }
+        return bytes;
+    }
+};
+
+void print_indirect_table() {
+    artifact_header("A5", "Indirect coupling of parameters vs direct coupling of displays (§4)",
+                    "coupling the generating parameter is far cheaper than coupling the generated display");
+    row("%-10s %-14s %-12s %-16s %-16s", "peers", "render-size", "mode", "bytes/update", "peer-synced");
+    for (const std::size_t peers : {2u, 4u}) {
+        for (const std::size_t render : {8u, 64u, 512u}) {
+            for (const bool indirect : {true, false}) {
+                Rig rig{peers, render, indirect};
+                const auto bytes0 = rig.wire_bytes();
+                if (indirect) {
+                    rig.update_indirect(3.5);
+                } else {
+                    rig.update_direct(3.5);
+                }
+                const bool synced =
+                    rig.session->app(0).ui().find("display")->text_list("strokes") ==
+                    rig.session->app(peers - 1).ui().find("display")->text_list("strokes");
+                row("%-10zu %-14zu %-12s %-16llu %-16s", peers, render, indirect ? "indirect" : "direct",
+                    static_cast<unsigned long long>(rig.wire_bytes() - bytes0), synced ? "yes" : "no");
+            }
+        }
+    }
+    std::printf("\nNote: indirect bytes are constant (one number crosses the wire); direct bytes\n"
+                "scale with render size x peers. Both end fully synchronized.\n");
+}
+
+void BM_IndirectUpdate(benchmark::State& state) {
+    Rig rig{2, static_cast<std::size_t>(state.range(0)), /*indirect=*/true};
+    double v = 0;
+    for (auto _ : state) rig.update_indirect(v += 0.1);
+}
+BENCHMARK(BM_IndirectUpdate)->Arg(8)->Arg(512);
+
+void BM_DirectUpdate(benchmark::State& state) {
+    Rig rig{2, static_cast<std::size_t>(state.range(0)), /*indirect=*/false};
+    double v = 0;
+    for (auto _ : state) rig.update_direct(v += 0.1);
+}
+BENCHMARK(BM_DirectUpdate)->Arg(8)->Arg(512);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    print_indirect_table();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,143 @@
+// A4 — §4 (TORI) ablation: re-executing a coupled query at every instance
+// vs. evaluating once and sharing the results.
+//
+// "From a performance point of view, one might argue that it would be
+// preferable to evaluate the query once and share the results. But this
+// goes beyond a simple sharing of UI objects. ... On the other hand,
+// multiple evaluation is more flexible in that it allows queries to be
+// different ... Also, queries can be sent to different databases."
+//
+// Both strategies run over the real stack: (i) the COSOFT way — the invoke
+// button is coupled, every instance runs the query on its own database;
+// (ii) the sharing way — one instance evaluates and broadcasts the rendered
+// result rows via CoSendCommand.
+#include "bench_util.hpp"
+#include "cosoft/apps/local_session.hpp"
+#include "cosoft/apps/tori.hpp"
+
+namespace {
+
+using namespace cosoft;
+using namespace cosoft::bench;
+using apps::LocalSession;
+using apps::ToriApp;
+
+struct Rig {
+    std::unique_ptr<LocalSession> session;
+    std::vector<std::unique_ptr<ToriApp>> toris;
+
+    Rig(std::size_t instances, std::size_t db_rows, bool coupled_invoke) {
+        session = std::make_unique<LocalSession>();
+        for (std::size_t i = 0; i < instances; ++i) {
+            auto& app = session->add_app("tori", "u" + std::to_string(i), static_cast<UserId>(i + 1));
+            toris.push_back(std::make_unique<ToriApp>(
+                app, db::make_literature_db("lib" + std::to_string(i), db_rows, i + 1),
+                std::vector<std::string>{"author", "venue", "year"}));
+        }
+        if (coupled_invoke) {
+            for (std::size_t i = 1; i < instances; ++i) {
+                toris[0]->couple_full(session->app(i).ref(ToriApp::kRoot));
+                session->run();
+            }
+        }
+        // Result-sharing receiver: install rows shipped by the evaluator.
+        for (std::size_t i = 0; i < instances; ++i) {
+            auto& app = session->app(i);
+            app.on_command("results", [&app](InstanceId, std::span<const std::uint8_t> payload) {
+                ByteReader r{payload};
+                const std::uint32_t n = r.u32();
+                std::vector<std::string> rows;
+                rows.reserve(n);
+                for (std::uint32_t k = 0; k < n && r.ok(); ++k) rows.push_back(r.str());
+                if (toolkit::Widget* table = app.ui().find(ToriApp::kResultTable)) {
+                    (void)table->set_attribute("rows", std::move(rows));
+                }
+            });
+        }
+    }
+
+    std::uint64_t total_bytes() const {
+        std::uint64_t bytes = 0;
+        for (std::size_t i = 0; i < toris.size(); ++i) {
+            bytes += session->client_stats(i).bytes_sent;
+        }
+        return bytes;
+    }
+
+    std::uint64_t total_query_executions() const {
+        std::uint64_t n = 0;
+        for (const auto& t : toris) n += t->database().queries_executed();
+        return n;
+    }
+
+    /// Strategy (i): the coupled invoke — one button press, K evaluations.
+    void invoke_coupled() {
+        toris[0]->invoke();
+        session->run();
+    }
+
+    /// Strategy (ii): evaluate at instance 0, broadcast the rendered rows.
+    void invoke_and_share() {
+        toris[0]->invoke();
+        session->run();
+        const auto rows = session->app(0).ui().find(ToriApp::kResultTable)->text_list("rows");
+        ByteWriter w;
+        w.u32(static_cast<std::uint32_t>(rows.size()));
+        for (const auto& rrow : rows) w.str(rrow);
+        session->app(0).send_command("results", w.take());
+        session->run();
+    }
+};
+
+void print_sharing_table() {
+    artifact_header("A4", "Coupled query re-execution vs result sharing (TORI, §4)",
+                    "re-execution costs K evaluations but keeps per-site databases and query variants");
+    row("%-12s %-12s %-16s %-14s %-16s %-14s", "instances", "db-rows", "strategy", "evals", "wire-bytes",
+        "rows@peer");
+    for (const std::size_t instances : {2u, 4u, 8u}) {
+        for (const std::size_t rows : {1000u, 20000u}) {
+            {
+                Rig rig{instances, rows, /*coupled_invoke=*/true};
+                const auto bytes0 = rig.total_bytes();
+                rig.invoke_coupled();
+                row("%-12zu %-12zu %-16s %-14llu %-16llu %-14zu", instances, rows, "re-execute",
+                    static_cast<unsigned long long>(rig.total_query_executions()),
+                    static_cast<unsigned long long>(rig.total_bytes() - bytes0),
+                    rig.session->app(instances - 1).ui().find(ToriApp::kResultTable)->text_list("rows").size());
+            }
+            {
+                Rig rig{instances, rows, /*coupled_invoke=*/false};
+                const auto bytes0 = rig.total_bytes();
+                rig.invoke_and_share();
+                row("%-12zu %-12zu %-16s %-14llu %-16llu %-14zu", instances, rows, "share-results",
+                    static_cast<unsigned long long>(rig.total_query_executions()),
+                    static_cast<unsigned long long>(rig.total_bytes() - bytes0),
+                    rig.session->app(instances - 1).ui().find(ToriApp::kResultTable)->text_list("rows").size());
+            }
+        }
+    }
+    std::printf("\nNote: result sharing evaluates once but ships every rendered row to every\n"
+                "peer and forces all sites onto one database; re-execution ships one event and\n"
+                "lets each site keep its own source — the flexibility TORI wanted (§4).\n");
+}
+
+void BM_CoupledReExecution(benchmark::State& state) {
+    Rig rig{static_cast<std::size_t>(state.range(0)), 20000, true};
+    for (auto _ : state) rig.invoke_coupled();
+}
+BENCHMARK(BM_CoupledReExecution)->Arg(2)->Arg(8);
+
+void BM_ResultSharing(benchmark::State& state) {
+    Rig rig{static_cast<std::size_t>(state.range(0)), 20000, false};
+    for (auto _ : state) rig.invoke_and_share();
+}
+BENCHMARK(BM_ResultSharing)->Arg(2)->Arg(8);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    print_sharing_table();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,54 @@
+// F1 — Figure 1: the multiplex architecture (shared X window systems).
+//
+// Reproduces the shape behind §2.1: "collaboration among a limited number of
+// users ... long-distance, not strictly synchronous"; every user action
+// crosses the network to the single application instance, is dispatched
+// sequentially, and the output is multiplexed to each display — so response
+// latency carries the full round-trip for *every* interaction and grows with
+// the number of users ("does not fit in with the requirements of highly
+// parallel processing and real-time response").
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace cosoft;
+using namespace cosoft::bench;
+
+void print_user_sweep() {
+    artifact_header("F1", "Multiplex architecture (Fig. 1)",
+                    "every action pays the network round-trip and serializes at the single instance");
+    row("%-8s %-10s %-14s %-14s %-14s %-12s %-10s", "users", "rtt(ms)", "resp-mean(ms)", "resp-p95(ms)",
+        "prop-p95(ms)", "queue-waits", "messages");
+    for (const std::uint32_t users : {1u, 2u, 4u, 8u, 16u}) {
+        for (const sim::SimTime latency : {1 * sim::kMillisecond, 5 * sim::kMillisecond, 20 * sim::kMillisecond}) {
+            const auto workload = sim::generate_workload(standard_workload(users));
+            const auto m = baselines::run_multiplex(workload, standard_params(users, latency));
+            row("%-8u %-10.0f %-14.1f %-14.1f %-14.1f %-12llu %-10llu", users, ms(2.0 * latency),
+                ms(m.response.mean()), ms(m.response.p95()), ms(m.propagation.p95()),
+                static_cast<unsigned long long>(m.queue_waits), static_cast<unsigned long long>(m.messages));
+        }
+    }
+    std::printf("\nNote: resp-mean >= rtt even for pure dialogue actions — the defining multiplex cost.\n");
+}
+
+void BM_MultiplexModel(benchmark::State& state) {
+    const auto users = static_cast<std::uint32_t>(state.range(0));
+    const auto workload = sim::generate_workload(standard_workload(users));
+    const auto params = standard_params(users);
+    for (auto _ : state) {
+        auto m = baselines::run_multiplex(workload, params);
+        benchmark::DoNotOptimize(m);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(workload.size()));
+}
+BENCHMARK(BM_MultiplexModel)->Arg(2)->Arg(8)->Arg(16);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    print_user_sweep();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

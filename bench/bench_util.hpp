@@ -1,0 +1,66 @@
+// Shared helpers for the benchmark harness.
+//
+// Every bench binary prints (a) a deterministic, virtual-time table that
+// regenerates the *shape* of one paper artifact (figure/table/claim), and
+// (b) google-benchmark microbenchmarks measuring the real implementation.
+// Running the binary with no arguments produces both.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cosoft/baselines/architectures.hpp"
+#include "cosoft/sim/workload.hpp"
+
+namespace cosoft::bench {
+
+/// Prints a header for one reproduced artifact.
+inline void artifact_header(const char* id, const char* title, const char* claim) {
+    std::printf("\n================================================================================\n");
+    std::printf("%s — %s\n", id, title);
+    std::printf("paper claim: %s\n", claim);
+    std::printf("================================================================================\n");
+}
+
+/// printf into a row of a fixed-width table.
+inline void row(const char* fmt, ...) {
+    va_list args;
+    va_start(args, fmt);
+    std::vprintf(fmt, args);
+    va_end(args);
+    std::printf("\n");
+}
+
+/// The standard mixed workload used across the architecture comparisons.
+inline sim::WorkloadSpec standard_workload(std::uint32_t users) {
+    sim::WorkloadSpec spec;
+    spec.users = users;
+    spec.objects_per_user = 8;
+    spec.actions_per_user = 400;
+    spec.mean_think_time = 400 * sim::kMillisecond;
+    spec.ui_action_cost = 200;                          // 0.2 ms dialogue handling
+    spec.semantic_action_cost = 20 * sim::kMillisecond; // moderately expensive semantics
+    spec.semantic_fraction = 0.2;
+    spec.ui_local_fraction = 0.3;
+    spec.seed = 1994;
+    return spec;
+}
+
+inline baselines::ArchParams standard_params(std::uint32_t users,
+                                             sim::SimTime latency = 5 * sim::kMillisecond) {
+    baselines::ArchParams p;
+    p.users = users;
+    p.net_latency = latency;
+    p.dispatch_cost = 50;
+    return p;
+}
+
+/// ms with one decimal from a microsecond count.
+inline double ms(double us) { return us / 1000.0; }
+inline double ms(std::int64_t us) { return static_cast<double>(us) / 1000.0; }
+
+}  // namespace cosoft::bench

@@ -1,0 +1,224 @@
+// cosoft_shell — an interactive terminal client for a running cosoftd.
+//
+// Builds widgets, couples them with objects in other instances, emits
+// events, copies state and drives undo/redo — a hands-on way to exercise the
+// whole protocol against a live server from several terminals.
+//
+// Usage:  ./cosoftd 7494            (terminal 1)
+//         ./cosoft_shell 7494 alice (terminal 2)
+//         ./cosoft_shell 7494 bob   (terminal 3)
+//
+// Commands (also: `help`):
+//   new <class> <path>          create a widget (class: textfield, canvas, ...)
+//   ls                          print the local widget tree
+//   who                         list registered instances
+//   show <inst> <path>          fetch and print a remote object's state
+//   set <path> <text>           emit value-changed (synchronizes if coupled)
+//   press <path>                emit activated
+//   couple <path> <inst>:<path>     decouple <path> <inst>:<path>
+//   copyto <path> <inst>:<path>     copyfrom <inst>:<path> <path>
+//   undo <path>                 redo <path>
+//   quit
+#include <poll.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "cosoft/client/co_app.hpp"
+#include "cosoft/common/strings.hpp"
+#include "cosoft/net/tcp.hpp"
+#include "cosoft/toolkit/snapshot.hpp"
+
+using namespace cosoft;
+
+namespace {
+
+void print_tree(const toolkit::Widget& w, int depth) {
+    if (!w.is_root()) {
+        std::printf("%*s%s [%s]", depth * 2, "", w.name().c_str(), std::string{to_string(w.cls())}.c_str());
+        for (const auto& schema : w.info().attributes) {
+            if (!schema.relevant) continue;
+            std::printf(" %s=%s", schema.name.c_str(),
+                        toolkit::to_display_string(w.attribute(schema.name)).c_str());
+        }
+        std::printf("\n");
+    }
+    for (const toolkit::Widget* c : w.children()) print_tree(*c, depth + 1);
+}
+
+bool parse_ref(const std::string& token, ObjectRef& out) {
+    const std::size_t colon = token.find(':');
+    if (colon == std::string::npos) return false;
+    out.instance = static_cast<InstanceId>(std::strtoul(token.substr(0, colon).c_str(), nullptr, 10));
+    out.path = token.substr(colon + 1);
+    return !out.path.empty();
+}
+
+client::CoApp::Done ack(const std::string& what) {
+    return [what](const Status& st) {
+        if (st.is_ok()) {
+            std::printf("[%s: ok]\n", what.c_str());
+        } else {
+            std::printf("[%s: %s — %s]\n", what.c_str(), std::string{to_string(st.code())}.c_str(),
+                        st.message().c_str());
+        }
+        std::fflush(stdout);
+    };
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 3) {
+        std::fprintf(stderr, "usage: %s <port> <user-name>\n", argv[0]);
+        return 1;
+    }
+    const auto port = static_cast<std::uint16_t>(std::strtoul(argv[1], nullptr, 10));
+    const std::string user = argv[2];
+
+    auto conn = net::tcp_connect("127.0.0.1", port);
+    if (!conn.is_ok()) {
+        std::fprintf(stderr, "cannot reach cosoftd on port %u: %s\n", port, conn.error().message.c_str());
+        return 1;
+    }
+    client::CoApp app{"shell", user, static_cast<UserId>(std::hash<std::string>{}(user) & 0xffff)};
+    app.connect(conn.value());
+    while (!app.online()) conn.value()->poll_blocking(100);
+    std::printf("connected as instance %u (user %s). Type 'help'.\n", app.instance(), user.c_str());
+
+    std::string line;
+    bool running = true;
+    while (running) {
+        std::printf("cosoft> ");
+        std::fflush(stdout);
+        // Wait for stdin while pumping the channel.
+        while (true) {
+            pollfd pfd{STDIN_FILENO, POLLIN, 0};
+            const int ready = ::poll(&pfd, 1, 50);
+            conn.value()->poll();
+            if (!conn.value()->connected()) {
+                std::printf("\nserver gone, bye\n");
+                return 0;
+            }
+            if (ready > 0) break;
+        }
+        if (!std::getline(std::cin, line)) break;
+        std::istringstream in{line};
+        std::string cmd;
+        in >> cmd;
+        if (cmd.empty()) continue;
+
+        if (cmd == "quit" || cmd == "exit") {
+            running = false;
+        } else if (cmd == "help") {
+            std::printf(
+                "new <class> <path> | ls | who | show <i> <p> | set <p> <text> | press <p>\n"
+                "couple <p> <i>:<p> | decouple <p> <i>:<p> | copyto <p> <i>:<p> | copyfrom <i>:<p> <p>\n"
+                "undo <p> | redo <p> | quit\n");
+        } else if (cmd == "new") {
+            std::string cls_name;
+            std::string path;
+            in >> cls_name >> path;
+            const auto cls = toolkit::widget_class_from_string(cls_name);
+            if (!cls) {
+                std::printf("unknown class '%s'\n", cls_name.c_str());
+                continue;
+            }
+            const std::string parent{path_parent(path)};
+            toolkit::Widget* parent_w =
+                parent.empty() ? &app.ui().root() : app.ui().find(parent);
+            if (parent_w == nullptr) {
+                std::printf("no such parent '%s'\n", parent.c_str());
+                continue;
+            }
+            auto created = parent_w->add_child(*cls, std::string{path_leaf(path)});
+            std::printf(created.is_ok() ? "created %s\n" : "error: %s\n",
+                        created.is_ok() ? path.c_str() : created.error().message.c_str());
+        } else if (cmd == "ls") {
+            print_tree(app.ui().root(), 0);
+        } else if (cmd == "who") {
+            app.query_registry([](const std::vector<protocol::RegistrationRecord>& recs) {
+                for (const auto& r : recs) {
+                    std::printf("  %u: %s@%s (%s)\n", r.instance, r.user_name.c_str(), r.host_name.c_str(),
+                                r.app_name.c_str());
+                }
+                std::fflush(stdout);
+            });
+            conn.value()->poll_blocking(500);
+        } else if (cmd == "show") {
+            InstanceId inst = kInvalidInstance;
+            std::string path;
+            in >> inst >> path;
+            app.fetch_state(ObjectRef{inst, path}, [](Result<toolkit::UiState> r) {
+                if (r.is_ok()) {
+                    std::printf("%s", to_string(r.value()).c_str());
+                } else {
+                    std::printf("error: %s\n", r.error().message.c_str());
+                }
+                std::fflush(stdout);
+            });
+            conn.value()->poll_blocking(500);
+        } else if (cmd == "set" || cmd == "press") {
+            std::string path;
+            in >> path;
+            std::string text;
+            std::getline(in, text);
+            if (!text.empty() && text.front() == ' ') text.erase(0, 1);
+            toolkit::Widget* w = app.ui().find(path);
+            if (w == nullptr) {
+                std::printf("no such widget '%s'\n", path.c_str());
+                continue;
+            }
+            const toolkit::Event e = (cmd == "set")
+                                         ? w->make_event(toolkit::EventType::kValueChanged, text)
+                                         : w->make_event(toolkit::EventType::kActivated);
+            app.emit(path, e, ack(cmd));
+            conn.value()->poll_blocking(500);
+        } else if (cmd == "couple" || cmd == "decouple" || cmd == "copyto") {
+            std::string path;
+            std::string ref_token;
+            in >> path >> ref_token;
+            ObjectRef remote;
+            if (!parse_ref(ref_token, remote)) {
+                std::printf("expected <instance>:<path>\n");
+                continue;
+            }
+            if (cmd == "couple") {
+                app.couple(path, remote, ack(cmd));
+            } else if (cmd == "decouple") {
+                app.decouple(path, remote, ack(cmd));
+            } else {
+                app.copy_to(path, remote, protocol::MergeMode::kFlexible, ack(cmd));
+            }
+            conn.value()->poll_blocking(500);
+        } else if (cmd == "copyfrom") {
+            std::string ref_token;
+            std::string path;
+            in >> ref_token >> path;
+            ObjectRef remote;
+            if (!parse_ref(ref_token, remote)) {
+                std::printf("expected <instance>:<path>\n");
+                continue;
+            }
+            app.copy_from(remote, path, protocol::MergeMode::kFlexible, ack(cmd));
+            conn.value()->poll_blocking(500);
+        } else if (cmd == "undo" || cmd == "redo") {
+            std::string path;
+            in >> path;
+            if (cmd == "undo") {
+                app.undo(path, ack(cmd));
+            } else {
+                app.redo(path, ack(cmd));
+            }
+            conn.value()->poll_blocking(500);
+        } else {
+            std::printf("unknown command '%s' — try 'help'\n", cmd.c_str());
+        }
+    }
+    std::printf("bye\n");
+    return 0;
+}

@@ -1,0 +1,102 @@
+// cosoftd — a standalone COSOFT server daemon over TCP.
+//
+// Runs the central controller on a port; any number of CoApp clients (from
+// any process on the machine) can connect with net::tcp_connect and register.
+// This mirrors the deployment of the original system: one coordinator,
+// applications on workstations around it.
+//
+// Usage: ./cosoftd [port] [--max-seconds N]
+//   port           listening port (default 7494; 0 = ephemeral, printed)
+//   --max-seconds  optional self-termination for scripted runs
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "cosoft/net/tcp.hpp"
+#include "cosoft/server/co_server.hpp"
+
+using namespace cosoft;
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void handle_signal(int) { g_stop.store(true); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::uint16_t port = 7494;
+    long max_seconds = -1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--max-seconds") == 0 && i + 1 < argc) {
+            max_seconds = std::strtol(argv[++i], nullptr, 10);
+        } else {
+            port = static_cast<std::uint16_t>(std::strtoul(argv[i], nullptr, 10));
+        }
+    }
+
+    auto listener = net::TcpListener::create(port);
+    if (!listener.is_ok()) {
+        std::fprintf(stderr, "cosoftd: cannot listen on port %u: %s\n", port,
+                     listener.error().message.c_str());
+        return 1;
+    }
+    std::printf("cosoftd: listening on 127.0.0.1:%u\n", listener.value()->port());
+    std::fflush(stdout);
+
+    std::signal(SIGINT, handle_signal);
+    std::signal(SIGTERM, handle_signal);
+
+    server::CoServer server;
+    std::vector<std::shared_ptr<net::TcpChannel>> channels;
+    const auto start = std::chrono::steady_clock::now();
+    std::uint64_t last_reported_messages = 0;
+
+    while (!g_stop.load()) {
+        // Accept anything pending (non-blocking poll on the listen socket).
+        while (true) {
+            auto accepted = listener.value()->accept(/*timeout_ms=*/0);
+            if (!accepted.is_ok()) break;
+            const InstanceId id = server.attach(accepted.value());
+            channels.push_back(accepted.value());
+            std::printf("cosoftd: connection accepted, pre-assigned instance %u\n", id);
+            std::fflush(stdout);
+        }
+
+        // Dispatch inbound frames on this (single) server thread.
+        std::size_t dispatched = 0;
+        for (auto& ch : channels) dispatched += ch->poll();
+
+        // Drop closed channels (CoServer already cleaned their state).
+        std::erase_if(channels, [](const auto& ch) { return !ch->connected(); });
+
+        if (dispatched == 0) std::this_thread::sleep_for(std::chrono::microseconds(500));
+
+        const auto& st = server.stats();
+        if (st.messages_received >= last_reported_messages + 1000) {
+            last_reported_messages = st.messages_received;
+            std::printf("cosoftd: %llu msgs in, %llu out, %zu connections, %zu couple links\n",
+                        static_cast<unsigned long long>(st.messages_received),
+                        static_cast<unsigned long long>(st.messages_sent), channels.size(),
+                        server.couples().link_count());
+            std::fflush(stdout);
+        }
+        if (max_seconds >= 0 &&
+            std::chrono::steady_clock::now() - start > std::chrono::seconds(max_seconds)) {
+            break;
+        }
+    }
+
+    const auto& st = server.stats();
+    std::printf("cosoftd: shutting down — %llu messages routed, %llu events broadcast, %llu locks granted\n",
+                static_cast<unsigned long long>(st.messages_received),
+                static_cast<unsigned long long>(st.events_broadcast),
+                static_cast<unsigned long long>(st.locks_granted));
+    return 0;
+}

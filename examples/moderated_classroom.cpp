@@ -1,0 +1,77 @@
+// Moderated classroom: the §4 coordination interface end-to-end.
+//
+// A moderator console (which owns none of the coupled objects) surveys the
+// classroom through the registration records, inspects a student's
+// environment through the read-only FetchState flow, and wires students
+// together with RemoteCouple — all while an "intelligent demon" watches a
+// struggling student and raises an automatic help request.
+//
+// Run: ./moderated_classroom
+#include <cstdio>
+
+#include "cosoft/apps/classroom.hpp"
+#include "cosoft/apps/local_session.hpp"
+#include "cosoft/apps/moderator.hpp"
+
+using namespace cosoft;
+
+int main() {
+    std::printf("== Moderated classroom: console + demon ==\n\n");
+
+    apps::LocalSession session;
+    client::CoApp& console_app = session.add_app("console", "moderator", 1);
+    apps::ModeratorApp console{console_app};
+
+    client::CoApp& teacher_app = session.add_app("board", "hoppe", 2);
+    apps::TeacherApp teacher{teacher_app};
+
+    client::CoApp& s1 = session.add_app("exercise", "nelson", 11);
+    client::CoApp& s2 = session.add_app("exercise", "frank", 12);
+    apps::StudentApp nelson{s1, "Simplify (x^2-1)/(x-1)"};
+    apps::StudentApp frank{s2, "Simplify (x^2-1)/(x-1)"};
+    apps::Demon demon{nelson, apps::Demon::Policy{.rewrite_threshold = 3, .erase_threshold = 2}};
+
+    // The console surveys the classroom ("stylized form").
+    console.refresh();
+    session.run();
+    std::printf("classroom registry:\n");
+    for (const auto& item : console_app.ui().find(apps::ModeratorApp::kParticipants)->text_list("items")) {
+        std::printf("  %s\n", item.c_str());
+    }
+
+    // Nelson struggles: three rewrites trip the demon.
+    nelson.answer("x - 1");
+    session.run();
+    nelson.answer("x + 1 ... no wait");
+    session.run();
+    nelson.answer("??");
+    session.run();
+    std::printf("\ndemon triggered: %s (rewrites=%zu, erasures=%zu)\n", demon.triggered() ? "yes" : "no",
+                demon.rewrites(), demon.erasures());
+    for (const auto& req : teacher.requests()) {
+        std::printf("teacher inbox [%s]: instance %u: \"%s\"\n", req.automatic ? "demon" : "direct",
+                    req.from, req.note.c_str());
+    }
+
+    // The moderator inspects Nelson's environment before deciding what to
+    // couple (the "potentially simplified graphical representation").
+    console.inspect(s1.instance());
+    session.run();
+    std::printf("\nnelson's environment (couplable objects):\n");
+    for (const auto& path : console.object_paths()) std::printf("  %s\n", path.c_str());
+
+    // Peer help: the moderator couples the two students' answers so Frank
+    // can assist — initiated entirely from outside both applications.
+    console.couple_objects(s1.ref(apps::StudentApp::kAnswer), s2.ref(apps::StudentApp::kAnswer));
+    session.run();
+    frank.answer("x + 1 (cancel the (x-1) factor)");
+    session.run();
+    std::printf("\nfrank helps -> nelson's field now reads: \"%s\"\n",
+                s1.ui().find(apps::StudentApp::kAnswer)->text("value").c_str());
+
+    // Session over: decouple; both keep their final state.
+    console.decouple_objects(s1.ref(apps::StudentApp::kAnswer), s2.ref(apps::StudentApp::kAnswer));
+    session.run();
+    std::printf("decoupled; couple links remaining: %zu\n", session.server().couples().link_count());
+    return 0;
+}

@@ -1,0 +1,19 @@
+#!/bin/sh
+# Full verification: configure, build, test, run every example that
+# terminates on its own, and regenerate all benchmark tables.
+set -e
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build --output-on-failure
+
+for e in quickstart classroom tori_session whiteboard tcp_demo moderated_classroom; do
+  echo "=== example: $e ==="
+  ./build/examples/$e
+done
+
+for b in build/bench/*; do
+  [ -x "$b" ] && [ -f "$b" ] && "$b"
+done

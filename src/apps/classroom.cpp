@@ -1,0 +1,177 @@
+#include "cosoft/apps/classroom.hpp"
+
+#include <cstdio>
+
+#include "cosoft/toolkit/builder.hpp"
+
+namespace cosoft::apps {
+
+using toolkit::EventType;
+using toolkit::Widget;
+using toolkit::WidgetClass;
+
+namespace {
+
+constexpr const char* kHelpCommand = "help-request";
+
+std::vector<std::uint8_t> encode_help(const std::string& note, bool automatic) {
+    ByteWriter w;
+    w.str(note);
+    w.boolean(automatic);
+    return w.take();
+}
+
+}  // namespace
+
+StudentApp::StudentApp(client::CoApp& app, std::string task_text) : app_(app) {
+    Widget& root = app_.ui().root();
+    Widget* ex = root.add_child(WidgetClass::kForm, "exercise").value();
+    (void)ex->set_attribute("title", "Exercise");
+    Widget* task = ex->add_child(WidgetClass::kLabel, "task").value();
+    (void)task->set_attribute("label", std::move(task_text));
+    Widget* answer = ex->add_child(WidgetClass::kTextField, "answer").value();
+    (void)answer->set_attribute("label", "Answer");
+    (void)ex->add_child(WidgetClass::kCanvas, "scratch").value();
+
+    // Simulation: a parameter slider drives a dependent canvas. The canvas
+    // content is *generated* from the parameter, so coupling the slider is
+    // enough to keep two simulations in step (indirect coupling, §4).
+    Widget* param = ex->add_child(WidgetClass::kSlider, "param").value();
+    (void)param->set_attribute("min", 0.0);
+    (void)param->set_attribute("max", 10.0);
+    (void)ex->add_child(WidgetClass::kCanvas, "simulation").value();
+    param->add_callback(EventType::kValueChanged, [this](Widget& w, const toolkit::Event&) {
+        rerender_simulation(w.real("value"));
+    });
+}
+
+void StudentApp::rerender_simulation(double parameter) {
+    ++simulation_renders_;
+    Widget* sim = app_.ui().find(kSimulation);
+    if (sim == nullptr) return;
+    // A stand-in for an expensive function plot: one stroke per sample.
+    std::vector<std::string> strokes;
+    for (int x = 0; x < 8; ++x) {
+        char buf[48];
+        std::snprintf(buf, sizeof buf, "plot(%d,%.2f)", x, parameter * x);
+        strokes.emplace_back(buf);
+    }
+    (void)sim->set_attribute("strokes", strokes);
+}
+
+void StudentApp::answer(std::string text, Done done) {
+    Widget* w = app_.ui().find(kAnswer);
+    app_.emit(kAnswer, w->make_event(EventType::kValueChanged, std::move(text)), std::move(done));
+}
+
+void StudentApp::sketch(std::string stroke, Done done) {
+    Widget* w = app_.ui().find(kScratch);
+    app_.emit(kScratch, w->make_event(EventType::kStroke, std::move(stroke)), std::move(done));
+}
+
+void StudentApp::set_parameter(double value, Done done) {
+    Widget* w = app_.ui().find(kParam);
+    app_.emit(kParam, w->make_event(EventType::kValueChanged, value), std::move(done));
+}
+
+void StudentApp::request_help(std::string note, Done done) {
+    app_.send_command(kHelpCommand, encode_help(note, /*automatic=*/false), kInvalidInstance, std::move(done));
+}
+
+void StudentApp::request_help_automatic(std::string note, Done done) {
+    app_.send_command(kHelpCommand, encode_help(note, /*automatic=*/true), kInvalidInstance, std::move(done));
+}
+
+Demon::Demon(StudentApp& student, Policy policy) : student_(student), policy_(policy) {
+    toolkit::Widget* answer = student_.co().ui().find(StudentApp::kAnswer);
+    if (answer != nullptr) {
+        answer->add_callback(EventType::kValueChanged, [this](toolkit::Widget& w, const toolkit::Event&) {
+            observe(w.text("value"));
+        });
+    }
+}
+
+void Demon::observe(const std::string& new_value) {
+    if (new_value.size() < last_value_.size()) ++erasures_;
+    ++rewrites_;
+    last_value_ = new_value;
+    if (triggered_) return;
+    if (rewrites_ >= policy_.rewrite_threshold || erasures_ >= policy_.erase_threshold) {
+        triggered_ = true;
+        student_.request_help_automatic("demon: student rewrote the answer " + std::to_string(rewrites_) +
+                                        " times (" + std::to_string(erasures_) + " erasures)");
+    }
+}
+
+void Demon::reset() noexcept {
+    rewrites_ = 0;
+    erasures_ = 0;
+    triggered_ = false;
+}
+
+TeacherApp::TeacherApp(client::CoApp& app) : app_(app) {
+    Widget& root = app_.ui().root();
+    Widget* board = root.add_child(WidgetClass::kForm, "board").value();
+    (void)board->set_attribute("title", "Liveboard");
+    (void)board->add_child(WidgetClass::kImage, "slide").value();
+    (void)board->add_child(WidgetClass::kCanvas, "annotations").value();
+
+    // The public discussion area mirrors the *structure* of a student
+    // exercise form so joint sessions can couple corresponding elements.
+    Widget* pub = board->add_child(WidgetClass::kForm, "public").value();
+    (void)pub->set_attribute("title", "Public discussion");
+    (void)pub->add_child(WidgetClass::kLabel, "task").value();
+    Widget* answer = pub->add_child(WidgetClass::kTextField, "answer").value();
+    (void)answer->set_attribute("label", "Student answer");
+    (void)pub->add_child(WidgetClass::kCanvas, "scratch").value();
+
+    // Buffer incoming help requests (direct or demon-generated).
+    app_.on_command(kHelpCommand, [this](InstanceId from, std::span<const std::uint8_t> payload) {
+        ByteReader r{payload};
+        HelpRequest req;
+        req.from = from;
+        req.note = r.str();
+        req.automatic = r.boolean();
+        if (r.ok()) requests_.push_back(std::move(req));
+    });
+}
+
+void TeacherApp::present_slide(std::string source, Done done) {
+    Widget* slide = app_.ui().find(kSlide);
+    app_.emit(kSlide, slide->make_event(EventType::kValueChanged, std::move(source)), std::move(done));
+}
+
+void TeacherApp::annotate(std::string stroke, Done done) {
+    Widget* canvas = app_.ui().find(kAnnotations);
+    app_.emit(kAnnotations, canvas->make_event(EventType::kStroke, std::move(stroke)), std::move(done));
+}
+
+void TeacherApp::begin_public_discussion(InstanceId student, Done done) {
+    const ObjectRef student_exercise{student, StudentApp::kRoot};
+    const ObjectRef student_answer{student, StudentApp::kAnswer};
+    const ObjectRef student_scratch{student, StudentApp::kScratch};
+
+    // 1. Initial synchronization by state: pull the student's exercise into
+    //    the public area. Flexible matching synchronizes the identical
+    //    substructures (task/answer/scratch) and merges in the student-only
+    //    widgets (param/simulation) while conserving any board-local extras.
+    app_.copy_from(student_exercise, kPublicArea, protocol::MergeMode::kFlexible);
+
+    // 2. Live coupling of the discussed elements.
+    app_.couple(kPublicAnswer, student_answer);
+    app_.couple(kPublicScratch, student_scratch, std::move(done));
+    current_student_ = student;
+}
+
+void TeacherApp::end_public_discussion(Done done) {
+    if (current_student_ == kInvalidInstance) {
+        if (done) done(Status{ErrorCode::kNotCoupled, "no discussion in progress"});
+        return;
+    }
+    const InstanceId student = current_student_;
+    current_student_ = kInvalidInstance;
+    app_.decouple(kPublicAnswer, ObjectRef{student, StudentApp::kAnswer});
+    app_.decouple(kPublicScratch, ObjectRef{student, StudentApp::kScratch}, std::move(done));
+}
+
+}  // namespace cosoft::apps

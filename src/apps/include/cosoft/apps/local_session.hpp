@@ -1,0 +1,74 @@
+// LocalSession: a complete in-process COSOFT session — one CoServer and any
+// number of CoApp clients wired through a deterministic SimNetwork. Used by
+// the examples, the test suite, and the benchmark harness; also convenient
+// for embedding a whole multi-user session in a single process.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cosoft/client/co_app.hpp"
+#include "cosoft/net/sim_network.hpp"
+#include "cosoft/server/co_server.hpp"
+
+namespace cosoft::apps {
+
+class LocalSession {
+  public:
+    LocalSession() = default;
+    explicit LocalSession(net::PipeConfig pipe) : pipe_(pipe) {}
+
+    /// Creates a client app, connects it, and completes registration.
+    client::CoApp& add_app(const std::string& app_name, const std::string& user_name, UserId user) {
+        auto app = std::make_unique<client::CoApp>(app_name, user_name, user);
+        auto [client_end, server_end] = network_.make_pipe(pipe_);
+        server_.attach(server_end);
+        app->connect(client_end);
+        network_.run_all();
+        apps_.push_back(std::move(app));
+        ends_.push_back({client_end, server_end});
+        return *apps_.back();
+    }
+
+    /// Delivers every in-flight message (and everything triggered by them).
+    void run() { network_.run_all(); }
+
+    [[nodiscard]] net::SimNetwork& net() noexcept { return network_; }
+    [[nodiscard]] server::CoServer& server() noexcept { return server_; }
+    [[nodiscard]] client::CoApp& app(std::size_t i) { return *apps_.at(i); }
+    [[nodiscard]] std::size_t app_count() const noexcept { return apps_.size(); }
+
+    /// Wire statistics of app i's client-side channel (frames/bytes).
+    [[nodiscard]] const net::ChannelStats& client_stats(std::size_t i) const {
+        return ends_.at(i).client_end->stats();
+    }
+
+    /// Severs app i's connection from the client side (app crash); the
+    /// server observes the peer close and cleans up.
+    void disconnect(std::size_t i) {
+        ends_.at(i).client_end->close();
+        network_.run_all();
+    }
+
+    /// Severs app i's connection from the server side (server/network gone);
+    /// the client observes the close and fails its pending requests.
+    void server_vanishes(std::size_t i) {
+        ends_.at(i).server_end->close();
+        network_.run_all();
+    }
+
+  private:
+    struct Pipe {
+        std::shared_ptr<net::SimChannel> client_end;
+        std::shared_ptr<net::SimChannel> server_end;
+    };
+
+    net::PipeConfig pipe_;
+    net::SimNetwork network_;
+    server::CoServer server_;
+    std::vector<std::unique_ptr<client::CoApp>> apps_;
+    std::vector<Pipe> ends_;
+};
+
+}  // namespace cosoft::apps

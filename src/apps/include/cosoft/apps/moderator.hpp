@@ -1,0 +1,76 @@
+// The interactive coordination interface of §4:
+//
+// "For initiating a joint session, we provide an interactive interface for a
+// procedure that essentially consists of (1) selecting a student (or group
+// of students) ... from a graphical menu that shows the classroom situation
+// in stylized form, and (2) selecting the UI objects to be coupled from a
+// (potentially simplified) graphical representation of the student's
+// environment. ... Dynamic coupling and decoupling is based on the remote
+// operations RemoteCouple/RemoteDecouple since it is initiated from outside
+// the respective applications."
+//
+// The ModeratorApp is exactly that console: it lists the registered
+// participants (registration records), fetches a read-only rendering of a
+// selected participant's widget tree (FetchState), and couples/decouples
+// arbitrary pairs of foreign objects.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cosoft/client/co_app.hpp"
+#include "cosoft/toolkit/snapshot.hpp"
+
+namespace cosoft::apps {
+
+class ModeratorApp {
+  public:
+    using Done = client::CoApp::Done;
+
+    static constexpr const char* kRoot = "console";
+    static constexpr const char* kParticipants = "console/participants";
+    static constexpr const char* kObjects = "console/objects";
+
+    explicit ModeratorApp(client::CoApp& app);
+
+    [[nodiscard]] client::CoApp& co() noexcept { return app_; }
+
+    /// Step 0: refresh the stylized classroom view (the participants list).
+    /// Entries render as "<instance>: <user>@<host> (<app>)".
+    void refresh(Done done = {});
+    [[nodiscard]] const std::vector<protocol::RegistrationRecord>& participants() const noexcept {
+        return participants_;
+    }
+
+    /// Step 1: select a participant; fetches the simplified representation
+    /// of their environment and fills the objects list with couplable
+    /// pathnames ("<path> [<class>]").
+    void inspect(InstanceId participant, Done done = {});
+    [[nodiscard]] std::optional<InstanceId> inspected() const noexcept { return inspected_; }
+    /// The fetched environment (root snapshot), when available.
+    [[nodiscard]] const std::optional<toolkit::UiState>& environment() const noexcept { return environment_; }
+    /// Couplable object pathnames of the inspected environment.
+    [[nodiscard]] std::vector<std::string> object_paths() const;
+
+    /// Step 2: couple/decouple two foreign objects (RemoteCouple/
+    /// RemoteDecouple) — the moderator owns neither endpoint.
+    void couple_objects(const ObjectRef& a, const ObjectRef& b, Done done = {});
+    void decouple_objects(const ObjectRef& a, const ObjectRef& b, Done done = {});
+
+    /// Convenience for classroom sessions: couples the same-named object of
+    /// every listed participant to the first one ("selecting a group of
+    /// students").
+    void couple_group(const std::vector<InstanceId>& participants, const std::string& path, Done done = {});
+
+  private:
+    void rebuild_objects_list();
+
+    client::CoApp& app_;
+    std::vector<protocol::RegistrationRecord> participants_;
+    std::optional<InstanceId> inspected_;
+    std::optional<toolkit::UiState> environment_;
+};
+
+}  // namespace cosoft::apps

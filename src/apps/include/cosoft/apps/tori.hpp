@@ -1,0 +1,95 @@
+// Cooperative TORI — "Task-Oriented database Retrieval Interface" (§4).
+//
+// TORI generates query and result forms from high-level descriptions. The
+// cooperative version couples:
+//   - the menus selecting comparison operators ("substring", "like-one-of"…),
+//   - the text input fields associated with attributes,
+//   - the menu selecting a view (a set of query attributes),
+//   - and the invocation of queries, "which implies that a query will be
+//     potentially re-executed several times" — each instance runs the query
+//     against its *own* database, so coupled users may query different
+//     sources with a shared query.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cosoft/client/co_app.hpp"
+#include "cosoft/db/database.hpp"
+
+namespace cosoft::apps {
+
+class ToriApp {
+  public:
+    using Done = client::CoApp::Done;
+
+    /// Widget paths of the generated interface.
+    static constexpr const char* kRoot = "tori";
+    static constexpr const char* kViewMenu = "tori/view";
+    static constexpr const char* kQueryForm = "tori/query";
+    static constexpr const char* kInvokeButton = "tori/invoke";
+    static constexpr const char* kResultForm = "tori/results";
+    static constexpr const char* kOrderMenu = "tori/results/order";
+    static constexpr const char* kResultTable = "tori/results/table";
+
+    /// Builds the TORI interface inside `app` for querying `database`'s
+    /// "papers" table over `attributes` (a subset of its columns).
+    ToriApp(client::CoApp& app, db::Database database, std::vector<std::string> attributes);
+
+    [[nodiscard]] client::CoApp& co() noexcept { return app_; }
+    [[nodiscard]] const db::Database& database() const noexcept { return db_; }
+
+    // --- user-level operations (synchronized when coupled) --------------------
+
+    /// Chooses the comparison operator for one attribute's menu.
+    void set_operator(const std::string& attribute, db::CompareOp op, Done done = {});
+    /// Types an operand into one attribute's input field.
+    void set_operand(const std::string& attribute, std::string value, Done done = {});
+    /// Selects a view: "full" or "only:<attr>[,<attr>…]".
+    void select_view(const std::string& view, Done done = {});
+    /// Selects a result ordering: "none" or "<attr>:asc" / "<attr>:desc".
+    void select_order(const std::string& order, Done done = {});
+    /// Presses the invoke button; the query runs here and — via event
+    /// re-execution — at every coupled instance, each against its own DB.
+    void invoke(Done done = {});
+    /// Result-form operation: uses a result row to partially instantiate a
+    /// new query (sets the author field from the selected row).
+    void instantiate_from_result(std::size_t row_index, Done done = {});
+
+    // --- coupling helpers ----------------------------------------------------
+
+    /// Full joint session: couples the whole TORI form with the partner's.
+    void couple_full(const ObjectRef& partner_root, Done done = {});
+    /// Partial coupling: shares only the named attribute's operator menu and
+    /// input field ("only some query attributes may be shared").
+    void couple_attribute(const std::string& attribute, const ObjectRef& partner_root, Done done = {});
+
+    // --- inspection ------------------------------------------------------------
+
+    [[nodiscard]] const db::ResultSet& last_result() const noexcept { return last_result_; }
+    [[nodiscard]] std::uint64_t invocations() const noexcept { return invocations_; }
+    [[nodiscard]] const std::vector<std::string>& attributes() const noexcept { return attributes_; }
+
+    /// The query currently described by the form's widgets.
+    [[nodiscard]] db::Query current_query() const;
+
+    [[nodiscard]] static std::string operator_menu_path(const std::string& attribute) {
+        return std::string{kQueryForm} + "/" + attribute + "Op";
+    }
+    [[nodiscard]] static std::string operand_field_path(const std::string& attribute) {
+        return std::string{kQueryForm} + "/" + attribute;
+    }
+
+  private:
+    void build_ui();
+    void run_query();
+
+    client::CoApp& app_;
+    db::Database db_;
+    std::vector<std::string> attributes_;
+    db::ResultSet last_result_;
+    std::uint64_t invocations_ = 0;
+};
+
+}  // namespace cosoft::apps

@@ -1,0 +1,98 @@
+#include "cosoft/apps/moderator.hpp"
+
+#include "cosoft/common/strings.hpp"
+
+namespace cosoft::apps {
+
+using toolkit::UiState;
+using toolkit::Widget;
+using toolkit::WidgetClass;
+
+ModeratorApp::ModeratorApp(client::CoApp& app) : app_(app) {
+    Widget& root = app_.ui().root();
+    Widget* console = root.add_child(WidgetClass::kForm, "console").value();
+    (void)console->set_attribute("title", "Session moderator");
+    (void)console->add_child(WidgetClass::kList, "participants").value();
+    (void)console->add_child(WidgetClass::kList, "objects").value();
+    Widget* refresh = console->add_child(WidgetClass::kButton, "refresh").value();
+    (void)refresh->set_attribute("label", "Refresh classroom");
+    refresh->add_callback(toolkit::EventType::kActivated,
+                          [this](Widget&, const toolkit::Event&) { this->refresh(); });
+}
+
+void ModeratorApp::refresh(Done done) {
+    app_.query_registry([this, done = std::move(done)](const std::vector<protocol::RegistrationRecord>& recs) {
+        participants_ = recs;
+        std::vector<std::string> items;
+        items.reserve(recs.size());
+        for (const auto& r : recs) {
+            if (r.instance == app_.instance()) continue;  // the console itself
+            items.push_back(std::to_string(r.instance) + ": " + r.user_name + "@" + r.host_name + " (" +
+                            r.app_name + ")");
+        }
+        if (Widget* list = app_.ui().find(kParticipants)) (void)list->set_attribute("items", std::move(items));
+        if (done) done(Status::ok());
+    });
+}
+
+void ModeratorApp::inspect(InstanceId participant, Done done) {
+    app_.fetch_state(ObjectRef{participant, std::string{}},  // "" = whole environment
+                     [this, participant, done = std::move(done)](Result<UiState> state) {
+                         if (!state.is_ok()) {
+                             if (done) done(state.status());
+                             return;
+                         }
+                         inspected_ = participant;
+                         environment_ = std::move(state).value();
+                         rebuild_objects_list();
+                         if (done) done(Status::ok());
+                     });
+}
+
+namespace {
+
+void collect_paths(const UiState& node, const std::string& prefix, std::vector<std::string>& out) {
+    for (const UiState& child : node.children) {
+        const std::string path = prefix.empty() ? child.name : join_child(prefix, child.name);
+        out.push_back(path + " [" + std::string{toolkit::to_string(child.cls)} + "]");
+        collect_paths(child, path, out);
+    }
+}
+
+}  // namespace
+
+std::vector<std::string> ModeratorApp::object_paths() const {
+    std::vector<std::string> out;
+    if (environment_) collect_paths(*environment_, std::string{}, out);
+    return out;
+}
+
+void ModeratorApp::rebuild_objects_list() {
+    if (Widget* list = app_.ui().find(kObjects)) {
+        (void)list->set_attribute("items", object_paths());
+    }
+}
+
+void ModeratorApp::couple_objects(const ObjectRef& a, const ObjectRef& b, Done done) {
+    app_.remote_couple(a, b, std::move(done));
+}
+
+void ModeratorApp::decouple_objects(const ObjectRef& a, const ObjectRef& b, Done done) {
+    app_.remote_decouple(a, b, std::move(done));
+}
+
+void ModeratorApp::couple_group(const std::vector<InstanceId>& participants, const std::string& path,
+                                Done done) {
+    if (participants.size() < 2) {
+        if (done) done(Status{ErrorCode::kInvalidArgument, "a group needs at least two participants"});
+        return;
+    }
+    const ObjectRef anchor{participants.front(), path};
+    // Chain the requests; the closure makes the links one group either way.
+    for (std::size_t i = 1; i + 1 < participants.size(); ++i) {
+        app_.remote_couple(anchor, ObjectRef{participants[i], path});
+    }
+    app_.remote_couple(anchor, ObjectRef{participants.back(), path}, std::move(done));
+}
+
+}  // namespace cosoft::apps

@@ -1,0 +1,185 @@
+#include "cosoft/apps/tori.hpp"
+
+#include "cosoft/common/strings.hpp"
+#include "cosoft/toolkit/builder.hpp"
+
+namespace cosoft::apps {
+
+using toolkit::EventType;
+using toolkit::Widget;
+using toolkit::WidgetClass;
+
+ToriApp::ToriApp(client::CoApp& app, db::Database database, std::vector<std::string> attributes)
+    : app_(app), db_(std::move(database)), attributes_(std::move(attributes)) {
+    build_ui();
+}
+
+void ToriApp::build_ui() {
+    Widget& root = app_.ui().root();
+    Widget* tori = root.add_child(WidgetClass::kForm, "tori").value();
+    (void)tori->set_attribute("title", "TORI — " + db_.name());
+
+    // View selection menu: "full" plus one single-attribute view per column.
+    Widget* view = tori->add_child(WidgetClass::kMenu, "view").value();
+    std::vector<std::string> views{"full"};
+    for (const auto& attr : attributes_) views.push_back("only:" + attr);
+    (void)view->set_attribute("items", views);
+    (void)view->set_attribute("selection", std::string{"full"});
+
+    // Query form: one operator menu + one operand field per attribute.
+    Widget* query = tori->add_child(WidgetClass::kForm, "query").value();
+    (void)query->set_attribute("title", "Query");
+    for (const auto& attr : attributes_) {
+        Widget* op = query->add_child(WidgetClass::kMenu, attr + "Op").value();
+        (void)op->set_attribute("items", db::compare_op_names());
+        (void)op->set_attribute("selection", std::string{db::to_string(db::CompareOp::kSubstring)});
+        Widget* field = query->add_child(WidgetClass::kTextField, attr).value();
+        (void)field->set_attribute("label", attr);
+    }
+
+    Widget* invoke = tori->add_child(WidgetClass::kButton, "invoke").value();
+    (void)invoke->set_attribute("label", "Retrieve");
+    // The query runs wherever the activation event executes — locally for
+    // the initiating user, re-executed at every coupled instance.
+    invoke->add_callback(EventType::kActivated, [this](Widget&, const toolkit::Event&) { run_query(); });
+
+    Widget* results = tori->add_child(WidgetClass::kForm, "results").value();
+    (void)results->set_attribute("title", "Results");
+    // Result-form operation: ordering the retrieved rows. Synchronized like
+    // any other menu when the forms are coupled (§4: "also these operations
+    // are synchronized").
+    Widget* order = results->add_child(WidgetClass::kMenu, "order").value();
+    std::vector<std::string> orders{"none"};
+    for (const auto& attr : attributes_) {
+        orders.push_back(attr + ":asc");
+        orders.push_back(attr + ":desc");
+    }
+    (void)order->set_attribute("items", orders);
+    (void)order->set_attribute("selection", std::string{"none"});
+    (void)results->add_child(WidgetClass::kTable, "table").value();
+}
+
+db::Query ToriApp::current_query() const {
+    db::Query q;
+    q.table = "papers";
+    const Widget* query = app_.ui().find(kQueryForm);
+    for (const auto& attr : attributes_) {
+        const Widget* op_menu = query->find(attr + "Op");
+        const Widget* field = query->find(attr);
+        const auto op = db::compare_op_from_string(op_menu->text("selection"));
+        q.conditions.push_back({attr, op.value_or(db::CompareOp::kSubstring), field->text("value")});
+    }
+    if (const Widget* order = app_.ui().find(kOrderMenu)) {
+        const std::string sel = order->text("selection");
+        const std::size_t colon = sel.find(':');
+        if (sel != "none" && colon != std::string::npos) {
+            q.order = db::OrderBy{sel.substr(0, colon), sel.substr(colon + 1) == "desc"};
+        }
+    }
+    const std::string view = app_.ui().find(kViewMenu)->text("selection");
+    if (view.starts_with("only:")) {
+        std::string_view rest{view};
+        rest.remove_prefix(5);
+        while (!rest.empty()) {
+            const std::size_t comma = rest.find(',');
+            q.projection.emplace_back(rest.substr(0, comma));
+            if (comma == std::string_view::npos) break;
+            rest.remove_prefix(comma + 1);
+        }
+    }
+    return q;
+}
+
+void ToriApp::run_query() {
+    ++invocations_;
+    auto result = db_.execute(current_query());
+    if (!result) return;  // malformed form state: leave the old results
+    last_result_ = std::move(result).value();
+
+    // Render into the result table widget.
+    Widget* table = app_.ui().find(kResultTable);
+    if (table == nullptr) return;
+    (void)table->set_attribute("columns", last_result_.columns);
+    std::vector<std::string> rows;
+    rows.reserve(last_result_.rows.size());
+    for (const auto& row : last_result_.rows) {
+        std::string line;
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            if (i > 0) line += " | ";
+            line += row[i];
+        }
+        rows.push_back(std::move(line));
+    }
+    (void)table->set_attribute("rows", rows);
+}
+
+void ToriApp::set_operator(const std::string& attribute, db::CompareOp op, Done done) {
+    const std::string path = operator_menu_path(attribute);
+    Widget* menu = app_.ui().find(path);
+    if (menu == nullptr) {
+        if (done) done(Status{ErrorCode::kUnknownObject, path});
+        return;
+    }
+    app_.emit(path, menu->make_event(EventType::kSelectionChanged, std::string{db::to_string(op)}),
+              std::move(done));
+}
+
+void ToriApp::set_operand(const std::string& attribute, std::string value, Done done) {
+    const std::string path = operand_field_path(attribute);
+    Widget* field = app_.ui().find(path);
+    if (field == nullptr) {
+        if (done) done(Status{ErrorCode::kUnknownObject, path});
+        return;
+    }
+    app_.emit(path, field->make_event(EventType::kValueChanged, std::move(value)), std::move(done));
+}
+
+void ToriApp::select_view(const std::string& view, Done done) {
+    Widget* menu = app_.ui().find(kViewMenu);
+    app_.emit(kViewMenu, menu->make_event(EventType::kSelectionChanged, view), std::move(done));
+}
+
+void ToriApp::select_order(const std::string& order, Done done) {
+    Widget* menu = app_.ui().find(kOrderMenu);
+    app_.emit(kOrderMenu, menu->make_event(EventType::kSelectionChanged, order), std::move(done));
+}
+
+void ToriApp::invoke(Done done) {
+    Widget* button = app_.ui().find(kInvokeButton);
+    app_.emit(kInvokeButton, button->make_event(EventType::kActivated), std::move(done));
+}
+
+void ToriApp::instantiate_from_result(std::size_t row_index, Done done) {
+    if (row_index >= last_result_.rows.size() || attributes_.empty()) {
+        if (done) done(Status{ErrorCode::kInvalidArgument, "no such result row"});
+        return;
+    }
+    // Partial instantiation: the first projected column seeds the matching
+    // query attribute. The operand event goes first — in a coupled session
+    // two back-to-back actions on one group race for the floor (§3.2) and
+    // the second may be denied/undone; the operand is the essential part.
+    const std::string& column = last_result_.columns.front();
+    const std::string& value = last_result_.rows[row_index].front();
+    for (const auto& attr : attributes_) {
+        if (attr != column) continue;
+        set_operand(attr, value, std::move(done));
+        set_operator(attr, db::CompareOp::kEquals);
+        return;
+    }
+    if (done) done(Status{ErrorCode::kInvalidArgument, "result column " + column + " is not a query attribute"});
+}
+
+void ToriApp::couple_full(const ObjectRef& partner_root, Done done) {
+    app_.couple(kRoot, partner_root, std::move(done));
+}
+
+void ToriApp::couple_attribute(const std::string& attribute, const ObjectRef& partner_root, Done done) {
+    const std::string op_path = operator_menu_path(attribute);
+    const std::string field_path = operand_field_path(attribute);
+    const ObjectRef partner_op{partner_root.instance, rebase_path(op_path, kRoot, partner_root.path)};
+    const ObjectRef partner_field{partner_root.instance, rebase_path(field_path, kRoot, partner_root.path)};
+    app_.couple(op_path, partner_op);
+    app_.couple(field_path, partner_field, std::move(done));
+}
+
+}  // namespace cosoft::apps

@@ -1,0 +1,135 @@
+#include "cosoft/baselines/architectures.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace cosoft::baselines {
+
+using sim::ActionKind;
+using sim::SimTime;
+using sim::UserAction;
+
+ArchMetrics run_multiplex(const std::vector<UserAction>& workload, const ArchParams& params) {
+    ArchMetrics m;
+    SimTime central_free = 0;
+    for (const UserAction& a : workload) {
+        // Every action — even pure dialogue — crosses the network to the
+        // single application instance and is dispatched sequentially.
+        const SimTime arrival = a.issue_time + params.net_latency;
+        const SimTime start = std::max(arrival, central_free);
+        if (start > arrival) ++m.queue_waits;
+        const SimTime finish = start + params.dispatch_cost + a.exec_cost;
+        central_free = finish;
+        m.central_busy += params.dispatch_cost + a.exec_cost;
+        // Output is multiplexed to every participant's display.
+        const SimTime visible = finish + params.net_latency;
+        m.response.record(visible - a.issue_time);
+        m.propagation.record(visible - a.issue_time);
+        m.messages += 1 + params.users;  // one event up, one update per display
+        m.makespan = std::max(m.makespan, visible);
+    }
+    return m;
+}
+
+ArchMetrics run_ui_replicated(const std::vector<UserAction>& workload, const ArchParams& params) {
+    ArchMetrics m;
+    SimTime central_free = 0;
+    // Each user's local UI process is serial too.
+    std::unordered_map<std::uint32_t, SimTime> ui_free;
+    for (const UserAction& a : workload) {
+        if (a.kind == ActionKind::kUiLocal) {
+            // Dialogue-level action: handled entirely by the local UI replica.
+            SimTime& local_free = ui_free[a.user];
+            const SimTime start = std::max(a.issue_time, local_free);
+            const SimTime finish = start + a.exec_cost;
+            local_free = finish;
+            m.response.record(finish - a.issue_time);
+            m.makespan = std::max(m.makespan, finish);
+            continue;
+        }
+        // Callback/semantic actions affect the shared application and are
+        // "buffered and sequentially executed" by the single semantic
+        // process — a long semantic action blocks everyone behind it.
+        const SimTime arrival = a.issue_time + params.net_latency;
+        const SimTime start = std::max(arrival, central_free);
+        if (start > arrival) ++m.queue_waits;
+        const SimTime finish = start + params.dispatch_cost + a.exec_cost;
+        central_free = finish;
+        m.central_busy += params.dispatch_cost + a.exec_cost;
+        const SimTime visible = finish + params.net_latency;
+        m.response.record(visible - a.issue_time);
+        m.propagation.record(visible - a.issue_time);
+        m.messages += 1 + params.users;
+        m.makespan = std::max(m.makespan, visible);
+    }
+    return m;
+}
+
+ArchMetrics run_fully_replicated(const std::vector<UserAction>& workload, const ArchParams& params) {
+    ArchMetrics m;
+    SimTime server_free = 0;                                  // message dispatch serialization
+    std::unordered_map<std::uint32_t, SimTime> group_locked;  // object group -> floor held until
+    std::uint64_t coupled_cursor = 0;                         // deterministic partial-coupling choice
+
+    for (const UserAction& a : workload) {
+        const bool is_callbackish = a.kind != ActionKind::kUiLocal;
+        // Partial coupling: only a fraction of the shared-capable actions
+        // target coupled objects; the rest never leave the local instance.
+        bool coupled = false;
+        if (is_callbackish) {
+            ++coupled_cursor;
+            coupled = params.coupled_fraction > 0.0 &&
+                      static_cast<double>(coupled_cursor % 1000) < params.coupled_fraction * 1000.0;
+        }
+
+        if (!coupled) {
+            // Local execution only: the whole point of full replication.
+            const SimTime finish = a.issue_time + a.exec_cost;
+            m.response.record(finish - a.issue_time);
+            m.makespan = std::max(m.makespan, finish);
+            continue;
+        }
+
+        // Floor-control cycle (§3.2): LockReq -> grant -> local callbacks,
+        // EventMsg -> ExecuteEvent fan-out -> acks -> unlock.
+        const SimTime lock_arrival = a.issue_time + params.net_latency;
+        const SimTime lock_start = std::max(lock_arrival, server_free);
+        if (lock_start > lock_arrival) ++m.queue_waits;
+        const SimTime lock_done = lock_start + params.dispatch_cost;
+        server_free = lock_done;
+        m.central_busy += params.dispatch_cost;
+        m.messages += 2;  // LockReq + grant/deny
+
+        SimTime& held_until = group_locked[a.object];
+        if (lock_arrival < held_until) {
+            // Another user holds the floor for this group: denied, feedback
+            // undone. The user perceives the failed round-trip.
+            ++m.lock_denials;
+            m.response.record(lock_done + params.net_latency - a.issue_time);
+            continue;
+        }
+
+        const SimTime grant_at_client = lock_done + params.net_latency;
+        const SimTime local_visible = grant_at_client + a.exec_cost;
+        m.response.record(local_visible - a.issue_time);
+
+        // EventMsg to server, fan-out to the other replicas, parallel
+        // re-execution, acks back.
+        const SimTime event_arrival = grant_at_client + params.net_latency;
+        const SimTime event_start = std::max(event_arrival, server_free);
+        const SimTime fanout_done = event_start + params.dispatch_cost;
+        server_free = fanout_done;
+        m.central_busy += params.dispatch_cost;
+        m.messages += 1 + 2ULL * (params.users - 1);  // EventMsg + per-peer Execute + ack
+
+        const SimTime peer_visible = fanout_done + params.net_latency + a.exec_cost;
+        if (params.users > 1) m.propagation.record(peer_visible - a.issue_time);
+        const SimTime unlock_at = peer_visible + params.net_latency + params.dispatch_cost;
+        held_until = std::max(held_until, unlock_at);
+        m.messages += params.users;  // unlock notifies
+        m.makespan = std::max(m.makespan, std::max(local_visible, peer_visible));
+    }
+    return m;
+}
+
+}  // namespace cosoft::baselines

@@ -1,0 +1,59 @@
+// Deterministic models of the three multi-user architectures of §2.1, driven
+// by identical workloads so the benches can reproduce the paper's
+// comparison (Figures 1-3 and the §2.2 table):
+//
+//  - Multiplex (Fig. 1, shared X / SharedX / XTV): one central application
+//    instance; *every* user action crosses the network and is dispatched
+//    sequentially; output is multiplexed to all displays. "This architecture
+//    does not fit in with the requirements of highly parallel processing and
+//    real-time response."
+//  - UI-replicated (Fig. 2, Suite / Rendezvous): user interfaces replicated,
+//    one semantic process; UI actions are local, semantic actions are
+//    buffered and executed sequentially — "if such a semantic action is
+//    time-consuming, it may block the execution of other user's actions for
+//    an unacceptably long period of time."
+//  - Fully replicated (Fig. 3/4, COSOFT): everything executes locally;
+//    coupled callback events take a floor-control lock round-trip through
+//    the central server and are re-executed at each coupled replica.
+//
+// The models charge virtual time for network hops, central dispatch, and
+// action execution; they do not model host preemption. The real COSOFT
+// stack is measured separately (bench_fig4, tests) — these models exist for
+// the cross-architecture comparison shape.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cosoft/sim/histogram.hpp"
+#include "cosoft/sim/workload.hpp"
+
+namespace cosoft::baselines {
+
+struct ArchParams {
+    std::uint32_t users = 4;
+    sim::SimTime net_latency = 5 * sim::kMillisecond;  ///< one-way hop
+    sim::SimTime dispatch_cost = 50;                   ///< central per-message handling (us)
+    /// Fraction of callback actions that target *coupled* objects in the
+    /// fully replicated model (partial coupling). The centralized
+    /// architectures share everything by construction and ignore this.
+    double coupled_fraction = 1.0;
+};
+
+struct ArchMetrics {
+    sim::Histogram response;     ///< us: action issue -> issuing user sees the effect
+    sim::Histogram propagation;  ///< us: action issue -> last peer sees the effect
+    std::uint64_t messages = 0;  ///< network messages carried
+    sim::SimTime central_busy = 0;   ///< time the central component spent serving
+    sim::SimTime makespan = 0;       ///< completion time of the whole workload
+    std::uint64_t queue_waits = 0;   ///< actions delayed behind another user's action
+    std::uint64_t lock_denials = 0;  ///< fully replicated only: lost floor races
+};
+
+[[nodiscard]] ArchMetrics run_multiplex(const std::vector<sim::UserAction>& workload, const ArchParams& params);
+[[nodiscard]] ArchMetrics run_ui_replicated(const std::vector<sim::UserAction>& workload,
+                                            const ArchParams& params);
+[[nodiscard]] ArchMetrics run_fully_replicated(const std::vector<sim::UserAction>& workload,
+                                               const ArchParams& params);
+
+}  // namespace cosoft::baselines

@@ -1,0 +1,527 @@
+#include "cosoft/client/co_app.hpp"
+
+#include <algorithm>
+
+#include "cosoft/common/strings.hpp"
+#include "cosoft/toolkit/snapshot.hpp"
+
+namespace cosoft::client {
+
+using namespace protocol;
+
+CoApp::CoApp(std::string app_name, std::string user_name, UserId user, std::string host_name)
+    : app_name_(std::move(app_name)),
+      user_name_(std::move(user_name)),
+      host_name_(std::move(host_name)),
+      user_(user) {
+    tree_.set_destroy_observer([this](const std::string& path) { on_widget_destroyed(path); });
+}
+
+CoApp::~CoApp() {
+    if (channel_) channel_->close();
+}
+
+void CoApp::connect(std::shared_ptr<net::Channel> channel) {
+    channel_ = std::move(channel);
+    channel_->on_receive([this](std::span<const std::uint8_t> frame) { handle_frame(frame); });
+    channel_->on_close([this] {
+        instance_ = kInvalidInstance;
+        // Fail every outstanding request; the server has forgotten us.
+        auto requests = std::move(pending_requests_);
+        pending_requests_.clear();
+        for (auto& [id, done] : requests) {
+            if (done) done(Status{ErrorCode::kTransport, "server connection lost"});
+        }
+        auto emits = std::move(pending_emits_);
+        pending_emits_.clear();
+        for (auto& [id, pe] : emits) {
+            if (toolkit::Widget* w = tree_.find(pe.widget_path)) w->undo_feedback(pe.undo);
+            if (pe.done) pe.done(Status{ErrorCode::kTransport, "server connection lost"});
+        }
+    });
+    send(Register{user_, user_name_, host_name_, app_name_});
+}
+
+void CoApp::send(const Message& msg) {
+    if (channel_ && channel_->connected()) (void)channel_->send(encode_message(msg));
+}
+
+ActionId CoApp::track(Done done) {
+    const ActionId id = next_action_++;
+    pending_requests_.emplace(id, std::move(done));
+    return id;
+}
+
+void CoApp::finish(ActionId request, const Status& status) {
+    const auto it = pending_requests_.find(request);
+    if (it == pending_requests_.end()) return;
+    Done done = std::move(it->second);
+    pending_requests_.erase(it);
+    if (done) done(status);
+}
+
+// --- coupling ------------------------------------------------------------------
+
+void CoApp::couple(std::string_view local_path, const ObjectRef& remote, Done done) {
+    if (!online()) {
+        if (done) done(Status{ErrorCode::kTransport, "not registered with the server"});
+        return;
+    }
+    if (tree_.find(local_path) == nullptr) {
+        if (done) done(Status{ErrorCode::kUnknownObject, std::string{local_path}});
+        return;
+    }
+    send(CoupleReq{track(std::move(done)), ref(local_path), remote});
+}
+
+void CoApp::decouple(std::string_view local_path, const ObjectRef& remote, Done done) {
+    if (!online()) {
+        if (done) done(Status{ErrorCode::kTransport, "not registered with the server"});
+        return;
+    }
+    send(DecoupleReq{track(std::move(done)), ref(local_path), remote});
+}
+
+void CoApp::decouple_all(std::string_view local_path, Done done) {
+    if (!online()) {
+        if (done) done(Status{ErrorCode::kTransport, "not registered with the server"});
+        return;
+    }
+    // An invalid destination tells the server to drop every link touching
+    // the source (the same path widget destruction takes).
+    send(DecoupleReq{track(std::move(done)), ref(local_path), ObjectRef{}});
+    groups_.erase(std::string{local_path});
+}
+
+void CoApp::set_loose(std::string_view path, bool loose, Done done) {
+    if (!online()) {
+        if (done) done(Status{ErrorCode::kTransport, "not registered with the server"});
+        return;
+    }
+    if (loose) {
+        loose_paths_.insert(std::string{path});
+    } else {
+        loose_paths_.erase(std::string{path});
+    }
+    send(SetCouplingMode{track(std::move(done)), ref(path), loose});
+}
+
+void CoApp::sync_now(std::string_view path, Done done) {
+    if (!online()) {
+        if (done) done(Status{ErrorCode::kTransport, "not registered with the server"});
+        return;
+    }
+    send(SyncRequest{track(std::move(done)), ref(path)});
+}
+
+void CoApp::remote_couple(const ObjectRef& a, const ObjectRef& b, Done done) {
+    if (!online()) {
+        if (done) done(Status{ErrorCode::kTransport, "not registered with the server"});
+        return;
+    }
+    send(CoupleReq{track(std::move(done)), a, b});
+}
+
+void CoApp::remote_decouple(const ObjectRef& a, const ObjectRef& b, Done done) {
+    if (!online()) {
+        if (done) done(Status{ErrorCode::kTransport, "not registered with the server"});
+        return;
+    }
+    send(DecoupleReq{track(std::move(done)), a, b});
+}
+
+std::vector<ObjectRef> CoApp::coupled_with(std::string_view path) const {
+    const auto it = groups_.find(std::string{path});
+    if (it == groups_.end()) return {};
+    std::vector<ObjectRef> out = it->second;
+    std::erase(out, ObjectRef{instance_, std::string{path}});
+    return out;
+}
+
+bool CoApp::is_coupled(std::string_view path) const noexcept {
+    return groups_.contains(std::string{path});
+}
+
+std::string CoApp::coupled_context(std::string_view path) const {
+    std::string_view cur = path;
+    while (!cur.empty()) {
+        const auto it = groups_.find(std::string{cur});
+        if (it != groups_.end()) return std::string{cur};
+        cur = path_parent(cur);
+    }
+    return {};
+}
+
+// --- sync-by-state -----------------------------------------------------------------
+
+void CoApp::copy_to(std::string_view local_source, const ObjectRef& dest, MergeMode mode, Done done) {
+    if (!online()) {
+        if (done) done(Status{ErrorCode::kTransport, "not registered with the server"});
+        return;
+    }
+    const toolkit::Widget* w = tree_.find(local_source);
+    if (w == nullptr) {
+        if (done) done(Status{ErrorCode::kUnknownObject, std::string{local_source}});
+        return;
+    }
+    CopyTo msg;
+    msg.request = track(std::move(done));
+    msg.dest = dest;
+    msg.mode = mode;
+    msg.state = toolkit::snapshot(*w, toolkit::SnapshotScope::kRelevant);
+    const auto hook = semantic_hooks_.find(std::string{local_source});
+    if (hook != semantic_hooks_.end() && hook->second.first) msg.semantic = hook->second.first();
+    send(msg);
+}
+
+void CoApp::copy_from(const ObjectRef& source, std::string_view local_dest, MergeMode mode, Done done) {
+    if (!online()) {
+        if (done) done(Status{ErrorCode::kTransport, "not registered with the server"});
+        return;
+    }
+    if (tree_.find(local_dest) == nullptr) {
+        if (done) done(Status{ErrorCode::kUnknownObject, std::string{local_dest}});
+        return;
+    }
+    send(CopyFrom{track(std::move(done)), source, std::string{local_dest}, mode});
+}
+
+void CoApp::remote_copy(const ObjectRef& source, const ObjectRef& dest, MergeMode mode, Done done) {
+    if (!online()) {
+        if (done) done(Status{ErrorCode::kTransport, "not registered with the server"});
+        return;
+    }
+    send(RemoteCopy{track(std::move(done)), source, dest, mode});
+}
+
+void CoApp::fetch_state(const ObjectRef& source, FetchCallback callback) {
+    if (!online()) {
+        callback(Error{ErrorCode::kTransport, "not registered with the server"});
+        return;
+    }
+    // Track twice: the fetch callback receives the state on success; the
+    // request entry catches server-side error Acks (permission, unknown).
+    const ActionId id = next_action_++;
+    pending_fetches_.emplace(id, std::move(callback));
+    pending_requests_.emplace(id, [this, id](const Status& st) {
+        const auto it = pending_fetches_.find(id);
+        if (it == pending_fetches_.end()) return;
+        FetchCallback cb = std::move(it->second);
+        pending_fetches_.erase(it);
+        cb(Error{st.code(), st.message()});
+    });
+    send(FetchState{id, source});
+}
+
+void CoApp::handle(StateReply msg) {
+    const auto it = pending_fetches_.find(msg.request);
+    if (it == pending_fetches_.end()) return;
+    FetchCallback cb = std::move(it->second);
+    pending_fetches_.erase(it);
+    pending_requests_.erase(msg.request);  // no Ack will follow
+    if (!msg.found) {
+        cb(Error{ErrorCode::kUnknownObject, msg.path});
+        return;
+    }
+    cb(std::move(msg.state));
+}
+
+void CoApp::couple_synced(std::string_view local_path, const ObjectRef& remote, MergeMode mode, Done done) {
+    const std::string path{local_path};
+    copy_to(path, remote, mode, [this, path, remote, done = std::move(done)](const Status& st) {
+        if (!st.is_ok()) {
+            if (done) done(st);
+            return;
+        }
+        couple(path, remote, done);
+    });
+}
+
+// --- sync-by-action (the §3.2 algorithm, asynchronous form) --------------------------
+
+void CoApp::emit(std::string_view path, toolkit::Event event, Done done) {
+    toolkit::Widget* w = tree_.find(path);
+    if (w == nullptr) {
+        if (done) done(Status{ErrorCode::kUnknownObject, std::string{path}});
+        return;
+    }
+    // "Actions on locked objects are disabled."
+    if (!w->enabled()) {
+        if (done) done(Status{ErrorCode::kLockConflict, "object is disabled (locked by a peer action)"});
+        return;
+    }
+    event.path = w->path();
+
+    const std::string context = online() ? coupled_context(event.path) : std::string{};
+    if (context.empty()) {
+        // Uncoupled: exactly the single-user toolkit behaviour.
+        w->emit(event);
+        ++stats_.events_local;
+        if (done) done(Status::ok());
+        return;
+    }
+
+    // Built-in syntactic feedback happens immediately; callbacks wait for
+    // the floor lock.
+    PendingEmit pe;
+    pe.widget_path = event.path;
+    pe.source_path = context;
+    pe.relative = event.path == context ? std::string{} : std::string{event.path.substr(context.size() + 1)};
+    pe.undo = w->apply_feedback(event);
+    pe.event = event;
+    pe.done = std::move(done);
+
+    const ActionId action = next_action_++;
+    const auto group_it = groups_.find(context);
+    LockReq req;
+    req.action = action;
+    req.source = ref(context);
+    if (group_it != groups_.end()) req.objects = group_it->second;
+    pending_emits_.emplace(action, std::move(pe));
+    send(req);
+}
+
+void CoApp::handle(const LockGrant& msg) {
+    const auto it = pending_emits_.find(msg.action);
+    if (it == pending_emits_.end()) return;
+    PendingEmit pe = std::move(it->second);
+    pending_emits_.erase(it);
+
+    if (toolkit::Widget* w = tree_.find(pe.widget_path)) w->fire_callbacks(pe.event);
+    ++stats_.events_coupled;
+    send(EventMsg{msg.action, ref(pe.source_path), pe.relative, pe.event});
+    send(ExecuteAck{msg.action});  // our own processing is complete
+    if (pe.done) pe.done(Status::ok());
+}
+
+void CoApp::handle(const LockDeny& msg) {
+    const auto it = pending_emits_.find(msg.action);
+    if (it == pending_emits_.end()) return;
+    PendingEmit pe = std::move(it->second);
+    pending_emits_.erase(it);
+
+    // "undo syntactic built-in feedback of the event e"
+    if (toolkit::Widget* w = tree_.find(pe.widget_path)) w->undo_feedback(pe.undo);
+    ++stats_.locks_denied;
+    if (pe.done) pe.done(Status{ErrorCode::kLockConflict, "floor lock denied at " + to_string(msg.conflicting)});
+}
+
+void CoApp::handle(const LockNotify& msg) {
+    for (const ObjectRef& o : msg.objects) {
+        if (o.instance != instance_) continue;
+        if (toolkit::Widget* w = tree_.find(o.path)) w->set_enabled(!msg.locked);
+        if (msg.locked) {
+            locked_paths_.insert(o.path);
+        } else {
+            locked_paths_.erase(o.path);
+        }
+    }
+}
+
+void CoApp::handle(const ExecuteEvent& msg) {
+    toolkit::Widget* base = (msg.target.instance == instance_) ? tree_.find(msg.target.path) : nullptr;
+    if (base != nullptr) {
+        const std::string local_rel =
+            correspondences_.map_remote_path(msg.target.path, msg.source, msg.relative_path);
+        toolkit::Widget* w = local_rel.empty() ? base : base->find(local_rel);
+        if (w != nullptr) {
+            toolkit::Event local_event = msg.event;
+            local_event.path = w->path();
+            // Re-execution bypasses the enabled check: the floor holder's
+            // action must land even though this object is locked.
+            (void)w->apply_feedback(local_event);
+            w->fire_callbacks(local_event);
+            ++stats_.events_reexecuted;
+        }
+    }
+    // Always acknowledge: the group must not stay locked because a widget
+    // disappeared between locking and execution.
+    send(ExecuteAck{msg.action});
+}
+
+// --- state shipping ------------------------------------------------------------------
+
+void CoApp::handle(const StateQuery& msg) {
+    StateReply reply;
+    reply.request = msg.request;
+    reply.path = msg.path;
+    const toolkit::Widget* w = tree_.find(msg.path);
+    if (w != nullptr) {
+        reply.found = true;
+        reply.state = toolkit::snapshot(*w, toolkit::SnapshotScope::kRelevant);
+        const auto hook = semantic_hooks_.find(msg.path);
+        if (hook != semantic_hooks_.end() && hook->second.first) reply.semantic = hook->second.first();
+        ++stats_.state_queries;
+    }
+    send(reply);
+}
+
+void CoApp::handle(ApplyState msg) {
+    toolkit::Widget* w = tree_.find(msg.dest_path);
+    if (w == nullptr) {
+        ++stats_.apply_errors;
+        return;
+    }
+
+    // Back up what we are about to overwrite; the server files it on the
+    // undo/redo stack selected by the tag.
+    send(HistorySave{ref(msg.dest_path), msg.tag, toolkit::snapshot(*w, toolkit::SnapshotScope::kAll)});
+
+    Status applied = Status::ok();
+    switch (msg.mode) {
+        case MergeMode::kStrict:
+            // Correspondence-aware strict application: verifies the by-name
+            // bijection (including declared heterogeneous class pairs) before
+            // mutating, then copies attributes with name/type translation.
+            applied = apply_heterogeneous(*w, msg.state, correspondences_);
+            break;
+        case MergeMode::kDestructive:
+            applied = toolkit::apply_destructive(*w, msg.state);
+            break;
+        case MergeMode::kFlexible:
+            applied = toolkit::apply_flexible(*w, msg.state);
+            break;
+    }
+    if (!applied.is_ok()) {
+        ++stats_.apply_errors;
+        return;
+    }
+    ++stats_.states_applied;
+
+    if (!msg.semantic.empty()) {
+        const auto hook = semantic_hooks_.find(msg.dest_path);
+        if (hook != semantic_hooks_.end() && hook->second.second) hook->second.second(msg.semantic);
+    }
+}
+
+// --- history ----------------------------------------------------------------------
+
+void CoApp::undo(std::string_view path, Done done) {
+    if (!online()) {
+        if (done) done(Status{ErrorCode::kTransport, "not registered with the server"});
+        return;
+    }
+    send(UndoReq{track(std::move(done)), ref(path)});
+}
+
+void CoApp::redo(std::string_view path, Done done) {
+    if (!online()) {
+        if (done) done(Status{ErrorCode::kTransport, "not registered with the server"});
+        return;
+    }
+    send(RedoReq{track(std::move(done)), ref(path)});
+}
+
+// --- commands ---------------------------------------------------------------------
+
+void CoApp::send_command(std::string name, std::vector<std::uint8_t> payload, InstanceId target, Done done) {
+    if (!online()) {
+        if (done) done(Status{ErrorCode::kTransport, "not registered with the server"});
+        return;
+    }
+    send(Command{track(std::move(done)), std::move(name), target, std::move(payload)});
+}
+
+void CoApp::on_command(std::string name, CommandHandler handler) {
+    command_handlers_[std::move(name)] = std::move(handler);
+}
+
+void CoApp::handle(const CommandDeliver& msg) {
+    const auto it = command_handlers_.find(msg.name);
+    if (it == command_handlers_.end()) return;
+    ++stats_.commands_received;
+    it->second(msg.from, msg.payload);
+}
+
+// --- misc --------------------------------------------------------------------------
+
+void CoApp::set_semantic_hooks(std::string path, StoreFn store, LoadFn load) {
+    semantic_hooks_[std::move(path)] = {std::move(store), std::move(load)};
+}
+
+void CoApp::set_permission(UserId user, std::string_view local_path, RightsMask rights, bool allow, Done done) {
+    if (!online()) {
+        if (done) done(Status{ErrorCode::kTransport, "not registered with the server"});
+        return;
+    }
+    send(PermissionSet{track(std::move(done)), user, ref(local_path), rights, allow});
+}
+
+void CoApp::query_registry(RegistryCallback callback) {
+    if (!online()) {
+        callback({});
+        return;
+    }
+    const ActionId id = next_action_++;
+    pending_registry_.emplace(id, std::move(callback));
+    send(RegistryQuery{id});
+}
+
+void CoApp::handle(RegistryReply msg) {
+    const auto it = pending_registry_.find(msg.request);
+    if (it == pending_registry_.end()) return;
+    RegistryCallback cb = std::move(it->second);
+    pending_registry_.erase(it);
+    cb(msg.instances);
+}
+
+void CoApp::handle(RegisterAck msg) { instance_ = msg.instance; }
+
+void CoApp::handle(GroupUpdate msg) {
+    ++stats_.group_updates;
+    for (const ObjectRef& member : msg.members) {
+        if (member.instance != instance_) continue;
+        if (msg.members.size() <= 1) {
+            groups_.erase(member.path);  // alone again: fully decoupled
+        } else {
+            groups_[member.path] = msg.members;
+        }
+        if (group_observer_) group_observer_(member.path, msg.members);
+    }
+}
+
+std::vector<std::string> CoApp::coupled_paths() const {
+    std::vector<std::string> out;
+    out.reserve(groups_.size());
+    for (const auto& [path, _] : groups_) out.push_back(path);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+void CoApp::handle(const Ack& msg) {
+    finish(msg.request, msg.code == ErrorCode::kOk ? Status::ok() : Status{msg.code, msg.message});
+}
+
+void CoApp::on_widget_destroyed(const std::string& path) {
+    locked_paths_.erase(path);
+    loose_paths_.erase(path);
+    semantic_hooks_.erase(path);
+    if (groups_.erase(path) > 0 && online()) {
+        // "The decoupling algorithm is applied automatically when a UI
+        // object is destroyed."
+        send(DecoupleReq{next_action_++, ref(path), ObjectRef{}});
+    }
+}
+
+void CoApp::handle_frame(std::span<const std::uint8_t> frame) {
+    auto decoded = decode_message(frame);
+    if (!decoded) return;
+    std::visit(
+        [&](auto&& m) {
+            using T = std::decay_t<decltype(m)>;
+            if constexpr (std::is_same_v<T, RegisterAck> || std::is_same_v<T, GroupUpdate> ||
+                          std::is_same_v<T, ApplyState> || std::is_same_v<T, RegistryReply> ||
+                          std::is_same_v<T, StateReply>) {
+                handle(std::move(m));
+            } else if constexpr (std::is_same_v<T, LockGrant> || std::is_same_v<T, LockDeny> ||
+                                 std::is_same_v<T, LockNotify> || std::is_same_v<T, ExecuteEvent> ||
+                                 std::is_same_v<T, StateQuery> || std::is_same_v<T, CommandDeliver> ||
+                                 std::is_same_v<T, Ack>) {
+                handle(m);
+            }
+            // Client-to-server types arriving here are ignored.
+        },
+        decoded.value());
+}
+
+}  // namespace cosoft::client

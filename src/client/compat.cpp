@@ -1,0 +1,209 @@
+#include "cosoft/client/compat.hpp"
+
+#include <algorithm>
+
+#include "cosoft/common/strings.hpp"
+
+namespace cosoft::client {
+
+using toolkit::UiState;
+using toolkit::WidgetClass;
+
+void CorrespondenceRegistry::declare_class(WidgetClass local, WidgetClass remote,
+                                           std::vector<AttrCorrespondence> attrs) {
+    const auto it = std::find_if(class_rules_.begin(), class_rules_.end(), [&](const ClassRule& r) {
+        return r.local == local && r.remote == remote;
+    });
+    if (it != class_rules_.end()) {
+        it->attrs = std::move(attrs);
+    } else {
+        class_rules_.push_back({local, remote, std::move(attrs)});
+    }
+}
+
+const CorrespondenceRegistry::ClassRule* CorrespondenceRegistry::find_class_rule(WidgetClass local,
+                                                                                 WidgetClass remote) const {
+    const auto it = std::find_if(class_rules_.begin(), class_rules_.end(), [&](const ClassRule& r) {
+        return r.local == local && r.remote == remote;
+    });
+    return it == class_rules_.end() ? nullptr : &*it;
+}
+
+bool CorrespondenceRegistry::directly_compatible(WidgetClass local, WidgetClass remote) const {
+    return local == remote || find_class_rule(local, remote) != nullptr;
+}
+
+std::optional<std::string> CorrespondenceRegistry::to_local_attr(WidgetClass local, WidgetClass remote,
+                                                                 std::string_view remote_attr) const {
+    if (local == remote) return std::string{remote_attr};
+    const ClassRule* rule = find_class_rule(local, remote);
+    if (rule == nullptr) return std::nullopt;
+    for (const AttrCorrespondence& c : rule->attrs) {
+        if (c.remote_attr == remote_attr) return c.local_attr;
+    }
+    return std::nullopt;
+}
+
+void CorrespondenceRegistry::declare_paths(std::string local_object_path, const ObjectRef& remote_object,
+                                           std::vector<std::pair<std::string, std::string>> remote_to_local) {
+    const auto it = std::find_if(path_rules_.begin(), path_rules_.end(), [&](const PathRule& r) {
+        return r.local_object == local_object_path && r.remote_object == remote_object;
+    });
+    PathRule* rule = nullptr;
+    if (it != path_rules_.end()) {
+        rule = &*it;
+    } else {
+        path_rules_.push_back({std::move(local_object_path), remote_object, {}});
+        rule = &path_rules_.back();
+    }
+    for (auto& [remote_rel, local_rel] : remote_to_local) {
+        rule->remote_to_local[std::move(remote_rel)] = std::move(local_rel);
+    }
+}
+
+std::string CorrespondenceRegistry::map_remote_path(std::string_view local_object_path,
+                                                    const ObjectRef& remote_object,
+                                                    std::string_view remote_rel) const {
+    for (const PathRule& r : path_rules_) {
+        if (r.local_object != local_object_path || !(r.remote_object == remote_object)) continue;
+        const auto it = r.remote_to_local.find(std::string{remote_rel});
+        if (it != r.remote_to_local.end()) return it->second;
+        // A declared prefix maps the whole substructure below it.
+        for (const auto& [remote_prefix, local_prefix] : r.remote_to_local) {
+            if (path_is_or_under(remote_rel, remote_prefix)) {
+                return rebase_path(remote_rel, remote_prefix, local_prefix);
+            }
+        }
+    }
+    return std::string{remote_rel};  // identical structure by default
+}
+
+std::optional<std::string> StructuralMapping::map(std::string_view left_rel) const {
+    for (const auto& [l, r] : pairs) {
+        if (l == left_rel) return r;
+    }
+    return std::nullopt;
+}
+
+namespace {
+
+struct Matcher {
+    const CorrespondenceRegistry& registry;
+    MatchStrategy strategy;
+    MatchStats* stats;
+
+    void count_comparison() {
+        if (stats != nullptr) ++stats->comparisons;
+    }
+    void count_recursion() {
+        if (stats != nullptr) ++stats->recursions;
+    }
+
+    [[nodiscard]] bool candidate(const UiState& a, const UiState& b) const {
+        switch (strategy) {
+            case MatchStrategy::kByName: return a.name == b.name && registry.directly_compatible(a.cls, b.cls);
+            case MatchStrategy::kTypeGrouped: return registry.directly_compatible(a.cls, b.cls);
+            case MatchStrategy::kNaive: return true;  // every pairing is attempted
+        }
+        return false;
+    }
+
+    /// Tries to match `a` against `b`, appending relative path pairs.
+    bool match(const UiState& a, const UiState& b, const std::string& a_rel, const std::string& b_rel,
+               std::vector<std::pair<std::string, std::string>>& out) {
+        count_recursion();
+        count_comparison();
+        if (!registry.directly_compatible(a.cls, b.cls)) return false;
+        if (a.children.size() != b.children.size()) return false;  // bijection required
+        const std::size_t checkpoint = out.size();
+        out.emplace_back(a_rel, b_rel);
+        if (assign(a, b, 0, std::vector<bool>(b.children.size(), false), a_rel, b_rel, out)) return true;
+        out.resize(checkpoint);
+        return false;
+    }
+
+    /// Backtracking assignment of a.children[i..] onto unused b.children.
+    bool assign(const UiState& a, const UiState& b, std::size_t i, std::vector<bool> used,
+                const std::string& a_rel, const std::string& b_rel,
+                std::vector<std::pair<std::string, std::string>>& out) {
+        if (i == a.children.size()) return true;
+        const UiState& ac = a.children[i];
+        const std::string ac_rel = a_rel.empty() ? ac.name : join_child(a_rel, ac.name);
+        for (std::size_t j = 0; j < b.children.size(); ++j) {
+            if (used[j]) continue;
+            const UiState& bc = b.children[j];
+            count_comparison();
+            if (!candidate(ac, bc)) continue;
+            const std::string bc_rel = b_rel.empty() ? bc.name : join_child(b_rel, bc.name);
+            const std::size_t checkpoint = out.size();
+            if (match(ac, bc, ac_rel, bc_rel, out)) {
+                used[j] = true;
+                if (assign(a, b, i + 1, used, a_rel, b_rel, out)) return true;
+                used[j] = false;
+            }
+            out.resize(checkpoint);
+        }
+        return false;
+    }
+};
+
+}  // namespace
+
+std::optional<StructuralMapping> s_compatible(const UiState& left, const UiState& right,
+                                              const CorrespondenceRegistry& registry, MatchStrategy strategy,
+                                              MatchStats* stats) {
+    Matcher matcher{registry, strategy, stats};
+    StructuralMapping mapping;
+    if (!matcher.match(left, right, std::string{}, std::string{}, mapping.pairs)) return std::nullopt;
+    return mapping;
+}
+
+namespace {
+
+Status apply_het_node(toolkit::Widget& widget, const UiState& state, const CorrespondenceRegistry& registry) {
+    if (!registry.directly_compatible(widget.cls(), state.cls)) {
+        return Status{ErrorCode::kIncompatible,
+                      "no correspondence from " + std::string{toolkit::to_string(state.cls)} + " to " +
+                          std::string{toolkit::to_string(widget.cls())} + " at '" + widget.path() + "'"};
+    }
+    for (const auto& [remote_attr, value] : state.attributes) {
+        const auto local_attr = registry.to_local_attr(widget.cls(), state.cls, remote_attr);
+        if (!local_attr) continue;  // unmapped attributes are not synchronized
+        if (widget.info().find_attribute(*local_attr) == nullptr) continue;
+        if (Status s = widget.set_attribute(*local_attr, value); !s.is_ok()) return s;
+    }
+    for (const UiState& child : state.children) {
+        toolkit::Widget* cw = widget.find(child.name);
+        if (cw == nullptr) {
+            return Status{ErrorCode::kIncompatible,
+                          "missing corresponding child '" + child.name + "' at '" + widget.path() + "'"};
+        }
+        if (Status s = apply_het_node(*cw, child, registry); !s.is_ok()) return s;
+    }
+    return Status::ok();
+}
+
+/// Structure pre-check mirroring apply_het_node without mutating. Requires
+/// the strict bijection: equal child counts, by-name correspondence.
+bool het_applicable(const toolkit::Widget& widget, const UiState& state,
+                    const CorrespondenceRegistry& registry) {
+    if (!registry.directly_compatible(widget.cls(), state.cls)) return false;
+    if (widget.child_count() != state.children.size()) return false;
+    for (const UiState& child : state.children) {
+        const toolkit::Widget* cw = widget.find(child.name);
+        if (cw == nullptr || !het_applicable(*cw, child, registry)) return false;
+    }
+    return true;
+}
+
+}  // namespace
+
+Status apply_heterogeneous(toolkit::Widget& widget, const UiState& state,
+                           const CorrespondenceRegistry& registry) {
+    if (!het_applicable(widget, state, registry)) {
+        return Status{ErrorCode::kIncompatible, "structures do not correspond at '" + widget.path() + "'"};
+    }
+    return apply_het_node(widget, state, registry);
+}
+
+}  // namespace cosoft::client

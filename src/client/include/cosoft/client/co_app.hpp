@@ -1,0 +1,245 @@
+// CoApp: one COSOFT application instance — the client-side half of the
+// communication model, layered over the plain toolkit exactly as the paper
+// layers its primitives over the CENTER toolbox.
+//
+// "It can be easily used to develop multi-user interfaces in very much the
+// same way as single-user applications, or to extend single-user
+// applications to multi-user ones." — an application builds its widget tree,
+// registers callbacks, calls connect(); coupling makes it collaborative with
+// no further changes. The paper's primitives map to methods:
+//   CopyFrom / CopyTo / RemoteCopy        -> copy_from / copy_to / remote_copy
+//   RemoteCouple / RemoteDecouple         -> couple / decouple (any endpoints)
+//   CoSendCommand                         -> send_command / on_command
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "cosoft/client/compat.hpp"
+#include "cosoft/common/error.hpp"
+#include "cosoft/common/ids.hpp"
+#include "cosoft/net/channel.hpp"
+#include "cosoft/protocol/messages.hpp"
+#include "cosoft/toolkit/widget.hpp"
+
+namespace cosoft::client {
+
+struct AppStats {
+    std::uint64_t events_local = 0;       ///< emissions on uncoupled objects
+    std::uint64_t events_coupled = 0;     ///< emissions that ran the §3.2 algorithm
+    std::uint64_t events_reexecuted = 0;  ///< ExecuteEvents applied here
+    std::uint64_t locks_denied = 0;       ///< emissions undone after LockDeny
+    std::uint64_t states_applied = 0;     ///< ApplyStates merged here
+    std::uint64_t state_queries = 0;      ///< StateQuery snapshots served
+    std::uint64_t commands_received = 0;
+    std::uint64_t group_updates = 0;
+    std::uint64_t apply_errors = 0;       ///< incompatible ApplyState merges
+};
+
+class CoApp {
+  public:
+    using Done = std::function<void(const Status&)>;
+    using CommandHandler = std::function<void(InstanceId from, std::span<const std::uint8_t> payload)>;
+    using StoreFn = std::function<std::vector<std::uint8_t>()>;
+    using LoadFn = std::function<void(std::span<const std::uint8_t>)>;
+    using RegistryCallback = std::function<void(const std::vector<protocol::RegistrationRecord>&)>;
+
+    CoApp(std::string app_name, std::string user_name, UserId user, std::string host_name = "localhost");
+    CoApp(const CoApp&) = delete;
+    CoApp& operator=(const CoApp&) = delete;
+    ~CoApp();
+
+    /// Attaches the channel to the central server and registers. With the
+    /// SimNetwork, run the event queue to complete registration.
+    void connect(std::shared_ptr<net::Channel> channel);
+    [[nodiscard]] bool online() const noexcept {
+        return instance_ != kInvalidInstance && channel_ != nullptr && channel_->connected();
+    }
+    [[nodiscard]] InstanceId instance() const noexcept { return instance_; }
+    [[nodiscard]] const std::string& app_name() const noexcept { return app_name_; }
+    [[nodiscard]] UserId user() const noexcept { return user_; }
+
+    /// The application's widget tree — plain toolkit access.
+    [[nodiscard]] toolkit::WidgetTree& ui() noexcept { return tree_; }
+    [[nodiscard]] const toolkit::WidgetTree& ui() const noexcept { return tree_; }
+
+    /// Global reference for a local pathname.
+    [[nodiscard]] ObjectRef ref(std::string_view path) const { return {instance_, std::string{path}}; }
+
+    // --- coupling (§3.2/§3.3) -------------------------------------------------
+
+    /// Creates a couple link local `path` -> `remote`. With the Remote*
+    /// variants below, a third instance can couple two foreign objects.
+    void couple(std::string_view local_path, const ObjectRef& remote, Done done = {});
+    void decouple(std::string_view local_path, const ObjectRef& remote, Done done = {});
+    /// Removes the local object from its entire coupling group at once
+    /// (every link touching it), leaving the rest of the group intact.
+    void decouple_all(std::string_view local_path, Done done = {});
+    void remote_couple(const ObjectRef& a, const ObjectRef& b, Done done = {});
+    void remote_decouple(const ObjectRef& a, const ObjectRef& b, Done done = {});
+
+    /// CO(o) for a local object, from the locally replicated coupling info.
+    [[nodiscard]] std::vector<ObjectRef> coupled_with(std::string_view path) const;
+    [[nodiscard]] bool is_coupled(std::string_view path) const noexcept;
+
+    /// Awareness hook: fires whenever the replicated coupling info for a
+    /// local object changes — a peer (or a moderator) coupled/decoupled it,
+    /// its group grew/shrank, or it became free again. `members` is the full
+    /// group including the local object; a list of size <= 1 means the
+    /// object is no longer coupled.
+    using GroupObserver = std::function<void(const std::string& local_path, const std::vector<ObjectRef>& members)>;
+    void on_group_change(GroupObserver observer) { group_observer_ = std::move(observer); }
+
+    /// All local pathnames currently participating in some coupling group.
+    [[nodiscard]] std::vector<std::string> coupled_paths() const;
+
+    // --- loose coupling: the "time" relaxation (§1/§2.2) -------------------------
+
+    /// Switches a local object to loosely-coupled mode: re-executions from
+    /// the group queue at the server instead of arriving immediately, and
+    /// the object no longer participates in floor-control locking. The
+    /// object's own actions still broadcast to the tight members.
+    void set_loose(std::string_view path, bool loose, Done done = {});
+    [[nodiscard]] bool is_loose(std::string_view path) const noexcept {
+        return loose_paths_.contains(std::string{path});
+    }
+
+    /// "Periodical updates": pulls everything queued for the loose object.
+    /// The queued re-executions are applied (in original order) before the
+    /// completion callback fires.
+    void sync_now(std::string_view path, Done done = {});
+
+    // --- synchronization by UI state (§3.1) ------------------------------------
+
+    void copy_to(std::string_view local_source, const ObjectRef& dest,
+                 protocol::MergeMode mode = protocol::MergeMode::kStrict, Done done = {});
+    void copy_from(const ObjectRef& source, std::string_view local_dest,
+                   protocol::MergeMode mode = protocol::MergeMode::kStrict, Done done = {});
+    void remote_copy(const ObjectRef& source, const ObjectRef& dest,
+                     protocol::MergeMode mode = protocol::MergeMode::kStrict, Done done = {});
+
+    /// Read-only fetch of a remote object's (relevant) state — inspect a
+    /// peer's environment before deciding what to couple (§4's moderator
+    /// interface). The callback receives the state or an error.
+    using FetchCallback = std::function<void(Result<toolkit::UiState>)>;
+    void fetch_state(const ObjectRef& source, FetchCallback callback);
+
+    /// The §3.2 opening move in one call: "after two complex UI objects are
+    /// initially synchronized by copying the UI state, synchronization among
+    /// coupled UI objects is accomplished by re-executing actions" —
+    /// copies the local object's state onto `remote`, then couples them.
+    void couple_synced(std::string_view local_path, const ObjectRef& remote,
+                       protocol::MergeMode mode = protocol::MergeMode::kFlexible, Done done = {});
+
+    // --- synchronization by multiple execution (§3.2) -----------------------------
+
+    /// Emits a user event. Uncoupled objects behave exactly like the plain
+    /// toolkit. Coupled objects run the multiple-execution algorithm:
+    /// built-in feedback immediately, floor-control lock via the server,
+    /// callbacks + broadcast on grant, feedback undo on denial (reported as
+    /// kLockConflict through `done`).
+    void emit(std::string_view path, toolkit::Event event, Done done = {});
+
+    // --- history -------------------------------------------------------------
+
+    void undo(std::string_view path, Done done = {});
+    void redo(std::string_view path, Done done = {});
+
+    // --- protocol extension (§3.4) ---------------------------------------------
+
+    /// Sends a named command; target kInvalidInstance broadcasts to all
+    /// other registered instances.
+    void send_command(std::string name, std::vector<std::uint8_t> payload,
+                      InstanceId target = kInvalidInstance, Done done = {});
+    void on_command(std::string name, CommandHandler handler);
+
+    // --- semantic state hooks (§3.1) ---------------------------------------------
+
+    /// Registers store/load functions for the semantic data behind the
+    /// complex object at `path`. Store runs when this object's state is
+    /// shipped (dominating side); load runs after a shipped state (with a
+    /// semantic payload) is merged here (dominated side).
+    void set_semantic_hooks(std::string path, StoreFn store, LoadFn load);
+
+    // --- access control ---------------------------------------------------------
+
+    void set_permission(UserId user, std::string_view local_path, protocol::RightsMask rights, bool allow,
+                        Done done = {});
+
+    // --- registry ----------------------------------------------------------------
+
+    void query_registry(RegistryCallback callback);
+
+    // --- heterogeneous correspondences (§3.3) ---------------------------------------
+
+    [[nodiscard]] CorrespondenceRegistry& correspondences() noexcept { return correspondences_; }
+
+    [[nodiscard]] const AppStats& stats() const noexcept { return stats_; }
+    /// True while any local object is disabled by a peer's floor lock.
+    [[nodiscard]] bool has_locked_objects() const noexcept { return !locked_paths_.empty(); }
+    [[nodiscard]] bool is_locked(std::string_view path) const noexcept {
+        return locked_paths_.contains(std::string{path});
+    }
+
+  private:
+    struct PendingEmit {
+        std::string widget_path;   ///< where the feedback was applied
+        std::string source_path;   ///< the coupled object (self or ancestor)
+        std::string relative;      ///< widget relative to source ("" = itself)
+        toolkit::Event event;
+        toolkit::FeedbackUndo undo;
+        Done done;
+    };
+
+    void handle_frame(std::span<const std::uint8_t> frame);
+    void handle(protocol::RegisterAck msg);
+    void handle(protocol::GroupUpdate msg);
+    void handle(const protocol::LockGrant& msg);
+    void handle(const protocol::LockDeny& msg);
+    void handle(const protocol::LockNotify& msg);
+    void handle(const protocol::ExecuteEvent& msg);
+    void handle(const protocol::StateQuery& msg);
+    void handle(protocol::StateReply msg);
+    void handle(protocol::ApplyState msg);
+    void handle(const protocol::CommandDeliver& msg);
+    void handle(protocol::RegistryReply msg);
+    void handle(const protocol::Ack& msg);
+
+    void send(const protocol::Message& msg);
+    void finish(protocol::ActionId request, const Status& status);
+    protocol::ActionId track(Done done);
+    void on_widget_destroyed(const std::string& path);
+
+    /// The nearest self-or-ancestor pathname with an active coupling group.
+    [[nodiscard]] std::string coupled_context(std::string_view path) const;
+
+    std::string app_name_;
+    std::string user_name_;
+    std::string host_name_;
+    UserId user_;
+
+    toolkit::WidgetTree tree_;
+    std::shared_ptr<net::Channel> channel_;
+    InstanceId instance_ = kInvalidInstance;
+
+    protocol::ActionId next_action_ = 1;
+    std::unordered_map<std::string, std::vector<ObjectRef>> groups_;  ///< local path -> full group
+    std::unordered_map<protocol::ActionId, PendingEmit> pending_emits_;
+    std::unordered_map<protocol::ActionId, Done> pending_requests_;
+    std::unordered_map<protocol::ActionId, RegistryCallback> pending_registry_;
+    std::unordered_map<protocol::ActionId, FetchCallback> pending_fetches_;
+    std::unordered_map<std::string, CommandHandler> command_handlers_;
+    std::unordered_map<std::string, std::pair<StoreFn, LoadFn>> semantic_hooks_;
+    std::unordered_set<std::string> locked_paths_;
+    std::unordered_set<std::string> loose_paths_;
+    GroupObserver group_observer_;
+
+    CorrespondenceRegistry correspondences_;
+    AppStats stats_;
+};
+
+}  // namespace cosoft::client

@@ -1,0 +1,124 @@
+// Compatibility between UI objects (§3.3).
+//
+// Coupling modes supported by the paper:
+//   - same type, homogeneous or heterogeneous instances: always compatible;
+//   - different types: compatible when a *correspondence relation* is
+//     declared for their relevant attributes;
+//   - complex objects: *structurally compatible* (s-compatible) when a
+//     one-to-one mapping a exists between their direct components such that
+//     each pair is directly compatible (primitives) or s-compatible
+//     (complex components).
+//
+// "Of course, calculating a over several levels of nesting may be costly in
+// practice. Sometimes it can be pre-defined, or certain heuristics have to
+// be used to avoid combinatorial explosion." — the three MatchStrategy
+// variants below reproduce exactly that spectrum, and bench A3 measures it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "cosoft/common/ids.hpp"
+#include "cosoft/toolkit/snapshot.hpp"
+
+namespace cosoft::client {
+
+struct AttrCorrespondence {
+    std::string local_attr;
+    std::string remote_attr;
+};
+
+/// Per-application declarations making heterogeneous objects couplable.
+class CorrespondenceRegistry {
+  public:
+    /// Declares that remote objects of class `remote` may be coupled/copied
+    /// onto local objects of class `local`, translating attribute names via
+    /// `attrs` (remote attribute -> local attribute for each entry).
+    void declare_class(toolkit::WidgetClass local, toolkit::WidgetClass remote,
+                       std::vector<AttrCorrespondence> attrs);
+
+    /// True when a remote object of class `remote` is directly compatible
+    /// with a local object of class `local` (same class, or declared).
+    [[nodiscard]] bool directly_compatible(toolkit::WidgetClass local, toolkit::WidgetClass remote) const;
+
+    /// Maps a remote attribute name onto the local schema. Same-class pairs
+    /// map identically; declared pairs use their correspondence; returns
+    /// nullopt for unmapped attributes (those are not synchronized).
+    [[nodiscard]] std::optional<std::string> to_local_attr(toolkit::WidgetClass local,
+                                                           toolkit::WidgetClass remote,
+                                                           std::string_view remote_attr) const;
+
+    /// Declares element correspondences for one coupled pair of complex
+    /// objects: remote widget (relative path under the remote object) ->
+    /// local widget (relative path under the local object). "Application-
+    /// specific correspondences ... have to be declared on beforehand" (§4).
+    void declare_paths(std::string local_object_path, const ObjectRef& remote_object,
+                       std::vector<std::pair<std::string, std::string>> remote_to_local);
+
+    /// Resolves the local relative path an incoming event should target.
+    /// Falls back to the identical relative path when nothing is declared.
+    [[nodiscard]] std::string map_remote_path(std::string_view local_object_path, const ObjectRef& remote_object,
+                                              std::string_view remote_rel) const;
+
+    [[nodiscard]] std::size_t class_rule_count() const noexcept { return class_rules_.size(); }
+
+  private:
+    struct ClassRule {
+        toolkit::WidgetClass local;
+        toolkit::WidgetClass remote;
+        std::vector<AttrCorrespondence> attrs;
+    };
+    struct PathRule {
+        std::string local_object;
+        ObjectRef remote_object;
+        std::unordered_map<std::string, std::string> remote_to_local;
+    };
+
+    [[nodiscard]] const ClassRule* find_class_rule(toolkit::WidgetClass local, toolkit::WidgetClass remote) const;
+
+    std::vector<ClassRule> class_rules_;
+    std::vector<PathRule> path_rules_;
+};
+
+/// How the s-compatibility mapping is searched.
+enum class MatchStrategy : std::uint8_t {
+    kByName,       ///< components match only by equal name (pre-defined mapping)
+    kTypeGrouped,  ///< heuristic: candidates restricted to compatible classes
+    kNaive,        ///< full backtracking over all one-to-one assignments
+};
+
+struct MatchStats {
+    std::uint64_t comparisons = 0;  ///< candidate pair evaluations
+    std::uint64_t recursions = 0;   ///< nested s-compatibility checks
+};
+
+/// The mapping a: pairs of relative paths (left tree -> right tree),
+/// including the root pair ("" -> "").
+struct StructuralMapping {
+    std::vector<std::pair<std::string, std::string>> pairs;
+
+    [[nodiscard]] std::optional<std::string> map(std::string_view left_rel) const;
+};
+
+/// Decides s-compatibility between two complex objects (as state trees) and
+/// produces the component mapping. Returns nullopt when incompatible.
+[[nodiscard]] std::optional<StructuralMapping> s_compatible(const toolkit::UiState& left,
+                                                            const toolkit::UiState& right,
+                                                            const CorrespondenceRegistry& registry,
+                                                            MatchStrategy strategy = MatchStrategy::kTypeGrouped,
+                                                            MatchStats* stats = nullptr);
+
+/// Applies a shipped state onto a local widget with correspondence-aware
+/// attribute translation: same-class nodes copy attributes directly;
+/// declared heterogeneous pairs translate each remote attribute through
+/// to_local_attr (with type coercion). Children match by name; structures
+/// must correspond one-to-one (the strict/s-compatible path of §3.1 for
+/// heterogeneous instances). Fails without side effects when incompatible.
+Status apply_heterogeneous(toolkit::Widget& widget, const toolkit::UiState& state,
+                           const CorrespondenceRegistry& registry);
+
+}  // namespace cosoft::client

@@ -1,0 +1,66 @@
+// PrivateSession — the "work alone, then rejoin" workflow.
+//
+// §2.2 criticizes continuously-coupled CSCW systems: "Participants are not
+// allowed to decouple from others, work alone for some time, and then join
+// the work group again, since continuous synchronization-by-action is
+// required to maintain consistency." COSOFT's flexible model is built to
+// allow exactly that; this class packages the workflow:
+//
+//   1. begin() remembers the current group and removes the local object
+//      from it (the object persists — unlike leaving a shared window);
+//   2. the user works privately; every action is recorded;
+//   3. rejoin() re-enters the group using one of three strategies:
+//      - kAdoptGroup:    discard private divergence, adopt a member's
+//                        current state, couple (pure late-join, §3.1);
+//      - kPublishMine:   push the private state onto every former member,
+//                        then couple (the GroupDesign-style "keep
+//                        modifications private until commitment");
+//      - kReplayActions: re-execute the recorded private actions at a
+//                        former member (merging histories), adopt the
+//                        merged state, then couple — the expensive
+//                        alternative §3.1 describes, measured in bench A1.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cosoft/client/co_app.hpp"
+#include "cosoft/client/recorder.hpp"
+
+namespace cosoft::client {
+
+class PrivateSession {
+  public:
+    enum class Rejoin : std::uint8_t {
+        kAdoptGroup,     ///< take the group's state; private edits are dropped
+        kPublishMine,    ///< commit the private state to the whole group
+        kReplayActions,  ///< merge by re-executing the recorded actions
+    };
+
+    /// Leaves `path`'s coupling group. Fails (via `done`) when the object is
+    /// not coupled. The session records private actions from this moment.
+    PrivateSession(CoApp& app, std::string path, CoApp::Done done = {});
+
+    PrivateSession(const PrivateSession&) = delete;
+    PrivateSession& operator=(const PrivateSession&) = delete;
+
+    [[nodiscard]] bool active() const noexcept { return active_; }
+    [[nodiscard]] const std::vector<ObjectRef>& former_group() const noexcept { return former_group_; }
+    [[nodiscard]] const ActionRecorder& recorder() const noexcept { return recorder_; }
+    [[nodiscard]] std::size_t private_actions() const noexcept { return recorder_.log().size(); }
+
+    /// Re-enters the group. For kReplayActions the former members must have
+    /// ActionRecorder::enable_remote_replay installed. `done` fires after
+    /// the final coupling request is acknowledged.
+    void rejoin(Rejoin mode, CoApp::Done done = {});
+
+  private:
+    CoApp& app_;
+    std::string path_;
+    std::vector<ObjectRef> former_group_;  ///< excluding the local object
+    ActionRecorder recorder_;
+    bool active_ = false;
+};
+
+}  // namespace cosoft::client

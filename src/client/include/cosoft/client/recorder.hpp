@@ -1,0 +1,66 @@
+// ActionRecorder — the §3.1 alternative made first-class.
+//
+// "One approach is to record all actions occurring on the (copied and
+// copying) complex objects while they are decoupled, and then re-execute
+// these actions when they are coupled."
+//
+// COSOFT prefers the state copy (see bench A1 for the cost comparison), but
+// the recorded-action path has its own uses: demonstrating a solution step
+// by step, auditing a session, or merging work where intermediate actions
+// matter. The recorder captures every event executed under one complex UI
+// object and can replay the log locally or into a remote instance through
+// the CoSendCommand channel.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cosoft/client/co_app.hpp"
+
+namespace cosoft::client {
+
+class ActionRecorder {
+  public:
+    /// Observes events on (and below) `object_path` in `app`'s tree.
+    /// At most one recorder can be active per CoApp (it owns the tree's
+    /// event-observer slot).
+    ActionRecorder(CoApp& app, std::string object_path);
+    ~ActionRecorder();
+
+    ActionRecorder(const ActionRecorder&) = delete;
+    ActionRecorder& operator=(const ActionRecorder&) = delete;
+
+    void start() noexcept { recording_ = true; }
+    void stop() noexcept { recording_ = false; }
+    void clear() { log_.clear(); }
+
+    [[nodiscard]] bool recording() const noexcept { return recording_; }
+    [[nodiscard]] const std::vector<toolkit::Event>& log() const noexcept { return log_; }
+
+    /// Re-executes the log onto another local complex object: each event's
+    /// path is rebased from the recorded object onto `target`'s subtree.
+    /// Recording is suspended while replaying (the replayed events would
+    /// otherwise re-enter the log).
+    Status replay_onto(toolkit::Widget& target);
+
+    /// Ships the log to `dest`'s owner instance over the command channel;
+    /// the receiver (which must have called enable_remote_replay) re-executes
+    /// it onto `dest`. One message per recorded action — the linear cost the
+    /// paper warns about, measurable in bench A1.
+    void replay_to(const ObjectRef& dest, CoApp::Done done = {});
+
+    /// Registers the "cosoft.replay" command handler in `app` so that other
+    /// instances can replay recorded logs into it.
+    static void enable_remote_replay(CoApp& app);
+
+    /// The command name used by replay_to/enable_remote_replay.
+    static constexpr const char* kReplayCommand = "cosoft.replay";
+
+  private:
+    CoApp& app_;
+    std::string object_path_;
+    std::vector<toolkit::Event> log_;
+    bool recording_ = true;
+};
+
+}  // namespace cosoft::client

@@ -1,0 +1,66 @@
+#include "cosoft/client/private_session.hpp"
+
+namespace cosoft::client {
+
+PrivateSession::PrivateSession(CoApp& app, std::string path, CoApp::Done done)
+    : app_(app), path_(std::move(path)), recorder_(app, path_) {
+    former_group_ = app_.coupled_with(path_);
+    if (former_group_.empty()) {
+        recorder_.stop();
+        if (done) done(Status{ErrorCode::kNotCoupled, path_ + " is not coupled"});
+        return;
+    }
+    active_ = true;
+    app_.decouple_all(path_, std::move(done));
+}
+
+void PrivateSession::rejoin(Rejoin mode, CoApp::Done done) {
+    if (!active_) {
+        if (done) done(Status{ErrorCode::kNotCoupled, "private session is not active"});
+        return;
+    }
+    active_ = false;
+    recorder_.stop();
+    const ObjectRef anchor = former_group_.front();
+
+    // The final step of every strategy: re-create the couple link and report.
+    auto couple_back = [this, anchor, done = std::move(done)](const Status& st) {
+        if (!st.is_ok()) {
+            if (done) done(st);
+            return;
+        }
+        app_.couple(path_, anchor, done);
+    };
+
+    switch (mode) {
+        case Rejoin::kAdoptGroup:
+            // Pure late-join: adopt the group's current state, then couple.
+            app_.copy_from(anchor, path_, protocol::MergeMode::kStrict, std::move(couple_back));
+            break;
+
+        case Rejoin::kPublishMine: {
+            // Commit the private state onto every former member; couple
+            // after the last copy is acknowledged.
+            for (std::size_t i = 0; i + 1 < former_group_.size(); ++i) {
+                app_.copy_to(path_, former_group_[i + 1], protocol::MergeMode::kStrict);
+            }
+            app_.copy_to(path_, anchor, protocol::MergeMode::kStrict, std::move(couple_back));
+            break;
+        }
+
+        case Rejoin::kReplayActions:
+            // Merge histories: re-execute the private actions at the anchor
+            // (its replay handler applies them onto its own evolved state),
+            // then adopt the merged result and couple.
+            recorder_.replay_to(anchor, [this, anchor, couple_back = std::move(couple_back)](const Status& st) {
+                if (!st.is_ok()) {
+                    couple_back(st);
+                    return;
+                }
+                app_.copy_from(anchor, path_, protocol::MergeMode::kStrict, couple_back);
+            });
+            break;
+    }
+}
+
+}  // namespace cosoft::client

@@ -1,0 +1,90 @@
+#include "cosoft/client/recorder.hpp"
+
+#include "cosoft/common/strings.hpp"
+
+namespace cosoft::client {
+
+using toolkit::Event;
+using toolkit::Widget;
+
+ActionRecorder::ActionRecorder(CoApp& app, std::string object_path)
+    : app_(app), object_path_(std::move(object_path)) {
+    app_.ui().set_event_observer([this](Widget& w, const Event& e) {
+        if (!recording_) return;
+        if (!path_is_or_under(w.path(), object_path_)) return;
+        log_.push_back(e);
+    });
+}
+
+ActionRecorder::~ActionRecorder() { app_.ui().set_event_observer({}); }
+
+Status ActionRecorder::replay_onto(Widget& target) {
+    const bool was_recording = recording_;
+    recording_ = false;
+    struct Resume {
+        bool* flag;
+        bool value;
+        ~Resume() { *flag = value; }
+    } resume{&recording_, was_recording};
+
+    for (const Event& e : log_) {
+        Widget* w = nullptr;
+        if (e.path == object_path_) {
+            w = &target;
+        } else if (path_is_or_under(e.path, object_path_)) {
+            w = target.find(e.path.substr(object_path_.size() + 1));
+        }
+        if (w == nullptr) {
+            return Status{ErrorCode::kUnknownObject, "no replay target for " + e.path};
+        }
+        Event local = e;
+        local.path = w->path();
+        (void)w->apply_feedback(local);
+        w->fire_callbacks(local);
+    }
+    return Status::ok();
+}
+
+void ActionRecorder::replay_to(const ObjectRef& dest, CoApp::Done done) {
+    // One command per action: the receiver executes them in arrival order
+    // (the channel is FIFO). The last one carries the caller's completion.
+    if (log_.empty()) {
+        if (done) done(Status::ok());
+        return;
+    }
+    for (std::size_t i = 0; i < log_.size(); ++i) {
+        const Event& e = log_[i];
+        ByteWriter w;
+        w.str(dest.path);
+        w.str(object_path_);
+        encode(w, e);
+        const bool last = (i + 1 == log_.size());
+        app_.send_command(kReplayCommand, w.take(), dest.instance, last ? std::move(done) : CoApp::Done{});
+    }
+}
+
+void ActionRecorder::enable_remote_replay(CoApp& app) {
+    app.on_command(kReplayCommand, [&app](InstanceId, std::span<const std::uint8_t> payload) {
+        ByteReader r{payload};
+        const std::string dest_path = r.str();
+        const std::string source_path = r.str();
+        const Event e = toolkit::decode_event(r);
+        if (!r.ok()) return;
+
+        Widget* base = app.ui().find(dest_path);
+        if (base == nullptr) return;
+        Widget* w = nullptr;
+        if (e.path == source_path) {
+            w = base;
+        } else if (path_is_or_under(e.path, source_path)) {
+            w = base->find(e.path.substr(source_path.size() + 1));
+        }
+        if (w == nullptr) return;
+        Event local = e;
+        local.path = w->path();
+        (void)w->apply_feedback(local);
+        w->fire_callbacks(local);
+    });
+}
+
+}  // namespace cosoft::client

@@ -1,0 +1,24 @@
+#include "cosoft/common/error.hpp"
+
+namespace cosoft {
+
+std::string_view to_string(ErrorCode code) noexcept {
+    switch (code) {
+        case ErrorCode::kOk: return "ok";
+        case ErrorCode::kUnknownInstance: return "unknown instance";
+        case ErrorCode::kUnknownObject: return "unknown object";
+        case ErrorCode::kUnknownCommand: return "unknown command";
+        case ErrorCode::kLockConflict: return "lock conflict";
+        case ErrorCode::kPermissionDenied: return "permission denied";
+        case ErrorCode::kIncompatible: return "incompatible objects";
+        case ErrorCode::kAlreadyCoupled: return "already coupled";
+        case ErrorCode::kNotCoupled: return "not coupled";
+        case ErrorCode::kBadMessage: return "bad message";
+        case ErrorCode::kTransport: return "transport failure";
+        case ErrorCode::kHistoryEmpty: return "history empty";
+        case ErrorCode::kInvalidArgument: return "invalid argument";
+    }
+    return "unknown error";
+}
+
+}  // namespace cosoft

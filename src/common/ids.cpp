@@ -1,0 +1,9 @@
+#include "cosoft/common/ids.hpp"
+
+namespace cosoft {
+
+std::string to_string(const ObjectRef& ref) {
+    return std::to_string(ref.instance) + ":" + ref.path;
+}
+
+}  // namespace cosoft

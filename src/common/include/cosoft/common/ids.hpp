@@ -1,0 +1,58 @@
+// Identifiers shared across the COSOFT system.
+//
+// The paper (§3) represents a UI object globally as the pair
+// <instance-id, pathname>: `instance-id` identifies the application instance
+// (one registered client of the central server), `pathname` is the
+// hierarchical name of the UI object inside that instance's widget tree.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace cosoft {
+
+/// Identifier of one registered application instance. The server itself uses
+/// `kServerInstance`; real clients are assigned ids starting at 1 when they
+/// register.
+using InstanceId = std::uint32_t;
+
+inline constexpr InstanceId kInvalidInstance = 0xffffffffU;
+inline constexpr InstanceId kServerInstance = 0;
+
+/// Identifier of a human participant (used by the access-permission table).
+using UserId = std::uint32_t;
+
+inline constexpr UserId kInvalidUser = 0xffffffffU;
+
+/// Monotonically increasing sequence number for protocol messages.
+using SeqNo = std::uint64_t;
+
+/// Identifier of a stored historical UI state (undo/redo support).
+using HistoryId = std::uint64_t;
+
+/// Global reference to a UI object: the <instance-id, pathname> pair of §3.
+struct ObjectRef {
+    InstanceId instance = kInvalidInstance;
+    std::string path;
+
+    [[nodiscard]] bool valid() const noexcept { return instance != kInvalidInstance && !path.empty(); }
+
+    friend auto operator<=>(const ObjectRef&, const ObjectRef&) = default;
+};
+
+/// Renders "<instance>:<path>" for logs and error messages.
+[[nodiscard]] std::string to_string(const ObjectRef& ref);
+
+}  // namespace cosoft
+
+template <>
+struct std::hash<cosoft::ObjectRef> {
+    std::size_t operator()(const cosoft::ObjectRef& r) const noexcept {
+        const std::size_t h1 = std::hash<cosoft::InstanceId>{}(r.instance);
+        const std::size_t h2 = std::hash<std::string>{}(r.path);
+        return h1 ^ (h2 + 0x9e3779b97f4a7c15ULL + (h1 << 6) + (h1 >> 2));
+    }
+};

@@ -1,0 +1,41 @@
+// Pathname utilities. Widget pathnames follow the paper's hierarchical
+// naming: components separated by '/', rooted at the top-level widget, e.g.
+// "main/queryForm/author". Relative manipulation of pathnames is what lets
+// the s-compatibility mapping (§3.3) translate an event target from a source
+// complex object to the corresponding widget in a destination complex object.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cosoft {
+
+inline constexpr char kPathSeparator = '/';
+
+/// Splits "a/b/c" into {"a","b","c"}. Empty components are dropped.
+[[nodiscard]] std::vector<std::string> split_path(std::string_view path);
+
+/// Joins components with '/'.
+[[nodiscard]] std::string join_path(const std::vector<std::string>& components);
+
+/// Appends one component: join_child("a/b", "c") == "a/b/c".
+[[nodiscard]] std::string join_child(std::string_view parent, std::string_view child);
+
+/// True if `path` equals `prefix` or lies strictly below it.
+[[nodiscard]] bool path_is_or_under(std::string_view path, std::string_view prefix);
+
+/// Rebases "a/b/x/y" from prefix "a/b" onto "c": returns "c/x/y".
+/// Precondition: path_is_or_under(path, from).
+[[nodiscard]] std::string rebase_path(std::string_view path, std::string_view from, std::string_view onto);
+
+/// Last component of a pathname ("a/b/c" -> "c"); whole string if no '/'.
+[[nodiscard]] std::string_view path_leaf(std::string_view path);
+
+/// Parent pathname ("a/b/c" -> "a/b"); empty for a root name.
+[[nodiscard]] std::string_view path_parent(std::string_view path);
+
+/// Case-sensitive substring test (TORI's "substring" comparison operator).
+[[nodiscard]] bool contains(std::string_view haystack, std::string_view needle) noexcept;
+
+}  // namespace cosoft

@@ -1,0 +1,65 @@
+#include "cosoft/common/strings.hpp"
+
+#include <cassert>
+
+namespace cosoft {
+
+std::vector<std::string> split_path(std::string_view path) {
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= path.size()) {
+        const std::size_t sep = path.find(kPathSeparator, start);
+        const std::size_t end = (sep == std::string_view::npos) ? path.size() : sep;
+        if (end > start) out.emplace_back(path.substr(start, end - start));
+        if (sep == std::string_view::npos) break;
+        start = sep + 1;
+    }
+    return out;
+}
+
+std::string join_path(const std::vector<std::string>& components) {
+    std::string out;
+    for (const auto& c : components) {
+        if (!out.empty()) out.push_back(kPathSeparator);
+        out += c;
+    }
+    return out;
+}
+
+std::string join_child(std::string_view parent, std::string_view child) {
+    if (parent.empty()) return std::string{child};
+    std::string out{parent};
+    out.push_back(kPathSeparator);
+    out += child;
+    return out;
+}
+
+bool path_is_or_under(std::string_view path, std::string_view prefix) {
+    if (prefix.empty()) return true;  // the empty prefix denotes the whole tree
+    if (path == prefix) return true;
+    return path.size() > prefix.size() && path.starts_with(prefix) && path[prefix.size()] == kPathSeparator;
+}
+
+std::string rebase_path(std::string_view path, std::string_view from, std::string_view onto) {
+    assert(path_is_or_under(path, from));
+    if (path == from) return std::string{onto};
+    std::string out{onto};
+    out += path.substr(from.size());  // includes the leading separator
+    return out;
+}
+
+std::string_view path_leaf(std::string_view path) {
+    const std::size_t sep = path.rfind(kPathSeparator);
+    return (sep == std::string_view::npos) ? path : path.substr(sep + 1);
+}
+
+std::string_view path_parent(std::string_view path) {
+    const std::size_t sep = path.rfind(kPathSeparator);
+    return (sep == std::string_view::npos) ? std::string_view{} : path.substr(0, sep);
+}
+
+bool contains(std::string_view haystack, std::string_view needle) noexcept {
+    return haystack.find(needle) != std::string_view::npos;
+}
+
+}  // namespace cosoft

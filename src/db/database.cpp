@@ -1,0 +1,294 @@
+#include "cosoft/db/database.hpp"
+
+#include <algorithm>
+#include <charconv>
+
+#include "cosoft/common/strings.hpp"
+#include "cosoft/sim/rng.hpp"
+
+namespace cosoft::db {
+
+std::string to_display_string(const Value& v) {
+    if (const auto* s = std::get_if<std::string>(&v)) return *s;
+    if (const auto* i = std::get_if<std::int64_t>(&v)) return std::to_string(*i);
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%g", std::get<double>(v));
+    return buf;
+}
+
+ColumnType type_of(const Value& v) noexcept {
+    switch (v.index()) {
+        case 0: return ColumnType::kText;
+        case 1: return ColumnType::kInt;
+        default: return ColumnType::kReal;
+    }
+}
+
+std::string_view to_string(CompareOp op) noexcept {
+    switch (op) {
+        case CompareOp::kEquals: return "equals";
+        case CompareOp::kNotEquals: return "not-equals";
+        case CompareOp::kSubstring: return "substring";
+        case CompareOp::kPrefix: return "prefix";
+        case CompareOp::kLikeOneOf: return "like-one-of";
+        case CompareOp::kLess: return "less";
+        case CompareOp::kLessEq: return "less-eq";
+        case CompareOp::kGreater: return "greater";
+        case CompareOp::kGreaterEq: return "greater-eq";
+    }
+    return "?";
+}
+
+std::optional<CompareOp> compare_op_from_string(std::string_view name) noexcept {
+    for (std::size_t i = 0; i < kCompareOpCount; ++i) {
+        const auto op = static_cast<CompareOp>(i);
+        if (to_string(op) == name) return op;
+    }
+    return std::nullopt;
+}
+
+std::vector<std::string> compare_op_names() {
+    std::vector<std::string> out;
+    out.reserve(kCompareOpCount);
+    for (std::size_t i = 0; i < kCompareOpCount; ++i) out.emplace_back(to_string(static_cast<CompareOp>(i)));
+    return out;
+}
+
+Table::Table(std::string name, std::vector<Column> columns)
+    : name_(std::move(name)), columns_(std::move(columns)) {}
+
+std::optional<std::size_t> Table::column_index(std::string_view column) const noexcept {
+    for (std::size_t i = 0; i < columns_.size(); ++i) {
+        if (columns_[i].name == column) return i;
+    }
+    return std::nullopt;
+}
+
+Status Table::insert(Row row) {
+    if (row.values.size() != columns_.size()) {
+        return Status{ErrorCode::kInvalidArgument,
+                      "row arity " + std::to_string(row.values.size()) + " != schema arity " +
+                          std::to_string(columns_.size())};
+    }
+    for (std::size_t i = 0; i < columns_.size(); ++i) {
+        if (type_of(row.values[i]) != columns_[i].type) {
+            return Status{ErrorCode::kInvalidArgument, "type mismatch in column " + columns_[i].name};
+        }
+    }
+    rows_.push_back(std::move(row));
+    return Status::ok();
+}
+
+Result<Table*> Database::create_table(std::string table_name, std::vector<Column> columns) {
+    if (table(table_name) != nullptr) {
+        return Error{ErrorCode::kInvalidArgument, "duplicate table: " + table_name};
+    }
+    tables_.emplace_back(std::move(table_name), std::move(columns));
+    return &tables_.back();
+}
+
+Table* Database::table(std::string_view table_name) noexcept {
+    const auto it = std::find_if(tables_.begin(), tables_.end(),
+                                 [&](const Table& t) { return t.name() == table_name; });
+    return it == tables_.end() ? nullptr : &*it;
+}
+
+const Table* Database::table(std::string_view table_name) const noexcept {
+    return const_cast<Database*>(this)->table(table_name);
+}
+
+std::vector<std::string> Database::table_names() const {
+    std::vector<std::string> out;
+    out.reserve(tables_.size());
+    for (const Table& t : tables_) out.push_back(t.name());
+    return out;
+}
+
+namespace {
+
+struct NumericOperand {
+    bool valid = false;
+    double value = 0.0;
+};
+
+NumericOperand parse_numeric(const std::string& text) {
+    try {
+        std::size_t used = 0;
+        const double d = std::stod(text, &used);
+        if (used == text.size()) return {true, d};
+    } catch (...) {  // not a number
+    }
+    return {};
+}
+
+bool text_matches(const std::string& cell, CompareOp op, const std::string& operand) {
+    switch (op) {
+        case CompareOp::kEquals: return cell == operand;
+        case CompareOp::kNotEquals: return cell != operand;
+        case CompareOp::kSubstring: return contains(cell, operand);
+        case CompareOp::kPrefix: return cell.starts_with(operand);
+        case CompareOp::kLikeOneOf: {
+            std::size_t start = 0;
+            while (start <= operand.size()) {
+                std::size_t end = operand.find(',', start);
+                if (end == std::string::npos) end = operand.size();
+                std::string_view item{operand.data() + start, end - start};
+                while (!item.empty() && item.front() == ' ') item.remove_prefix(1);
+                while (!item.empty() && item.back() == ' ') item.remove_suffix(1);
+                if (cell == item) return true;
+                if (end == operand.size()) break;
+                start = end + 1;
+            }
+            return false;
+        }
+        case CompareOp::kLess: return cell < operand;
+        case CompareOp::kLessEq: return cell <= operand;
+        case CompareOp::kGreater: return cell > operand;
+        case CompareOp::kGreaterEq: return cell >= operand;
+    }
+    return false;
+}
+
+bool numeric_matches(double cell, CompareOp op, double operand) {
+    switch (op) {
+        case CompareOp::kEquals: return cell == operand;
+        case CompareOp::kNotEquals: return cell != operand;
+        case CompareOp::kLess: return cell < operand;
+        case CompareOp::kLessEq: return cell <= operand;
+        case CompareOp::kGreater: return cell > operand;
+        case CompareOp::kGreaterEq: return cell >= operand;
+        default: return false;  // text-only operators on numbers never match
+    }
+}
+
+}  // namespace
+
+Result<ResultSet> Database::execute(const Query& query) const {
+    ++queries_executed_;
+    const Table* t = table(query.table);
+    if (t == nullptr) return Error{ErrorCode::kInvalidArgument, "unknown table: " + query.table};
+
+    // Resolve conditions to column indices; drop empty operands.
+    struct Bound {
+        std::size_t index;
+        ColumnType type;
+        CompareOp op;
+        std::string operand;
+        double numeric = 0.0;
+    };
+    std::vector<Bound> bound;
+    for (const Condition& c : query.conditions) {
+        if (c.operand.empty()) continue;  // unfilled query field
+        const auto idx = t->column_index(c.column);
+        if (!idx) return Error{ErrorCode::kInvalidArgument, "unknown column: " + c.column};
+        Bound b{*idx, t->columns()[*idx].type, c.op, c.operand, 0.0};
+        if (b.type != ColumnType::kText) {
+            const NumericOperand num = parse_numeric(c.operand);
+            if (!num.valid) {
+                return Error{ErrorCode::kInvalidArgument,
+                             "non-numeric operand '" + c.operand + "' for column " + c.column};
+            }
+            b.numeric = num.value;
+        }
+        bound.push_back(std::move(b));
+    }
+
+    // Resolve projection.
+    std::vector<std::size_t> projection;
+    ResultSet out;
+    if (query.projection.empty()) {
+        for (std::size_t i = 0; i < t->columns().size(); ++i) {
+            projection.push_back(i);
+            out.columns.push_back(t->columns()[i].name);
+        }
+    } else {
+        for (const std::string& col : query.projection) {
+            const auto idx = t->column_index(col);
+            if (!idx) return Error{ErrorCode::kInvalidArgument, "unknown column in view: " + col};
+            projection.push_back(*idx);
+            out.columns.push_back(col);
+        }
+    }
+
+    // Select matching rows.
+    std::vector<const Row*> matched;
+    for (const Row& row : t->rows()) {
+        bool match = true;
+        for (const Bound& b : bound) {
+            const Value& cell = row.values[b.index];
+            if (b.type == ColumnType::kText) {
+                match = text_matches(std::get<std::string>(cell), b.op, b.operand);
+            } else {
+                const double num = (b.type == ColumnType::kInt)
+                                       ? static_cast<double>(std::get<std::int64_t>(cell))
+                                       : std::get<double>(cell);
+                match = numeric_matches(num, b.op, b.numeric);
+            }
+            if (!match) break;
+        }
+        if (match) matched.push_back(&row);
+    }
+
+    // Order (typed comparison on the sort column; stable for determinism).
+    if (query.order) {
+        const auto idx = t->column_index(query.order->column);
+        if (!idx) return Error{ErrorCode::kInvalidArgument, "unknown order column: " + query.order->column};
+        const bool desc = query.order->descending;
+        std::stable_sort(matched.begin(), matched.end(), [&](const Row* a, const Row* b) {
+            const Value& va = a->values[*idx];
+            const Value& vb = b->values[*idx];
+            return desc ? vb < va : va < vb;
+        });
+    }
+
+    // Project, optionally de-duplicate, count, and apply the limit.
+    std::vector<std::vector<std::string>> seen_for_distinct;
+    for (const Row* row : matched) {
+        std::vector<std::string> rendered;
+        rendered.reserve(projection.size());
+        for (const std::size_t idx : projection) rendered.push_back(to_display_string(row->values[idx]));
+        if (query.distinct) {
+            if (std::find(seen_for_distinct.begin(), seen_for_distinct.end(), rendered) !=
+                seen_for_distinct.end()) {
+                continue;
+            }
+            seen_for_distinct.push_back(rendered);
+        }
+        ++out.total_matches;
+        if (query.limit != 0 && out.rows.size() >= query.limit) continue;
+        out.rows.push_back(std::move(rendered));
+    }
+    return out;
+}
+
+Database make_literature_db(std::string name, std::size_t rows, std::uint64_t seed) {
+    static const char* kAuthors[] = {"Zhao",     "Hoppe",   "Stefik",  "Ellis",  "Gibbs",   "Rein",
+                                     "Greenberg", "Patterson", "Dewan", "Choudhary", "Lauwers", "Baloian"};
+    static const char* kTopics[] = {"groupware",   "WYSIWIS",     "coupling",   "hypertext",
+                                    "retrieval",   "interfaces",  "awareness",  "collaboration"};
+    static const char* kVenues[] = {"CSCW", "CHI", "UIST", "ICDCS", "InterCHI", "TOIS"};
+
+    Database database{std::move(name)};
+    auto created = database.create_table("papers", {{"author", ColumnType::kText},
+                                                    {"title", ColumnType::kText},
+                                                    {"venue", ColumnType::kText},
+                                                    {"year", ColumnType::kInt},
+                                                    {"pages", ColumnType::kInt}});
+    Table* papers = created.value();
+    sim::Rng rng{seed};
+    for (std::size_t i = 0; i < rows; ++i) {
+        const auto* author = kAuthors[rng.below(std::size(kAuthors))];
+        const auto* topic = kTopics[rng.below(std::size(kTopics))];
+        const auto* venue = kVenues[rng.below(std::size(kVenues))];
+        Row row;
+        row.values.emplace_back(std::string{author});
+        row.values.emplace_back("On " + std::string{topic} + " systems (" + std::to_string(i) + ")");
+        row.values.emplace_back(std::string{venue});
+        row.values.emplace_back(static_cast<std::int64_t>(1985 + rng.below(10)));
+        row.values.emplace_back(static_cast<std::int64_t>(4 + rng.below(20)));
+        (void)papers->insert(std::move(row));
+    }
+    return database;
+}
+
+}  // namespace cosoft::db

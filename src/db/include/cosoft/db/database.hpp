@@ -1,0 +1,139 @@
+// Miniature in-memory relational engine — the substrate behind the
+// cooperative TORI application (§4). TORI generates query and result forms
+// from high-level descriptions; queries carry per-attribute comparison
+// operators ("substring", "like-one-of", etc.) and a selected *view* (a set
+// of query attributes). Coupled TORI instances may even send their
+// synchronized queries to *different* databases, which this engine makes
+// trivial to set up.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "cosoft/common/error.hpp"
+
+namespace cosoft::db {
+
+enum class ColumnType : std::uint8_t { kText, kInt, kReal };
+
+struct Column {
+    std::string name;
+    ColumnType type = ColumnType::kText;
+    friend bool operator==(const Column&, const Column&) = default;
+};
+
+using Value = std::variant<std::string, std::int64_t, double>;
+
+[[nodiscard]] std::string to_display_string(const Value& v);
+[[nodiscard]] ColumnType type_of(const Value& v) noexcept;
+
+struct Row {
+    std::vector<Value> values;
+    friend bool operator==(const Row&, const Row&) = default;
+};
+
+/// Comparison operators selectable in TORI's operator menus.
+enum class CompareOp : std::uint8_t {
+    kEquals = 0,
+    kNotEquals,
+    kSubstring,   ///< column value contains the operand (paper: "substring")
+    kPrefix,
+    kLikeOneOf,   ///< column value equals one of a comma-separated list
+    kLess,
+    kLessEq,
+    kGreater,
+    kGreaterEq,
+};
+
+inline constexpr std::size_t kCompareOpCount = 9;
+
+[[nodiscard]] std::string_view to_string(CompareOp op) noexcept;
+[[nodiscard]] std::optional<CompareOp> compare_op_from_string(std::string_view name) noexcept;
+/// All operator names, in menu order (for TORI's operator menus).
+[[nodiscard]] std::vector<std::string> compare_op_names();
+
+/// One conjunct of a query: <attribute, operator, operand-as-text>.
+/// Empty operands are ignored (an unfilled query field selects nothing).
+struct Condition {
+    std::string column;
+    CompareOp op = CompareOp::kEquals;
+    std::string operand;
+    friend bool operator==(const Condition&, const Condition&) = default;
+};
+
+/// Result ordering: by one column, ascending or descending.
+struct OrderBy {
+    std::string column;
+    bool descending = false;
+    friend bool operator==(const OrderBy&, const OrderBy&) = default;
+};
+
+struct Query {
+    std::string table;
+    std::vector<Condition> conditions;    ///< AND-composed
+    std::vector<std::string> projection;  ///< the selected view; empty = all columns
+    std::optional<OrderBy> order;         ///< result-form sort order
+    bool distinct = false;                ///< drop duplicate projected rows
+    std::size_t limit = 0;                ///< 0 = unlimited; applied after order/distinct
+    friend bool operator==(const Query&, const Query&) = default;
+};
+
+/// Query results rendered to text, ready for a Table widget.
+struct ResultSet {
+    std::vector<std::string> columns;
+    std::vector<std::vector<std::string>> rows;
+    /// Total matches before `limit` was applied.
+    std::size_t total_matches = 0;
+};
+
+class Table {
+  public:
+    Table(std::string name, std::vector<Column> columns);
+
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+    [[nodiscard]] const std::vector<Column>& columns() const noexcept { return columns_; }
+    [[nodiscard]] std::optional<std::size_t> column_index(std::string_view column) const noexcept;
+    [[nodiscard]] const std::vector<Row>& rows() const noexcept { return rows_; }
+
+    /// Validates arity and value types against the schema.
+    Status insert(Row row);
+
+  private:
+    std::string name_;
+    std::vector<Column> columns_;
+    std::vector<Row> rows_;
+};
+
+class Database {
+  public:
+    explicit Database(std::string name) : name_(std::move(name)) {}
+
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+    Result<Table*> create_table(std::string table_name, std::vector<Column> columns);
+    [[nodiscard]] Table* table(std::string_view table_name) noexcept;
+    [[nodiscard]] const Table* table(std::string_view table_name) const noexcept;
+    [[nodiscard]] std::vector<std::string> table_names() const;
+
+    /// Evaluates a query. Unknown tables/columns and malformed numeric
+    /// operands are errors; empty operands skip their condition.
+    [[nodiscard]] Result<ResultSet> execute(const Query& query) const;
+
+    /// Number of queries executed (the A4 bench measures re-execution cost).
+    [[nodiscard]] std::uint64_t queries_executed() const noexcept { return queries_executed_; }
+
+  private:
+    std::string name_;
+    std::vector<Table> tables_;
+    mutable std::uint64_t queries_executed_ = 0;
+};
+
+/// Deterministic sample data: a literature catalogue in the spirit of TORI's
+/// bibliographic retrieval (authors, titles, years, venues).
+[[nodiscard]] Database make_literature_db(std::string name, std::size_t rows, std::uint64_t seed = 1994);
+
+}  // namespace cosoft::db

@@ -1,0 +1,58 @@
+// Transport abstraction. COSOFT is hub-and-spoke (clients talk only to the
+// central server, Fig. 4), so the unit of networking is a duplex byte-frame
+// channel between one client and the server.
+//
+// Two implementations exist:
+//  - SimNetwork pipes: deterministic, single-threaded, latency/loss
+//    injectable, driven by a sim::EventQueue (used by tests and benches);
+//  - TCP sockets on localhost (used by the tcp_demo example).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "cosoft/common/error.hpp"
+
+namespace cosoft::net {
+
+struct ChannelStats {
+    std::uint64_t frames_sent = 0;
+    std::uint64_t frames_received = 0;
+    std::uint64_t bytes_sent = 0;
+    std::uint64_t bytes_received = 0;
+};
+
+/// One side of a duplex, ordered, frame-preserving connection.
+class Channel {
+  public:
+    using ReceiveHandler = std::function<void(std::span<const std::uint8_t>)>;
+    using CloseHandler = std::function<void()>;
+
+    Channel() = default;
+    Channel(const Channel&) = delete;
+    Channel& operator=(const Channel&) = delete;
+    virtual ~Channel() = default;
+
+    /// Queues one frame for delivery to the peer. Ordered, all-or-nothing.
+    virtual Status send(std::vector<std::uint8_t> frame) = 0;
+
+    /// Installs the handler invoked once per received frame. For SimNetwork
+    /// channels the handler runs during EventQueue processing; for TCP it
+    /// runs inside poll().
+    virtual void on_receive(ReceiveHandler handler) = 0;
+
+    /// Installs the handler invoked when the peer closes or the link dies.
+    virtual void on_close(CloseHandler handler) = 0;
+
+    [[nodiscard]] virtual bool connected() const = 0;
+    virtual void close() = 0;
+
+    [[nodiscard]] const ChannelStats& stats() const noexcept { return stats_; }
+
+  protected:
+    ChannelStats stats_;
+};
+
+}  // namespace cosoft::net

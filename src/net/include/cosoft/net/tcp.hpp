@@ -1,0 +1,81 @@
+// Localhost TCP transport: the same Channel interface as SimNetwork pipes,
+// over real sockets. Frames are length-prefixed (4-byte little-endian size).
+//
+// Threading model: a background reader thread per channel enqueues complete
+// frames; the owner calls poll() to dispatch them on its own thread, so all
+// COSOFT logic stays single-threaded exactly as with SimNetwork.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "cosoft/net/channel.hpp"
+
+namespace cosoft::net {
+
+class TcpChannel final : public Channel {
+  public:
+    ~TcpChannel() override;
+
+    Status send(std::vector<std::uint8_t> frame) override;
+    void on_receive(ReceiveHandler handler) override { receive_ = std::move(handler); }
+    void on_close(CloseHandler handler) override { close_handler_ = std::move(handler); }
+    [[nodiscard]] bool connected() const override { return connected_.load(std::memory_order_acquire); }
+    void close() override;
+
+    /// Dispatches all queued inbound frames to the receive handler on the
+    /// calling thread. Returns the number of frames dispatched. Also fires
+    /// the close handler (once) if the peer has gone away.
+    std::size_t poll();
+
+    /// Blocks until at least one frame has been dispatched or `timeout_ms`
+    /// elapsed. Returns the number of frames dispatched.
+    std::size_t poll_blocking(int timeout_ms);
+
+  private:
+    friend class TcpListener;
+    friend Result<std::shared_ptr<TcpChannel>> tcp_connect(const std::string&, std::uint16_t);
+
+    explicit TcpChannel(int fd);
+    void reader_loop();
+
+    int fd_;
+    std::atomic<bool> connected_{true};
+    std::atomic<bool> peer_gone_{false};
+    bool close_reported_ = false;
+    std::thread reader_;
+    std::mutex mu_;
+    std::deque<std::vector<std::uint8_t>> inbox_;
+    ReceiveHandler receive_;
+    CloseHandler close_handler_;
+};
+
+class TcpListener {
+  public:
+    /// Binds and listens on 127.0.0.1:`port`; port 0 picks an ephemeral port.
+    static Result<std::unique_ptr<TcpListener>> create(std::uint16_t port);
+    ~TcpListener();
+
+    TcpListener(const TcpListener&) = delete;
+    TcpListener& operator=(const TcpListener&) = delete;
+
+    [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+    /// Accepts one connection; blocks up to `timeout_ms` (-1 = forever).
+    Result<std::shared_ptr<TcpChannel>> accept(int timeout_ms = -1);
+
+  private:
+    TcpListener(int fd, std::uint16_t port) : fd_(fd), port_(port) {}
+    int fd_;
+    std::uint16_t port_;
+};
+
+/// Connects to 127.0.0.1:`port`.
+Result<std::shared_ptr<TcpChannel>> tcp_connect(const std::string& host, std::uint16_t port);
+
+}  // namespace cosoft::net

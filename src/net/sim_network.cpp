@@ -1,0 +1,55 @@
+#include "cosoft/net/sim_network.hpp"
+
+namespace cosoft::net {
+
+std::pair<std::shared_ptr<SimChannel>, std::shared_ptr<SimChannel>> SimNetwork::make_pipe(const PipeConfig& config) {
+    // Not std::make_shared: the constructor is private to this file's friend.
+    auto a = std::shared_ptr<SimChannel>(new SimChannel(this, config));
+    PipeConfig back = config;
+    back.drop_seed = config.drop_seed * 0x9e3779b97f4a7c15ULL + 1;
+    auto b = std::shared_ptr<SimChannel>(new SimChannel(this, back));
+    a->peer_ = b;
+    b->peer_ = a;
+    return {a, b};
+}
+
+Status SimChannel::send(std::vector<std::uint8_t> frame) {
+    if (!connected_) return Status{ErrorCode::kTransport, "channel closed"};
+    auto peer = peer_.lock();
+    if (!peer || !peer->connected_) return Status{ErrorCode::kTransport, "peer gone"};
+
+    stats_.frames_sent++;
+    stats_.bytes_sent += frame.size();
+
+    if (config_.drop_probability > 0.0 && rng_.chance(config_.drop_probability)) {
+        return Status::ok();  // silently lost in transit
+    }
+
+    net_->queue().schedule_after(config_.latency,
+                                 [peer, f = std::move(frame)]() mutable { peer->deliver(std::move(f)); });
+    return Status::ok();
+}
+
+void SimChannel::deliver(std::vector<std::uint8_t> frame) {
+    if (!connected_) return;  // closed while the frame was in flight
+    stats_.frames_received++;
+    stats_.bytes_received += frame.size();
+    if (receive_) receive_(frame);
+}
+
+void SimChannel::close() {
+    if (!connected_) return;
+    connected_ = false;
+    if (auto peer = peer_.lock()) {
+        // Close notification travels with the same latency as data frames.
+        net_->queue().schedule_after(config_.latency, [peer] { peer->peer_closed(); });
+    }
+}
+
+void SimChannel::peer_closed() {
+    if (!connected_) return;
+    connected_ = false;
+    if (close_handler_) close_handler_();
+}
+
+}  // namespace cosoft::net

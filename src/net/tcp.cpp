@@ -1,0 +1,183 @@
+#include "cosoft/net/tcp.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+namespace cosoft::net {
+
+namespace {
+
+bool write_all(int fd, const std::uint8_t* data, std::size_t n) {
+    while (n > 0) {
+        const ssize_t w = ::send(fd, data, n, MSG_NOSIGNAL);
+        if (w < 0) {
+            if (errno == EINTR) continue;
+            return false;
+        }
+        data += w;
+        n -= static_cast<std::size_t>(w);
+    }
+    return true;
+}
+
+bool read_all(int fd, std::uint8_t* data, std::size_t n) {
+    while (n > 0) {
+        const ssize_t r = ::recv(fd, data, n, 0);
+        if (r < 0) {
+            if (errno == EINTR) continue;
+            return false;
+        }
+        if (r == 0) return false;  // orderly shutdown
+        data += r;
+        n -= static_cast<std::size_t>(r);
+    }
+    return true;
+}
+
+}  // namespace
+
+TcpChannel::TcpChannel(int fd) : fd_(fd) {
+    int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    reader_ = std::thread([this] { reader_loop(); });
+}
+
+TcpChannel::~TcpChannel() {
+    close();
+    if (reader_.joinable()) reader_.join();
+}
+
+void TcpChannel::reader_loop() {
+    while (connected_.load(std::memory_order_acquire)) {
+        std::uint8_t size_buf[4];
+        if (!read_all(fd_, size_buf, 4)) break;
+        const std::uint32_t size = static_cast<std::uint32_t>(size_buf[0]) |
+                                   (static_cast<std::uint32_t>(size_buf[1]) << 8) |
+                                   (static_cast<std::uint32_t>(size_buf[2]) << 16) |
+                                   (static_cast<std::uint32_t>(size_buf[3]) << 24);
+        constexpr std::uint32_t kMaxFrame = 64U << 20;
+        if (size > kMaxFrame) break;
+        std::vector<std::uint8_t> frame(size);
+        if (size > 0 && !read_all(fd_, frame.data(), size)) break;
+        {
+            const std::lock_guard lock{mu_};
+            inbox_.push_back(std::move(frame));
+        }
+    }
+    peer_gone_.store(true, std::memory_order_release);
+}
+
+Status TcpChannel::send(std::vector<std::uint8_t> frame) {
+    if (!connected()) return Status{ErrorCode::kTransport, "channel closed"};
+    std::uint8_t size_buf[4];
+    const auto size = static_cast<std::uint32_t>(frame.size());
+    size_buf[0] = static_cast<std::uint8_t>(size);
+    size_buf[1] = static_cast<std::uint8_t>(size >> 8);
+    size_buf[2] = static_cast<std::uint8_t>(size >> 16);
+    size_buf[3] = static_cast<std::uint8_t>(size >> 24);
+    if (!write_all(fd_, size_buf, 4) || !write_all(fd_, frame.data(), frame.size())) {
+        return Status{ErrorCode::kTransport, std::strerror(errno)};
+    }
+    stats_.frames_sent++;
+    stats_.bytes_sent += frame.size();
+    return Status::ok();
+}
+
+std::size_t TcpChannel::poll() {
+    std::deque<std::vector<std::uint8_t>> batch;
+    {
+        const std::lock_guard lock{mu_};
+        batch.swap(inbox_);
+    }
+    for (auto& frame : batch) {
+        stats_.frames_received++;
+        stats_.bytes_received += frame.size();
+        if (receive_) receive_(frame);
+    }
+    if (peer_gone_.load(std::memory_order_acquire) && !close_reported_ && batch.empty()) {
+        close_reported_ = true;
+        if (close_handler_) close_handler_();
+    }
+    return batch.size();
+}
+
+std::size_t TcpChannel::poll_blocking(int timeout_ms) {
+    using Clock = std::chrono::steady_clock;
+    const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+    while (true) {
+        const std::size_t n = poll();
+        if (n > 0 || peer_gone_.load(std::memory_order_acquire)) return n;
+        if (Clock::now() >= deadline) return 0;
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+}
+
+void TcpChannel::close() {
+    if (connected_.exchange(false, std::memory_order_acq_rel)) {
+        ::shutdown(fd_, SHUT_RDWR);
+        ::close(fd_);
+    }
+}
+
+Result<std::unique_ptr<TcpListener>> TcpListener::create(std::uint16_t port) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return Error{ErrorCode::kTransport, std::strerror(errno)};
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0 || ::listen(fd, 16) < 0) {
+        const Error err{ErrorCode::kTransport, std::strerror(errno)};
+        ::close(fd);
+        return err;
+    }
+    socklen_t len = sizeof addr;
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+        const Error err{ErrorCode::kTransport, std::strerror(errno)};
+        ::close(fd);
+        return err;
+    }
+    return std::unique_ptr<TcpListener>(new TcpListener(fd, ntohs(addr.sin_port)));
+}
+
+TcpListener::~TcpListener() { ::close(fd_); }
+
+Result<std::shared_ptr<TcpChannel>> TcpListener::accept(int timeout_ms) {
+    pollfd pfd{fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready < 0) return Error{ErrorCode::kTransport, std::strerror(errno)};
+    if (ready == 0) return Error{ErrorCode::kTransport, "accept timeout"};
+    const int conn = ::accept(fd_, nullptr, nullptr);
+    if (conn < 0) return Error{ErrorCode::kTransport, std::strerror(errno)};
+    return std::shared_ptr<TcpChannel>(new TcpChannel(conn));
+}
+
+Result<std::shared_ptr<TcpChannel>> tcp_connect(const std::string& host, std::uint16_t port) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return Error{ErrorCode::kTransport, std::strerror(errno)};
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        ::close(fd);
+        return Error{ErrorCode::kInvalidArgument, "bad host: " + host};
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+        const Error err{ErrorCode::kTransport, std::strerror(errno)};
+        ::close(fd);
+        return err;
+    }
+    return std::shared_ptr<TcpChannel>(new TcpChannel(fd));
+}
+
+}  // namespace cosoft::net

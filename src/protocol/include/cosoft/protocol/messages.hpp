@@ -1,0 +1,352 @@
+// The COSOFT wire protocol.
+//
+// This is the "common, application-independent communication protocol
+// situated on the UI level" of §5, plus the programmer-extensible command
+// channel of §3.4 (CoSendCommand). Every message is a variant alternative
+// with a binary codec; the server (src/server) and client (src/client) are
+// the only producers/consumers.
+//
+// Protocol flows (client C, server S, owner instances O*):
+//   register      C->S Register, S->C RegisterAck
+//   couple        C->S CoupleReq, S->O* GroupUpdate (replicated coupling info)
+//   decouple      C->S DecoupleReq, S->O* GroupUpdate per resulting component
+//   emit (§3.2)   C->S LockReq(CO(o)), S->C LockGrant | LockDeny,
+//                 S->O* LockNotify(disable), C->S EventMsg,
+//                 S->O* ExecuteEvent, O*->S ExecuteAck,
+//                 (all acked) S->O* LockNotify(enable)
+//   copy-to       C->S CopyTo(state), S->O ApplyState, O->S HistorySave
+//   copy-from     C->S CopyFrom, S->O StateQuery, O->S StateReply,
+//                 S->C ApplyState
+//   remote-copy   C->S RemoteCopy, S->O1 StateQuery, O1->S StateReply,
+//                 S->O2 ApplyState
+//   undo/redo     C->S UndoReq/RedoReq, S->O ApplyState(tagged), O->S
+//                 HistorySave(tagged to the opposite stack)
+//   command       C->S Command, S->O* CommandDeliver
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "cosoft/common/bytes.hpp"
+#include "cosoft/common/error.hpp"
+#include "cosoft/common/ids.hpp"
+#include "cosoft/toolkit/events.hpp"
+#include "cosoft/toolkit/snapshot.hpp"
+
+namespace cosoft::protocol {
+
+/// Identifier of one synchronized action (a lock/broadcast cycle) or of one
+/// asynchronous request/reply exchange. Unique per client.
+using ActionId = std::uint64_t;
+
+/// How a shipped UiState is merged into the destination (§3.1/§3.3).
+enum class MergeMode : std::uint8_t {
+    kStrict = 0,      ///< structures must match (s-compatible path)
+    kDestructive,     ///< destructive merging: structure is overwritten
+    kFlexible,        ///< flexible matching: union, conflicts conserved
+};
+
+/// Which history stack an ApplyState/HistorySave pair belongs to.
+enum class HistoryTag : std::uint8_t {
+    kNormal = 0,  ///< ordinary copy: backup goes to the undo stack
+    kUndo,        ///< server-initiated undo: backup goes to the redo stack
+    kRedo,        ///< server-initiated redo: backup goes to the undo stack
+};
+
+/// Access right categories (the third element of the permission tuples).
+enum class Right : std::uint8_t {
+    kView = 1,    ///< state may be read (CopyFrom/StateQuery)
+    kCouple = 2,  ///< object may be coupled to
+    kModify = 4,  ///< state may be written (CopyTo/events)
+};
+using RightsMask = std::uint8_t;
+inline constexpr RightsMask kAllRights = 7;
+
+struct RegistrationRecord {
+    InstanceId instance = kInvalidInstance;
+    UserId user = kInvalidUser;
+    std::string user_name;
+    std::string host_name;
+    std::string app_name;
+    friend bool operator==(const RegistrationRecord&, const RegistrationRecord&) = default;
+};
+
+// --- session ---------------------------------------------------------------
+
+/// Wire protocol version; the server refuses registrations from clients
+/// built against a different revision.
+inline constexpr std::uint32_t kProtocolVersion = 1;
+
+struct Register {
+    UserId user = kInvalidUser;
+    std::string user_name;
+    std::string host_name;
+    std::string app_name;
+    std::uint32_t version = kProtocolVersion;
+    friend bool operator==(const Register&, const Register&) = default;
+};
+
+struct RegisterAck {
+    InstanceId instance = kInvalidInstance;
+    friend bool operator==(const RegisterAck&, const RegisterAck&) = default;
+};
+
+struct Unregister {
+    friend bool operator==(const Unregister&, const Unregister&) = default;
+};
+
+struct RegistryQuery {
+    ActionId request = 0;
+    friend bool operator==(const RegistryQuery&, const RegistryQuery&) = default;
+};
+
+struct RegistryReply {
+    ActionId request = 0;
+    std::vector<RegistrationRecord> instances;
+    friend bool operator==(const RegistryReply&, const RegistryReply&) = default;
+};
+
+// --- coupling --------------------------------------------------------------
+
+struct CoupleReq {
+    ActionId request = 0;
+    ObjectRef source;  ///< link direction: source -> dest, labelled creator
+    ObjectRef dest;
+    friend bool operator==(const CoupleReq&, const CoupleReq&) = default;
+};
+
+struct DecoupleReq {
+    ActionId request = 0;
+    ObjectRef source;
+    ObjectRef dest;
+    friend bool operator==(const DecoupleReq&, const DecoupleReq&) = default;
+};
+
+/// Replicates group membership: "the coupling information is replicated for
+/// each object (to be completely available locally)" (§3.2). `members` is
+/// the complete transitive closure; a singleton group removes the entry.
+struct GroupUpdate {
+    std::vector<ObjectRef> members;
+    friend bool operator==(const GroupUpdate&, const GroupUpdate&) = default;
+};
+
+// --- floor control / sync-by-action (§3.2) ---------------------------------
+
+struct LockReq {
+    ActionId action = 0;
+    ObjectRef source;                ///< the object the event occurred on
+    std::vector<ObjectRef> objects;  ///< client's view of CO(o); the server
+                                     ///< re-derives the authoritative closure
+    friend bool operator==(const LockReq&, const LockReq&) = default;
+};
+
+struct LockGrant {
+    ActionId action = 0;
+    friend bool operator==(const LockGrant&, const LockGrant&) = default;
+};
+
+struct LockDeny {
+    ActionId action = 0;
+    ObjectRef conflicting;  ///< first object that was already locked
+    friend bool operator==(const LockDeny&, const LockDeny&) = default;
+};
+
+/// Disables/enables the named local objects while a peer holds the floor.
+struct LockNotify {
+    ActionId action = 0;
+    bool locked = false;
+    std::vector<ObjectRef> objects;
+    friend bool operator==(const LockNotify&, const LockNotify&) = default;
+};
+
+/// The high-level callback event, sent by the lock holder after LockGrant.
+struct EventMsg {
+    ActionId action = 0;
+    ObjectRef source;           ///< the coupled object the event belongs to
+    std::string relative_path;  ///< event widget relative to `source` ("" = itself)
+    toolkit::Event event;
+    friend bool operator==(const EventMsg&, const EventMsg&) = default;
+};
+
+/// Re-execution order for one coupled target object.
+struct ExecuteEvent {
+    ActionId action = 0;
+    ObjectRef source;
+    ObjectRef target;           ///< the coupled object in the receiving instance
+    std::string relative_path;
+    toolkit::Event event;
+    friend bool operator==(const ExecuteEvent&, const ExecuteEvent&) = default;
+};
+
+/// Completion signal; the server unlocks once every target (and the source)
+/// has acknowledged, implementing "unlocked when the processing of this
+/// event is completed".
+struct ExecuteAck {
+    ActionId action = 0;
+    friend bool operator==(const ExecuteAck&, const ExecuteAck&) = default;
+};
+
+// --- sync-by-state (§3.1) ----------------------------------------------------
+
+struct CopyTo {
+    ActionId request = 0;
+    ObjectRef dest;
+    MergeMode mode = MergeMode::kStrict;
+    toolkit::UiState state;
+    std::vector<std::uint8_t> semantic;  ///< store-hook payload (§3.1)
+    friend bool operator==(const CopyTo&, const CopyTo&) = default;
+};
+
+struct CopyFrom {
+    ActionId request = 0;
+    ObjectRef source;
+    std::string dest_path;  ///< local path in the requesting instance
+    MergeMode mode = MergeMode::kStrict;
+    friend bool operator==(const CopyFrom&, const CopyFrom&) = default;
+};
+
+struct RemoteCopy {
+    ActionId request = 0;
+    ObjectRef source;
+    ObjectRef dest;
+    MergeMode mode = MergeMode::kStrict;
+    friend bool operator==(const RemoteCopy&, const RemoteCopy&) = default;
+};
+
+struct StateQuery {
+    ActionId request = 0;
+    std::string path;
+    friend bool operator==(const StateQuery&, const StateQuery&) = default;
+};
+
+struct StateReply {
+    ActionId request = 0;
+    std::string path;
+    bool found = false;
+    toolkit::UiState state;
+    std::vector<std::uint8_t> semantic;
+    friend bool operator==(const StateReply&, const StateReply&) = default;
+};
+
+struct ApplyState {
+    ActionId request = 0;
+    std::string dest_path;
+    MergeMode mode = MergeMode::kStrict;
+    HistoryTag tag = HistoryTag::kNormal;
+    toolkit::UiState state;
+    std::vector<std::uint8_t> semantic;
+    ObjectRef origin;  ///< where the state came from (informational)
+    friend bool operator==(const ApplyState&, const ApplyState&) = default;
+};
+
+/// The destination backs up the state it is about to overwrite; the server
+/// files it on the object's undo or redo stack according to `tag`.
+struct HistorySave {
+    ObjectRef object;
+    HistoryTag tag = HistoryTag::kNormal;
+    toolkit::UiState state;
+    friend bool operator==(const HistorySave&, const HistorySave&) = default;
+};
+
+struct UndoReq {
+    ActionId request = 0;
+    ObjectRef object;
+    friend bool operator==(const UndoReq&, const UndoReq&) = default;
+};
+
+struct RedoReq {
+    ActionId request = 0;
+    ObjectRef object;
+    friend bool operator==(const RedoReq&, const RedoReq&) = default;
+};
+
+// --- protocol extension (§3.4) ----------------------------------------------
+
+struct Command {
+    ActionId request = 0;
+    std::string name;             ///< symbolic function name
+    InstanceId target = kInvalidInstance;  ///< kInvalidInstance = broadcast
+    std::vector<std::uint8_t> payload;
+    friend bool operator==(const Command&, const Command&) = default;
+};
+
+struct CommandDeliver {
+    InstanceId from = kInvalidInstance;
+    std::string name;
+    std::vector<std::uint8_t> payload;
+    friend bool operator==(const CommandDeliver&, const CommandDeliver&) = default;
+};
+
+// --- permissions -------------------------------------------------------------
+
+struct PermissionSet {
+    ActionId request = 0;
+    UserId user = kInvalidUser;  ///< whose access is being configured
+    ObjectRef object;            ///< applies to this object and its subtree
+    RightsMask rights = 0;
+    bool allow = true;           ///< false = explicit denial
+    friend bool operator==(const PermissionSet&, const PermissionSet&) = default;
+};
+
+// --- generic acknowledgement ---------------------------------------------------
+
+struct Ack {
+    ActionId request = 0;
+    ErrorCode code = ErrorCode::kOk;
+    std::string message;
+    friend bool operator==(const Ack&, const Ack&) = default;
+};
+
+/// Read-only retrieval of a remote object's state (no ApplyState follows).
+/// Powers the moderator's "simplified graphical representation of the
+/// student's environment" (§4) — inspecting before coupling. The server
+/// answers with a StateReply routed back to the requester.
+struct FetchState {
+    ActionId request = 0;
+    ObjectRef source;
+    friend bool operator==(const FetchState&, const FetchState&) = default;
+};
+
+// --- loose coupling (the "time" relaxation of §1/§2.2) -------------------------
+
+/// Switches the sender's object between tight coupling (§3.2, immediate
+/// re-execution) and loose coupling: the server queues re-executions for the
+/// object instead of delivering them, and the object neither takes part in
+/// floor-control locking nor blocks the group. Switching back to tight
+/// flushes the queue.
+struct SetCouplingMode {
+    ActionId request = 0;
+    ObjectRef object;   ///< must belong to the sender
+    bool loose = false;
+    friend bool operator==(const SetCouplingMode&, const SetCouplingMode&) = default;
+};
+
+/// "Periodical updates" (§2.2): asks the server to deliver everything queued
+/// for the (loose) object now. Queued ExecuteEvents arrive in order,
+/// followed by the Ack.
+struct SyncRequest {
+    ActionId request = 0;
+    ObjectRef object;
+    friend bool operator==(const SyncRequest&, const SyncRequest&) = default;
+};
+
+using Message = std::variant<Register, RegisterAck, Unregister, RegistryQuery, RegistryReply, CoupleReq,
+                             DecoupleReq, GroupUpdate, LockReq, LockGrant, LockDeny, LockNotify, EventMsg,
+                             ExecuteEvent, ExecuteAck, CopyTo, CopyFrom, RemoteCopy, StateQuery, StateReply,
+                             ApplyState, HistorySave, UndoReq, RedoReq, Command, CommandDeliver, PermissionSet,
+                             Ack, FetchState, SetCouplingMode, SyncRequest>;
+
+/// Serializes a message to a transport frame.
+[[nodiscard]] std::vector<std::uint8_t> encode_message(const Message& msg);
+
+/// Parses a transport frame.
+[[nodiscard]] Result<Message> decode_message(std::span<const std::uint8_t> frame);
+
+[[nodiscard]] std::string_view message_name(const Message& msg) noexcept;
+
+void encode(ByteWriter& w, const ObjectRef& ref);
+[[nodiscard]] ObjectRef decode_object_ref(ByteReader& r);
+
+}  // namespace cosoft::protocol

@@ -1,0 +1,562 @@
+#include "cosoft/server/co_server.hpp"
+
+#include <algorithm>
+
+namespace cosoft::server {
+
+using namespace protocol;
+
+InstanceId CoServer::attach(std::shared_ptr<net::Channel> channel) {
+    const InstanceId id = next_instance_++;
+    Conn conn;
+    conn.channel = std::move(channel);
+    conn.record.instance = id;
+    Conn& placed = conns_.emplace(id, std::move(conn)).first->second;
+    placed.channel->on_receive([this, id](std::span<const std::uint8_t> frame) { handle_frame(id, frame); });
+    placed.channel->on_close([this, id] { cleanup(id); });
+    return id;
+}
+
+void CoServer::detach(InstanceId instance) { cleanup(instance); }
+
+std::vector<RegistrationRecord> CoServer::registrations() const {
+    std::vector<RegistrationRecord> out;
+    for (const auto& [id, conn] : conns_) {
+        if (conn.registered) out.push_back(conn.record);
+    }
+    std::sort(out.begin(), out.end(),
+              [](const RegistrationRecord& a, const RegistrationRecord& b) { return a.instance < b.instance; });
+    return out;
+}
+
+void CoServer::handle_frame(InstanceId from, std::span<const std::uint8_t> frame) {
+    ++stats_.messages_received;
+    auto decoded = decode_message(frame);
+    if (!decoded) {
+        journal_.record(true, from, "<malformed>", frame.size());
+        return;  // malformed frame: drop (transport is trusted)
+    }
+
+    Message& msg = decoded.value();
+    journal_.record(true, from, std::string{message_name(msg)}, frame.size());
+    const auto conn = conns_.find(from);
+    if (conn == conns_.end()) return;
+
+    // Everything except Register requires a completed registration.
+    if (!conn->second.registered && !std::holds_alternative<Register>(msg)) {
+        if (const auto* req = std::get_if<RegistryQuery>(&msg)) {
+            ack(from, req->request, Status{ErrorCode::kUnknownInstance, "not registered"});
+        }
+        return;
+    }
+
+    std::visit(
+        [&](auto&& m) {
+            using T = std::decay_t<decltype(m)>;
+            if constexpr (std::is_same_v<T, Register> || std::is_same_v<T, EventMsg> ||
+                          std::is_same_v<T, CopyTo> || std::is_same_v<T, StateReply> ||
+                          std::is_same_v<T, HistorySave> || std::is_same_v<T, Command>) {
+                handle(from, std::move(m));
+            } else if constexpr (std::is_same_v<T, Unregister> || std::is_same_v<T, RegistryQuery> ||
+                                 std::is_same_v<T, CoupleReq> || std::is_same_v<T, DecoupleReq> ||
+                                 std::is_same_v<T, LockReq> || std::is_same_v<T, ExecuteAck> ||
+                                 std::is_same_v<T, CopyFrom> || std::is_same_v<T, RemoteCopy> ||
+                                 std::is_same_v<T, FetchState> || std::is_same_v<T, UndoReq> ||
+                                 std::is_same_v<T, RedoReq> || std::is_same_v<T, PermissionSet> ||
+                                 std::is_same_v<T, SetCouplingMode> || std::is_same_v<T, SyncRequest>) {
+                handle(from, m);
+            }
+            // Server-to-client message types arriving here are ignored.
+        },
+        msg);
+}
+
+void CoServer::send(InstanceId to, const Message& msg) {
+    const auto it = conns_.find(to);
+    if (it == conns_.end() || !it->second.channel->connected()) return;
+    ++stats_.messages_sent;
+    auto frame = encode_message(msg);
+    journal_.record(false, to, std::string{message_name(msg)}, frame.size());
+    (void)it->second.channel->send(std::move(frame));
+}
+
+void CoServer::ack(InstanceId to, ActionId request, const Status& status) {
+    send(to, Ack{request, status.code(), status.message()});
+}
+
+UserId CoServer::user_of(InstanceId instance) const {
+    const auto it = conns_.find(instance);
+    return it == conns_.end() ? kInvalidUser : it->second.record.user;
+}
+
+bool CoServer::known_object_instance(const ObjectRef& ref) const {
+    const auto it = conns_.find(ref.instance);
+    return it != conns_.end() && it->second.registered;
+}
+
+// --- session -----------------------------------------------------------------
+
+void CoServer::handle(InstanceId from, Register msg) {
+    auto& conn = conns_.at(from);
+    if (msg.version != kProtocolVersion) {
+        ack(from, 0,
+            Status{ErrorCode::kBadMessage, "protocol version mismatch: client " + std::to_string(msg.version) +
+                                               ", server " + std::to_string(kProtocolVersion)});
+        return;  // connection stays attached but unregistered (inoperable)
+    }
+    conn.record.user = msg.user;
+    conn.record.user_name = std::move(msg.user_name);
+    conn.record.host_name = std::move(msg.host_name);
+    conn.record.app_name = std::move(msg.app_name);
+    conn.registered = true;
+    send(from, RegisterAck{from});
+}
+
+void CoServer::handle(InstanceId from, const Unregister&) { cleanup(from); }
+
+void CoServer::handle(InstanceId from, const RegistryQuery& msg) {
+    send(from, RegistryReply{msg.request, registrations()});
+}
+
+void CoServer::cleanup(InstanceId instance) {
+    const auto it = conns_.find(instance);
+    if (it == conns_.end()) return;
+
+    // Finish any in-flight actions this instance would never ack.
+    std::vector<LockTable::ActionKey> to_finish;
+    for (auto& [h, pending] : pending_actions_) {
+        const auto pi = pending.per_instance.find(instance);
+        if (pi != pending.per_instance.end()) {
+            pending.awaiting -= std::min(pending.awaiting, pi->second);
+            pending.per_instance.erase(pi);
+        }
+        if (pending.key.instance == instance || (pending.event_seen && pending.awaiting == 0)) {
+            to_finish.push_back(pending.key);
+        }
+    }
+    for (const auto& key : to_finish) finish_action(key);
+
+    // Release locks held by the instance's own actions.
+    const auto released = locks_.unlock_instance(instance);
+    if (!released.empty()) notify_locks(released, ObjectRef{}, false, 0);
+
+    // "The decoupling algorithm is applied automatically when ... an
+    // application instance terminates."
+    const auto affected = graph_.remove_instance(instance);
+
+    history_.forget_instance(instance);
+    permissions_.forget_instance(instance);
+    std::erase_if(loose_objects_, [&](const ObjectRef& o) { return o.instance == instance; });
+    std::erase_if(deferred_, [&](const auto& kv) { return kv.first.instance == instance; });
+
+    // Fail pending copies whose source died; drop ones whose requester died.
+    std::vector<std::pair<InstanceId, ActionId>> failed_copies;
+    std::erase_if(pending_copies_, [&](const auto& kv) {
+        const PendingCopy& pc = kv.second;
+        if (pc.requester == instance) return true;
+        if (pc.source.instance == instance) {
+            failed_copies.emplace_back(pc.requester, pc.requester_request);
+            return true;
+        }
+        return false;
+    });
+    for (const auto& [requester, request] : failed_copies) {
+        ack(requester, request, Status{ErrorCode::kUnknownInstance, "copy source instance terminated"});
+    }
+
+    conns_.erase(it);
+    broadcast_components(affected);
+}
+
+// --- coupling ----------------------------------------------------------------
+
+void CoServer::handle(InstanceId from, const CoupleReq& msg) {
+    const UserId user = user_of(from);
+    if (!known_object_instance(msg.source) || !known_object_instance(msg.dest)) {
+        ack(from, msg.request, Status{ErrorCode::kUnknownInstance, "couple endpoint instance not registered"});
+        return;
+    }
+    if (!permissions_.check(user, msg.source, Right::kCouple) ||
+        !permissions_.check(user, msg.dest, Right::kCouple)) {
+        ack(from, msg.request, Status{ErrorCode::kPermissionDenied, "couple right missing"});
+        return;
+    }
+    if (Status s = graph_.add_link(msg.source, msg.dest, from); !s.is_ok()) {
+        ack(from, msg.request, s);
+        return;
+    }
+    broadcast_group(graph_.group_of(msg.source));
+    ack(from, msg.request, Status::ok());
+}
+
+void CoServer::handle(InstanceId from, const DecoupleReq& msg) {
+    if (!msg.dest.valid()) {
+        // Object destroyed: remove it from every coupling it participates in.
+        const auto affected = graph_.remove_object(msg.source);
+        history_.forget_object(msg.source);
+        loose_objects_.erase(msg.source);
+        deferred_.erase(msg.source);
+        broadcast_components(affected);
+        // The destroyed object's owner also learns it is now alone.
+        send(msg.source.instance, GroupUpdate{{msg.source}});
+        ack(from, msg.request, Status::ok());
+        return;
+    }
+    const std::vector<ObjectRef> old_group = graph_.group_of(msg.source);
+    if (Status s = graph_.remove_link(msg.source, msg.dest); !s.is_ok()) {
+        ack(from, msg.request, s);
+        return;
+    }
+    broadcast_components(old_group);
+    ack(from, msg.request, Status::ok());
+}
+
+void CoServer::broadcast_group(const std::vector<ObjectRef>& group) {
+    std::unordered_map<InstanceId, bool> owners;
+    for (const ObjectRef& o : group) owners[o.instance] = true;
+    for (const auto& [owner, _] : owners) {
+        ++stats_.group_updates;
+        send(owner, GroupUpdate{group});
+    }
+}
+
+void CoServer::broadcast_components(const std::vector<ObjectRef>& objects) {
+    if (objects.empty()) return;
+    for (const auto& component : graph_.components_of(objects)) broadcast_group(component);
+}
+
+// --- floor control / sync-by-action (§3.2) ------------------------------------
+
+void CoServer::notify_locks(const std::vector<ObjectRef>& objects, const ObjectRef& source, bool locked,
+                            ActionId action) {
+    std::unordered_map<InstanceId, std::vector<ObjectRef>> per_owner;
+    for (const ObjectRef& o : objects) {
+        if (o == source) continue;  // the acting object stays enabled
+        per_owner[o.instance].push_back(o);
+    }
+    for (auto& [owner, objs] : per_owner) {
+        send(owner, LockNotify{action, locked, std::move(objs)});
+    }
+}
+
+void CoServer::handle(InstanceId from, const LockReq& msg) {
+    const LockTable::ActionKey key{from, msg.action};
+    // The server's couple relation is authoritative: re-derive the group
+    // rather than trusting the client's (possibly stale) replica.
+    std::vector<ObjectRef> group = graph_.group_of(msg.source);
+    // Loose members are time-shifted: they neither serialize with the floor
+    // nor get disabled; their re-executions queue up instead (§2.2).
+    std::erase_if(group, [&](const ObjectRef& o) { return !(o == msg.source) && loose_objects_.contains(o); });
+
+    const UserId user = user_of(from);
+    for (const ObjectRef& o : group) {
+        if (!permissions_.check(user, o, Right::kModify)) {
+            ++stats_.locks_denied;
+            send(from, LockDeny{msg.action, o});
+            return;
+        }
+    }
+
+    ObjectRef conflict;
+    if (Status s = locks_.try_lock_all(key, group, &conflict); !s.is_ok()) {
+        ++stats_.locks_denied;
+        send(from, LockDeny{msg.action, conflict});
+        return;
+    }
+    ++stats_.locks_granted;
+
+    PendingAction pending;
+    pending.key = key;
+    pending_actions_[action_hash(key)] = pending;
+
+    notify_locks(group, msg.source, true, msg.action);
+    send(from, LockGrant{msg.action});
+}
+
+void CoServer::handle(InstanceId from, EventMsg msg) {
+    const LockTable::ActionKey key{from, msg.action};
+    const auto it = pending_actions_.find(action_hash(key));
+    if (it == pending_actions_.end()) return;  // stale or never locked
+
+    const std::vector<ObjectRef> locked = locks_.objects_of(key);
+    PendingAction& pending = it->second;
+    pending.event_seen = true;
+    pending.awaiting = 1;  // the source's own completion ack
+    pending.per_instance[from] += 1;
+
+    for (const ObjectRef& target : locked) {
+        if (target == msg.source) continue;
+        ++stats_.events_broadcast;
+        ++pending.awaiting;
+        ++pending.per_instance[target.instance];
+        send(target.instance, ExecuteEvent{msg.action, msg.source, target, msg.relative_path, msg.event});
+    }
+
+    // Loose group members were excluded from the lock set: queue their
+    // re-executions for their next synchronization instead.
+    for (const ObjectRef& target : graph_.group_of(msg.source)) {
+        if (target == msg.source || !loose_objects_.contains(target)) continue;
+        ++stats_.events_deferred;
+        deferred_[target].push_back(ExecuteEvent{msg.action, msg.source, target, msg.relative_path, msg.event});
+    }
+}
+
+void CoServer::handle(InstanceId from, const ExecuteAck& msg) {
+    // The ack may come from any instance that re-executed; find the action
+    // by scanning pending actions for one awaiting this instance.
+    for (auto& [h, pending] : pending_actions_) {
+        const auto pi = pending.per_instance.find(from);
+        if (pi == pending.per_instance.end() || pi->second == 0) continue;
+        if (pending.key.action != msg.action) continue;
+        pi->second -= 1;
+        pending.awaiting -= 1;
+        if (pending.awaiting == 0) {
+            finish_action(pending.key);
+        }
+        return;
+    }
+}
+
+void CoServer::finish_action(const LockTable::ActionKey& key) {
+    pending_actions_.erase(action_hash(key));
+    const auto released = locks_.unlock_action(key);
+    if (!released.empty()) notify_locks(released, ObjectRef{}, false, key.action);
+}
+
+// --- sync-by-state (§3.1) -------------------------------------------------------
+
+void CoServer::handle(InstanceId from, CopyTo msg) {
+    const UserId user = user_of(from);
+    if (!known_object_instance(msg.dest)) {
+        ack(from, msg.request, Status{ErrorCode::kUnknownInstance, "copy destination instance not registered"});
+        return;
+    }
+    if (!permissions_.check(user, msg.dest, Right::kModify)) {
+        ack(from, msg.request, Status{ErrorCode::kPermissionDenied, "modify right missing on destination"});
+        return;
+    }
+    ++stats_.states_applied;
+    ApplyState apply;
+    apply.request = msg.request;
+    apply.dest_path = msg.dest.path;
+    apply.mode = msg.mode;
+    apply.tag = HistoryTag::kNormal;
+    apply.state = std::move(msg.state);
+    apply.semantic = std::move(msg.semantic);
+    apply.origin = ObjectRef{from, std::string{}};
+    send(msg.dest.instance, apply);
+    ack(from, msg.request, Status::ok());
+}
+
+void CoServer::handle(InstanceId from, const CopyFrom& msg) {
+    const UserId user = user_of(from);
+    if (!known_object_instance(msg.source)) {
+        ack(from, msg.request, Status{ErrorCode::kUnknownInstance, "copy source instance not registered"});
+        return;
+    }
+    if (!permissions_.check(user, msg.source, Right::kView)) {
+        ack(from, msg.request, Status{ErrorCode::kPermissionDenied, "view right missing on source"});
+        return;
+    }
+    const std::uint64_t sreq = next_server_request_++;
+    pending_copies_[sreq] = PendingCopy{from, msg.request, msg.source, ObjectRef{from, msg.dest_path}, msg.mode};
+    send(msg.source.instance, StateQuery{sreq, msg.source.path});
+}
+
+void CoServer::handle(InstanceId from, const RemoteCopy& msg) {
+    const UserId user = user_of(from);
+    if (!known_object_instance(msg.source) || !known_object_instance(msg.dest)) {
+        ack(from, msg.request, Status{ErrorCode::kUnknownInstance, "remote copy endpoint not registered"});
+        return;
+    }
+    if (!permissions_.check(user, msg.source, Right::kView) ||
+        !permissions_.check(user, msg.dest, Right::kModify)) {
+        ack(from, msg.request, Status{ErrorCode::kPermissionDenied, "remote copy rights missing"});
+        return;
+    }
+    const std::uint64_t sreq = next_server_request_++;
+    pending_copies_[sreq] = PendingCopy{from, msg.request, msg.source, msg.dest, msg.mode};
+    send(msg.source.instance, StateQuery{sreq, msg.source.path});
+}
+
+void CoServer::handle(InstanceId from, const FetchState& msg) {
+    const UserId user = user_of(from);
+    if (!known_object_instance(msg.source)) {
+        ack(from, msg.request, Status{ErrorCode::kUnknownInstance, "fetch source instance not registered"});
+        return;
+    }
+    if (!permissions_.check(user, msg.source, Right::kView)) {
+        ack(from, msg.request, Status{ErrorCode::kPermissionDenied, "view right missing on source"});
+        return;
+    }
+    const std::uint64_t sreq = next_server_request_++;
+    PendingCopy pc{from, msg.request, msg.source, ObjectRef{}, MergeMode::kStrict, /*fetch_only=*/true};
+    pending_copies_[sreq] = pc;
+    send(msg.source.instance, StateQuery{sreq, msg.source.path});
+}
+
+void CoServer::handle(InstanceId from, StateReply msg) {
+    const auto it = pending_copies_.find(msg.request);
+    if (it == pending_copies_.end()) return;
+    if (it->second.source.instance != from) return;  // only the queried owner may answer
+    const PendingCopy pc = std::move(it->second);
+    pending_copies_.erase(it);
+
+    if (pc.fetch_only) {
+        // Route the raw reply back to the requester, keyed by its request id.
+        msg.request = pc.requester_request;
+        msg.path = pc.source.path;
+        send(pc.requester, std::move(msg));
+        return;
+    }
+
+    if (!msg.found) {
+        ack(pc.requester, pc.requester_request, Status{ErrorCode::kUnknownObject, to_string(pc.source)});
+        return;
+    }
+    ++stats_.states_applied;
+    ApplyState apply;
+    apply.request = pc.requester_request;
+    apply.dest_path = pc.dest.path;
+    apply.mode = pc.mode;
+    apply.tag = HistoryTag::kNormal;
+    apply.state = std::move(msg.state);
+    apply.semantic = std::move(msg.semantic);
+    apply.origin = pc.source;
+    send(pc.dest.instance, apply);
+    ack(pc.requester, pc.requester_request, Status::ok());
+}
+
+void CoServer::handle(InstanceId from, HistorySave msg) {
+    if (msg.object.instance != from) return;  // instances may only back up their own objects
+    switch (msg.tag) {
+        case HistoryTag::kNormal:
+            history_.push_overwritten(msg.object, std::move(msg.state));
+            break;
+        case HistoryTag::kUndo:
+            history_.push_redo(msg.object, std::move(msg.state));
+            break;
+        case HistoryTag::kRedo:
+            history_.push_undo_preserving_redo(msg.object, std::move(msg.state));
+            break;
+    }
+}
+
+void CoServer::send_history_apply(const ObjectRef& object, toolkit::UiState state, HistoryTag tag) {
+    ++stats_.states_applied;
+    ApplyState apply;
+    apply.request = 0;
+    apply.dest_path = object.path;
+    // Historical snapshots are full-scope; destructive apply restores the
+    // exact structure that was overwritten.
+    apply.mode = MergeMode::kDestructive;
+    apply.tag = tag;
+    apply.state = std::move(state);
+    apply.origin = object;
+    send(object.instance, apply);
+}
+
+void CoServer::handle(InstanceId from, const UndoReq& msg) {
+    const UserId user = user_of(from);
+    if (!permissions_.check(user, msg.object, Right::kModify)) {
+        ack(from, msg.request, Status{ErrorCode::kPermissionDenied, "modify right missing"});
+        return;
+    }
+    auto state = history_.pop_undo(msg.object);
+    if (!state) {
+        ack(from, msg.request, Status{ErrorCode::kHistoryEmpty, "no undo state for " + to_string(msg.object)});
+        return;
+    }
+    send_history_apply(msg.object, std::move(*state), HistoryTag::kUndo);
+    ack(from, msg.request, Status::ok());
+}
+
+void CoServer::handle(InstanceId from, const RedoReq& msg) {
+    const UserId user = user_of(from);
+    if (!permissions_.check(user, msg.object, Right::kModify)) {
+        ack(from, msg.request, Status{ErrorCode::kPermissionDenied, "modify right missing"});
+        return;
+    }
+    auto state = history_.pop_redo(msg.object);
+    if (!state) {
+        ack(from, msg.request, Status{ErrorCode::kHistoryEmpty, "no redo state for " + to_string(msg.object)});
+        return;
+    }
+    send_history_apply(msg.object, std::move(*state), HistoryTag::kRedo);
+    ack(from, msg.request, Status::ok());
+}
+
+// --- protocol extension (§3.4) ---------------------------------------------------
+
+void CoServer::handle(InstanceId from, Command msg) {
+    if (msg.target == kInvalidInstance) {
+        for (const auto& [id, conn] : conns_) {
+            if (id == from || !conn.registered) continue;
+            ++stats_.commands_routed;
+            send(id, CommandDeliver{from, msg.name, msg.payload});
+        }
+        ack(from, msg.request, Status::ok());
+        return;
+    }
+    const auto it = conns_.find(msg.target);
+    if (it == conns_.end() || !it->second.registered) {
+        ack(from, msg.request, Status{ErrorCode::kUnknownInstance, "command target not registered"});
+        return;
+    }
+    ++stats_.commands_routed;
+    send(msg.target, CommandDeliver{from, std::move(msg.name), std::move(msg.payload)});
+    ack(from, msg.request, Status::ok());
+}
+
+// --- loose coupling (time relaxation, §2.2) ------------------------------------------
+
+void CoServer::flush_deferred(const ObjectRef& object) {
+    const auto it = deferred_.find(object);
+    if (it == deferred_.end()) return;
+    for (ExecuteEvent& ev : it->second) {
+        ++stats_.events_flushed;
+        send(object.instance, std::move(ev));
+    }
+    deferred_.erase(it);
+}
+
+void CoServer::handle(InstanceId from, const SetCouplingMode& msg) {
+    if (msg.object.instance != from) {
+        ack(from, msg.request,
+            Status{ErrorCode::kPermissionDenied, "only the owning instance may change coupling mode"});
+        return;
+    }
+    if (msg.loose) {
+        loose_objects_.insert(msg.object);
+    } else {
+        loose_objects_.erase(msg.object);
+        flush_deferred(msg.object);  // returning to tight delivers the backlog
+    }
+    ack(from, msg.request, Status::ok());
+}
+
+void CoServer::handle(InstanceId from, const SyncRequest& msg) {
+    if (msg.object.instance != from) {
+        ack(from, msg.request, Status{ErrorCode::kPermissionDenied, "only the owner may sync an object"});
+        return;
+    }
+    const std::size_t n = deferred_count(msg.object);
+    flush_deferred(msg.object);
+    ack(from, msg.request, Status::ok());
+    (void)n;
+}
+
+// --- permissions -------------------------------------------------------------------
+
+void CoServer::handle(InstanceId from, const PermissionSet& msg) {
+    // Only the owner of an object may configure access to it.
+    if (msg.object.instance != from) {
+        ack(from, msg.request,
+            Status{ErrorCode::kPermissionDenied, "only the owning instance may set permissions"});
+        return;
+    }
+    permissions_.set(msg.user, msg.object, msg.rights, msg.allow);
+    ack(from, msg.request, Status::ok());
+}
+
+}  // namespace cosoft::server

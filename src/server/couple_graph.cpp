@@ -1,0 +1,116 @@
+#include "cosoft/server/couple_graph.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace cosoft::server {
+
+Status CoupleGraph::add_link(const ObjectRef& source, const ObjectRef& dest, InstanceId creator) {
+    if (!source.valid() || !dest.valid()) {
+        return Status{ErrorCode::kInvalidArgument, "couple link endpoints must be valid object refs"};
+    }
+    if (source == dest) {
+        return Status{ErrorCode::kInvalidArgument, "cannot couple an object with itself"};
+    }
+    if (linked(source, dest)) {
+        return Status{ErrorCode::kAlreadyCoupled, to_string(source) + " <-> " + to_string(dest)};
+    }
+    links_.push_back({source, dest, creator});
+    adjacency_[source].insert(dest);
+    adjacency_[dest].insert(source);
+    return Status::ok();
+}
+
+Status CoupleGraph::remove_link(const ObjectRef& source, const ObjectRef& dest) {
+    const auto it = std::find_if(links_.begin(), links_.end(), [&](const CoupleLink& l) {
+        return (l.source == source && l.dest == dest) || (l.source == dest && l.dest == source);
+    });
+    if (it == links_.end()) {
+        return Status{ErrorCode::kNotCoupled, to_string(source) + " <-> " + to_string(dest)};
+    }
+    links_.erase(it);
+    unlink_adjacency(source, dest);
+    return Status::ok();
+}
+
+void CoupleGraph::unlink_adjacency(const ObjectRef& a, const ObjectRef& b) {
+    const auto erase_edge = [this](const ObjectRef& from, const ObjectRef& to) {
+        const auto it = adjacency_.find(from);
+        if (it == adjacency_.end()) return;
+        it->second.erase(to);
+        if (it->second.empty()) adjacency_.erase(it);
+    };
+    erase_edge(a, b);
+    erase_edge(b, a);
+}
+
+std::vector<ObjectRef> CoupleGraph::remove_object(const ObjectRef& ref) {
+    std::vector<ObjectRef> affected = coupled_with(ref);
+    std::erase_if(links_, [&](const CoupleLink& l) { return l.source == ref || l.dest == ref; });
+    const auto it = adjacency_.find(ref);
+    if (it != adjacency_.end()) {
+        const auto neighbours = it->second;  // copy: unlink mutates the map
+        for (const ObjectRef& n : neighbours) unlink_adjacency(ref, n);
+    }
+    return affected;
+}
+
+std::vector<ObjectRef> CoupleGraph::remove_instance(InstanceId instance) {
+    std::unordered_set<ObjectRef> affected;
+    std::vector<ObjectRef> doomed;
+    for (const auto& [ref, _] : adjacency_) {
+        if (ref.instance == instance) doomed.push_back(ref);
+    }
+    for (const ObjectRef& ref : doomed) {
+        for (const ObjectRef& peer : remove_object(ref)) {
+            if (peer.instance != instance) affected.insert(peer);
+        }
+    }
+    return {affected.begin(), affected.end()};
+}
+
+std::vector<ObjectRef> CoupleGraph::group_of(const ObjectRef& ref) const {
+    std::vector<ObjectRef> out;
+    std::unordered_set<ObjectRef> seen;
+    std::deque<ObjectRef> frontier{ref};
+    seen.insert(ref);
+    while (!frontier.empty()) {
+        ObjectRef cur = std::move(frontier.front());
+        frontier.pop_front();
+        out.push_back(cur);
+        const auto it = adjacency_.find(cur);
+        if (it == adjacency_.end()) continue;
+        for (const ObjectRef& n : it->second) {
+            if (seen.insert(n).second) frontier.push_back(n);
+        }
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::vector<ObjectRef> CoupleGraph::coupled_with(const ObjectRef& ref) const {
+    std::vector<ObjectRef> group = group_of(ref);
+    std::erase(group, ref);
+    return group;
+}
+
+bool CoupleGraph::contains(const ObjectRef& ref) const noexcept { return adjacency_.contains(ref); }
+
+bool CoupleGraph::linked(const ObjectRef& a, const ObjectRef& b) const noexcept {
+    const auto it = adjacency_.find(a);
+    return it != adjacency_.end() && it->second.contains(b);
+}
+
+std::vector<std::vector<ObjectRef>> CoupleGraph::components_of(const std::vector<ObjectRef>& objects) const {
+    std::vector<std::vector<ObjectRef>> out;
+    std::unordered_set<ObjectRef> assigned;
+    for (const ObjectRef& o : objects) {
+        if (assigned.contains(o)) continue;
+        std::vector<ObjectRef> comp = group_of(o);
+        for (const ObjectRef& m : comp) assigned.insert(m);
+        out.push_back(std::move(comp));
+    }
+    return out;
+}
+
+}  // namespace cosoft::server

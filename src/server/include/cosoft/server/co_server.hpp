@@ -1,0 +1,162 @@
+// The central COSOFT server (Fig. 4).
+//
+// "A central controller (the server) coordinates the communication and
+// access control. A centralized database residing on the server consists of
+// four categories of data: the access permissions, the registration records,
+// the historical UI states, and the lock table." (§2.1)
+//
+// The server is transport-agnostic: attach() accepts any net::Channel (a
+// SimNetwork pipe or a TCP connection). It is single-threaded; with TCP the
+// owner pumps each channel's poll() from one thread.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "cosoft/common/error.hpp"
+#include "cosoft/common/ids.hpp"
+#include "cosoft/net/channel.hpp"
+#include "cosoft/protocol/messages.hpp"
+#include "cosoft/server/couple_graph.hpp"
+#include "cosoft/server/history_store.hpp"
+#include "cosoft/server/journal.hpp"
+#include "cosoft/server/lock_table.hpp"
+#include "cosoft/server/permission_table.hpp"
+
+namespace cosoft::server {
+
+struct ServerStats {
+    std::uint64_t messages_received = 0;
+    std::uint64_t messages_sent = 0;
+    std::uint64_t events_broadcast = 0;   ///< ExecuteEvent fan-out messages
+    std::uint64_t locks_granted = 0;
+    std::uint64_t locks_denied = 0;
+    std::uint64_t states_applied = 0;     ///< ApplyState messages sent
+    std::uint64_t group_updates = 0;
+    std::uint64_t commands_routed = 0;
+    std::uint64_t events_deferred = 0;    ///< re-executions queued for loose objects
+    std::uint64_t events_flushed = 0;     ///< deferred re-executions delivered
+};
+
+class CoServer {
+  public:
+    CoServer() = default;
+    CoServer(const CoServer&) = delete;
+    CoServer& operator=(const CoServer&) = delete;
+
+    /// Adopts a freshly connected client channel. The returned id is the
+    /// instance identifier the client will receive in RegisterAck.
+    InstanceId attach(std::shared_ptr<net::Channel> channel);
+
+    /// Gracefully detaches (same cleanup as a closed channel).
+    void detach(InstanceId instance);
+
+    // Introspection (tests, benches, the classroom moderator UI).
+    [[nodiscard]] const CoupleGraph& couples() const noexcept { return graph_; }
+    [[nodiscard]] const LockTable& locks() const noexcept { return locks_; }
+    [[nodiscard]] const HistoryStore& history() const noexcept { return history_; }
+    [[nodiscard]] const PermissionTable& permissions() const noexcept { return permissions_; }
+    [[nodiscard]] const ServerStats& stats() const noexcept { return stats_; }
+    [[nodiscard]] const Journal& journal() const noexcept { return journal_; }
+    [[nodiscard]] Journal& journal() noexcept { return journal_; }
+    [[nodiscard]] bool is_loose(const ObjectRef& object) const { return loose_objects_.contains(object); }
+    [[nodiscard]] std::size_t deferred_count(const ObjectRef& object) const {
+        const auto it = deferred_.find(object);
+        return it == deferred_.end() ? 0 : it->second.size();
+    }
+    [[nodiscard]] std::size_t connection_count() const noexcept { return conns_.size(); }
+    [[nodiscard]] std::vector<protocol::RegistrationRecord> registrations() const;
+
+  private:
+    struct Conn {
+        std::shared_ptr<net::Channel> channel;
+        protocol::RegistrationRecord record;
+        bool registered = false;
+    };
+
+    /// A lock/broadcast cycle in flight: tracks how many ExecuteAcks are
+    /// still outstanding before the group can be unlocked.
+    struct PendingAction {
+        LockTable::ActionKey key;
+        bool event_seen = false;  ///< the holder's EventMsg has arrived
+        std::size_t awaiting = 0;
+        std::unordered_map<InstanceId, std::size_t> per_instance;
+    };
+
+    /// A CopyFrom/RemoteCopy/FetchState waiting for the source's StateReply.
+    struct PendingCopy {
+        InstanceId requester = kInvalidInstance;
+        protocol::ActionId requester_request = 0;
+        ObjectRef source;
+        ObjectRef dest;  ///< where the state will be applied
+        protocol::MergeMode mode = protocol::MergeMode::kStrict;
+        bool fetch_only = false;  ///< FetchState: route the reply back raw
+    };
+
+    void handle_frame(InstanceId from, std::span<const std::uint8_t> frame);
+    void handle(InstanceId from, protocol::Register msg);
+    void handle(InstanceId from, const protocol::Unregister& msg);
+    void handle(InstanceId from, const protocol::RegistryQuery& msg);
+    void handle(InstanceId from, const protocol::CoupleReq& msg);
+    void handle(InstanceId from, const protocol::DecoupleReq& msg);
+    void handle(InstanceId from, const protocol::LockReq& msg);
+    void handle(InstanceId from, protocol::EventMsg msg);
+    void handle(InstanceId from, const protocol::ExecuteAck& msg);
+    void handle(InstanceId from, protocol::CopyTo msg);
+    void handle(InstanceId from, const protocol::CopyFrom& msg);
+    void handle(InstanceId from, const protocol::RemoteCopy& msg);
+    void handle(InstanceId from, const protocol::FetchState& msg);
+    void handle(InstanceId from, const protocol::SetCouplingMode& msg);
+    void handle(InstanceId from, const protocol::SyncRequest& msg);
+    void handle(InstanceId from, protocol::StateReply msg);
+    void handle(InstanceId from, protocol::HistorySave msg);
+    void handle(InstanceId from, const protocol::UndoReq& msg);
+    void handle(InstanceId from, const protocol::RedoReq& msg);
+    void handle(InstanceId from, protocol::Command msg);
+    void handle(InstanceId from, const protocol::PermissionSet& msg);
+
+    void cleanup(InstanceId instance);
+    void send(InstanceId to, const protocol::Message& msg);
+    void ack(InstanceId to, protocol::ActionId request, const Status& status);
+    /// Broadcasts the group membership to every instance owning a member.
+    void broadcast_group(const std::vector<ObjectRef>& group);
+    /// Re-broadcasts the (possibly split) components covering `objects`.
+    void broadcast_components(const std::vector<ObjectRef>& objects);
+    void notify_locks(const std::vector<ObjectRef>& objects, const ObjectRef& source, bool locked,
+                      protocol::ActionId action);
+    void finish_action(const LockTable::ActionKey& key);
+    /// Applies the undo/redo state `state` to `object`'s owner.
+    void send_history_apply(const ObjectRef& object, toolkit::UiState state, protocol::HistoryTag tag);
+
+    [[nodiscard]] UserId user_of(InstanceId instance) const;
+    [[nodiscard]] bool known_object_instance(const ObjectRef& ref) const;
+
+    std::unordered_map<InstanceId, Conn> conns_;
+    InstanceId next_instance_ = 1;
+
+    CoupleGraph graph_;
+    LockTable locks_;
+    HistoryStore history_;
+    PermissionTable permissions_;
+
+    std::unordered_map<std::uint64_t, PendingAction> pending_actions_;  // keyed by hash(key)
+    std::unordered_map<std::uint64_t, PendingCopy> pending_copies_;     // keyed by server req id
+    std::uint64_t next_server_request_ = 1;
+
+    /// Flushes everything queued for a loose object to its owner.
+    void flush_deferred(const ObjectRef& object);
+
+    std::unordered_set<ObjectRef> loose_objects_;
+    std::unordered_map<ObjectRef, std::vector<protocol::ExecuteEvent>> deferred_;
+
+    ServerStats stats_;
+    Journal journal_;
+
+    static std::uint64_t action_hash(const LockTable::ActionKey& key) noexcept {
+        return (static_cast<std::uint64_t>(key.instance) << 40) ^ key.action;
+    }
+};
+
+}  // namespace cosoft::server

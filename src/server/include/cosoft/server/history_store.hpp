@@ -1,0 +1,58 @@
+// Historical UI states (§2.1): "backup the UI states which have been
+// overwritten when synchronizing by state was applied, and provide the
+// possibility of undoing/redoing user's actions."
+//
+// Per object the store keeps a bounded undo stack and a redo stack of full
+// UiState snapshots. A normal copy pushes the overwritten state onto undo
+// and clears redo; server-driven undo/redo move states between the stacks.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "cosoft/common/ids.hpp"
+#include "cosoft/toolkit/snapshot.hpp"
+
+namespace cosoft::server {
+
+class HistoryStore {
+  public:
+    explicit HistoryStore(std::size_t max_depth = 64) : max_depth_(max_depth) {}
+
+    /// Files the state a normal copy overwrote; invalidates redo history.
+    void push_overwritten(const ObjectRef& object, toolkit::UiState state);
+
+    /// Files the state an undo overwrote (it becomes redoable).
+    void push_redo(const ObjectRef& object, toolkit::UiState state);
+
+    /// Files the state a redo overwrote (it becomes undoable again),
+    /// *without* clearing the redo stack.
+    void push_undo_preserving_redo(const ObjectRef& object, toolkit::UiState state);
+
+    [[nodiscard]] std::optional<toolkit::UiState> pop_undo(const ObjectRef& object);
+    [[nodiscard]] std::optional<toolkit::UiState> pop_redo(const ObjectRef& object);
+
+    [[nodiscard]] std::size_t undo_depth(const ObjectRef& object) const noexcept;
+    [[nodiscard]] std::size_t redo_depth(const ObjectRef& object) const noexcept;
+
+    /// Drops all history for objects of a terminated instance.
+    void forget_instance(InstanceId instance);
+    void forget_object(const ObjectRef& object);
+
+    [[nodiscard]] std::size_t max_depth() const noexcept { return max_depth_; }
+
+  private:
+    struct Stacks {
+        std::vector<toolkit::UiState> undo;
+        std::vector<toolkit::UiState> redo;
+    };
+
+    void push_bounded(std::vector<toolkit::UiState>& stack, toolkit::UiState state);
+
+    std::size_t max_depth_;
+    std::unordered_map<ObjectRef, Stacks> stacks_;
+};
+
+}  // namespace cosoft::server

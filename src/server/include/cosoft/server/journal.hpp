@@ -1,0 +1,65 @@
+// Message journal: a bounded trace of the traffic the central server
+// routed. Operators (cosoftd) and tests use it to observe a live session —
+// who talked to whom, with what, and how big the frames were.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "cosoft/common/ids.hpp"
+
+namespace cosoft::server {
+
+struct JournalEntry {
+    std::uint64_t seq = 0;           ///< global order of the record
+    bool inbound = false;            ///< true: client -> server
+    InstanceId peer = kInvalidInstance;
+    std::string message;             ///< protocol message name
+    std::size_t bytes = 0;           ///< frame size on the wire
+    friend bool operator==(const JournalEntry&, const JournalEntry&) = default;
+};
+
+class Journal {
+  public:
+    explicit Journal(std::size_t capacity = 1024) : capacity_(capacity) {}
+
+    void record(bool inbound, InstanceId peer, std::string message, std::size_t bytes) {
+        if (capacity_ == 0) return;  // disabled
+        if (entries_.size() >= capacity_) entries_.pop_front();
+        entries_.push_back({next_seq_++, inbound, peer, std::move(message), bytes});
+    }
+
+    /// Most recent entries, oldest first.
+    [[nodiscard]] std::vector<JournalEntry> entries() const { return {entries_.begin(), entries_.end()}; }
+
+    /// Entries involving one instance.
+    [[nodiscard]] std::vector<JournalEntry> entries_for(InstanceId peer) const {
+        std::vector<JournalEntry> out;
+        for (const auto& e : entries_) {
+            if (e.peer == peer) out.push_back(e);
+        }
+        return out;
+    }
+
+    /// Total records ever made (including evicted ones).
+    [[nodiscard]] std::uint64_t total_recorded() const noexcept { return next_seq_; }
+    [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+    [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+    /// Resizes the ring; 0 disables journalling entirely.
+    void set_capacity(std::size_t capacity) {
+        capacity_ = capacity;
+        while (entries_.size() > capacity_) entries_.pop_front();
+    }
+
+    void clear() { entries_.clear(); }
+
+  private:
+    std::size_t capacity_;
+    std::uint64_t next_seq_ = 0;
+    std::deque<JournalEntry> entries_;
+};
+
+}  // namespace cosoft::server

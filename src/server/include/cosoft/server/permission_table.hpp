@@ -1,0 +1,47 @@
+// Access permissions (§2.1): "three-valued tuples with user ID, UI state
+// identifier, and access right category."
+//
+// A rule grants or denies a rights mask to one user (or all users) for an
+// object and everything below it in the widget tree. Checks resolve to the
+// most specific applicable rule (longest matching path, specific user beats
+// wildcard); with no applicable rule access is granted — COSOFT's classroom
+// default is open collaboration with selective restriction.
+#pragma once
+
+#include <vector>
+
+#include "cosoft/common/ids.hpp"
+#include "cosoft/protocol/messages.hpp"
+
+namespace cosoft::server {
+
+class PermissionTable {
+  public:
+    static constexpr UserId kAnyUser = kInvalidUser;
+
+    /// Installs (or replaces) the rule for (user, object). `allow` false
+    /// turns the rule into an explicit denial of `rights`.
+    void set(UserId user, const ObjectRef& object, protocol::RightsMask rights, bool allow);
+
+    /// Removes the exact rule; no-op when absent.
+    void clear(UserId user, const ObjectRef& object);
+
+    /// True when `user` holds `right` on `object`.
+    [[nodiscard]] bool check(UserId user, const ObjectRef& object, protocol::Right right) const noexcept;
+
+    void forget_instance(InstanceId instance);
+
+    [[nodiscard]] std::size_t rule_count() const noexcept { return rules_.size(); }
+
+  private:
+    struct Rule {
+        UserId user;
+        ObjectRef object;
+        protocol::RightsMask rights;
+        bool allow;
+    };
+
+    std::vector<Rule> rules_;
+};
+
+}  // namespace cosoft::server

@@ -1,0 +1,53 @@
+#include "cosoft/server/lock_table.hpp"
+
+namespace cosoft::server {
+
+Status LockTable::try_lock_all(const ActionKey& key, const std::vector<ObjectRef>& objects, ObjectRef* conflict) {
+    for (const ObjectRef& o : objects) {
+        const auto it = holders_.find(o);
+        if (it != holders_.end() && !(it->second == key)) {
+            if (conflict != nullptr) *conflict = o;
+            return Status{ErrorCode::kLockConflict, "already locked: " + to_string(o)};
+        }
+    }
+    auto& held = actions_[key];
+    for (const ObjectRef& o : objects) {
+        if (holders_.emplace(o, key).second) held.push_back(o);
+    }
+    return Status::ok();
+}
+
+std::vector<ObjectRef> LockTable::unlock_action(const ActionKey& key) {
+    const auto it = actions_.find(key);
+    if (it == actions_.end()) return {};
+    std::vector<ObjectRef> released = std::move(it->second);
+    actions_.erase(it);
+    for (const ObjectRef& o : released) holders_.erase(o);
+    return released;
+}
+
+std::vector<ObjectRef> LockTable::unlock_instance(InstanceId instance) {
+    std::vector<ActionKey> doomed;
+    for (const auto& [key, _] : actions_) {
+        if (key.instance == instance) doomed.push_back(key);
+    }
+    std::vector<ObjectRef> released;
+    for (const ActionKey& key : doomed) {
+        auto objs = unlock_action(key);
+        released.insert(released.end(), objs.begin(), objs.end());
+    }
+    return released;
+}
+
+std::optional<LockTable::ActionKey> LockTable::holder(const ObjectRef& ref) const {
+    const auto it = holders_.find(ref);
+    if (it == holders_.end()) return std::nullopt;
+    return it->second;
+}
+
+std::vector<ObjectRef> LockTable::objects_of(const ActionKey& key) const {
+    const auto it = actions_.find(key);
+    return it == actions_.end() ? std::vector<ObjectRef>{} : it->second;
+}
+
+}  // namespace cosoft::server

@@ -1,0 +1,60 @@
+#include "cosoft/server/permission_table.hpp"
+
+#include <algorithm>
+
+#include "cosoft/common/strings.hpp"
+
+namespace cosoft::server {
+
+void PermissionTable::set(UserId user, const ObjectRef& object, protocol::RightsMask rights, bool allow) {
+    const auto it = std::find_if(rules_.begin(), rules_.end(), [&](const Rule& r) {
+        return r.user == user && r.object == object;
+    });
+    if (it != rules_.end()) {
+        it->rights = rights;
+        it->allow = allow;
+    } else {
+        rules_.push_back({user, object, rights, allow});
+    }
+}
+
+void PermissionTable::clear(UserId user, const ObjectRef& object) {
+    std::erase_if(rules_, [&](const Rule& r) { return r.user == user && r.object == object; });
+}
+
+bool PermissionTable::check(UserId user, const ObjectRef& object, protocol::Right right) const noexcept {
+    const auto mask = static_cast<protocol::RightsMask>(right);
+    const Rule* best = nullptr;
+    for (const Rule& r : rules_) {
+        if ((r.rights & mask) == 0) continue;
+        if (r.user != kAnyUser && r.user != user) continue;
+        if (r.object.instance != object.instance) continue;
+        if (!path_is_or_under(object.path, r.object.path)) continue;
+        if (best == nullptr) {
+            best = &r;
+            continue;
+        }
+        // Longest path wins; among equal paths a user-specific rule beats a
+        // wildcard; among fully equal specificity, denial wins (safe side).
+        const std::size_t best_len = best->object.path.size();
+        const std::size_t len = r.object.path.size();
+        if (len > best_len) {
+            best = &r;
+        } else if (len == best_len) {
+            const bool r_specific = r.user != kAnyUser;
+            const bool best_specific = best->user != kAnyUser;
+            if (r_specific && !best_specific) {
+                best = &r;
+            } else if (r_specific == best_specific && !r.allow) {
+                best = &r;
+            }
+        }
+    }
+    return best == nullptr || best->allow;
+}
+
+void PermissionTable::forget_instance(InstanceId instance) {
+    std::erase_if(rules_, [&](const Rule& r) { return r.object.instance == instance; });
+}
+
+}  // namespace cosoft::server

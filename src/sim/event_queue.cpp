@@ -1,0 +1,55 @@
+#include "cosoft/sim/event_queue.hpp"
+
+#include <utility>
+
+namespace cosoft::sim {
+
+EventId EventQueue::schedule_at(SimTime t, std::function<void()> fn) {
+    const EventId id = next_id_++;
+    queue_.push(Entry{t < clock_.now() ? clock_.now() : t, id, std::move(fn)});
+    ++live_;
+    return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+    if (id == 0 || id >= next_id_) return false;
+    // Lazy deletion: remember the id, skip it when popped.
+    const auto [it, inserted] = cancelled_.insert(id);
+    (void)it;
+    if (inserted && live_ > 0) --live_;
+    return inserted;
+}
+
+bool EventQueue::step() {
+    while (!queue_.empty()) {
+        // priority_queue::top() is const; move out via const_cast is UB-free
+        // here because we pop immediately and Entry's fn is the only moved part.
+        Entry entry = std::move(const_cast<Entry&>(queue_.top()));
+        queue_.pop();
+        if (cancelled_.erase(entry.id) > 0) continue;  // was cancelled
+        clock_.advance_to(entry.time);
+        --live_;
+        entry.fn();
+        return true;
+    }
+    return false;
+}
+
+void EventQueue::run_until(SimTime t) {
+    while (!queue_.empty() && queue_.top().time <= t) {
+        if (cancelled_.erase(queue_.top().id) > 0) {
+            queue_.pop();
+            continue;
+        }
+        step();
+    }
+    clock_.advance_to(t);
+}
+
+std::size_t EventQueue::run_all(std::size_t max_events) {
+    std::size_t n = 0;
+    while (n < max_events && step()) ++n;
+    return n;
+}
+
+}  // namespace cosoft::sim

@@ -1,0 +1,84 @@
+#include "cosoft/sim/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace cosoft::sim {
+
+Histogram::Histogram() : buckets_(kBuckets, 0) {}
+
+std::size_t Histogram::bucket_of(std::int64_t v) noexcept {
+    if (v <= 0) return 0;
+    const auto u = static_cast<std::uint64_t>(v);
+    const int log2 = 63 - std::countl_zero(u);
+    if (log2 < 2) return static_cast<std::size_t>(u);  // values 1..3 map exactly
+    // 4 linear sub-buckets per power of two.
+    const auto sub = static_cast<std::size_t>((u >> (log2 - 2)) & 3U);
+    const auto idx = static_cast<std::size_t>(log2) * 4 + sub;
+    return std::min(idx, kBuckets - 1);
+}
+
+std::int64_t Histogram::bucket_mid(std::size_t b) noexcept {
+    if (b < 4) return static_cast<std::int64_t>(b);
+    const std::size_t log2 = b / 4;
+    const std::size_t sub = b % 4;
+    const std::uint64_t base = (4ULL + sub) << (log2 - 2);
+    const std::uint64_t width = 1ULL << (log2 - 2);
+    return static_cast<std::int64_t>(base + width / 2);
+}
+
+void Histogram::record(std::int64_t value) noexcept {
+    if (count_ == 0) {
+        min_ = max_ = value;
+    } else {
+        min_ = std::min(min_, value);
+        max_ = std::max(max_, value);
+    }
+    ++count_;
+    sum_ += value;
+    ++buckets_[bucket_of(value)];
+}
+
+void Histogram::merge(const Histogram& other) noexcept {
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+        min_ = other.min_;
+        max_ = other.max_;
+    } else {
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+    for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+}
+
+void Histogram::reset() noexcept {
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    count_ = 0;
+    sum_ = min_ = max_ = 0;
+}
+
+std::int64_t Histogram::quantile(double q) const noexcept {
+    if (count_ == 0) return 0;
+    q = std::clamp(q, 0.0, 1.0);
+    const auto rank = static_cast<std::uint64_t>(q * static_cast<double>(count_ - 1));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+        seen += buckets_[i];
+        if (seen > rank) return std::clamp(bucket_mid(i), min_, max_);
+    }
+    return max_;
+}
+
+std::string Histogram::summary(const std::string& unit) const {
+    char buf[160];
+    std::snprintf(buf, sizeof buf, "count=%llu mean=%.1f%s p50=%lld p95=%lld max=%lld%s",
+                  static_cast<unsigned long long>(count_), mean(), unit.c_str(),
+                  static_cast<long long>(p50()), static_cast<long long>(p95()),
+                  static_cast<long long>(max()), unit.c_str());
+    return buf;
+}
+
+}  // namespace cosoft::sim

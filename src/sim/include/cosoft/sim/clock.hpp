@@ -1,0 +1,31 @@
+// Virtual time. All simulated components (network latency, semantic action
+// cost, user think time) are expressed in microseconds of SimTime so that
+// benchmark results are deterministic and independent of host load.
+#pragma once
+
+#include <cstdint>
+
+namespace cosoft::sim {
+
+/// Microseconds of virtual time since simulation start.
+using SimTime = std::int64_t;
+
+inline constexpr SimTime kMicrosecond = 1;
+inline constexpr SimTime kMillisecond = 1000;
+inline constexpr SimTime kSecond = 1000 * 1000;
+
+/// A monotonically advancing virtual clock, owned by the EventQueue.
+class SimClock {
+  public:
+    [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+    /// Advances to `t`; never moves backwards.
+    void advance_to(SimTime t) noexcept {
+        if (t > now_) now_ = t;
+    }
+
+  private:
+    SimTime now_ = 0;
+};
+
+}  // namespace cosoft::sim

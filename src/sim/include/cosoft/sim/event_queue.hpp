@@ -1,0 +1,65 @@
+// Discrete-event simulation core: a priority queue of (time, callback)
+// events driving a SimClock. The deterministic in-process network
+// (cosoft::net::SimNetwork) and the architecture benchmarks are built on it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "cosoft/sim/clock.hpp"
+
+namespace cosoft::sim {
+
+using EventId = std::uint64_t;
+
+class EventQueue {
+  public:
+    /// Schedules `fn` to run at absolute virtual time `t` (clamped to now).
+    EventId schedule_at(SimTime t, std::function<void()> fn);
+
+    /// Schedules `fn` to run `delay` after the current virtual time.
+    EventId schedule_after(SimTime delay, std::function<void()> fn) {
+        return schedule_at(clock_.now() + (delay > 0 ? delay : 0), std::move(fn));
+    }
+
+    /// Cancels a pending event; returns false if already fired or unknown.
+    bool cancel(EventId id);
+
+    /// Runs the earliest pending event. Returns false if the queue is empty.
+    bool step();
+
+    /// Runs events until none remain at or before `t`, then advances to `t`.
+    void run_until(SimTime t);
+
+    /// Drains the queue completely (bounded by `max_events` as a safeguard
+    /// against runaway feedback loops). Returns the number of events run.
+    std::size_t run_all(std::size_t max_events = 100'000'000);
+
+    [[nodiscard]] SimTime now() const noexcept { return clock_.now(); }
+    [[nodiscard]] bool empty() const noexcept { return live_ == 0; }
+    [[nodiscard]] std::size_t pending() const noexcept { return live_; }
+    [[nodiscard]] SimClock& clock() noexcept { return clock_; }
+
+  private:
+    struct Entry {
+        SimTime time;
+        EventId id;  // tiebreaker: FIFO among same-time events
+        std::function<void()> fn;
+    };
+    struct Later {
+        bool operator()(const Entry& a, const Entry& b) const noexcept {
+            return a.time != b.time ? a.time > b.time : a.id > b.id;
+        }
+    };
+
+    SimClock clock_;
+    std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+    std::unordered_set<EventId> cancelled_;
+    EventId next_id_ = 1;
+    std::size_t live_ = 0;  // scheduled minus (fired + cancelled)
+};
+
+}  // namespace cosoft::sim

@@ -1,0 +1,47 @@
+// Latency/size histogram with logarithmic buckets, plus exact tracking of
+// count/sum/min/max. Quantiles are approximate (bucket midpoint) which is
+// sufficient for the benchmark tables.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cosoft::sim {
+
+class Histogram {
+  public:
+    Histogram();
+
+    void record(std::int64_t value) noexcept;
+    void merge(const Histogram& other) noexcept;
+    void reset() noexcept;
+
+    [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+    [[nodiscard]] double mean() const noexcept { return count_ ? static_cast<double>(sum_) / static_cast<double>(count_) : 0.0; }
+    [[nodiscard]] std::int64_t min() const noexcept { return count_ ? min_ : 0; }
+    [[nodiscard]] std::int64_t max() const noexcept { return count_ ? max_ : 0; }
+    [[nodiscard]] std::int64_t sum() const noexcept { return sum_; }
+
+    /// Approximate quantile, q in [0,1]. Returns 0 for an empty histogram.
+    [[nodiscard]] std::int64_t quantile(double q) const noexcept;
+    [[nodiscard]] std::int64_t p50() const noexcept { return quantile(0.50); }
+    [[nodiscard]] std::int64_t p95() const noexcept { return quantile(0.95); }
+    [[nodiscard]] std::int64_t p99() const noexcept { return quantile(0.99); }
+
+    /// "count=12 mean=3.4us p50=3 p95=9 max=15"
+    [[nodiscard]] std::string summary(const std::string& unit = "us") const;
+
+  private:
+    static std::size_t bucket_of(std::int64_t v) noexcept;
+    static std::int64_t bucket_mid(std::size_t b) noexcept;
+
+    static constexpr std::size_t kBuckets = 64 * 4;  // 4 sub-buckets per power of two
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t count_ = 0;
+    std::int64_t sum_ = 0;
+    std::int64_t min_ = 0;
+    std::int64_t max_ = 0;
+};
+
+}  // namespace cosoft::sim

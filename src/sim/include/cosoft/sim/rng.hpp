@@ -1,0 +1,37 @@
+// Deterministic random numbers for workload generation (xoshiro256**,
+// seeded via splitmix64). Not for cryptographic use.
+#pragma once
+
+#include <cstdint>
+
+namespace cosoft::sim {
+
+class Rng {
+  public:
+    explicit Rng(std::uint64_t seed = 0x5eed'c05f'0f7eULL) noexcept { reseed(seed); }
+
+    void reseed(std::uint64_t seed) noexcept;
+
+    /// Uniform in [0, 2^64).
+    std::uint64_t next() noexcept;
+
+    /// Uniform in [0, bound). bound must be > 0.
+    std::uint64_t below(std::uint64_t bound) noexcept;
+
+    /// Uniform in [lo, hi] inclusive.
+    std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept;
+
+    /// Uniform double in [0, 1).
+    double uniform01() noexcept;
+
+    /// Exponential with the given mean (inter-arrival / think times).
+    double exponential(double mean) noexcept;
+
+    /// Bernoulli trial.
+    bool chance(double p) noexcept { return uniform01() < p; }
+
+  private:
+    std::uint64_t s_[4];
+};
+
+}  // namespace cosoft::sim

@@ -1,0 +1,54 @@
+// Workload generation for the architecture benchmarks.
+//
+// A workload is a stream of user actions. Following the paper's distinction
+// (§2.1/§3.2), an action is either a pure *UI action* (local dialogue, e.g.
+// opening a menu), a *callback action* (a high-level callback event that must
+// be synchronized with coupled objects), or a *semantic action* (invokes
+// application functionality with a configurable execution cost — the
+// "time-consuming" operations that block the UI-replicated architecture).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cosoft/sim/clock.hpp"
+#include "cosoft/sim/rng.hpp"
+
+namespace cosoft::sim {
+
+enum class ActionKind : std::uint8_t {
+    kUiLocal,    ///< pure dialogue-level action; never needs synchronization
+    kCallback,   ///< high-level callback event on a (possibly coupled) object
+    kSemantic,   ///< invokes application functionality with cost `exec_cost`
+};
+
+struct UserAction {
+    std::uint32_t user = 0;        ///< which participant performs it
+    std::uint32_t object = 0;      ///< index of the targeted UI object
+    ActionKind kind = ActionKind::kCallback;
+    SimTime issue_time = 0;        ///< virtual time the user initiates it
+    SimTime exec_cost = 0;         ///< processing cost when (re-)executed
+};
+
+struct WorkloadSpec {
+    std::uint32_t users = 2;
+    std::uint32_t objects_per_user = 8;   ///< size of each user's interface
+    std::uint32_t actions_per_user = 100;
+    SimTime mean_think_time = 500 * kMillisecond;
+    SimTime ui_action_cost = 100;             ///< us to process a UI action
+    SimTime semantic_action_cost = 10 * kMillisecond;
+    double semantic_fraction = 0.2;       ///< P(action is semantic)
+    double ui_local_fraction = 0.3;       ///< P(action is pure-UI)
+    std::uint64_t seed = 42;
+};
+
+/// Generates a deterministic, issue-time-sorted action stream.
+[[nodiscard]] std::vector<UserAction> generate_workload(const WorkloadSpec& spec);
+
+/// Keystroke-grained variant of a callback stream: expands each callback
+/// action into `keystrokes` fine-grained events 30ms apart (used by the lock
+/// granularity ablation, bench A2).
+[[nodiscard]] std::vector<UserAction> explode_fine_grained(const std::vector<UserAction>& actions,
+                                                           std::uint32_t keystrokes);
+
+}  // namespace cosoft::sim

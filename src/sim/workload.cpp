@@ -1,0 +1,60 @@
+#include "cosoft/sim/workload.hpp"
+
+#include <algorithm>
+
+namespace cosoft::sim {
+
+std::vector<UserAction> generate_workload(const WorkloadSpec& spec) {
+    Rng rng{spec.seed};
+    std::vector<UserAction> out;
+    out.reserve(static_cast<std::size_t>(spec.users) * spec.actions_per_user);
+
+    for (std::uint32_t user = 0; user < spec.users; ++user) {
+        SimTime t = 0;
+        for (std::uint32_t i = 0; i < spec.actions_per_user; ++i) {
+            t += static_cast<SimTime>(rng.exponential(static_cast<double>(spec.mean_think_time)));
+            UserAction a;
+            a.user = user;
+            a.object = static_cast<std::uint32_t>(rng.below(spec.objects_per_user));
+            a.issue_time = t;
+            const double r = rng.uniform01();
+            if (r < spec.ui_local_fraction) {
+                a.kind = ActionKind::kUiLocal;
+                a.exec_cost = spec.ui_action_cost;
+            } else if (r < spec.ui_local_fraction + spec.semantic_fraction) {
+                a.kind = ActionKind::kSemantic;
+                a.exec_cost = spec.semantic_action_cost;
+            } else {
+                a.kind = ActionKind::kCallback;
+                a.exec_cost = spec.ui_action_cost;
+            }
+            out.push_back(a);
+        }
+    }
+    std::stable_sort(out.begin(), out.end(),
+                     [](const UserAction& a, const UserAction& b) { return a.issue_time < b.issue_time; });
+    return out;
+}
+
+std::vector<UserAction> explode_fine_grained(const std::vector<UserAction>& actions, std::uint32_t keystrokes) {
+    constexpr SimTime kKeystrokeGap = 30 * kMillisecond;
+    std::vector<UserAction> out;
+    out.reserve(actions.size() * keystrokes);
+    for (const auto& a : actions) {
+        if (a.kind != ActionKind::kCallback) {
+            out.push_back(a);
+            continue;
+        }
+        for (std::uint32_t k = 0; k < keystrokes; ++k) {
+            UserAction fine = a;
+            fine.issue_time = a.issue_time + static_cast<SimTime>(k) * kKeystrokeGap;
+            fine.exec_cost = a.exec_cost / keystrokes + 1;
+            out.push_back(fine);
+        }
+    }
+    std::stable_sort(out.begin(), out.end(),
+                     [](const UserAction& a, const UserAction& b) { return a.issue_time < b.issue_time; });
+    return out;
+}
+
+}  // namespace cosoft::sim

@@ -1,0 +1,125 @@
+#include "cosoft/toolkit/attributes.hpp"
+
+#include <charconv>
+#include <cstdio>
+
+namespace cosoft::toolkit {
+
+AttrType type_of(const AttributeValue& v) noexcept {
+    return static_cast<AttrType>(v.index());
+}
+
+std::string_view to_string(AttrType t) noexcept {
+    switch (t) {
+        case AttrType::kNone: return "none";
+        case AttrType::kBool: return "bool";
+        case AttrType::kInt: return "int";
+        case AttrType::kReal: return "real";
+        case AttrType::kText: return "text";
+        case AttrType::kTextList: return "textlist";
+    }
+    return "?";
+}
+
+std::string to_display_string(const AttributeValue& v) {
+    switch (type_of(v)) {
+        case AttrType::kNone: return "<none>";
+        case AttrType::kBool: return std::get<bool>(v) ? "true" : "false";
+        case AttrType::kInt: return std::to_string(std::get<std::int64_t>(v));
+        case AttrType::kReal: {
+            char buf[32];
+            std::snprintf(buf, sizeof buf, "%g", std::get<double>(v));
+            return buf;
+        }
+        case AttrType::kText: return std::get<std::string>(v);
+        case AttrType::kTextList: {
+            std::string out = "[";
+            const auto& items = std::get<std::vector<std::string>>(v);
+            for (std::size_t i = 0; i < items.size(); ++i) {
+                if (i > 0) out += ", ";
+                out += items[i];
+            }
+            out += "]";
+            return out;
+        }
+    }
+    return "?";
+}
+
+void encode(ByteWriter& w, const AttributeValue& v) {
+    w.u8(static_cast<std::uint8_t>(type_of(v)));
+    switch (type_of(v)) {
+        case AttrType::kNone: break;
+        case AttrType::kBool: w.boolean(std::get<bool>(v)); break;
+        case AttrType::kInt: w.i64(std::get<std::int64_t>(v)); break;
+        case AttrType::kReal: w.f64(std::get<double>(v)); break;
+        case AttrType::kText: w.str(std::get<std::string>(v)); break;
+        case AttrType::kTextList: {
+            const auto& items = std::get<std::vector<std::string>>(v);
+            w.u32(static_cast<std::uint32_t>(items.size()));
+            for (const auto& s : items) w.str(s);
+            break;
+        }
+    }
+}
+
+AttributeValue decode_attribute_value(ByteReader& r) {
+    switch (static_cast<AttrType>(r.u8())) {
+        case AttrType::kNone: return std::monostate{};
+        case AttrType::kBool: return r.boolean();
+        case AttrType::kInt: return r.i64();
+        case AttrType::kReal: return r.f64();
+        case AttrType::kText: return r.str();
+        case AttrType::kTextList: {
+            const std::uint32_t n = r.u32();
+            std::vector<std::string> items;
+            items.reserve(std::min<std::uint32_t>(n, 4096));
+            for (std::uint32_t i = 0; i < n && r.ok(); ++i) items.push_back(r.str());
+            return items;
+        }
+        default: return std::monostate{};
+    }
+}
+
+AttributeValue convert_attribute(const AttributeValue& v, AttrType target) {
+    if (type_of(v) == target) return v;
+    switch (target) {
+        case AttrType::kText:
+            if (type_of(v) == AttrType::kTextList) return std::monostate{};
+            return to_display_string(v);
+        case AttrType::kInt:
+            if (const auto* d = std::get_if<double>(&v)) return static_cast<std::int64_t>(*d);
+            if (const auto* b = std::get_if<bool>(&v)) return static_cast<std::int64_t>(*b);
+            if (const auto* s = std::get_if<std::string>(&v)) {
+                std::int64_t out = 0;
+                const auto [ptr, ec] = std::from_chars(s->data(), s->data() + s->size(), out);
+                if (ec == std::errc{} && ptr == s->data() + s->size()) return out;
+            }
+            return std::monostate{};
+        case AttrType::kReal:
+            if (const auto* i = std::get_if<std::int64_t>(&v)) return static_cast<double>(*i);
+            if (const auto* s = std::get_if<std::string>(&v)) {
+                try {
+                    std::size_t used = 0;
+                    const double out = std::stod(*s, &used);
+                    if (used == s->size()) return out;
+                } catch (...) {  // not parseable as a number
+                }
+            }
+            return std::monostate{};
+        case AttrType::kBool:
+            if (const auto* i = std::get_if<std::int64_t>(&v)) return *i != 0;
+            if (const auto* s = std::get_if<std::string>(&v)) {
+                if (*s == "true") return true;
+                if (*s == "false") return false;
+            }
+            return std::monostate{};
+        case AttrType::kTextList:
+            if (const auto* s = std::get_if<std::string>(&v)) return std::vector<std::string>{*s};
+            return std::monostate{};
+        case AttrType::kNone: return std::monostate{};
+    }
+    return std::monostate{};
+}
+
+}  // namespace cosoft::toolkit

@@ -1,0 +1,167 @@
+#include "cosoft/toolkit/builder.hpp"
+
+#include <cctype>
+#include <charconv>
+
+namespace cosoft::toolkit {
+
+Result<Widget*> build(Widget& parent, const WidgetSpec& spec) {
+    auto created = parent.add_child(spec.cls, spec.name);
+    if (!created) return created;
+    Widget* w = created.value();
+    for (const auto& [name, value] : spec.attributes) {
+        if (Status s = w->set_attribute(name, value); !s.is_ok()) {
+            (void)parent.remove_child(spec.name);  // build is all-or-nothing
+            return Error{s.code(), s.message()};
+        }
+    }
+    for (const WidgetSpec& c : spec.children) {
+        auto child = build(*w, c);
+        if (!child) {
+            (void)parent.remove_child(spec.name);
+            return child;
+        }
+    }
+    return w;
+}
+
+namespace {
+
+struct Line {
+    int indent = 0;
+    std::string_view body;
+};
+
+/// Parses one attribute value token: true/false, number, "quoted", [a,b,c],
+/// or a bare word (text).
+Result<AttributeValue> parse_value(std::string_view& rest) {
+    if (rest.empty()) return Error{ErrorCode::kInvalidArgument, "missing attribute value"};
+    if (rest.front() == '"') {
+        const std::size_t end = rest.find('"', 1);
+        if (end == std::string_view::npos) return Error{ErrorCode::kInvalidArgument, "unterminated string"};
+        AttributeValue v = std::string{rest.substr(1, end - 1)};
+        rest.remove_prefix(end + 1);
+        return v;
+    }
+    if (rest.front() == '[') {
+        const std::size_t end = rest.find(']');
+        if (end == std::string_view::npos) return Error{ErrorCode::kInvalidArgument, "unterminated list"};
+        std::vector<std::string> items;
+        std::string_view inner = rest.substr(1, end - 1);
+        while (!inner.empty()) {
+            const std::size_t comma = inner.find(',');
+            std::string_view item = inner.substr(0, comma);
+            while (!item.empty() && item.front() == ' ') item.remove_prefix(1);
+            while (!item.empty() && item.back() == ' ') item.remove_suffix(1);
+            if (!item.empty()) items.emplace_back(item);
+            if (comma == std::string_view::npos) break;
+            inner.remove_prefix(comma + 1);
+        }
+        rest.remove_prefix(end + 1);
+        return AttributeValue{std::move(items)};
+    }
+    // Bare token up to whitespace.
+    std::size_t end = 0;
+    while (end < rest.size() && !std::isspace(static_cast<unsigned char>(rest[end]))) ++end;
+    const std::string_view token = rest.substr(0, end);
+    rest.remove_prefix(end);
+    if (token == "true") return AttributeValue{true};
+    if (token == "false") return AttributeValue{false};
+    // Integer?
+    {
+        std::int64_t i = 0;
+        const auto [p, ec] = std::from_chars(token.data(), token.data() + token.size(), i);
+        if (ec == std::errc{} && p == token.data() + token.size()) return AttributeValue{i};
+    }
+    // Real?
+    if (token.find('.') != std::string_view::npos) {
+        try {
+            std::size_t used = 0;
+            const double d = std::stod(std::string{token}, &used);
+            if (used == token.size()) return AttributeValue{d};
+        } catch (...) {  // fall through to text
+        }
+    }
+    return AttributeValue{std::string{token}};
+}
+
+Result<WidgetSpec> parse_header(std::string_view body) {
+    WidgetSpec spec;
+    const std::size_t colon = body.find(':');
+    if (colon == std::string_view::npos) {
+        return Error{ErrorCode::kInvalidArgument, "expected 'name:class': " + std::string{body}};
+    }
+    spec.name = std::string{body.substr(0, colon)};
+    std::string_view rest = body.substr(colon + 1);
+    std::size_t end = 0;
+    while (end < rest.size() && !std::isspace(static_cast<unsigned char>(rest[end]))) ++end;
+    const auto cls = widget_class_from_string(rest.substr(0, end));
+    if (!cls) return Error{ErrorCode::kInvalidArgument, "unknown widget class: " + std::string{rest.substr(0, end)}};
+    spec.cls = *cls;
+    rest.remove_prefix(end);
+
+    while (true) {
+        while (!rest.empty() && std::isspace(static_cast<unsigned char>(rest.front()))) rest.remove_prefix(1);
+        if (rest.empty()) break;
+        const std::size_t eq = rest.find('=');
+        if (eq == std::string_view::npos) {
+            return Error{ErrorCode::kInvalidArgument, "expected attr=value: " + std::string{rest}};
+        }
+        std::string attr{rest.substr(0, eq)};
+        rest.remove_prefix(eq + 1);
+        auto value = parse_value(rest);
+        if (!value) return value.error();
+        spec.attributes.emplace_back(std::move(attr), std::move(value).value());
+    }
+    return spec;
+}
+
+}  // namespace
+
+Result<std::vector<WidgetSpec>> parse_spec(std::string_view text) {
+    std::vector<Line> lines;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        std::size_t end = text.find('\n', start);
+        if (end == std::string_view::npos) end = text.size();
+        std::string_view raw = text.substr(start, end - start);
+        int indent = 0;
+        while (!raw.empty() && raw.front() == ' ') {
+            raw.remove_prefix(1);
+            ++indent;
+        }
+        if (!raw.empty() && raw.front() != '#') lines.push_back({indent, raw});
+        if (end == text.size()) break;
+        start = end + 1;
+    }
+
+    std::vector<WidgetSpec> roots;
+    // Stack of (indent, spec*) for attaching children.
+    std::vector<std::pair<int, WidgetSpec*>> stack;
+    for (const Line& line : lines) {
+        auto parsed = parse_header(line.body);
+        if (!parsed) return parsed.error();
+        while (!stack.empty() && stack.back().first >= line.indent) stack.pop_back();
+        WidgetSpec* placed = nullptr;
+        if (stack.empty()) {
+            roots.push_back(std::move(parsed).value());
+            placed = &roots.back();
+        } else {
+            stack.back().second->children.push_back(std::move(parsed).value());
+            placed = &stack.back().second->children.back();
+        }
+        stack.emplace_back(line.indent, placed);
+    }
+    return roots;
+}
+
+Status build_from_text(Widget& parent, std::string_view text) {
+    auto specs = parse_spec(text);
+    if (!specs) return specs.status();
+    for (const WidgetSpec& spec : specs.value()) {
+        if (auto built = build(parent, spec); !built) return built.status();
+    }
+    return Status::ok();
+}
+
+}  // namespace cosoft::toolkit

@@ -1,0 +1,33 @@
+#include "cosoft/toolkit/events.hpp"
+
+namespace cosoft::toolkit {
+
+void encode(ByteWriter& w, const Event& e) {
+    w.u8(static_cast<std::uint8_t>(e.type));
+    w.str(e.path);
+    encode(w, e.payload);
+    w.str(e.detail);
+}
+
+Event decode_event(ByteReader& r) {
+    Event e;
+    e.type = static_cast<EventType>(r.u8());
+    e.path = r.str();
+    e.payload = decode_attribute_value(r);
+    e.detail = r.str();
+    return e;
+}
+
+std::string to_string(const Event& e) {
+    std::string out{to_string(e.type)};
+    out += "@";
+    out += e.path;
+    if (type_of(e.payload) != AttrType::kNone) {
+        out += "(";
+        out += to_display_string(e.payload);
+        out += ")";
+    }
+    return out;
+}
+
+}  // namespace cosoft::toolkit

@@ -1,0 +1,47 @@
+// Typed widget attributes.
+//
+// The paper defines the *state* of a UI object as its set of attribute-value
+// pairs, where the attribute set depends only on the object type (§3). This
+// file provides the value type, its binary codec, and helpers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "cosoft/common/bytes.hpp"
+
+namespace cosoft::toolkit {
+
+enum class AttrType : std::uint8_t {
+    kNone = 0,
+    kBool,
+    kInt,
+    kReal,
+    kText,
+    kTextList,
+};
+
+/// A single attribute value. The variant alternatives correspond 1:1 to
+/// AttrType (monostate == kNone).
+using AttributeValue =
+    std::variant<std::monostate, bool, std::int64_t, double, std::string, std::vector<std::string>>;
+
+[[nodiscard]] AttrType type_of(const AttributeValue& v) noexcept;
+[[nodiscard]] std::string_view to_string(AttrType t) noexcept;
+
+/// Human-readable rendering for logs and example output.
+[[nodiscard]] std::string to_display_string(const AttributeValue& v);
+
+/// Binary codec (type tag + payload).
+void encode(ByteWriter& w, const AttributeValue& v);
+[[nodiscard]] AttributeValue decode_attribute_value(ByteReader& r);
+
+/// Converts between attribute types where a sensible conversion exists
+/// (int<->real, anything->text, text->int/real when parseable). Used when a
+/// correspondence relation couples attributes of different types (§3.3).
+/// Returns monostate when no conversion applies.
+[[nodiscard]] AttributeValue convert_attribute(const AttributeValue& v, AttrType target);
+
+}  // namespace cosoft::toolkit

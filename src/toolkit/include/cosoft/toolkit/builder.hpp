@@ -1,0 +1,40 @@
+// Declarative widget construction — the programmatic face of CENTER's
+// "interactive builder for users who are not experienced programmers" (§1).
+//
+// Two entry points:
+//  - build(): construct a subtree from a nested WidgetSpec literal;
+//  - parse_spec(): construct the spec from the builder's plain-text format,
+//    one widget per line, indentation for nesting:
+//
+//        queryForm:form title="Literature query"
+//          author:textfield label="Author"
+//          op:menu items=[substring,exact,like-one-of] selection="substring"
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "cosoft/common/error.hpp"
+#include "cosoft/toolkit/widget.hpp"
+
+namespace cosoft::toolkit {
+
+struct WidgetSpec {
+    std::string name;
+    WidgetClass cls = WidgetClass::kForm;
+    std::vector<std::pair<std::string, AttributeValue>> attributes;
+    std::vector<WidgetSpec> children;
+};
+
+/// Instantiates `spec` as a child of `parent`; returns the created widget.
+Result<Widget*> build(Widget& parent, const WidgetSpec& spec);
+
+/// Parses the plain-text builder format into specs (one per top-level line).
+Result<std::vector<WidgetSpec>> parse_spec(std::string_view text);
+
+/// Convenience: parse + build all top-level specs under `parent`.
+Status build_from_text(Widget& parent, std::string_view text);
+
+}  // namespace cosoft::toolkit

@@ -1,0 +1,29 @@
+// High-level callback events. An Event is what travels to the server and is
+// re-executed at every coupled object (§3.2): "this event packed with some
+// parameters is sent to the server. Then the server broadcasts this message
+// to the application instances where it is unpacked and re-executed."
+#pragma once
+
+#include <string>
+
+#include "cosoft/common/bytes.hpp"
+#include "cosoft/toolkit/attributes.hpp"
+#include "cosoft/toolkit/widget_types.hpp"
+
+namespace cosoft::toolkit {
+
+struct Event {
+    EventType type = EventType::kActivated;
+    std::string path;        ///< pathname of the widget the event occurred on
+    AttributeValue payload;  ///< new value / selection / item / stroke
+    std::string detail;      ///< free-form extra parameter (e.g. key name)
+
+    friend bool operator==(const Event&, const Event&) = default;
+};
+
+void encode(ByteWriter& w, const Event& e);
+[[nodiscard]] Event decode_event(ByteReader& r);
+
+[[nodiscard]] std::string to_string(const Event& e);
+
+}  // namespace cosoft::toolkit

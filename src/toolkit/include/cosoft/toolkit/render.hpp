@@ -1,0 +1,31 @@
+// Text rendering of widget trees — the display layer of the headless
+// toolkit. Examples and the shell use it to show what a user "sees"; tests
+// use it as a cheap readback of visible state. Each widget class gets a
+// conventional text representation:
+//
+//   +== Literature query =========
+//   | view: <full v>
+//   | author: [Hoppe______]
+//   | ( Retrieve )
+//   +=============================
+#pragma once
+
+#include <string>
+
+#include "cosoft/toolkit/widget.hpp"
+
+namespace cosoft::toolkit {
+
+struct RenderOptions {
+    bool show_hidden = false;    ///< include widgets with visible=false
+    bool show_disabled = true;   ///< annotate disabled widgets
+    std::size_t field_width = 12;  ///< input field rendering width
+};
+
+/// Renders the widget (and its subtree) as human-readable text.
+[[nodiscard]] std::string render(const Widget& widget, const RenderOptions& options = {});
+
+/// Renders a single widget line (no children); used by render().
+[[nodiscard]] std::string render_line(const Widget& widget, const RenderOptions& options = {});
+
+}  // namespace cosoft::toolkit

@@ -1,0 +1,65 @@
+// UI-state snapshots: the unit of synchronization-by-state (§3.1).
+//
+// A UiState captures a complex UI object — the widget subtree rooted at some
+// widget — as a value: type, name, attribute-value pairs, children. It is
+// what CopyFrom/CopyTo/RemoteCopy ship between application instances, what
+// the server stores as "historical UI states" for undo, and what the
+// destructive-merging / flexible-matching algorithms (§3.3) operate on.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cosoft/common/bytes.hpp"
+#include "cosoft/common/error.hpp"
+#include "cosoft/toolkit/widget.hpp"
+
+namespace cosoft::toolkit {
+
+struct UiState {
+    WidgetClass cls = WidgetClass::kForm;
+    std::string name;
+    /// Sorted by attribute name for canonical comparisons.
+    std::vector<std::pair<std::string, AttributeValue>> attributes;
+    std::vector<UiState> children;
+
+    friend bool operator==(const UiState&, const UiState&) = default;
+
+    [[nodiscard]] const UiState* find_child(std::string_view child_name) const noexcept;
+    [[nodiscard]] const AttributeValue* find_attribute(std::string_view attr) const noexcept;
+
+    /// Number of nodes in this state tree (including this one).
+    [[nodiscard]] std::size_t node_count() const noexcept;
+};
+
+enum class SnapshotScope : std::uint8_t {
+    kRelevant,  ///< only the type's relevant attributes (coupling semantics)
+    kAll,       ///< every explicitly-set attribute (history/undo semantics)
+};
+
+/// Captures the state of the complex UI object rooted at `w`.
+[[nodiscard]] UiState snapshot(const Widget& w, SnapshotScope scope = SnapshotScope::kRelevant);
+
+/// Applies `state` onto `w`, requiring identical structure (names, classes,
+/// recursively). Only the attributes present in the snapshot are written.
+/// This is the strict path used between structurally compatible objects.
+Status apply_snapshot(Widget& w, const UiState& state);
+
+/// Destructive merging (§3.3): makes `w`'s structure identical to `state` —
+/// conflicting children are destroyed, missing ones created — then applies
+/// all snapshot attributes.
+Status apply_destructive(Widget& w, const UiState& state);
+
+/// Flexible matching (§3.3): identical substructures (same name and class)
+/// are synchronized recursively; children of `w` with no counterpart are
+/// conserved; children only in `state` are merged in.
+Status apply_flexible(Widget& w, const UiState& state);
+
+void encode(ByteWriter& w, const UiState& s);
+[[nodiscard]] UiState decode_ui_state(ByteReader& r);
+
+/// Debug rendering (indented tree), used by examples.
+[[nodiscard]] std::string to_string(const UiState& s);
+
+}  // namespace cosoft::toolkit

@@ -1,0 +1,187 @@
+// The widget tree.
+//
+// "User interface objects in an application instance are organized as a tree
+// along the parent/child relationship" (§3). A primitive UI object is a
+// Widget; a complex UI object is a Widget subtree. Widgets are identified
+// inside an instance by their hierarchical pathname ("main/queryForm/author")
+// and globally by <instance-id, pathname>.
+//
+// The toolkit is single-user and knows nothing about coupling; multi-user
+// behaviour is layered on top by cosoft::client::CoApp exactly as the paper
+// layers COSOFT on the CENTER toolbox.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "cosoft/common/error.hpp"
+#include "cosoft/toolkit/events.hpp"
+#include "cosoft/toolkit/widget_types.hpp"
+
+namespace cosoft::toolkit {
+
+class Widget;
+class WidgetTree;
+
+/// Record of the state a built-in feedback overwrote, kept so the §3.2
+/// algorithm can "undo syntactic built-in feedback of the event e" when the
+/// floor-control lock is denied.
+struct FeedbackUndo {
+    struct Entry {
+        std::string attribute;
+        AttributeValue previous;
+    };
+    std::vector<Entry> entries;
+
+    [[nodiscard]] bool empty() const noexcept { return entries.empty(); }
+};
+
+class Widget {
+  public:
+    using Callback = std::function<void(Widget&, const Event&)>;
+
+    Widget(const Widget&) = delete;
+    Widget& operator=(const Widget&) = delete;
+    ~Widget();
+
+    [[nodiscard]] WidgetClass cls() const noexcept { return cls_; }
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+    [[nodiscard]] const WidgetTypeInfo& info() const noexcept { return type_info(cls_); }
+    [[nodiscard]] Widget* parent() noexcept { return parent_; }
+    [[nodiscard]] const Widget* parent() const noexcept { return parent_; }
+    [[nodiscard]] bool is_root() const noexcept { return parent_ == nullptr; }
+
+    /// Full pathname from (but excluding) the tree root; empty for the root.
+    [[nodiscard]] std::string path() const;
+
+    // --- tree structure -----------------------------------------------------
+
+    /// Creates a child widget. Child names must be unique within a parent;
+    /// an error is returned on duplicates.
+    Result<Widget*> add_child(WidgetClass cls, std::string name);
+
+    /// Destroys the named child (and its whole subtree). Destroy observers
+    /// on the tree fire for every removed widget, deepest first.
+    Status remove_child(std::string_view name);
+
+    /// Reorders direct children to match `order` (names not listed keep
+    /// their relative order after the listed ones). Used by destructive
+    /// merging, which makes structure — including order — identical.
+    void reorder_children(const std::vector<std::string>& order);
+
+    /// Descends along a relative pathname; nullptr when absent.
+    [[nodiscard]] Widget* find(std::string_view relative_path) noexcept;
+    [[nodiscard]] const Widget* find(std::string_view relative_path) const noexcept;
+
+    [[nodiscard]] std::vector<Widget*> children() noexcept;
+    [[nodiscard]] std::vector<const Widget*> children() const noexcept;
+    [[nodiscard]] std::size_t child_count() const noexcept { return children_.size(); }
+
+    /// Visits this widget and all descendants pre-order.
+    void visit(const std::function<void(Widget&)>& fn);
+    void visit(const std::function<void(const Widget&)>& fn) const;
+
+    // --- attributes ---------------------------------------------------------
+
+    /// Current value; falls back to the schema default when never set.
+    [[nodiscard]] const AttributeValue& attribute(std::string_view name) const noexcept;
+
+    /// Sets an attribute; rejects names absent from the schema and values of
+    /// the wrong type. Fires the tree's attribute observer on success.
+    Status set_attribute(std::string_view name, AttributeValue value);
+
+    // Typed conveniences (return the schema default on type mismatch).
+    [[nodiscard]] std::string text(std::string_view name) const;
+    [[nodiscard]] std::int64_t integer(std::string_view name) const noexcept;
+    [[nodiscard]] double real(std::string_view name) const noexcept;
+    [[nodiscard]] bool flag(std::string_view name) const noexcept;
+    [[nodiscard]] std::vector<std::string> text_list(std::string_view name) const;
+
+    [[nodiscard]] bool enabled() const noexcept { return flag("enabled"); }
+    void set_enabled(bool on) { (void)set_attribute("enabled", on); }
+
+    // --- events & callbacks ---------------------------------------------------
+
+    /// Registers an application callback for one event type.
+    void add_callback(EventType type, Callback cb);
+    [[nodiscard]] std::size_t callback_count(EventType type) const noexcept;
+
+    /// Applies the built-in syntactic feedback of `e` to this widget's state
+    /// (e.g. kValueChanged writes the "value" attribute) and returns what it
+    /// overwrote. Events without state feedback return an empty undo.
+    FeedbackUndo apply_feedback(const Event& e);
+
+    /// Restores state captured by apply_feedback.
+    void undo_feedback(const FeedbackUndo& undo);
+
+    /// Invokes the registered callbacks for `e.type`.
+    void fire_callbacks(const Event& e);
+
+    /// Single-user emission: built-in feedback + callbacks. (Multi-user
+    /// emission goes through CoApp::emit, which wraps this in the §3.2
+    /// multiple-execution algorithm.) Disabled widgets ignore events:
+    /// "actions on locked objects are disabled".
+    void emit(const Event& e);
+
+    /// Event factory helpers; `e.path` is set to this widget's pathname.
+    [[nodiscard]] Event make_event(EventType type, AttributeValue payload = {}, std::string detail = {}) const;
+
+  private:
+    friend class WidgetTree;
+    Widget(WidgetTree* tree, Widget* parent, WidgetClass cls, std::string name);
+
+    WidgetTree* tree_;
+    Widget* parent_;
+    WidgetClass cls_;
+    std::string name_;
+    std::unordered_map<std::string, AttributeValue> attributes_;  // only explicitly set ones
+    std::vector<std::unique_ptr<Widget>> children_;
+    std::unordered_map<std::uint8_t, std::vector<Callback>> callbacks_;
+};
+
+/// Owns the (invisible) root of one application instance's widget forest and
+/// carries the tree-level observers used by the coupling layer.
+class WidgetTree {
+  public:
+    WidgetTree();
+    WidgetTree(const WidgetTree&) = delete;
+    WidgetTree& operator=(const WidgetTree&) = delete;
+
+    [[nodiscard]] Widget& root() noexcept { return *root_; }
+    [[nodiscard]] const Widget& root() const noexcept { return *root_; }
+
+    /// Finds a widget by absolute pathname; nullptr when absent.
+    [[nodiscard]] Widget* find(std::string_view path) noexcept;
+    [[nodiscard]] const Widget* find(std::string_view path) const noexcept;
+
+    /// Total number of widgets excluding the root.
+    [[nodiscard]] std::size_t size() const noexcept;
+
+    // Observers (used by CoApp for auto-decoupling and by tests/benches as a
+    // stand-in for the display update path).
+    using DestroyObserver = std::function<void(const std::string& path)>;
+    using AttributeObserver = std::function<void(Widget&, std::string_view attribute)>;
+    /// Fires whenever callbacks run for an event (local emission or remote
+    /// re-execution). Used by the action recorder and for debugging.
+    using EventObserver = std::function<void(Widget&, const Event&)>;
+    void set_destroy_observer(DestroyObserver fn) { on_destroy_ = std::move(fn); }
+    void set_attribute_observer(AttributeObserver fn) { on_attribute_ = std::move(fn); }
+    void set_event_observer(EventObserver fn) { on_event_ = std::move(fn); }
+
+  private:
+    friend class Widget;
+    void notify_destroy(const std::string& path) const;
+    void notify_attribute(Widget& w, std::string_view attribute) const;
+    void notify_event(Widget& w, const Event& e) const;
+
+    std::unique_ptr<Widget> root_;
+    DestroyObserver on_destroy_;
+    AttributeObserver on_attribute_;
+    EventObserver on_event_;
+};
+
+}  // namespace cosoft::toolkit

@@ -1,0 +1,81 @@
+// The widget type registry: the fixed vocabulary of primitive UI object
+// types (§3: "form, button, menu, etc."), each with its attribute schema and
+// the predefined set of *relevant attributes* — those that must be made
+// identical when instances of the type are coupled (§3.1: "two text input
+// fields may have different size and fonts, but just share the same
+// content").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cosoft/toolkit/attributes.hpp"
+
+namespace cosoft::toolkit {
+
+enum class WidgetClass : std::uint8_t {
+    kForm = 0,    ///< container with a title (complex objects are Form trees)
+    kButton,      ///< push button
+    kLabel,       ///< static text
+    kTextField,   ///< single-line text input
+    kTextArea,    ///< multi-line text input
+    kMenu,        ///< option menu (items + selection)
+    kList,        ///< multi-item list (items + selection)
+    kSlider,      ///< numeric value in [min, max]
+    kToggle,      ///< boolean check box
+    kCanvas,      ///< free drawing area holding stroke descriptions
+    kTable,       ///< rows of text (TORI result forms)
+    kImage,       ///< named picture (presentation material)
+};
+
+inline constexpr std::size_t kWidgetClassCount = 12;
+
+[[nodiscard]] std::string_view to_string(WidgetClass cls) noexcept;
+[[nodiscard]] std::optional<WidgetClass> widget_class_from_string(std::string_view name) noexcept;
+
+/// High-level callback events emitted by widgets. The paper synchronizes at
+/// this granularity ("most events are high-level callback events of UI
+/// objects", §3.2), not at the keystroke/mouse-motion level.
+enum class EventType : std::uint8_t {
+    kActivated = 0,      ///< button pressed / menu item chosen
+    kValueChanged,       ///< text field / slider / toggle value committed
+    kSelectionChanged,   ///< menu or list selection moved
+    kItemAdded,          ///< item appended to a list/table
+    kItemRemoved,        ///< item removed from a list/table
+    kStroke,             ///< canvas stroke drawn
+    kCleared,            ///< canvas / list cleared
+    kSubmitted,          ///< form submitted (e.g. TORI query invocation)
+    kKeystroke,          ///< fine-grained key event (lock-granularity ablation)
+};
+
+inline constexpr std::size_t kEventTypeCount = 9;
+
+[[nodiscard]] std::string_view to_string(EventType t) noexcept;
+
+struct AttributeSchema {
+    std::string name;
+    AttrType type = AttrType::kNone;
+    AttributeValue default_value;
+    /// Relevant attributes are shared when objects are coupled or copied;
+    /// the rest ("size and fonts") stay local.
+    bool relevant = false;
+};
+
+struct WidgetTypeInfo {
+    WidgetClass cls;
+    std::vector<AttributeSchema> attributes;
+    std::vector<EventType> events;  ///< event types the widget can emit
+
+    [[nodiscard]] const AttributeSchema* find_attribute(std::string_view name) const noexcept;
+    [[nodiscard]] std::vector<std::string> relevant_attributes() const;
+    [[nodiscard]] bool emits(EventType t) const noexcept;
+};
+
+/// Returns the immutable schema for a widget class.
+[[nodiscard]] const WidgetTypeInfo& type_info(WidgetClass cls) noexcept;
+
+}  // namespace cosoft::toolkit

@@ -1,0 +1,120 @@
+#include "cosoft/toolkit/render.hpp"
+
+#include <algorithm>
+
+namespace cosoft::toolkit {
+
+namespace {
+
+std::string pad_field(const std::string& value, std::size_t width) {
+    std::string out = value.substr(0, width);
+    out.append(width - out.size(), '_');
+    return out;
+}
+
+std::string slider_track(double value, double min, double max, std::size_t width) {
+    std::string track(width, '-');
+    if (max > min) {
+        const double t = std::clamp((value - min) / (max - min), 0.0, 1.0);
+        track[static_cast<std::size_t>(t * static_cast<double>(width - 1))] = 'o';
+    }
+    return track;
+}
+
+}  // namespace
+
+std::string render_line(const Widget& w, const RenderOptions& options) {
+    std::string out;
+    const std::string label = w.text("label");
+    switch (w.cls()) {
+        case WidgetClass::kForm:
+            out = "+== " + w.text("title") + " ==";
+            break;
+        case WidgetClass::kButton:
+            out = "( " + (label.empty() ? w.name() : label) + " )";
+            break;
+        case WidgetClass::kLabel:
+            out = label.empty() ? "(" + w.name() + ")" : label;
+            break;
+        case WidgetClass::kTextField:
+            out = (label.empty() ? w.name() : label) + ": [" + pad_field(w.text("value"), options.field_width) +
+                  "]";
+            break;
+        case WidgetClass::kTextArea: {
+            out = w.name() + ":\n  | " + w.text("value");
+            break;
+        }
+        case WidgetClass::kMenu:
+            out = (label.empty() ? w.name() : label) + ": <" + w.text("selection") + " v>";
+            break;
+        case WidgetClass::kList: {
+            out = w.name() + ":";
+            const std::string selection = w.text("selection");
+            for (const auto& item : w.text_list("items")) {
+                out += "\n  " + std::string{item == selection ? "> " : "- "} + item;
+            }
+            break;
+        }
+        case WidgetClass::kSlider:
+            out = w.name() + ": |" + slider_track(w.real("value"), w.real("min"), w.real("max"), 9) + "| " +
+                  to_display_string(w.attribute("value"));
+            break;
+        case WidgetClass::kToggle:
+            out = std::string{w.flag("value") ? "[x] " : "[ ] "} + (label.empty() ? w.name() : label);
+            break;
+        case WidgetClass::kCanvas:
+            out = "{" + w.name() + ": " + std::to_string(w.text_list("strokes").size()) + " strokes}";
+            break;
+        case WidgetClass::kTable: {
+            out = w.name() + ":";
+            std::string header;
+            for (const auto& col : w.text_list("columns")) {
+                if (!header.empty()) header += " | ";
+                header += col;
+            }
+            if (!header.empty()) out += "\n  " + header;
+            for (const auto& row : w.text_list("rows")) out += "\n  " + row;
+            break;
+        }
+        case WidgetClass::kImage:
+            out = "(image: " + w.text("source") + ")";
+            break;
+    }
+    if (options.show_disabled && !w.enabled()) out += " (disabled)";
+    return out;
+}
+
+namespace {
+
+void render_node(const Widget& w, const RenderOptions& options, int depth, std::string& out) {
+    if (!options.show_hidden && !w.flag("visible")) return;
+    if (!w.is_root()) {
+        const std::string line = render_line(w, options);
+        std::size_t start = 0;
+        while (start <= line.size()) {
+            std::size_t end = line.find('\n', start);
+            if (end == std::string::npos) end = line.size();
+            out.append(static_cast<std::size_t>(depth) * 2, ' ');
+            out.append(line, start, end - start);
+            out.push_back('\n');
+            if (end == line.size()) break;
+            start = end + 1;
+        }
+    }
+    const int child_depth = w.is_root() ? depth : depth + 1;
+    for (const Widget* c : w.children()) render_node(*c, options, child_depth, out);
+    if (!w.is_root() && w.cls() == WidgetClass::kForm) {
+        out.append(static_cast<std::size_t>(depth) * 2, ' ');
+        out += "+--\n";
+    }
+}
+
+}  // namespace
+
+std::string render(const Widget& widget, const RenderOptions& options) {
+    std::string out;
+    render_node(widget, options, 0, out);
+    return out;
+}
+
+}  // namespace cosoft::toolkit

@@ -1,0 +1,182 @@
+#include "cosoft/toolkit/snapshot.hpp"
+
+#include <algorithm>
+
+namespace cosoft::toolkit {
+
+const UiState* UiState::find_child(std::string_view child_name) const noexcept {
+    const auto it = std::find_if(children.begin(), children.end(),
+                                 [&](const UiState& c) { return c.name == child_name; });
+    return it == children.end() ? nullptr : &*it;
+}
+
+const AttributeValue* UiState::find_attribute(std::string_view attr) const noexcept {
+    const auto it = std::find_if(attributes.begin(), attributes.end(),
+                                 [&](const auto& kv) { return kv.first == attr; });
+    return it == attributes.end() ? nullptr : &it->second;
+}
+
+std::size_t UiState::node_count() const noexcept {
+    std::size_t n = 1;
+    for (const auto& c : children) n += c.node_count();
+    return n;
+}
+
+UiState snapshot(const Widget& w, SnapshotScope scope) {
+    UiState s;
+    s.cls = w.cls();
+    s.name = w.name();
+    if (scope == SnapshotScope::kRelevant) {
+        for (const auto& schema : w.info().attributes) {
+            if (schema.relevant) s.attributes.emplace_back(schema.name, w.attribute(schema.name));
+        }
+    } else {
+        // kAll captures the full effective state (explicit or default) of
+        // every schema attribute, so undo restores exactly what was visible.
+        // "enabled" is excluded everywhere: it is transient state owned by
+        // the floor-control protocol (§3.2 disables locked objects), and a
+        // snapshot taken mid-lock must not freeze that into history.
+        for (const auto& schema : w.info().attributes) {
+            if (schema.name == "enabled") continue;
+            s.attributes.emplace_back(schema.name, w.attribute(schema.name));
+        }
+    }
+    std::sort(s.attributes.begin(), s.attributes.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (const Widget* c : w.children()) s.children.push_back(snapshot(*c, scope));
+    return s;
+}
+
+namespace {
+
+Status apply_attributes(Widget& w, const UiState& state) {
+    for (const auto& [name, value] : state.attributes) {
+        // Skip attributes the destination type does not know: heterogeneous
+        // targets handle those through correspondence relations upstream.
+        if (w.info().find_attribute(name) == nullptr) continue;
+        if (Status s = w.set_attribute(name, value); !s.is_ok()) return s;
+    }
+    return Status::ok();
+}
+
+}  // namespace
+
+Status apply_snapshot(Widget& w, const UiState& state) {
+    if (w.cls() != state.cls) {
+        return Status{ErrorCode::kIncompatible,
+                      "class mismatch at '" + w.path() + "': " + std::string{to_string(w.cls())} + " vs " +
+                          std::string{to_string(state.cls)}};
+    }
+    if (Status s = apply_attributes(w, state); !s.is_ok()) return s;
+    if (w.child_count() != state.children.size()) {
+        return Status{ErrorCode::kIncompatible, "child count mismatch at '" + w.path() + "'"};
+    }
+    for (const UiState& cs : state.children) {
+        Widget* cw = w.find(cs.name);
+        if (cw == nullptr) {
+            return Status{ErrorCode::kIncompatible, "missing child '" + cs.name + "' at '" + w.path() + "'"};
+        }
+        if (Status s = apply_snapshot(*cw, cs); !s.is_ok()) return s;
+    }
+    return Status::ok();
+}
+
+Status apply_destructive(Widget& w, const UiState& state) {
+    if (Status s = apply_attributes(w, state); !s.is_ok()) return s;
+
+    // Destroy children that conflict with (or don't appear in) the source.
+    std::vector<std::string> to_remove;
+    for (const Widget* c : w.children()) {
+        const UiState* sc = state.find_child(c->name());
+        if (sc == nullptr || sc->cls != c->cls()) to_remove.push_back(c->name());
+    }
+    for (const auto& name : to_remove) {
+        if (Status s = w.remove_child(name); !s.is_ok()) return s;
+    }
+    // Create missing children and recurse.
+    for (const UiState& cs : state.children) {
+        Widget* cw = w.find(cs.name);
+        if (cw == nullptr) {
+            auto created = w.add_child(cs.cls, cs.name);
+            if (!created) return created.status();
+            cw = created.value();
+        }
+        if (Status s = apply_destructive(*cw, cs); !s.is_ok()) return s;
+    }
+    // Identical structure includes child order.
+    std::vector<std::string> order;
+    order.reserve(state.children.size());
+    for (const UiState& cs : state.children) order.push_back(cs.name);
+    w.reorder_children(order);
+    return Status::ok();
+}
+
+Status apply_flexible(Widget& w, const UiState& state) {
+    if (Status s = apply_attributes(w, state); !s.is_ok()) return s;
+    for (const UiState& cs : state.children) {
+        Widget* cw = w.find(cs.name);
+        if (cw != nullptr && cw->cls() == cs.cls) {
+            if (Status s = apply_flexible(*cw, cs); !s.is_ok()) return s;  // identical substructure
+        } else if (cw == nullptr) {
+            auto created = w.add_child(cs.cls, cs.name);  // merge in
+            if (!created) return created.status();
+            if (Status s = apply_flexible(*created.value(), cs); !s.is_ok()) return s;
+        }
+        // else: name exists with a different class — conserve the local one.
+    }
+    return Status::ok();
+}
+
+void encode(ByteWriter& w, const UiState& s) {
+    w.u8(static_cast<std::uint8_t>(s.cls));
+    w.str(s.name);
+    w.u32(static_cast<std::uint32_t>(s.attributes.size()));
+    for (const auto& [name, value] : s.attributes) {
+        w.str(name);
+        encode(w, value);
+    }
+    w.u32(static_cast<std::uint32_t>(s.children.size()));
+    for (const auto& c : s.children) encode(w, c);
+}
+
+UiState decode_ui_state(ByteReader& r) {
+    UiState s;
+    s.cls = static_cast<WidgetClass>(r.u8());
+    s.name = r.str();
+    const std::uint32_t na = r.u32();
+    for (std::uint32_t i = 0; i < na && r.ok(); ++i) {
+        std::string name = r.str();
+        s.attributes.emplace_back(std::move(name), decode_attribute_value(r));
+    }
+    const std::uint32_t nc = r.u32();
+    for (std::uint32_t i = 0; i < nc && r.ok(); ++i) s.children.push_back(decode_ui_state(r));
+    return s;
+}
+
+namespace {
+
+void render(const UiState& s, std::string& out, int depth) {
+    out.append(static_cast<std::size_t>(depth) * 2, ' ');
+    out += s.name.empty() ? "<root>" : s.name;
+    out += " [";
+    out += to_string(s.cls);
+    out += "]";
+    for (const auto& [name, value] : s.attributes) {
+        out += " ";
+        out += name;
+        out += "=";
+        out += to_display_string(value);
+    }
+    out += "\n";
+    for (const auto& c : s.children) render(c, out, depth + 1);
+}
+
+}  // namespace
+
+std::string to_string(const UiState& s) {
+    std::string out;
+    render(s, out, 0);
+    return out;
+}
+
+}  // namespace cosoft::toolkit

@@ -1,0 +1,309 @@
+#include "cosoft/toolkit/widget.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "cosoft/common/strings.hpp"
+
+namespace cosoft::toolkit {
+
+Widget::Widget(WidgetTree* tree, Widget* parent, WidgetClass cls, std::string name)
+    : tree_(tree), parent_(parent), cls_(cls), name_(std::move(name)) {}
+
+Widget::~Widget() = default;
+
+std::string Widget::path() const {
+    if (is_root()) return {};
+    std::vector<std::string> parts;
+    for (const Widget* w = this; w != nullptr && !w->is_root(); w = w->parent_) parts.push_back(w->name_);
+    std::reverse(parts.begin(), parts.end());
+    return join_path(parts);
+}
+
+Result<Widget*> Widget::add_child(WidgetClass cls, std::string name) {
+    if (name.empty() || name.find(kPathSeparator) != std::string::npos) {
+        return Error{ErrorCode::kInvalidArgument, "widget name must be a non-empty single path component"};
+    }
+    if (find(name) != nullptr) {
+        return Error{ErrorCode::kInvalidArgument, "duplicate child name: " + name};
+    }
+    children_.push_back(std::unique_ptr<Widget>(new Widget(tree_, this, cls, std::move(name))));
+    return children_.back().get();
+}
+
+Status Widget::remove_child(std::string_view name) {
+    const auto it = std::find_if(children_.begin(), children_.end(),
+                                 [&](const auto& c) { return c->name_ == name; });
+    if (it == children_.end()) return Status{ErrorCode::kUnknownObject, "no child named " + std::string{name}};
+
+    // Fire destroy notifications deepest-first so the coupling layer can
+    // decouple leaves before their containers disappear.
+    std::vector<std::string> doomed;
+    (*it)->visit([&](const Widget& w) { doomed.push_back(w.path()); });
+    children_.erase(it);
+    for (auto rit = doomed.rbegin(); rit != doomed.rend(); ++rit) tree_->notify_destroy(*rit);
+    return Status::ok();
+}
+
+void Widget::reorder_children(const std::vector<std::string>& order) {
+    const auto rank = [&](const std::unique_ptr<Widget>& c) -> std::size_t {
+        const auto it = std::find(order.begin(), order.end(), c->name());
+        return it == order.end() ? order.size() : static_cast<std::size_t>(it - order.begin());
+    };
+    std::stable_sort(children_.begin(), children_.end(),
+                     [&](const auto& a, const auto& b) { return rank(a) < rank(b); });
+}
+
+Widget* Widget::find(std::string_view relative_path) noexcept {
+    if (relative_path.empty()) return this;
+    const std::size_t sep = relative_path.find(kPathSeparator);
+    const std::string_view head = relative_path.substr(0, sep);
+    for (const auto& c : children_) {
+        if (c->name_ == head) {
+            if (sep == std::string_view::npos) return c.get();
+            return c->find(relative_path.substr(sep + 1));
+        }
+    }
+    return nullptr;
+}
+
+const Widget* Widget::find(std::string_view relative_path) const noexcept {
+    return const_cast<Widget*>(this)->find(relative_path);
+}
+
+std::vector<Widget*> Widget::children() noexcept {
+    std::vector<Widget*> out;
+    out.reserve(children_.size());
+    for (const auto& c : children_) out.push_back(c.get());
+    return out;
+}
+
+std::vector<const Widget*> Widget::children() const noexcept {
+    std::vector<const Widget*> out;
+    out.reserve(children_.size());
+    for (const auto& c : children_) out.push_back(c.get());
+    return out;
+}
+
+void Widget::visit(const std::function<void(Widget&)>& fn) {
+    fn(*this);
+    for (const auto& c : children_) c->visit(fn);
+}
+
+void Widget::visit(const std::function<void(const Widget&)>& fn) const {
+    fn(*this);
+    for (const auto& c : children_) std::as_const(*c).visit(fn);
+}
+
+const AttributeValue& Widget::attribute(std::string_view name) const noexcept {
+    static const AttributeValue kNone{};
+    const auto it = attributes_.find(std::string{name});
+    if (it != attributes_.end()) return it->second;
+    const AttributeSchema* schema = info().find_attribute(name);
+    return schema ? schema->default_value : kNone;
+}
+
+Status Widget::set_attribute(std::string_view name, AttributeValue value) {
+    const AttributeSchema* schema = info().find_attribute(name);
+    if (schema == nullptr) {
+        return Status{ErrorCode::kInvalidArgument,
+                      std::string{to_string(cls_)} + " has no attribute '" + std::string{name} + "'"};
+    }
+    if (type_of(value) != schema->type) {
+        // Attempt the declared conversion (supports heterogeneous coupling
+        // where corresponding attributes differ in type).
+        AttributeValue converted = convert_attribute(value, schema->type);
+        if (type_of(converted) != schema->type) {
+            return Status{ErrorCode::kInvalidArgument,
+                          "attribute '" + std::string{name} + "' expects " + std::string{to_string(schema->type)} +
+                              ", got " + std::string{to_string(type_of(value))}};
+        }
+        value = std::move(converted);
+    }
+    attributes_[std::string{name}] = std::move(value);
+    tree_->notify_attribute(*this, name);
+    return Status::ok();
+}
+
+std::string Widget::text(std::string_view name) const {
+    const auto& v = attribute(name);
+    if (const auto* s = std::get_if<std::string>(&v)) return *s;
+    return {};
+}
+
+std::int64_t Widget::integer(std::string_view name) const noexcept {
+    const auto& v = attribute(name);
+    if (const auto* i = std::get_if<std::int64_t>(&v)) return *i;
+    return 0;
+}
+
+double Widget::real(std::string_view name) const noexcept {
+    const auto& v = attribute(name);
+    if (const auto* d = std::get_if<double>(&v)) return *d;
+    if (const auto* i = std::get_if<std::int64_t>(&v)) return static_cast<double>(*i);
+    return 0.0;
+}
+
+bool Widget::flag(std::string_view name) const noexcept {
+    const auto& v = attribute(name);
+    if (const auto* b = std::get_if<bool>(&v)) return *b;
+    return false;
+}
+
+std::vector<std::string> Widget::text_list(std::string_view name) const {
+    const auto& v = attribute(name);
+    if (const auto* l = std::get_if<std::vector<std::string>>(&v)) return *l;
+    return {};
+}
+
+void Widget::add_callback(EventType type, Callback cb) {
+    callbacks_[static_cast<std::uint8_t>(type)].push_back(std::move(cb));
+}
+
+std::size_t Widget::callback_count(EventType type) const noexcept {
+    const auto it = callbacks_.find(static_cast<std::uint8_t>(type));
+    return it == callbacks_.end() ? 0 : it->second.size();
+}
+
+namespace {
+
+/// The attribute a value-bearing event writes, per widget class.
+std::string_view value_attribute(WidgetClass cls) noexcept {
+    switch (cls) {
+        case WidgetClass::kLabel: return "label";
+        case WidgetClass::kImage: return "source";
+        default: return "value";
+    }
+}
+
+std::string_view collection_attribute(WidgetClass cls) noexcept {
+    switch (cls) {
+        case WidgetClass::kCanvas: return "strokes";
+        case WidgetClass::kTable: return "rows";
+        default: return "items";
+    }
+}
+
+}  // namespace
+
+FeedbackUndo Widget::apply_feedback(const Event& e) {
+    FeedbackUndo undo;
+    const auto save = [&](std::string_view attr) {
+        undo.entries.push_back({std::string{attr}, attribute(attr)});
+    };
+    switch (e.type) {
+        case EventType::kValueChanged: {
+            const std::string_view attr = value_attribute(cls_);
+            save(attr);
+            (void)set_attribute(attr, e.payload);
+            break;
+        }
+        case EventType::kSelectionChanged: {
+            save("selection");
+            (void)set_attribute("selection", e.payload);
+            break;
+        }
+        case EventType::kItemAdded: {
+            const std::string_view attr = collection_attribute(cls_);
+            save(attr);
+            auto items = text_list(attr);
+            items.push_back(to_display_string(e.payload));
+            (void)set_attribute(attr, std::move(items));
+            break;
+        }
+        case EventType::kItemRemoved: {
+            const std::string_view attr = collection_attribute(cls_);
+            save(attr);
+            auto items = text_list(attr);
+            const auto it = std::find(items.begin(), items.end(), to_display_string(e.payload));
+            if (it != items.end()) items.erase(it);
+            (void)set_attribute(attr, std::move(items));
+            break;
+        }
+        case EventType::kStroke: {
+            save("strokes");
+            auto strokes = text_list("strokes");
+            strokes.push_back(to_display_string(e.payload));
+            (void)set_attribute("strokes", std::move(strokes));
+            break;
+        }
+        case EventType::kCleared: {
+            const std::string_view attr = collection_attribute(cls_);
+            save(attr);
+            (void)set_attribute(attr, std::vector<std::string>{});
+            if (info().find_attribute("selection") != nullptr) {
+                save("selection");
+                (void)set_attribute("selection", std::string{});
+            }
+            break;
+        }
+        case EventType::kKeystroke: {
+            // Fine-grained editing: append the keystroke to the value.
+            const std::string_view attr = value_attribute(cls_);
+            save(attr);
+            (void)set_attribute(attr, text(attr) + to_display_string(e.payload));
+            break;
+        }
+        case EventType::kActivated:
+        case EventType::kSubmitted:
+            break;  // purely behavioural; no state feedback
+    }
+    return undo;
+}
+
+void Widget::undo_feedback(const FeedbackUndo& undo) {
+    // Restore in reverse order so multi-entry undos unwind correctly.
+    for (auto it = undo.entries.rbegin(); it != undo.entries.rend(); ++it) {
+        (void)set_attribute(it->attribute, it->previous);
+    }
+}
+
+void Widget::fire_callbacks(const Event& e) {
+    tree_->notify_event(*this, e);
+    const auto it = callbacks_.find(static_cast<std::uint8_t>(e.type));
+    if (it == callbacks_.end()) return;
+    // Copy: a callback may add further callbacks (not invoked for this event).
+    const auto snapshot = it->second;
+    for (const auto& cb : snapshot) cb(*this, e);
+}
+
+void Widget::emit(const Event& e) {
+    if (!enabled()) return;  // locked/disabled objects ignore actions (§3.2)
+    (void)apply_feedback(e);
+    fire_callbacks(e);
+}
+
+Event Widget::make_event(EventType type, AttributeValue payload, std::string detail) const {
+    Event e;
+    e.type = type;
+    e.path = path();
+    e.payload = std::move(payload);
+    e.detail = std::move(detail);
+    return e;
+}
+
+WidgetTree::WidgetTree() : root_(new Widget(this, nullptr, WidgetClass::kForm, std::string{})) {}
+
+Widget* WidgetTree::find(std::string_view path) noexcept { return root_->find(path); }
+
+const Widget* WidgetTree::find(std::string_view path) const noexcept { return root_->find(path); }
+
+std::size_t WidgetTree::size() const noexcept {
+    std::size_t n = 0;
+    root_->visit([&](const Widget&) { ++n; });
+    return n - 1;  // exclude the invisible root
+}
+
+void WidgetTree::notify_destroy(const std::string& path) const {
+    if (on_destroy_) on_destroy_(path);
+}
+
+void WidgetTree::notify_attribute(Widget& w, std::string_view attribute) const {
+    if (on_attribute_) on_attribute_(w, attribute);
+}
+
+void WidgetTree::notify_event(Widget& w, const Event& e) const {
+    if (on_event_) on_event_(w, e);
+}
+
+}  // namespace cosoft::toolkit

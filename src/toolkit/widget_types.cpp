@@ -1,0 +1,161 @@
+#include "cosoft/toolkit/widget_types.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace cosoft::toolkit {
+
+std::string_view to_string(WidgetClass cls) noexcept {
+    switch (cls) {
+        case WidgetClass::kForm: return "form";
+        case WidgetClass::kButton: return "button";
+        case WidgetClass::kLabel: return "label";
+        case WidgetClass::kTextField: return "textfield";
+        case WidgetClass::kTextArea: return "textarea";
+        case WidgetClass::kMenu: return "menu";
+        case WidgetClass::kList: return "list";
+        case WidgetClass::kSlider: return "slider";
+        case WidgetClass::kToggle: return "toggle";
+        case WidgetClass::kCanvas: return "canvas";
+        case WidgetClass::kTable: return "table";
+        case WidgetClass::kImage: return "image";
+    }
+    return "?";
+}
+
+std::optional<WidgetClass> widget_class_from_string(std::string_view name) noexcept {
+    for (std::size_t i = 0; i < kWidgetClassCount; ++i) {
+        const auto cls = static_cast<WidgetClass>(i);
+        if (to_string(cls) == name) return cls;
+    }
+    return std::nullopt;
+}
+
+std::string_view to_string(EventType t) noexcept {
+    switch (t) {
+        case EventType::kActivated: return "activated";
+        case EventType::kValueChanged: return "value-changed";
+        case EventType::kSelectionChanged: return "selection-changed";
+        case EventType::kItemAdded: return "item-added";
+        case EventType::kItemRemoved: return "item-removed";
+        case EventType::kStroke: return "stroke";
+        case EventType::kCleared: return "cleared";
+        case EventType::kSubmitted: return "submitted";
+        case EventType::kKeystroke: return "keystroke";
+    }
+    return "?";
+}
+
+const AttributeSchema* WidgetTypeInfo::find_attribute(std::string_view name) const noexcept {
+    const auto it = std::find_if(attributes.begin(), attributes.end(),
+                                 [&](const AttributeSchema& s) { return s.name == name; });
+    return it == attributes.end() ? nullptr : &*it;
+}
+
+std::vector<std::string> WidgetTypeInfo::relevant_attributes() const {
+    std::vector<std::string> out;
+    for (const auto& a : attributes) {
+        if (a.relevant) out.push_back(a.name);
+    }
+    return out;
+}
+
+bool WidgetTypeInfo::emits(EventType t) const noexcept {
+    return std::find(events.begin(), events.end(), t) != events.end();
+}
+
+namespace {
+
+// Geometry / appearance attributes common to all widget types. None of them
+// is relevant: coupled objects may look entirely different (§3.1).
+void add_common(std::vector<AttributeSchema>& attrs) {
+    attrs.push_back({"x", AttrType::kInt, std::int64_t{0}, false});
+    attrs.push_back({"y", AttrType::kInt, std::int64_t{0}, false});
+    attrs.push_back({"width", AttrType::kInt, std::int64_t{100}, false});
+    attrs.push_back({"height", AttrType::kInt, std::int64_t{24}, false});
+    attrs.push_back({"visible", AttrType::kBool, true, false});
+    attrs.push_back({"enabled", AttrType::kBool, true, false});
+    attrs.push_back({"font", AttrType::kText, std::string{"fixed"}, false});
+    attrs.push_back({"color", AttrType::kText, std::string{"black"}, false});
+}
+
+WidgetTypeInfo make_info(WidgetClass cls) {
+    WidgetTypeInfo info;
+    info.cls = cls;
+    add_common(info.attributes);
+    switch (cls) {
+        case WidgetClass::kForm:
+            info.attributes.push_back({"title", AttrType::kText, std::string{}, false});
+            info.events = {EventType::kSubmitted};
+            break;
+        case WidgetClass::kButton:
+            info.attributes.push_back({"label", AttrType::kText, std::string{"Button"}, false});
+            info.events = {EventType::kActivated};
+            break;
+        case WidgetClass::kLabel:
+            info.attributes.push_back({"label", AttrType::kText, std::string{}, true});
+            break;
+        case WidgetClass::kTextField:
+            info.attributes.push_back({"label", AttrType::kText, std::string{}, false});
+            info.attributes.push_back({"value", AttrType::kText, std::string{}, true});
+            info.attributes.push_back({"maxlen", AttrType::kInt, std::int64_t{256}, false});
+            info.events = {EventType::kValueChanged, EventType::kKeystroke};
+            break;
+        case WidgetClass::kTextArea:
+            info.attributes.push_back({"value", AttrType::kText, std::string{}, true});
+            info.attributes.push_back({"rows", AttrType::kInt, std::int64_t{10}, false});
+            info.events = {EventType::kValueChanged, EventType::kKeystroke};
+            break;
+        case WidgetClass::kMenu:
+            info.attributes.push_back({"label", AttrType::kText, std::string{}, false});
+            info.attributes.push_back({"items", AttrType::kTextList, std::vector<std::string>{}, true});
+            info.attributes.push_back({"selection", AttrType::kText, std::string{}, true});
+            info.events = {EventType::kSelectionChanged, EventType::kActivated};
+            break;
+        case WidgetClass::kList:
+            info.attributes.push_back({"items", AttrType::kTextList, std::vector<std::string>{}, true});
+            info.attributes.push_back({"selection", AttrType::kText, std::string{}, true});
+            info.events = {EventType::kSelectionChanged, EventType::kItemAdded, EventType::kItemRemoved,
+                           EventType::kCleared};
+            break;
+        case WidgetClass::kSlider:
+            info.attributes.push_back({"value", AttrType::kReal, 0.0, true});
+            info.attributes.push_back({"min", AttrType::kReal, 0.0, false});
+            info.attributes.push_back({"max", AttrType::kReal, 100.0, false});
+            info.events = {EventType::kValueChanged};
+            break;
+        case WidgetClass::kToggle:
+            info.attributes.push_back({"label", AttrType::kText, std::string{}, false});
+            info.attributes.push_back({"value", AttrType::kBool, false, true});
+            info.events = {EventType::kValueChanged};
+            break;
+        case WidgetClass::kCanvas:
+            info.attributes.push_back({"strokes", AttrType::kTextList, std::vector<std::string>{}, true});
+            info.attributes.push_back({"background", AttrType::kText, std::string{"white"}, false});
+            info.events = {EventType::kStroke, EventType::kCleared};
+            break;
+        case WidgetClass::kTable:
+            info.attributes.push_back({"columns", AttrType::kTextList, std::vector<std::string>{}, true});
+            info.attributes.push_back({"rows", AttrType::kTextList, std::vector<std::string>{}, true});
+            info.attributes.push_back({"selection", AttrType::kText, std::string{}, true});
+            info.events = {EventType::kSelectionChanged, EventType::kItemAdded, EventType::kCleared};
+            break;
+        case WidgetClass::kImage:
+            info.attributes.push_back({"source", AttrType::kText, std::string{}, true});
+            break;
+    }
+    return info;
+}
+
+}  // namespace
+
+const WidgetTypeInfo& type_info(WidgetClass cls) noexcept {
+    static const std::array<WidgetTypeInfo, kWidgetClassCount> kRegistry = [] {
+        std::array<WidgetTypeInfo, kWidgetClassCount> reg;
+        for (std::size_t i = 0; i < kWidgetClassCount; ++i) reg[i] = make_info(static_cast<WidgetClass>(i));
+        return reg;
+    }();
+    return kRegistry[static_cast<std::size_t>(cls)];
+}
+
+}  // namespace cosoft::toolkit

@@ -1,0 +1,11 @@
+// Shared test fixture: tests drive a LocalSession (server + N clients over a
+// deterministic SimNetwork) with virtual time via run().
+#pragma once
+
+#include "cosoft/apps/local_session.hpp"
+
+namespace cosoft::testing {
+
+using Session = apps::LocalSession;
+
+}  // namespace cosoft::testing

@@ -1,0 +1,267 @@
+// Integration tests for the two published applications: cooperative TORI
+// and the COSOFT classroom (§4).
+#include <gtest/gtest.h>
+
+#include "cosoft/apps/classroom.hpp"
+#include "cosoft/apps/tori.hpp"
+#include "helpers.hpp"
+
+namespace cosoft {
+namespace {
+
+using apps::StudentApp;
+using apps::TeacherApp;
+using apps::ToriApp;
+using client::CoApp;
+using testing::Session;
+
+std::vector<std::string> tori_attrs() { return {"author", "venue", "year"}; }
+
+TEST(Tori, BuildsExpectedInterface) {
+    Session s;
+    CoApp& app = s.add_app("tori", "alice", 1);
+    ToriApp tori{app, db::make_literature_db("lib", 100), tori_attrs()};
+
+    EXPECT_NE(app.ui().find(ToriApp::kViewMenu), nullptr);
+    EXPECT_NE(app.ui().find(ToriApp::kInvokeButton), nullptr);
+    EXPECT_NE(app.ui().find(ToriApp::operator_menu_path("author")), nullptr);
+    EXPECT_NE(app.ui().find(ToriApp::operand_field_path("venue")), nullptr);
+    EXPECT_NE(app.ui().find(ToriApp::kResultTable), nullptr);
+    // Operator menus offer the paper's comparison operators.
+    const auto items = app.ui().find(ToriApp::operator_menu_path("author"))->text_list("items");
+    EXPECT_NE(std::find(items.begin(), items.end(), "substring"), items.end());
+    EXPECT_NE(std::find(items.begin(), items.end(), "like-one-of"), items.end());
+}
+
+TEST(Tori, LocalQueryFillsResultTable) {
+    Session s;
+    CoApp& app = s.add_app("tori", "alice", 1);
+    ToriApp tori{app, db::make_literature_db("lib", 200), tori_attrs()};
+
+    tori.set_operand("author", "Zhao");
+    tori.set_operator("author", db::CompareOp::kEquals);
+    tori.invoke();
+    s.run();
+
+    EXPECT_EQ(tori.invocations(), 1u);
+    EXPECT_GT(tori.last_result().rows.size(), 0u);
+    const auto rows = app.ui().find(ToriApp::kResultTable)->text_list("rows");
+    EXPECT_EQ(rows.size(), tori.last_result().rows.size());
+    for (const auto& row : tori.last_result().rows) EXPECT_EQ(row[0], "Zhao");
+}
+
+TEST(Tori, CoupledSessionReExecutesQueriesAtBothSites) {
+    Session s;
+    CoApp& a = s.add_app("tori", "alice", 1);
+    CoApp& b = s.add_app("tori", "bob", 2);
+    // Different databases behind the same coupled interface.
+    ToriApp ta{a, db::make_literature_db("libA", 300, 1), tori_attrs()};
+    ToriApp tb{b, db::make_literature_db("libB", 150, 2), tori_attrs()};
+
+    ta.couple_full(b.ref(ToriApp::kRoot));
+    s.run();
+
+    ta.set_operand("author", "Hoppe");
+    s.run();
+    // The operand propagated to bob's form.
+    EXPECT_EQ(b.ui().find(ToriApp::operand_field_path("author"))->text("value"), "Hoppe");
+
+    ta.invoke();
+    s.run();
+    // "a query will be potentially re-executed several times": once per site.
+    EXPECT_EQ(ta.invocations(), 1u);
+    EXPECT_EQ(tb.invocations(), 1u);
+    EXPECT_EQ(ta.database().queries_executed(), 1u);
+    EXPECT_EQ(tb.database().queries_executed(), 1u);
+    // Same query, different sources, different result sets.
+    for (const auto& row : ta.last_result().rows) EXPECT_EQ(row[0], "Hoppe");
+    for (const auto& row : tb.last_result().rows) EXPECT_EQ(row[0], "Hoppe");
+}
+
+TEST(Tori, PartialCouplingSharesOnlySelectedAttribute) {
+    Session s;
+    CoApp& a = s.add_app("tori", "alice", 1);
+    CoApp& b = s.add_app("tori", "bob", 2);
+    ToriApp ta{a, db::make_literature_db("libA", 100), tori_attrs()};
+    ToriApp tb{b, db::make_literature_db("libB", 100), tori_attrs()};
+
+    ta.couple_attribute("author", b.ref(ToriApp::kRoot));
+    s.run();
+
+    ta.set_operand("author", "Ellis");
+    ta.set_operand("venue", "CHI");  // not coupled
+    s.run();
+    EXPECT_EQ(b.ui().find(ToriApp::operand_field_path("author"))->text("value"), "Ellis");
+    EXPECT_EQ(b.ui().find(ToriApp::operand_field_path("venue"))->text("value"), "");
+
+    // Invocation is not coupled either in the partial mode.
+    ta.invoke();
+    s.run();
+    EXPECT_EQ(tb.invocations(), 0u);
+}
+
+TEST(Tori, ViewSelectionChangesProjection) {
+    Session s;
+    CoApp& app = s.add_app("tori", "alice", 1);
+    ToriApp tori{app, db::make_literature_db("lib", 50), tori_attrs()};
+    tori.select_view("only:author,year");
+    tori.invoke();
+    s.run();
+    EXPECT_EQ(tori.last_result().columns, (std::vector<std::string>{"author", "year"}));
+}
+
+TEST(Tori, InstantiateFromResultSeedsNewQuery) {
+    Session s;
+    CoApp& app = s.add_app("tori", "alice", 1);
+    ToriApp tori{app, db::make_literature_db("lib", 100), tori_attrs()};
+    tori.invoke();
+    s.run();
+    ASSERT_GT(tori.last_result().rows.size(), 0u);
+    const std::string author = tori.last_result().rows[0][0];
+
+    tori.instantiate_from_result(0);
+    s.run();
+    EXPECT_EQ(app.ui().find(ToriApp::operand_field_path("author"))->text("value"), author);
+    tori.invoke();
+    s.run();
+    for (const auto& row : tori.last_result().rows) EXPECT_EQ(row[0], author);
+}
+
+TEST(Classroom, HelpRequestsAreBufferedAtTheTeacher) {
+    Session s;
+    CoApp& t = s.add_app("board", "teacher", 1);
+    CoApp& s1 = s.add_app("exercise", "student1", 2);
+    TeacherApp teacher{t};
+    StudentApp student{s1, "Solve x^2 = 2"};
+
+    student.request_help("I am stuck on the square root");
+    s.run();
+    ASSERT_EQ(teacher.requests().size(), 1u);
+    EXPECT_EQ(teacher.requests()[0].from, s1.instance());
+    EXPECT_EQ(teacher.requests()[0].note, "I am stuck on the square root");
+    EXPECT_FALSE(teacher.requests()[0].automatic);
+}
+
+TEST(Classroom, PublicDiscussionCouplesStudentWork) {
+    Session s;
+    CoApp& t = s.add_app("board", "teacher", 1);
+    CoApp& s1 = s.add_app("exercise", "student1", 2);
+    TeacherApp teacher{t};
+    StudentApp student{s1, "Solve x^2 = 2"};
+
+    student.answer("x = 1.4");
+    student.sketch("circle(1,1,2)");
+    s.run();
+
+    teacher.begin_public_discussion(s1.instance());
+    s.run();
+    ASSERT_TRUE(teacher.in_discussion());
+    // Initial sync-by-state pulled the student's current work.
+    EXPECT_EQ(t.ui().find(TeacherApp::kPublicAnswer)->text("value"), "x = 1.4");
+    EXPECT_EQ(t.ui().find(TeacherApp::kPublicScratch)->text_list("strokes").size(), 1u);
+
+    // Live coupling: further edits appear on the board...
+    student.answer("x = 1.41");
+    s.run();
+    EXPECT_EQ(t.ui().find(TeacherApp::kPublicAnswer)->text("value"), "x = 1.41");
+
+    // ...and the teacher can correct the student's work from the board.
+    t.emit(TeacherApp::kPublicAnswer,
+           t.ui().find(TeacherApp::kPublicAnswer)->make_event(toolkit::EventType::kValueChanged,
+                                                              std::string{"x = sqrt(2)"}));
+    s.run();
+    EXPECT_EQ(s1.ui().find(StudentApp::kAnswer)->text("value"), "x = sqrt(2)");
+}
+
+TEST(Classroom, EndDiscussionDecouplesButKeepsBoardContent) {
+    Session s;
+    CoApp& t = s.add_app("board", "teacher", 1);
+    CoApp& s1 = s.add_app("exercise", "student1", 2);
+    TeacherApp teacher{t};
+    StudentApp student{s1, "task"};
+
+    student.answer("final");
+    s.run();
+    teacher.begin_public_discussion(s1.instance());
+    s.run();
+    teacher.end_public_discussion();
+    s.run();
+    EXPECT_FALSE(teacher.in_discussion());
+
+    student.answer("post-session-edit");
+    s.run();
+    // The board keeps the discussed state; the student's edit stays private.
+    EXPECT_EQ(t.ui().find(TeacherApp::kPublicAnswer)->text("value"), "final");
+    EXPECT_EQ(s1.ui().find(StudentApp::kAnswer)->text("value"), "post-session-edit");
+}
+
+TEST(Classroom, IndirectCouplingDrivesDependentSimulation) {
+    // Couple only the parameter sliders; each side's simulation canvas is
+    // regenerated locally ("for these dependent objects, direct coupling
+    // might be much more costly").
+    Session s;
+    CoApp& s1 = s.add_app("exercise", "student1", 2);
+    CoApp& s2 = s.add_app("exercise", "student2", 3);
+    StudentApp a{s1, "task"};
+    StudentApp b{s2, "task"};
+
+    s1.couple(StudentApp::kParam, s2.ref(StudentApp::kParam));
+    s.run();
+
+    a.set_parameter(4.0);
+    s.run();
+    EXPECT_DOUBLE_EQ(s2.ui().find(StudentApp::kParam)->real("value"), 4.0);
+    // Both simulations re-rendered from their own parameter copies.
+    EXPECT_EQ(a.simulation_renders(), 1u);
+    EXPECT_EQ(b.simulation_renders(), 1u);
+    EXPECT_EQ(s1.ui().find(StudentApp::kSimulation)->text_list("strokes"),
+              s2.ui().find(StudentApp::kSimulation)->text_list("strokes"));
+}
+
+TEST(Classroom, MultipleStudentsSequentialDiscussions) {
+    Session s;
+    CoApp& t = s.add_app("board", "teacher", 1);
+    CoApp& s1 = s.add_app("exercise", "student1", 2);
+    CoApp& s2 = s.add_app("exercise", "student2", 3);
+    TeacherApp teacher{t};
+    StudentApp a{s1, "task"};
+    StudentApp b{s2, "task"};
+
+    a.answer("from-student-1");
+    b.answer("from-student-2");
+    s.run();
+
+    teacher.begin_public_discussion(s1.instance());
+    s.run();
+    EXPECT_EQ(t.ui().find(TeacherApp::kPublicAnswer)->text("value"), "from-student-1");
+    teacher.end_public_discussion();
+    s.run();
+
+    teacher.begin_public_discussion(s2.instance());
+    s.run();
+    EXPECT_EQ(t.ui().find(TeacherApp::kPublicAnswer)->text("value"), "from-student-2");
+    EXPECT_EQ(teacher.current_student(), s2.instance());
+
+    // Student 1 is fully detached now.
+    a.answer("unrelated");
+    s.run();
+    EXPECT_EQ(t.ui().find(TeacherApp::kPublicAnswer)->text("value"), "from-student-2");
+}
+
+TEST(Classroom, TeacherSlidesAndAnnotationsStayLocalUnlessCoupled) {
+    Session s;
+    CoApp& t = s.add_app("board", "teacher", 1);
+    CoApp& s1 = s.add_app("exercise", "student1", 2);
+    TeacherApp teacher{t};
+    StudentApp student{s1, "task"};
+
+    teacher.present_slide("intro.png");
+    teacher.annotate("arrow(3,4)");
+    s.run();
+    EXPECT_EQ(t.ui().find(TeacherApp::kSlide)->text("source"), "intro.png");
+    // Student sees nothing: presentation was never coupled.
+    EXPECT_TRUE(s1.ui().find(StudentApp::kScratch)->text_list("strokes").empty());
+}
+
+}  // namespace
+}  // namespace cosoft

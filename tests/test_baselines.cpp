@@ -1,0 +1,147 @@
+// Shape tests for the architecture models: the qualitative claims of §2.1
+// must fall out of the simulation before the benches print them.
+#include <gtest/gtest.h>
+
+#include "cosoft/baselines/architectures.hpp"
+
+namespace cosoft::baselines {
+namespace {
+
+using sim::ActionKind;
+using sim::kMillisecond;
+using sim::UserAction;
+using sim::WorkloadSpec;
+
+WorkloadSpec standard_spec(std::uint32_t users) {
+    WorkloadSpec spec;
+    spec.users = users;
+    spec.actions_per_user = 300;
+    spec.mean_think_time = 400 * kMillisecond;
+    spec.semantic_fraction = 0.2;
+    spec.ui_local_fraction = 0.3;
+    spec.semantic_action_cost = 20 * kMillisecond;
+    return spec;
+}
+
+ArchParams params(std::uint32_t users) {
+    ArchParams p;
+    p.users = users;
+    p.net_latency = 5 * kMillisecond;
+    return p;
+}
+
+TEST(Multiplex, EveryActionPaysTheNetworkRoundTrip) {
+    const auto w = sim::generate_workload(standard_spec(2));
+    const auto m = run_multiplex(w, params(2));
+    // Even the cheapest action costs at least 2x latency.
+    EXPECT_GE(m.response.min(), 2 * 5 * kMillisecond);
+    EXPECT_EQ(m.response.count(), w.size());
+}
+
+TEST(Multiplex, LatencyGrowsWithContention) {
+    const auto p2 = params(2);
+    const auto p12 = params(12);
+    const auto m2 = run_multiplex(sim::generate_workload(standard_spec(2)), p2);
+    const auto m12 = run_multiplex(sim::generate_workload(standard_spec(12)), p12);
+    // More users => more serialization stalls at the single instance.
+    EXPECT_GT(m12.queue_waits, m2.queue_waits);
+    EXPECT_GT(m12.response.mean(), m2.response.mean());
+}
+
+TEST(UiReplicated, UiActionsAreLocalAndFast) {
+    const auto w = sim::generate_workload(standard_spec(4));
+    const auto m = run_ui_replicated(w, params(4));
+    // Some actions (the UI-local ones) complete well under one network hop.
+    EXPECT_LT(m.response.min(), 5 * kMillisecond);
+}
+
+TEST(UiReplicated, TimeConsumingSemanticActionsBlockOthers) {
+    // The paper's central claim for Fig. 2: crank semantic cost and watch tail
+    // latency explode while the fully replicated model stays flat.
+    auto spec = standard_spec(6);
+    spec.semantic_action_cost = 200 * kMillisecond;
+    const auto w = sim::generate_workload(spec);
+    const auto uirep = run_ui_replicated(w, params(6));
+    const auto fullrep = run_fully_replicated(w, params(6));
+    EXPECT_GT(uirep.response.p99(), fullrep.response.p99());
+    EXPECT_GT(uirep.queue_waits, fullrep.queue_waits);
+}
+
+TEST(FullyReplicated, UncoupledWorkIsIndependentOfUserCount) {
+    ArchParams p = params(2);
+    p.coupled_fraction = 0.0;  // nothing coupled: all work local
+    auto spec = standard_spec(2);
+    const auto m2 = run_fully_replicated(sim::generate_workload(spec), p);
+    spec.users = 16;
+    p.users = 16;
+    const auto m16 = run_fully_replicated(sim::generate_workload(spec), p);
+    EXPECT_NEAR(m2.response.mean(), m16.response.mean(), m2.response.mean() * 0.05 + 1);
+    EXPECT_EQ(m2.messages, 0u);
+    EXPECT_EQ(m16.messages, 0u);
+}
+
+TEST(FullyReplicated, PartialCouplingReducesTrafficAndLatency) {
+    const auto w = sim::generate_workload(standard_spec(6));
+    ArchParams full = params(6);
+    full.coupled_fraction = 1.0;
+    ArchParams partial = params(6);
+    partial.coupled_fraction = 0.25;
+    const auto m_full = run_fully_replicated(w, full);
+    const auto m_partial = run_fully_replicated(w, partial);
+    EXPECT_LT(m_partial.messages, m_full.messages);
+    EXPECT_LT(m_partial.response.mean(), m_full.response.mean());
+}
+
+TEST(FullyReplicated, BeatsMultiplexOnResponse) {
+    const auto w = sim::generate_workload(standard_spec(8));
+    const auto mux = run_multiplex(w, params(8));
+    const auto full = run_fully_replicated(w, params(8));
+    EXPECT_LT(full.response.mean(), mux.response.mean());
+}
+
+TEST(FullyReplicated, FloorContentionProducesDenialsNotCorruption) {
+    // Everyone hammers the same small object set with no think time.
+    auto spec = standard_spec(8);
+    spec.objects_per_user = 2;
+    spec.mean_think_time = 2 * kMillisecond;
+    spec.ui_local_fraction = 0.0;
+    spec.semantic_fraction = 0.0;
+    const auto w = sim::generate_workload(spec);
+    const auto m = run_fully_replicated(w, params(8));
+    EXPECT_GT(m.lock_denials, 0u);
+    EXPECT_EQ(m.response.count(), w.size());  // every action got a verdict
+}
+
+TEST(Models, CentralBusyTimeOrdersAsExpected) {
+    const auto w = sim::generate_workload(standard_spec(6));
+    const auto p = params(6);
+    const auto mux = run_multiplex(w, p);
+    const auto uirep = run_ui_replicated(w, p);
+    const auto full = run_fully_replicated(w, p);
+    // Multiplex centralizes everything; UI-replication offloads dialogue;
+    // full replication keeps only dispatch at the server.
+    EXPECT_GT(mux.central_busy, uirep.central_busy);
+    EXPECT_GT(uirep.central_busy, full.central_busy);
+}
+
+TEST(Models, DeterministicAcrossRuns) {
+    const auto w = sim::generate_workload(standard_spec(4));
+    const auto a = run_fully_replicated(w, params(4));
+    const auto b = run_fully_replicated(w, params(4));
+    EXPECT_EQ(a.messages, b.messages);
+    EXPECT_EQ(a.response.sum(), b.response.sum());
+    EXPECT_EQ(a.lock_denials, b.lock_denials);
+}
+
+TEST(Models, EmptyWorkloadYieldsEmptyMetrics) {
+    const std::vector<UserAction> empty;
+    for (const auto& m : {run_multiplex(empty, params(2)), run_ui_replicated(empty, params(2)),
+                          run_fully_replicated(empty, params(2))}) {
+        EXPECT_EQ(m.response.count(), 0u);
+        EXPECT_EQ(m.messages, 0u);
+        EXPECT_EQ(m.makespan, 0);
+    }
+}
+
+}  // namespace
+}  // namespace cosoft::baselines

@@ -1,0 +1,189 @@
+// Unit tests for cosoft::common — binary codec, pathname utilities, ids.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "cosoft/common/bytes.hpp"
+#include "cosoft/common/error.hpp"
+#include "cosoft/common/ids.hpp"
+#include "cosoft/common/strings.hpp"
+
+namespace cosoft {
+namespace {
+
+TEST(Bytes, RoundTripsPrimitives) {
+    ByteWriter w;
+    w.u8(0xab);
+    w.u32(0);
+    w.u32(123456789);
+    w.u64(0xffffffffffffffffULL);
+    w.i64(-42);
+    w.i64(std::numeric_limits<std::int64_t>::min());
+    w.boolean(true);
+    w.f64(3.14159);
+    w.str("hello");
+    w.str("");
+
+    ByteReader r{w.data()};
+    EXPECT_EQ(r.u8(), 0xab);
+    EXPECT_EQ(r.u32(), 0u);
+    EXPECT_EQ(r.u32(), 123456789u);
+    EXPECT_EQ(r.u64(), 0xffffffffffffffffULL);
+    EXPECT_EQ(r.i64(), -42);
+    EXPECT_EQ(r.i64(), std::numeric_limits<std::int64_t>::min());
+    EXPECT_TRUE(r.boolean());
+    EXPECT_DOUBLE_EQ(r.f64(), 3.14159);
+    EXPECT_EQ(r.str(), "hello");
+    EXPECT_EQ(r.str(), "");
+    EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Bytes, TruncatedBufferFailsGracefully) {
+    ByteWriter w;
+    w.str("a fairly long string payload");
+    auto data = w.take();
+    data.resize(data.size() / 2);
+    ByteReader r{data};
+    (void)r.str();
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), ErrorCode::kBadMessage);
+    // Further reads stay failed and return defaults instead of crashing.
+    EXPECT_EQ(r.u64(), 0u);
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(Bytes, EmptyBufferFails) {
+    ByteReader r{std::span<const std::uint8_t>{}};
+    EXPECT_EQ(r.u8(), 0);
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(Bytes, MalformedVarintOverlongFails) {
+    std::vector<std::uint8_t> bytes(11, 0x80);  // 11 continuation bytes
+    ByteReader r{bytes};
+    (void)r.u64();
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(Bytes, U32RejectsOverflow) {
+    ByteWriter w;
+    w.u64(0x1'0000'0000ULL);
+    ByteReader r{w.data()};
+    (void)r.u32();
+    EXPECT_FALSE(r.ok());
+}
+
+class ZigzagRoundTrip : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(ZigzagRoundTrip, PreservesValue) {
+    const std::int64_t v = GetParam();
+    EXPECT_EQ(ByteReader::unzigzag(ByteWriter::zigzag(v)), v);
+    ByteWriter w;
+    w.i64(v);
+    ByteReader r{w.data()};
+    EXPECT_EQ(r.i64(), v);
+    EXPECT_TRUE(r.exhausted());
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, ZigzagRoundTrip,
+                         ::testing::Values(0, 1, -1, 2, -2, 63, -64, 127, -128, 1994, -1994,
+                                           std::numeric_limits<std::int64_t>::max(),
+                                           std::numeric_limits<std::int64_t>::min()));
+
+class F64RoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(F64RoundTrip, PreservesBits) {
+    ByteWriter w;
+    w.f64(GetParam());
+    ByteReader r{w.data()};
+    const double out = r.f64();
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(out), std::bit_cast<std::uint64_t>(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, F64RoundTrip,
+                         ::testing::Values(0.0, -0.0, 1.0, -1.5, 1e-300, 1e300,
+                                           std::numeric_limits<double>::infinity(),
+                                           -std::numeric_limits<double>::infinity()));
+
+TEST(Strings, SplitAndJoinAreInverse) {
+    const std::vector<std::string> parts{"main", "queryForm", "author"};
+    EXPECT_EQ(split_path("main/queryForm/author"), parts);
+    EXPECT_EQ(join_path(parts), "main/queryForm/author");
+}
+
+TEST(Strings, SplitDropsEmptyComponents) {
+    EXPECT_EQ(split_path("//a///b/"), (std::vector<std::string>{"a", "b"}));
+    EXPECT_TRUE(split_path("").empty());
+    EXPECT_TRUE(split_path("///").empty());
+}
+
+TEST(Strings, JoinChild) {
+    EXPECT_EQ(join_child("", "a"), "a");
+    EXPECT_EQ(join_child("a/b", "c"), "a/b/c");
+}
+
+TEST(Strings, PathIsOrUnder) {
+    EXPECT_TRUE(path_is_or_under("a/b", "a/b"));
+    EXPECT_TRUE(path_is_or_under("a/b/c", "a/b"));
+    EXPECT_FALSE(path_is_or_under("a/bc", "a/b"));  // no partial-component match
+    EXPECT_FALSE(path_is_or_under("a", "a/b"));
+}
+
+TEST(Strings, EmptyPrefixCoversTheWholeTree) {
+    EXPECT_TRUE(path_is_or_under("", ""));
+    EXPECT_TRUE(path_is_or_under("anything", ""));
+    EXPECT_TRUE(path_is_or_under("a/b/c", ""));
+}
+
+TEST(Strings, RebasePath) {
+    EXPECT_EQ(rebase_path("a/b/x/y", "a/b", "c"), "c/x/y");
+    EXPECT_EQ(rebase_path("a/b", "a/b", "c"), "c");
+}
+
+TEST(Strings, LeafAndParent) {
+    EXPECT_EQ(path_leaf("a/b/c"), "c");
+    EXPECT_EQ(path_leaf("solo"), "solo");
+    EXPECT_EQ(path_parent("a/b/c"), "a/b");
+    EXPECT_EQ(path_parent("solo"), "");
+}
+
+TEST(Ids, ObjectRefOrderingAndHashing) {
+    const ObjectRef a{1, "x"};
+    const ObjectRef b{1, "y"};
+    const ObjectRef c{2, "x"};
+    EXPECT_LT(a, b);
+    EXPECT_LT(a, c);
+    EXPECT_EQ(a, (ObjectRef{1, "x"}));
+    EXPECT_NE(std::hash<ObjectRef>{}(a), std::hash<ObjectRef>{}(b));
+    EXPECT_EQ(to_string(a), "1:x");
+}
+
+TEST(Ids, Validity) {
+    EXPECT_FALSE(ObjectRef{}.valid());
+    EXPECT_FALSE((ObjectRef{1, ""}).valid());
+    EXPECT_TRUE((ObjectRef{1, "a"}).valid());
+}
+
+TEST(Error, StatusAndResultBasics) {
+    const Status ok = Status::ok();
+    EXPECT_TRUE(ok.is_ok());
+    const Status bad{ErrorCode::kLockConflict, "held"};
+    EXPECT_FALSE(bad.is_ok());
+    EXPECT_EQ(bad.code(), ErrorCode::kLockConflict);
+
+    Result<int> r{41};
+    EXPECT_TRUE(r.is_ok());
+    EXPECT_EQ(r.value(), 41);
+    Result<int> e{ErrorCode::kUnknownObject, "gone"};
+    EXPECT_FALSE(e.is_ok());
+    EXPECT_EQ(e.status().code(), ErrorCode::kUnknownObject);
+}
+
+TEST(Error, EveryCodeHasAName) {
+    for (int i = 0; i <= static_cast<int>(ErrorCode::kInvalidArgument); ++i) {
+        EXPECT_NE(to_string(static_cast<ErrorCode>(i)), "unknown error");
+    }
+}
+
+}  // namespace
+}  // namespace cosoft

@@ -1,0 +1,208 @@
+// Tests for the §3.3 compatibility engine: direct compatibility,
+// correspondence relations, s-compatibility and its search strategies.
+#include <gtest/gtest.h>
+
+#include "cosoft/client/compat.hpp"
+
+namespace cosoft::client {
+namespace {
+
+using toolkit::UiState;
+using toolkit::WidgetClass;
+
+UiState node(WidgetClass cls, std::string name, std::vector<UiState> children = {}) {
+    UiState s;
+    s.cls = cls;
+    s.name = std::move(name);
+    s.children = std::move(children);
+    return s;
+}
+
+TEST(Correspondence, SameClassIsAlwaysCompatible) {
+    const CorrespondenceRegistry reg;
+    EXPECT_TRUE(reg.directly_compatible(WidgetClass::kTextField, WidgetClass::kTextField));
+    EXPECT_FALSE(reg.directly_compatible(WidgetClass::kTextField, WidgetClass::kSlider));
+}
+
+TEST(Correspondence, DeclaredClassesBecomeCompatible) {
+    CorrespondenceRegistry reg;
+    reg.declare_class(WidgetClass::kLabel, WidgetClass::kTextField, {{"label", "value"}});
+    EXPECT_TRUE(reg.directly_compatible(WidgetClass::kLabel, WidgetClass::kTextField));
+    // Direction matters: the declaration is local-class <- remote-class.
+    EXPECT_FALSE(reg.directly_compatible(WidgetClass::kTextField, WidgetClass::kLabel));
+}
+
+TEST(Correspondence, AttributeTranslation) {
+    CorrespondenceRegistry reg;
+    reg.declare_class(WidgetClass::kLabel, WidgetClass::kTextField, {{"label", "value"}});
+    EXPECT_EQ(reg.to_local_attr(WidgetClass::kLabel, WidgetClass::kTextField, "value"), "label");
+    EXPECT_EQ(reg.to_local_attr(WidgetClass::kLabel, WidgetClass::kTextField, "font"), std::nullopt);
+    // Identity for same-class pairs.
+    EXPECT_EQ(reg.to_local_attr(WidgetClass::kMenu, WidgetClass::kMenu, "selection"), "selection");
+    // Undeclared pair: nothing maps.
+    EXPECT_EQ(reg.to_local_attr(WidgetClass::kMenu, WidgetClass::kSlider, "value"), std::nullopt);
+}
+
+TEST(Correspondence, PathMappingDefaultsToIdentity) {
+    const CorrespondenceRegistry reg;
+    EXPECT_EQ(reg.map_remote_path("board/public", ObjectRef{2, "exercise"}, "answer"), "answer");
+}
+
+TEST(Correspondence, DeclaredPathMappingApplies) {
+    CorrespondenceRegistry reg;
+    reg.declare_paths("board/public", ObjectRef{2, "exercise"},
+                      {{"solution", "answer"}, {"work", "scratch"}});
+    EXPECT_EQ(reg.map_remote_path("board/public", ObjectRef{2, "exercise"}, "solution"), "answer");
+    EXPECT_EQ(reg.map_remote_path("board/public", ObjectRef{2, "exercise"}, "work"), "scratch");
+    // Prefix rule: descendants of a mapped component map along with it.
+    EXPECT_EQ(reg.map_remote_path("board/public", ObjectRef{2, "exercise"}, "work/layer1"),
+              "scratch/layer1");
+    // Other object pairs are unaffected.
+    EXPECT_EQ(reg.map_remote_path("board/other", ObjectRef{2, "exercise"}, "solution"), "solution");
+}
+
+TEST(SCompat, IdenticalPrimitivesMatch) {
+    const CorrespondenceRegistry reg;
+    const UiState a = node(WidgetClass::kTextField, "x");
+    const UiState b = node(WidgetClass::kTextField, "y");  // names may differ
+    const auto m = s_compatible(a, b, reg);
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(m->pairs.size(), 1u);  // just the root pair
+}
+
+TEST(SCompat, DifferentClassesDontMatchWithoutDeclaration) {
+    const CorrespondenceRegistry reg;
+    EXPECT_FALSE(s_compatible(node(WidgetClass::kTextField, "x"), node(WidgetClass::kSlider, "y"), reg));
+}
+
+TEST(SCompat, StructureMatchRequiresBijection) {
+    const CorrespondenceRegistry reg;
+    const UiState a = node(WidgetClass::kForm, "f",
+                           {node(WidgetClass::kTextField, "t"), node(WidgetClass::kMenu, "m")});
+    const UiState b = node(WidgetClass::kForm, "f", {node(WidgetClass::kTextField, "t")});
+    EXPECT_FALSE(s_compatible(a, b, reg));  // child counts differ
+}
+
+TEST(SCompat, FindsPermutedMapping) {
+    const CorrespondenceRegistry reg;
+    const UiState a = node(WidgetClass::kForm, "f",
+                           {node(WidgetClass::kTextField, "first"), node(WidgetClass::kMenu, "second")});
+    const UiState b = node(WidgetClass::kForm, "g",
+                           {node(WidgetClass::kMenu, "alpha"), node(WidgetClass::kTextField, "beta")});
+    const auto m = s_compatible(a, b, reg, MatchStrategy::kTypeGrouped);
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(m->map("first"), "beta");
+    EXPECT_EQ(m->map("second"), "alpha");
+    EXPECT_EQ(m->map(""), "");
+}
+
+TEST(SCompat, ByNameStrategyRequiresEqualNames) {
+    const CorrespondenceRegistry reg;
+    const UiState a = node(WidgetClass::kForm, "f", {node(WidgetClass::kTextField, "x")});
+    const UiState renamed = node(WidgetClass::kForm, "f", {node(WidgetClass::kTextField, "y")});
+    const UiState same = node(WidgetClass::kForm, "f", {node(WidgetClass::kTextField, "x")});
+    EXPECT_FALSE(s_compatible(a, renamed, reg, MatchStrategy::kByName));
+    EXPECT_TRUE(s_compatible(a, same, reg, MatchStrategy::kByName).has_value());
+}
+
+TEST(SCompat, NestedStructuresRecurse) {
+    const CorrespondenceRegistry reg;
+    const UiState a = node(
+        WidgetClass::kForm, "f",
+        {node(WidgetClass::kForm, "inner", {node(WidgetClass::kTextField, "t")}),
+         node(WidgetClass::kButton, "go")});
+    const UiState b = node(
+        WidgetClass::kForm, "f2",
+        {node(WidgetClass::kButton, "run"),
+         node(WidgetClass::kForm, "box", {node(WidgetClass::kTextField, "field")})});
+    const auto m = s_compatible(a, b, reg);
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(m->map("inner/t"), "box/field");
+    EXPECT_EQ(m->map("go"), "run");
+}
+
+TEST(SCompat, NestedMismatchDeepInsideFails) {
+    const CorrespondenceRegistry reg;
+    const UiState a =
+        node(WidgetClass::kForm, "f", {node(WidgetClass::kForm, "inner", {node(WidgetClass::kTextField, "t")})});
+    const UiState b =
+        node(WidgetClass::kForm, "f", {node(WidgetClass::kForm, "inner", {node(WidgetClass::kSlider, "s")})});
+    EXPECT_FALSE(s_compatible(a, b, reg));
+}
+
+TEST(SCompat, CorrespondenceEnablesHeterogeneousMapping) {
+    CorrespondenceRegistry reg;
+    reg.declare_class(WidgetClass::kLabel, WidgetClass::kTextField, {{"label", "value"}});
+    const UiState a = node(WidgetClass::kForm, "board", {node(WidgetClass::kLabel, "display")});
+    const UiState b = node(WidgetClass::kForm, "exercise", {node(WidgetClass::kTextField, "input")});
+    EXPECT_TRUE(s_compatible(a, b, reg).has_value());
+}
+
+TEST(SCompat, BacktrackingResolvesGreedyTraps) {
+    // Two same-class complex children whose inner structures force a
+    // specific assignment: greedy first-fit would pair inner1<->boxA and get
+    // stuck; backtracking must recover.
+    const CorrespondenceRegistry reg;
+    const UiState a = node(WidgetClass::kForm, "f",
+                           {node(WidgetClass::kForm, "inner1", {node(WidgetClass::kTextField, "t")}),
+                            node(WidgetClass::kForm, "inner2", {node(WidgetClass::kSlider, "s")})});
+    const UiState b = node(WidgetClass::kForm, "f",
+                           {node(WidgetClass::kForm, "boxA", {node(WidgetClass::kSlider, "s2")}),
+                            node(WidgetClass::kForm, "boxB", {node(WidgetClass::kTextField, "t2")})});
+    const auto m = s_compatible(a, b, reg, MatchStrategy::kTypeGrouped);
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(m->map("inner1"), "boxB");
+    EXPECT_EQ(m->map("inner2"), "boxA");
+}
+
+TEST(SCompat, StrategiesAgreeOnCompatibility) {
+    const CorrespondenceRegistry reg;
+    const UiState a = node(WidgetClass::kForm, "f",
+                           {node(WidgetClass::kTextField, "x"), node(WidgetClass::kMenu, "y"),
+                            node(WidgetClass::kButton, "z")});
+    const UiState b = node(WidgetClass::kForm, "f",
+                           {node(WidgetClass::kButton, "z"), node(WidgetClass::kTextField, "x"),
+                            node(WidgetClass::kMenu, "y")});
+    EXPECT_TRUE(s_compatible(a, b, reg, MatchStrategy::kByName).has_value());
+    EXPECT_TRUE(s_compatible(a, b, reg, MatchStrategy::kTypeGrouped).has_value());
+    EXPECT_TRUE(s_compatible(a, b, reg, MatchStrategy::kNaive).has_value());
+}
+
+TEST(SCompat, HeuristicDoesFewerComparisonsThanNaive) {
+    // "certain heuristics have to be used to avoid combinatorial explosion"
+    const CorrespondenceRegistry reg;
+    std::vector<UiState> kids_a;
+    std::vector<UiState> kids_b;
+    const WidgetClass classes[] = {WidgetClass::kTextField, WidgetClass::kMenu, WidgetClass::kButton,
+                                   WidgetClass::kSlider};
+    for (int i = 0; i < 8; ++i) {
+        kids_a.push_back(node(classes[i % 4], "a" + std::to_string(i)));
+        kids_b.push_back(node(classes[(i + 3) % 4], "b" + std::to_string(i)));
+    }
+    const UiState a = node(WidgetClass::kForm, "f", kids_a);
+    const UiState b = node(WidgetClass::kForm, "f", kids_b);
+
+    MatchStats naive;
+    MatchStats grouped;
+    ASSERT_TRUE(s_compatible(a, b, reg, MatchStrategy::kNaive, &naive).has_value());
+    ASSERT_TRUE(s_compatible(a, b, reg, MatchStrategy::kTypeGrouped, &grouped).has_value());
+    EXPECT_LT(grouped.comparisons, naive.comparisons);
+}
+
+TEST(SCompat, MappingCoversEveryComponentExactlyOnce) {
+    const CorrespondenceRegistry reg;
+    const UiState a = node(WidgetClass::kForm, "f",
+                           {node(WidgetClass::kTextField, "p"), node(WidgetClass::kTextField, "q")});
+    const UiState b = node(WidgetClass::kForm, "f",
+                           {node(WidgetClass::kTextField, "r"), node(WidgetClass::kTextField, "s")});
+    const auto m = s_compatible(a, b, reg);
+    ASSERT_TRUE(m.has_value());
+    // Root + 2 children = 3 pairs; right-hand sides all distinct.
+    EXPECT_EQ(m->pairs.size(), 3u);
+    std::set<std::string> rhs;
+    for (const auto& [l, r] : m->pairs) rhs.insert(r);
+    EXPECT_EQ(rhs.size(), 3u);
+}
+
+}  // namespace
+}  // namespace cosoft::client

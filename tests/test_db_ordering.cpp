@@ -1,0 +1,115 @@
+// Ordering / distinct semantics of the query engine, and the synchronized
+// result-form ordering operation in cooperative TORI.
+#include <gtest/gtest.h>
+
+#include "cosoft/apps/tori.hpp"
+#include "cosoft/db/database.hpp"
+#include "helpers.hpp"
+
+namespace cosoft {
+namespace {
+
+using db::ColumnType;
+using db::CompareOp;
+using db::Database;
+using db::OrderBy;
+using db::Query;
+
+Database ordering_db() {
+    Database d{"ord"};
+    auto* t = d.create_table("papers", {{"author", ColumnType::kText}, {"year", ColumnType::kInt}}).value();
+    (void)t->insert({{std::string{"Zhao"}, std::int64_t{1994}}});
+    (void)t->insert({{std::string{"Ellis"}, std::int64_t{1990}}});
+    (void)t->insert({{std::string{"Stefik"}, std::int64_t{1987}}});
+    (void)t->insert({{std::string{"Zhao"}, std::int64_t{1992}}});
+    (void)t->insert({{std::string{"Ellis"}, std::int64_t{1991}}});
+    return d;
+}
+
+TEST(Ordering, AscendingAndDescendingByInt) {
+    const Database d = ordering_db();
+    auto asc = d.execute({.table = "papers", .projection = {"year"}, .order = OrderBy{"year", false}});
+    ASSERT_TRUE(asc.is_ok());
+    EXPECT_EQ(asc.value().rows.front()[0], "1987");
+    EXPECT_EQ(asc.value().rows.back()[0], "1994");
+
+    auto desc = d.execute({.table = "papers", .projection = {"year"}, .order = OrderBy{"year", true}});
+    EXPECT_EQ(desc.value().rows.front()[0], "1994");
+    EXPECT_EQ(desc.value().rows.back()[0], "1987");
+}
+
+TEST(Ordering, ByTextColumn) {
+    const Database d = ordering_db();
+    auto r = d.execute({.table = "papers", .projection = {"author"}, .order = OrderBy{"author", false}});
+    ASSERT_TRUE(r.is_ok());
+    EXPECT_EQ(r.value().rows.front()[0], "Ellis");
+    EXPECT_EQ(r.value().rows.back()[0], "Zhao");
+}
+
+TEST(Ordering, StableWithinEqualKeys) {
+    const Database d = ordering_db();
+    auto r = d.execute({.table = "papers", .order = OrderBy{"author", false}});
+    ASSERT_TRUE(r.is_ok());
+    // Ellis rows keep insertion order (1990 before 1991).
+    EXPECT_EQ(r.value().rows[0][1], "1990");
+    EXPECT_EQ(r.value().rows[1][1], "1991");
+}
+
+TEST(Ordering, UnknownOrderColumnIsAnError) {
+    const Database d = ordering_db();
+    EXPECT_FALSE(d.execute({.table = "papers", .order = OrderBy{"ghost", false}}).is_ok());
+}
+
+TEST(Ordering, OrderCombinesWithConditionsAndLimit) {
+    const Database d = ordering_db();
+    auto r = d.execute({.table = "papers",
+                        .conditions = {{"year", CompareOp::kGreaterEq, "1990"}},
+                        .projection = {"year"},
+                        .order = OrderBy{"year", true},
+                        .limit = 2});
+    ASSERT_TRUE(r.is_ok());
+    ASSERT_EQ(r.value().rows.size(), 2u);
+    EXPECT_EQ(r.value().rows[0][0], "1994");
+    EXPECT_EQ(r.value().rows[1][0], "1992");
+    EXPECT_EQ(r.value().total_matches, 4u);
+}
+
+TEST(Distinct, DropsDuplicateProjectedRows) {
+    const Database d = ordering_db();
+    auto r = d.execute({.table = "papers", .projection = {"author"}, .distinct = true});
+    ASSERT_TRUE(r.is_ok());
+    EXPECT_EQ(r.value().rows.size(), 3u);  // Zhao, Ellis, Stefik
+    EXPECT_EQ(r.value().total_matches, 3u);
+
+    auto full = d.execute({.table = "papers", .projection = {"author"}, .distinct = false});
+    EXPECT_EQ(full.value().rows.size(), 5u);
+}
+
+TEST(ToriOrdering, OrderMenuDrivesQueryAndSynchronizes) {
+    testing::Session s;
+    client::CoApp& a = s.add_app("tori", "alice", 1);
+    client::CoApp& b = s.add_app("tori", "bob", 2);
+    apps::ToriApp ta{a, db::make_literature_db("libA", 80, 3), {"author", "year"}};
+    apps::ToriApp tb{b, db::make_literature_db("libB", 80, 4), {"author", "year"}};
+    ta.couple_full(b.ref(apps::ToriApp::kRoot));
+    s.run();
+
+    ta.select_order("year:desc");
+    s.run();
+    // The ordering menu synchronized to bob's form...
+    EXPECT_EQ(b.ui().find(apps::ToriApp::kOrderMenu)->text("selection"), "year:desc");
+
+    ta.invoke();
+    s.run();
+    // ...and both result sets are sorted descending by year.
+    for (const apps::ToriApp* t : {&ta, &tb}) {
+        const auto& rows = t->last_result().rows;
+        ASSERT_GT(rows.size(), 1u);
+        for (std::size_t i = 0; i + 1 < rows.size(); ++i) {
+            EXPECT_GE(std::stoi(rows[i][3]), std::stoi(rows[i + 1][3])) << "row " << i;
+        }
+    }
+}
+
+}  // namespace
+}  // namespace cosoft

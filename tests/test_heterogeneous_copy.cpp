@@ -1,0 +1,150 @@
+// Heterogeneous synchronization-by-state: copies between different widget
+// classes declared compatible through correspondence relations (§3.3),
+// including attribute-name translation and type coercion.
+#include <gtest/gtest.h>
+
+#include "cosoft/client/compat.hpp"
+#include "helpers.hpp"
+
+namespace cosoft {
+namespace {
+
+using client::apply_heterogeneous;
+using client::CoApp;
+using client::CorrespondenceRegistry;
+using protocol::MergeMode;
+using testing::Session;
+using toolkit::EventType;
+using toolkit::snapshot;
+using toolkit::SnapshotScope;
+using toolkit::Widget;
+using toolkit::WidgetClass;
+
+TEST(HeterogeneousApply, TranslatesAttributeNames) {
+    toolkit::WidgetTree src_tree;
+    toolkit::WidgetTree dst_tree;
+    Widget* field = src_tree.root().add_child(WidgetClass::kTextField, "x").value();
+    (void)field->set_attribute("value", std::string{"shown"});
+    Widget* label = dst_tree.root().add_child(WidgetClass::kLabel, "x").value();
+
+    CorrespondenceRegistry reg;
+    reg.declare_class(WidgetClass::kLabel, WidgetClass::kTextField, {{"label", "value"}});
+
+    ASSERT_TRUE(apply_heterogeneous(*label, snapshot(*field), reg).is_ok());
+    EXPECT_EQ(label->text("label"), "shown");
+}
+
+TEST(HeterogeneousApply, CoercesAttributeTypes) {
+    toolkit::WidgetTree src_tree;
+    toolkit::WidgetTree dst_tree;
+    Widget* slider = src_tree.root().add_child(WidgetClass::kSlider, "v").value();
+    (void)slider->set_attribute("value", 7.25);
+    Widget* field = dst_tree.root().add_child(WidgetClass::kTextField, "v").value();
+
+    CorrespondenceRegistry reg;
+    reg.declare_class(WidgetClass::kTextField, WidgetClass::kSlider, {{"value", "value"}});
+
+    ASSERT_TRUE(apply_heterogeneous(*field, snapshot(*slider), reg).is_ok());
+    EXPECT_EQ(field->text("value"), "7.25");
+}
+
+TEST(HeterogeneousApply, UnmappedAttributesAreNotSynchronized) {
+    toolkit::WidgetTree src_tree;
+    toolkit::WidgetTree dst_tree;
+    Widget* menu = src_tree.root().add_child(WidgetClass::kMenu, "m").value();
+    (void)menu->set_attribute("items", std::vector<std::string>{"a", "b"});
+    (void)menu->set_attribute("selection", std::string{"b"});
+    Widget* label = dst_tree.root().add_child(WidgetClass::kLabel, "m").value();
+
+    CorrespondenceRegistry reg;
+    reg.declare_class(WidgetClass::kLabel, WidgetClass::kMenu, {{"label", "selection"}});
+
+    ASSERT_TRUE(apply_heterogeneous(*label, snapshot(*menu), reg).is_ok());
+    EXPECT_EQ(label->text("label"), "b");  // selection mapped; items ignored
+}
+
+TEST(HeterogeneousApply, RejectsUndeclaredPairsWithoutSideEffects) {
+    toolkit::WidgetTree src_tree;
+    toolkit::WidgetTree dst_tree;
+    Widget* canvas = src_tree.root().add_child(WidgetClass::kCanvas, "c").value();
+    (void)canvas->set_attribute("strokes", std::vector<std::string>{"s"});
+    Widget* label = dst_tree.root().add_child(WidgetClass::kLabel, "c").value();
+    (void)label->set_attribute("label", std::string{"before"});
+
+    const CorrespondenceRegistry reg;  // nothing declared
+    EXPECT_EQ(apply_heterogeneous(*label, snapshot(*canvas), reg).code(), ErrorCode::kIncompatible);
+    EXPECT_EQ(label->text("label"), "before");
+}
+
+TEST(HeterogeneousApply, MixedTreeTranslatesPerNode) {
+    // A form containing a text field and a slider applied onto a form
+    // containing a label and a text field — every pair declared.
+    toolkit::WidgetTree src_tree;
+    toolkit::WidgetTree dst_tree;
+    Widget* src = src_tree.root().add_child(WidgetClass::kForm, "panel").value();
+    (void)src->add_child(WidgetClass::kTextField, "name").value()->set_attribute("value",
+                                                                                 std::string{"Zhao"});
+    (void)src->add_child(WidgetClass::kSlider, "amount").value()->set_attribute("value", 3.0);
+
+    Widget* dst = dst_tree.root().add_child(WidgetClass::kForm, "panel").value();
+    (void)dst->add_child(WidgetClass::kLabel, "name");
+    (void)dst->add_child(WidgetClass::kTextField, "amount");
+
+    CorrespondenceRegistry reg;
+    reg.declare_class(WidgetClass::kLabel, WidgetClass::kTextField, {{"label", "value"}});
+    reg.declare_class(WidgetClass::kTextField, WidgetClass::kSlider, {{"value", "value"}});
+
+    ASSERT_TRUE(apply_heterogeneous(*dst, snapshot(*src), reg).is_ok());
+    EXPECT_EQ(dst->find("name")->text("label"), "Zhao");
+    EXPECT_EQ(dst->find("amount")->text("value"), "3");
+}
+
+TEST(HeterogeneousApply, ChildCountMismatchRejected) {
+    toolkit::WidgetTree src_tree;
+    toolkit::WidgetTree dst_tree;
+    Widget* src = src_tree.root().add_child(WidgetClass::kForm, "f").value();
+    (void)src->add_child(WidgetClass::kTextField, "a");
+    Widget* dst = dst_tree.root().add_child(WidgetClass::kForm, "f").value();
+    (void)dst->add_child(WidgetClass::kTextField, "a");
+    (void)dst->add_child(WidgetClass::kTextField, "extra");
+
+    const CorrespondenceRegistry reg;
+    EXPECT_EQ(apply_heterogeneous(*dst, snapshot(*src), reg).code(), ErrorCode::kIncompatible);
+}
+
+TEST(HeterogeneousCopy, EndToEndStrictCopyAcrossClasses) {
+    // Over the wire: a teacher's Label receives a student's TextField state
+    // through the ordinary CopyFrom path — the destination's correspondence
+    // registry does the translation.
+    Session s;
+    CoApp& teacher = s.add_app("board", "teacher", 1);
+    CoApp& student = s.add_app("exercise", "student", 2);
+    (void)teacher.ui().root().add_child(WidgetClass::kLabel, "display");
+    (void)student.ui().root().add_child(WidgetClass::kTextField, "input");
+    (void)student.ui().find("input")->set_attribute("value", std::string{"final answer"});
+
+    teacher.correspondences().declare_class(WidgetClass::kLabel, WidgetClass::kTextField,
+                                            {{"label", "value"}});
+
+    Status st{ErrorCode::kInvalidArgument, "pending"};
+    teacher.copy_from(student.ref("input"), "display", MergeMode::kStrict, [&](const Status& r) { st = r; });
+    s.run();
+    ASSERT_TRUE(st.is_ok()) << st.message();
+    EXPECT_EQ(teacher.ui().find("display")->text("label"), "final answer");
+}
+
+TEST(HeterogeneousCopy, UndeclaredEndToEndCopyCountsAsApplyError) {
+    Session s;
+    CoApp& a = s.add_app("A", "alice", 1);
+    CoApp& b = s.add_app("B", "bob", 2);
+    (void)a.ui().root().add_child(WidgetClass::kCanvas, "x");
+    (void)b.ui().root().add_child(WidgetClass::kToggle, "x");
+
+    a.copy_to("x", b.ref("x"), MergeMode::kStrict);
+    s.run();
+    EXPECT_EQ(b.stats().apply_errors, 1u);
+    EXPECT_EQ(b.stats().states_applied, 0u);
+}
+
+}  // namespace
+}  // namespace cosoft

@@ -1,0 +1,242 @@
+// End-to-end behaviour of the full COSOFT stack: registration, coupling,
+// synchronization by action (the §3.2 algorithm), synchronization by state,
+// decoupling, and the persistence-after-decoupling property that
+// distinguishes COSOFT from shared-window systems.
+#include <gtest/gtest.h>
+
+#include "cosoft/toolkit/builder.hpp"
+#include "helpers.hpp"
+
+namespace cosoft {
+namespace {
+
+using client::CoApp;
+using protocol::MergeMode;
+using testing::Session;
+using toolkit::EventType;
+using toolkit::WidgetClass;
+
+void add_text_field(CoApp& app, const std::string& name) {
+    auto created = app.ui().root().add_child(WidgetClass::kTextField, name);
+    ASSERT_TRUE(created.is_ok());
+}
+
+TEST(IntegrationCore, RegistrationAssignsDistinctInstanceIds) {
+    Session s;
+    CoApp& a = s.add_app("editorA", "alice", 1);
+    CoApp& b = s.add_app("editorB", "bob", 2);
+    EXPECT_TRUE(a.online());
+    EXPECT_TRUE(b.online());
+    EXPECT_NE(a.instance(), b.instance());
+    EXPECT_EQ(s.server().registrations().size(), 2u);
+}
+
+TEST(IntegrationCore, CoupledTextFieldsSynchronizeByAction) {
+    Session s;
+    CoApp& a = s.add_app("editorA", "alice", 1);
+    CoApp& b = s.add_app("editorB", "bob", 2);
+    add_text_field(a, "field");
+    add_text_field(b, "field");
+
+    Status couple_status{ErrorCode::kInvalidArgument, "not called"};
+    a.couple("field", b.ref("field"), [&](const Status& st) { couple_status = st; });
+    s.run();
+    ASSERT_TRUE(couple_status.is_ok()) << couple_status.message();
+    EXPECT_TRUE(a.is_coupled("field"));
+    EXPECT_TRUE(b.is_coupled("field"));
+
+    // Alice types; the §3.2 cycle replays the event at Bob's field.
+    toolkit::Widget* fa = a.ui().find("field");
+    a.emit("field", fa->make_event(EventType::kValueChanged, std::string{"hello"}));
+    s.run();
+
+    EXPECT_EQ(a.ui().find("field")->text("value"), "hello");
+    EXPECT_EQ(b.ui().find("field")->text("value"), "hello");
+    EXPECT_EQ(b.stats().events_reexecuted, 1u);
+    // The cycle completed: no locks remain.
+    EXPECT_EQ(s.server().locks().locked_count(), 0u);
+    EXPECT_FALSE(a.has_locked_objects());
+    EXPECT_FALSE(b.has_locked_objects());
+}
+
+TEST(IntegrationCore, CallbacksReExecuteAtEveryCoupledInstance) {
+    Session s;
+    CoApp& a = s.add_app("editorA", "alice", 1);
+    CoApp& b = s.add_app("editorB", "bob", 2);
+    add_text_field(a, "field");
+    add_text_field(b, "field");
+
+    int a_calls = 0;
+    int b_calls = 0;
+    a.ui().find("field")->add_callback(EventType::kValueChanged,
+                                       [&](toolkit::Widget&, const toolkit::Event&) { ++a_calls; });
+    b.ui().find("field")->add_callback(EventType::kValueChanged,
+                                       [&](toolkit::Widget&, const toolkit::Event&) { ++b_calls; });
+
+    a.couple("field", b.ref("field"));
+    s.run();
+    a.emit("field", a.ui().find("field")->make_event(EventType::kValueChanged, std::string{"x"}));
+    s.run();
+
+    EXPECT_EQ(a_calls, 1);
+    EXPECT_EQ(b_calls, 1);
+}
+
+TEST(IntegrationCore, DecoupledObjectsPersistAndDiverge) {
+    Session s;
+    CoApp& a = s.add_app("editorA", "alice", 1);
+    CoApp& b = s.add_app("editorB", "bob", 2);
+    add_text_field(a, "field");
+    add_text_field(b, "field");
+
+    a.couple("field", b.ref("field"));
+    s.run();
+    a.emit("field", a.ui().find("field")->make_event(EventType::kValueChanged, std::string{"shared"}));
+    s.run();
+
+    a.decouple("field", b.ref("field"));
+    s.run();
+    EXPECT_FALSE(a.is_coupled("field"));
+    EXPECT_FALSE(b.is_coupled("field"));
+
+    // "These will not cease to exist when being decoupled": both fields keep
+    // their state, and edits no longer propagate.
+    a.emit("field", a.ui().find("field")->make_event(EventType::kValueChanged, std::string{"private"}));
+    s.run();
+    EXPECT_EQ(a.ui().find("field")->text("value"), "private");
+    EXPECT_EQ(b.ui().find("field")->text("value"), "shared");
+}
+
+TEST(IntegrationCore, CopyToSynchronizesStateWithoutCoupling) {
+    Session s;
+    CoApp& a = s.add_app("editorA", "alice", 1);
+    CoApp& b = s.add_app("editorB", "bob", 2);
+    add_text_field(a, "field");
+    add_text_field(b, "field");
+    ASSERT_TRUE(a.ui().find("field")->set_attribute("value", std::string{"snapshot"}).is_ok());
+
+    Status st{ErrorCode::kInvalidArgument, "not called"};
+    a.copy_to("field", b.ref("field"), MergeMode::kStrict, [&](const Status& r) { st = r; });
+    s.run();
+    ASSERT_TRUE(st.is_ok()) << st.message();
+    EXPECT_EQ(b.ui().find("field")->text("value"), "snapshot");
+    EXPECT_FALSE(b.is_coupled("field"));  // pure synchronization-by-state
+}
+
+TEST(IntegrationCore, CopyFromPullsRemoteState) {
+    Session s;
+    CoApp& a = s.add_app("editorA", "alice", 1);
+    CoApp& b = s.add_app("editorB", "bob", 2);
+    add_text_field(a, "field");
+    add_text_field(b, "field");
+    ASSERT_TRUE(b.ui().find("field")->set_attribute("value", std::string{"bobs-work"}).is_ok());
+
+    Status st{ErrorCode::kInvalidArgument, "not called"};
+    a.copy_from(b.ref("field"), "field", MergeMode::kStrict, [&](const Status& r) { st = r; });
+    s.run();
+    ASSERT_TRUE(st.is_ok()) << st.message();
+    EXPECT_EQ(a.ui().find("field")->text("value"), "bobs-work");
+}
+
+TEST(IntegrationCore, LockConflictUndoesFeedbackAtLoser) {
+    // Two users act on the same coupled group "simultaneously" (both events
+    // issued before either lock decision travels back). With latency > 0 the
+    // second LockReq reaches the server while the first holds the floor.
+    Session s{net::PipeConfig{.latency = 1000}};
+    CoApp& a = s.add_app("editorA", "alice", 1);
+    CoApp& b = s.add_app("editorB", "bob", 2);
+    add_text_field(a, "field");
+    add_text_field(b, "field");
+    a.couple("field", b.ref("field"));
+    s.run();
+
+    Status sa = Status::ok();
+    Status sb = Status::ok();
+    a.emit("field", a.ui().find("field")->make_event(EventType::kValueChanged, std::string{"from-a"}),
+           [&](const Status& r) { sa = r; });
+    b.emit("field", b.ui().find("field")->make_event(EventType::kValueChanged, std::string{"from-b"}),
+           [&](const Status& r) { sb = r; });
+    s.run();
+
+    // Exactly one of the two wins the floor.
+    EXPECT_NE(sa.is_ok(), sb.is_ok());
+    const std::string winner = sa.is_ok() ? "from-a" : "from-b";
+    EXPECT_EQ(a.ui().find("field")->text("value"), winner);
+    EXPECT_EQ(b.ui().find("field")->text("value"), winner);
+    EXPECT_EQ(s.server().locks().locked_count(), 0u);
+}
+
+TEST(IntegrationCore, RemoteCoupleLetsThirdInstanceCreateLinks) {
+    Session s;
+    CoApp& teacher = s.add_app("board", "teacher", 1);
+    CoApp& s1 = s.add_app("exercise", "student1", 2);
+    CoApp& s2 = s.add_app("exercise", "student2", 3);
+    add_text_field(s1, "answer");
+    add_text_field(s2, "answer");
+
+    Status st{ErrorCode::kInvalidArgument, "not called"};
+    teacher.remote_couple(s1.ref("answer"), s2.ref("answer"), [&](const Status& r) { st = r; });
+    s.run();
+    ASSERT_TRUE(st.is_ok());
+    EXPECT_TRUE(s1.is_coupled("answer"));
+    EXPECT_TRUE(s2.is_coupled("answer"));
+
+    s1.emit("answer", s1.ui().find("answer")->make_event(EventType::kValueChanged, std::string{"42"}));
+    s.run();
+    EXPECT_EQ(s2.ui().find("answer")->text("value"), "42");
+}
+
+TEST(IntegrationCore, TransitiveClosureSpansThreeInstances) {
+    Session s;
+    CoApp& a = s.add_app("A", "alice", 1);
+    CoApp& b = s.add_app("B", "bob", 2);
+    CoApp& c = s.add_app("C", "carol", 3);
+    for (CoApp* app : {&a, &b, &c}) add_text_field(*app, "f");
+
+    a.couple("f", b.ref("f"));
+    s.run();
+    b.couple("f", c.ref("f"));
+    s.run();
+
+    // CO(a.f) must contain both b.f and c.f via the closure.
+    const auto co = a.coupled_with("f");
+    EXPECT_EQ(co.size(), 2u);
+
+    a.emit("f", a.ui().find("f")->make_event(EventType::kValueChanged, std::string{"all"}));
+    s.run();
+    EXPECT_EQ(b.ui().find("f")->text("value"), "all");
+    EXPECT_EQ(c.ui().find("f")->text("value"), "all");
+}
+
+TEST(IntegrationCore, InstanceTerminationDecouplesAutomatically) {
+    Session s;
+    CoApp& a = s.add_app("A", "alice", 1);
+    CoApp& b = s.add_app("B", "bob", 2);
+    add_text_field(a, "f");
+    add_text_field(b, "f");
+    a.couple("f", b.ref("f"));
+    s.run();
+    ASSERT_TRUE(b.is_coupled("f"));
+
+    s.disconnect(0);  // alice's application terminates
+    EXPECT_FALSE(b.is_coupled("f"));
+    EXPECT_EQ(s.server().couples().link_count(), 0u);
+}
+
+TEST(IntegrationCore, WidgetDestructionDecouplesAutomatically) {
+    Session s;
+    CoApp& a = s.add_app("A", "alice", 1);
+    CoApp& b = s.add_app("B", "bob", 2);
+    add_text_field(a, "f");
+    add_text_field(b, "f");
+    a.couple("f", b.ref("f"));
+    s.run();
+
+    ASSERT_TRUE(a.ui().root().remove_child("f").is_ok());
+    s.run();
+    EXPECT_FALSE(b.is_coupled("f"));
+    EXPECT_EQ(s.server().couples().link_count(), 0u);
+}
+
+}  // namespace
+}  // namespace cosoft

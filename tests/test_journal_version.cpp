@@ -1,0 +1,115 @@
+// Tests for the server's message journal and the protocol version handshake.
+#include <gtest/gtest.h>
+
+#include "cosoft/server/journal.hpp"
+#include "helpers.hpp"
+
+namespace cosoft {
+namespace {
+
+using client::CoApp;
+using server::Journal;
+using testing::Session;
+using toolkit::EventType;
+using toolkit::WidgetClass;
+
+TEST(Journal, RecordsBounded) {
+    Journal j{3};
+    for (int i = 0; i < 10; ++i) j.record(true, 1, "M" + std::to_string(i), 8);
+    EXPECT_EQ(j.size(), 3u);
+    EXPECT_EQ(j.total_recorded(), 10u);
+    const auto entries = j.entries();
+    EXPECT_EQ(entries.front().message, "M7");  // oldest survivor
+    EXPECT_EQ(entries.back().message, "M9");
+    EXPECT_EQ(entries.back().seq, 9u);
+}
+
+TEST(Journal, FiltersByPeerAndResizes) {
+    Journal j{10};
+    j.record(true, 1, "A", 1);
+    j.record(false, 2, "B", 2);
+    j.record(true, 1, "C", 3);
+    EXPECT_EQ(j.entries_for(1).size(), 2u);
+    EXPECT_EQ(j.entries_for(2).size(), 1u);
+    j.set_capacity(1);
+    EXPECT_EQ(j.size(), 1u);
+    j.set_capacity(0);  // disable
+    j.record(true, 1, "D", 4);
+    EXPECT_EQ(j.size(), 0u);
+}
+
+TEST(Journal, ServerTracesASessionEndToEnd) {
+    Session s;
+    CoApp& a = s.add_app("A", "alice", 1);
+    CoApp& b = s.add_app("B", "bob", 2);
+    (void)a.ui().root().add_child(WidgetClass::kTextField, "f");
+    (void)b.ui().root().add_child(WidgetClass::kTextField, "f");
+
+    s.server().journal().clear();
+    a.couple("f", b.ref("f"));
+    s.run();
+    a.emit("f", a.ui().find("f")->make_event(EventType::kValueChanged, std::string{"x"}));
+    s.run();
+
+    const auto entries = s.server().journal().entries();
+    const auto count = [&](const char* name, bool inbound) {
+        return std::count_if(entries.begin(), entries.end(), [&](const server::JournalEntry& e) {
+            return e.message == name && e.inbound == inbound;
+        });
+    };
+    EXPECT_EQ(count("CoupleReq", true), 1);
+    EXPECT_EQ(count("GroupUpdate", false), 2);  // one per member instance
+    EXPECT_EQ(count("LockReq", true), 1);
+    EXPECT_EQ(count("LockGrant", false), 1);
+    EXPECT_EQ(count("EventMsg", true), 1);
+    EXPECT_EQ(count("ExecuteEvent", false), 1);
+    EXPECT_EQ(count("ExecuteAck", true), 2);  // source + target
+    for (const auto& e : entries) EXPECT_GT(e.bytes, 0u);
+}
+
+TEST(Journal, MalformedFramesAreJournalled) {
+    Session s;
+    auto [raw_client, raw_server] = s.net().make_pipe();
+    s.server().attach(raw_server);
+    ASSERT_TRUE(raw_client->send({0xff, 0xff, 0xff}).is_ok());
+    s.run();
+    const auto entries = s.server().journal().entries();
+    EXPECT_TRUE(std::any_of(entries.begin(), entries.end(),
+                            [](const server::JournalEntry& e) { return e.message == "<malformed>"; }));
+}
+
+TEST(ProtocolVersion, MismatchedClientIsRefused) {
+    Session s;
+    auto [raw_client, raw_server] = s.net().make_pipe();
+    s.server().attach(raw_server);
+
+    protocol::Register reg;
+    reg.user = 5;
+    reg.user_name = "old-build";
+    reg.host_name = "h";
+    reg.app_name = "legacy";
+    reg.version = protocol::kProtocolVersion + 7;
+
+    bool got_error = false;
+    raw_client->on_receive([&](std::span<const std::uint8_t> frame) {
+        auto decoded = protocol::decode_message(frame);
+        ASSERT_TRUE(decoded.is_ok());
+        if (const auto* ack = std::get_if<protocol::Ack>(&decoded.value())) {
+            got_error = ack->code == ErrorCode::kBadMessage;
+        }
+    });
+    ASSERT_TRUE(raw_client->send(protocol::encode_message(reg)).is_ok());
+    s.run();
+    EXPECT_TRUE(got_error);
+    EXPECT_TRUE(s.server().registrations().empty());
+}
+
+TEST(ProtocolVersion, CurrentClientsRegisterNormally) {
+    Session s;
+    CoApp& a = s.add_app("A", "alice", 1);
+    EXPECT_TRUE(a.online());
+    EXPECT_EQ(s.server().registrations().size(), 1u);
+}
+
+}  // namespace
+}  // namespace cosoft

@@ -1,0 +1,292 @@
+// Tests for the §4 coordination machinery: FetchState, the moderator
+// console, the intelligent demon, and couple_synced (the §3.2 opening move).
+#include <gtest/gtest.h>
+
+#include "cosoft/apps/classroom.hpp"
+#include "cosoft/apps/moderator.hpp"
+#include "helpers.hpp"
+
+namespace cosoft {
+namespace {
+
+using apps::Demon;
+using apps::ModeratorApp;
+using apps::StudentApp;
+using apps::TeacherApp;
+using client::CoApp;
+using protocol::MergeMode;
+using protocol::Right;
+using testing::Session;
+using toolkit::EventType;
+using toolkit::WidgetClass;
+
+TEST(FetchState, ReturnsRemoteRelevantState) {
+    Session s;
+    CoApp& a = s.add_app("A", "alice", 1);
+    CoApp& b = s.add_app("B", "bob", 2);
+    (void)b.ui().root().add_child(WidgetClass::kTextField, "f");
+    (void)b.ui().find("f")->set_attribute("value", std::string{"observed"});
+
+    std::optional<toolkit::UiState> got;
+    a.fetch_state(b.ref("f"), [&](Result<toolkit::UiState> r) {
+        ASSERT_TRUE(r.is_ok()) << r.error().message;
+        got = std::move(r).value();
+    });
+    s.run();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->cls, WidgetClass::kTextField);
+    EXPECT_EQ(*got->find_attribute("value"), toolkit::AttributeValue{std::string{"observed"}});
+    // Read-only: nothing changed anywhere.
+    EXPECT_EQ(b.stats().state_queries, 1u);
+    EXPECT_EQ(a.stats().states_applied, 0u);
+}
+
+TEST(FetchState, EmptyPathFetchesWholeEnvironment) {
+    Session s;
+    CoApp& a = s.add_app("A", "alice", 1);
+    CoApp& b = s.add_app("B", "bob", 2);
+    (void)b.ui().root().add_child(WidgetClass::kForm, "x");
+    (void)b.ui().root().add_child(WidgetClass::kCanvas, "y");
+
+    std::optional<toolkit::UiState> got;
+    a.fetch_state(ObjectRef{b.instance(), ""}, [&](Result<toolkit::UiState> r) {
+        ASSERT_TRUE(r.is_ok());
+        got = std::move(r).value();
+    });
+    s.run();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->children.size(), 2u);
+}
+
+TEST(FetchState, UnknownObjectAndPermissionErrors) {
+    Session s;
+    CoApp& a = s.add_app("A", "alice", 1);
+    CoApp& b = s.add_app("B", "bob", 2);
+    (void)b.ui().root().add_child(WidgetClass::kTextField, "hidden");
+    b.set_permission(1, "hidden", static_cast<protocol::RightsMask>(Right::kView), false);
+    s.run();
+
+    ErrorCode missing = ErrorCode::kOk;
+    a.fetch_state(b.ref("ghost"), [&](Result<toolkit::UiState> r) { missing = r.code(); });
+    s.run();
+    EXPECT_EQ(missing, ErrorCode::kUnknownObject);
+
+    ErrorCode denied = ErrorCode::kOk;
+    a.fetch_state(b.ref("hidden"), [&](Result<toolkit::UiState> r) { denied = r.code(); });
+    s.run();
+    EXPECT_EQ(denied, ErrorCode::kPermissionDenied);
+
+    ErrorCode unknown_instance = ErrorCode::kOk;
+    a.fetch_state(ObjectRef{999, "x"}, [&](Result<toolkit::UiState> r) { unknown_instance = r.code(); });
+    s.run();
+    EXPECT_EQ(unknown_instance, ErrorCode::kUnknownInstance);
+}
+
+TEST(CoupleSynced, CopiesStateThenCouples) {
+    Session s;
+    CoApp& a = s.add_app("A", "alice", 1);
+    CoApp& b = s.add_app("B", "bob", 2);
+    (void)a.ui().root().add_child(WidgetClass::kTextField, "f");
+    (void)b.ui().root().add_child(WidgetClass::kTextField, "f");
+    (void)a.ui().find("f")->set_attribute("value", std::string{"initial"});
+    (void)b.ui().find("f")->set_attribute("value", std::string{"stale"});
+
+    Status st{ErrorCode::kInvalidArgument, "pending"};
+    a.couple_synced("f", b.ref("f"), MergeMode::kStrict, [&](const Status& r) { st = r; });
+    s.run();
+    ASSERT_TRUE(st.is_ok()) << st.message();
+    // Initial synchronization by state happened before coupling...
+    EXPECT_EQ(b.ui().find("f")->text("value"), "initial");
+    // ...and subsequent actions synchronize by re-execution.
+    a.emit("f", a.ui().find("f")->make_event(EventType::kValueChanged, std::string{"live"}));
+    s.run();
+    EXPECT_EQ(b.ui().find("f")->text("value"), "live");
+}
+
+TEST(CoupleSynced, FailedCopyAbortsCoupling) {
+    Session s;
+    CoApp& a = s.add_app("A", "alice", 1);
+    CoApp& b = s.add_app("B", "bob", 2);
+    (void)a.ui().root().add_child(WidgetClass::kTextField, "f");
+    (void)b.ui().root().add_child(WidgetClass::kTextField, "f");
+    b.set_permission(1, "f", static_cast<protocol::RightsMask>(Right::kModify), false);
+    s.run();
+
+    Status st = Status::ok();
+    a.couple_synced("f", b.ref("f"), MergeMode::kStrict, [&](const Status& r) { st = r; });
+    s.run();
+    EXPECT_EQ(st.code(), ErrorCode::kPermissionDenied);
+    EXPECT_FALSE(a.is_coupled("f"));
+    EXPECT_EQ(s.server().couples().link_count(), 0u);
+}
+
+TEST(Moderator, RefreshListsOtherParticipants) {
+    Session s;
+    CoApp& mod = s.add_app("console", "teacher", 1);
+    s.add_app("exercise", "nelson", 2);
+    s.add_app("exercise", "frank", 3);
+    ModeratorApp console{mod};
+
+    console.refresh();
+    s.run();
+    EXPECT_EQ(console.participants().size(), 3u);  // includes itself in the raw records
+    const auto items = mod.ui().find(ModeratorApp::kParticipants)->text_list("items");
+    ASSERT_EQ(items.size(), 2u);  // itself filtered from the stylized view
+    EXPECT_NE(items[0].find("nelson"), std::string::npos);
+    EXPECT_NE(items[1].find("frank"), std::string::npos);
+}
+
+TEST(Moderator, InspectFillsObjectList) {
+    Session s;
+    CoApp& mod = s.add_app("console", "teacher", 1);
+    CoApp& student = s.add_app("exercise", "nelson", 2);
+    StudentApp ex{student, "task"};
+    ModeratorApp console{mod};
+
+    Status st{ErrorCode::kInvalidArgument, "pending"};
+    console.inspect(student.instance(), [&](const Status& r) { st = r; });
+    s.run();
+    ASSERT_TRUE(st.is_ok()) << st.message();
+    EXPECT_EQ(console.inspected(), student.instance());
+
+    const auto paths = console.object_paths();
+    // The exercise form and its components all appear with their classes.
+    const auto has = [&](const std::string& needle) {
+        return std::any_of(paths.begin(), paths.end(),
+                           [&](const std::string& p) { return p.find(needle) != std::string::npos; });
+    };
+    EXPECT_TRUE(has("exercise [form]"));
+    EXPECT_TRUE(has("exercise/answer [textfield]"));
+    EXPECT_TRUE(has("exercise/scratch [canvas]"));
+    EXPECT_EQ(mod.ui().find(ModeratorApp::kObjects)->text_list("items").size(), paths.size());
+}
+
+TEST(Moderator, CoupleGroupFormsOneClosure) {
+    Session s;
+    CoApp& mod = s.add_app("console", "teacher", 1);
+    std::vector<InstanceId> students;
+    std::vector<CoApp*> apps;
+    for (int i = 0; i < 3; ++i) {
+        CoApp& app = s.add_app("exercise", "s" + std::to_string(i), static_cast<UserId>(10 + i));
+        (void)app.ui().root().add_child(WidgetClass::kCanvas, "scratch");
+        students.push_back(app.instance());
+        apps.push_back(&app);
+    }
+    ModeratorApp console{mod};
+
+    Status st{ErrorCode::kInvalidArgument, "pending"};
+    console.couple_group(students, "scratch", [&](const Status& r) { st = r; });
+    s.run();
+    ASSERT_TRUE(st.is_ok());
+    EXPECT_EQ(s.server().couples().group_of(ObjectRef{students[0], "scratch"}).size(), 3u);
+
+    // One student draws; all three see it — the moderator owns nothing.
+    apps[1]->emit("scratch",
+                  apps[1]->ui().find("scratch")->make_event(EventType::kStroke, std::string{"shared"}));
+    s.run();
+    for (CoApp* app : apps) {
+        EXPECT_EQ(app->ui().find("scratch")->text_list("strokes").size(), 1u);
+    }
+}
+
+TEST(Moderator, GroupNeedsTwoParticipants) {
+    Session s;
+    CoApp& mod = s.add_app("console", "teacher", 1);
+    ModeratorApp console{mod};
+    Status st = Status::ok();
+    console.couple_group({42}, "x", [&](const Status& r) { st = r; });
+    EXPECT_EQ(st.code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(Demon, TriggersAfterRepeatedRewrites) {
+    Session s;
+    CoApp& t = s.add_app("board", "teacher", 1);
+    CoApp& st_app = s.add_app("exercise", "nelson", 2);
+    TeacherApp teacher{t};
+    StudentApp student{st_app, "task"};
+    Demon demon{student, Demon::Policy{.rewrite_threshold = 3, .erase_threshold = 99}};
+
+    student.answer("attempt one");
+    s.run();
+    student.answer("attempt two");
+    s.run();
+    EXPECT_FALSE(demon.triggered());
+    student.answer("attempt three");
+    s.run();
+    EXPECT_TRUE(demon.triggered());
+
+    ASSERT_EQ(teacher.requests().size(), 1u);
+    EXPECT_TRUE(teacher.requests()[0].automatic);
+    EXPECT_EQ(teacher.requests()[0].from, st_app.instance());
+    EXPECT_NE(teacher.requests()[0].note.find("demon"), std::string::npos);
+}
+
+TEST(Demon, ErasureCountsTowardsTrigger) {
+    Session s;
+    s.add_app("board", "teacher", 1);
+    CoApp& st_app = s.add_app("exercise", "nelson", 2);
+    StudentApp student{st_app, "task"};
+    Demon demon{student, Demon::Policy{.rewrite_threshold = 99, .erase_threshold = 2}};
+
+    student.answer("a long attempt");
+    s.run();
+    student.answer("short");
+    s.run();
+    EXPECT_EQ(demon.erasures(), 1u);
+    student.answer("x");
+    s.run();
+    EXPECT_TRUE(demon.triggered());
+}
+
+TEST(Demon, FiresOnceUntilReset) {
+    Session s;
+    CoApp& t = s.add_app("board", "teacher", 1);
+    CoApp& st_app = s.add_app("exercise", "nelson", 2);
+    TeacherApp teacher{t};
+    StudentApp student{st_app, "task"};
+    Demon demon{student, Demon::Policy{.rewrite_threshold = 1, .erase_threshold = 99}};
+
+    student.answer("a");
+    s.run();
+    student.answer("b");
+    s.run();
+    EXPECT_EQ(teacher.requests().size(), 1u);  // only the first edit fired
+
+    demon.reset();
+    student.answer("c");
+    s.run();
+    EXPECT_EQ(teacher.requests().size(), 2u);
+}
+
+TEST(Moderator, EndToEndClassroomModeration) {
+    // The full §4 flow driven from the console: refresh -> inspect ->
+    // couple two students' answers -> verify live sync -> decouple.
+    Session s;
+    CoApp& mod = s.add_app("console", "teacher", 1);
+    CoApp& s1 = s.add_app("exercise", "nelson", 2);
+    CoApp& s2 = s.add_app("exercise", "frank", 3);
+    StudentApp a{s1, "task"};
+    StudentApp b{s2, "task"};
+    ModeratorApp console{mod};
+
+    console.refresh();
+    s.run();
+    console.inspect(s1.instance());
+    s.run();
+    ASSERT_TRUE(console.environment().has_value());
+
+    console.couple_objects(s1.ref(StudentApp::kAnswer), s2.ref(StudentApp::kAnswer));
+    s.run();
+    a.answer("shared work");
+    s.run();
+    EXPECT_EQ(s2.ui().find(StudentApp::kAnswer)->text("value"), "shared work");
+
+    console.decouple_objects(s1.ref(StudentApp::kAnswer), s2.ref(StudentApp::kAnswer));
+    s.run();
+    a.answer("private again");
+    s.run();
+    EXPECT_EQ(s2.ui().find(StudentApp::kAnswer)->text("value"), "shared work");
+}
+
+}  // namespace
+}  // namespace cosoft

@@ -1,0 +1,194 @@
+// Unit tests for cosoft::net — deterministic pipes and the TCP transport.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "cosoft/net/sim_network.hpp"
+#include "cosoft/net/tcp.hpp"
+
+namespace cosoft::net {
+namespace {
+
+std::vector<std::uint8_t> frame(std::initializer_list<std::uint8_t> bytes) { return bytes; }
+
+TEST(SimNetwork, DeliversFramesBothWays) {
+    SimNetwork net;
+    auto [a, b] = net.make_pipe();
+    std::vector<std::uint8_t> got_b;
+    std::vector<std::uint8_t> got_a;
+    b->on_receive([&](std::span<const std::uint8_t> f) { got_b.assign(f.begin(), f.end()); });
+    a->on_receive([&](std::span<const std::uint8_t> f) { got_a.assign(f.begin(), f.end()); });
+
+    ASSERT_TRUE(a->send(frame({1, 2, 3})).is_ok());
+    ASSERT_TRUE(b->send(frame({9})).is_ok());
+    net.run_all();
+    EXPECT_EQ(got_b, frame({1, 2, 3}));
+    EXPECT_EQ(got_a, frame({9}));
+    EXPECT_EQ(a->stats().frames_sent, 1u);
+    EXPECT_EQ(a->stats().frames_received, 1u);
+}
+
+TEST(SimNetwork, LatencyDelaysDelivery) {
+    SimNetwork net;
+    auto [a, b] = net.make_pipe({.latency = 500});
+    sim::SimTime arrival = -1;
+    b->on_receive([&](std::span<const std::uint8_t>) { arrival = net.now(); });
+    ASSERT_TRUE(a->send(frame({1})).is_ok());
+    net.run_all();
+    EXPECT_EQ(arrival, 500);
+}
+
+TEST(SimNetwork, OrderingPreservedUnderLatency) {
+    SimNetwork net;
+    auto [a, b] = net.make_pipe({.latency = 100});
+    std::vector<std::uint8_t> order;
+    b->on_receive([&](std::span<const std::uint8_t> f) { order.push_back(f[0]); });
+    for (std::uint8_t i = 0; i < 10; ++i) ASSERT_TRUE(a->send(frame({i})).is_ok());
+    net.run_all();
+    ASSERT_EQ(order.size(), 10u);
+    for (std::uint8_t i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SimNetwork, DropProbabilityLosesFrames) {
+    SimNetwork net;
+    auto [a, b] = net.make_pipe({.latency = 0, .drop_probability = 0.5, .drop_seed = 99});
+    int received = 0;
+    b->on_receive([&](std::span<const std::uint8_t>) { ++received; });
+    for (int i = 0; i < 1000; ++i) ASSERT_TRUE(a->send(frame({1})).is_ok());
+    net.run_all();
+    EXPECT_GT(received, 350);
+    EXPECT_LT(received, 650);
+}
+
+TEST(SimNetwork, CloseNotifiesPeerAndFailsSends) {
+    SimNetwork net;
+    auto [a, b] = net.make_pipe();
+    bool b_closed = false;
+    b->on_close([&] { b_closed = true; });
+    a->close();
+    net.run_all();
+    EXPECT_TRUE(b_closed);
+    EXPECT_FALSE(a->connected());
+    EXPECT_FALSE(b->send(frame({1})).is_ok());
+}
+
+TEST(SimNetwork, FramesInFlightWhenReceiverClosesAreDropped) {
+    SimNetwork net;
+    auto [a, b] = net.make_pipe({.latency = 100});
+    int received = 0;
+    b->on_receive([&](std::span<const std::uint8_t>) { ++received; });
+    ASSERT_TRUE(a->send(frame({1})).is_ok());
+    b->close();  // closes before delivery time
+    net.run_all();
+    EXPECT_EQ(received, 0);
+}
+
+TEST(SimNetwork, SharedExternalQueueInterleavesPipes) {
+    sim::EventQueue q;
+    SimNetwork net{&q};
+    auto [a1, b1] = net.make_pipe({.latency = 10});
+    auto [a2, b2] = net.make_pipe({.latency = 5});
+    std::vector<int> order;
+    b1->on_receive([&](std::span<const std::uint8_t>) { order.push_back(1); });
+    b2->on_receive([&](std::span<const std::uint8_t>) { order.push_back(2); });
+    ASSERT_TRUE(a1->send(frame({0})).is_ok());
+    ASSERT_TRUE(a2->send(frame({0})).is_ok());
+    q.run_all();
+    EXPECT_EQ(order, (std::vector<int>{2, 1}));  // 5us beats 10us
+}
+
+TEST(Tcp, LoopbackRoundTrip) {
+    auto listener = TcpListener::create(0);
+    ASSERT_TRUE(listener.is_ok()) << listener.error().message;
+    const std::uint16_t port = listener.value()->port();
+    ASSERT_NE(port, 0);
+
+    auto client = tcp_connect("127.0.0.1", port);
+    ASSERT_TRUE(client.is_ok()) << client.error().message;
+    auto served = listener.value()->accept(2000);
+    ASSERT_TRUE(served.is_ok()) << served.error().message;
+
+    std::vector<std::uint8_t> got;
+    served.value()->on_receive([&](std::span<const std::uint8_t> f) { got.assign(f.begin(), f.end()); });
+    ASSERT_TRUE(client.value()->send(frame({42, 43})).is_ok());
+    served.value()->poll_blocking(2000);
+    EXPECT_EQ(got, frame({42, 43}));
+
+    // And the reverse direction.
+    std::vector<std::uint8_t> got_back;
+    client.value()->on_receive([&](std::span<const std::uint8_t> f) { got_back.assign(f.begin(), f.end()); });
+    ASSERT_TRUE(served.value()->send(frame({7})).is_ok());
+    client.value()->poll_blocking(2000);
+    EXPECT_EQ(got_back, frame({7}));
+}
+
+TEST(Tcp, EmptyFrameIsDelivered) {
+    auto listener = TcpListener::create(0);
+    ASSERT_TRUE(listener.is_ok());
+    auto client = tcp_connect("127.0.0.1", listener.value()->port());
+    ASSERT_TRUE(client.is_ok());
+    auto served = listener.value()->accept(2000);
+    ASSERT_TRUE(served.is_ok());
+
+    bool got = false;
+    std::size_t size = 99;
+    served.value()->on_receive([&](std::span<const std::uint8_t> f) {
+        got = true;
+        size = f.size();
+    });
+    ASSERT_TRUE(client.value()->send({}).is_ok());
+    served.value()->poll_blocking(2000);
+    EXPECT_TRUE(got);
+    EXPECT_EQ(size, 0u);
+}
+
+TEST(Tcp, PeerCloseFiresCloseHandler) {
+    auto listener = TcpListener::create(0);
+    ASSERT_TRUE(listener.is_ok());
+    auto client = tcp_connect("127.0.0.1", listener.value()->port());
+    ASSERT_TRUE(client.is_ok());
+    auto served = listener.value()->accept(2000);
+    ASSERT_TRUE(served.is_ok());
+
+    bool closed = false;
+    served.value()->on_close([&] { closed = true; });
+    client.value()->close();
+    for (int i = 0; i < 100 && !closed; ++i) {
+        served.value()->poll();
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    EXPECT_TRUE(closed);
+}
+
+TEST(Tcp, ConnectToClosedPortFails) {
+    // Grab an ephemeral port, then close the listener so nothing listens.
+    std::uint16_t port = 0;
+    {
+        auto listener = TcpListener::create(0);
+        ASSERT_TRUE(listener.is_ok());
+        port = listener.value()->port();
+    }
+    auto client = tcp_connect("127.0.0.1", port);
+    EXPECT_FALSE(client.is_ok());
+}
+
+TEST(Tcp, LargeFrameRoundTrips) {
+    auto listener = TcpListener::create(0);
+    ASSERT_TRUE(listener.is_ok());
+    auto client = tcp_connect("127.0.0.1", listener.value()->port());
+    ASSERT_TRUE(client.is_ok());
+    auto served = listener.value()->accept(2000);
+    ASSERT_TRUE(served.is_ok());
+
+    std::vector<std::uint8_t> big(1 << 20);
+    for (std::size_t i = 0; i < big.size(); ++i) big[i] = static_cast<std::uint8_t>(i * 31);
+    std::vector<std::uint8_t> got;
+    served.value()->on_receive([&](std::span<const std::uint8_t> f) { got.assign(f.begin(), f.end()); });
+    ASSERT_TRUE(client.value()->send(big).is_ok());
+    for (int i = 0; i < 200 && got.empty(); ++i) served.value()->poll_blocking(50);
+    EXPECT_EQ(got, big);
+}
+
+}  // namespace
+}  // namespace cosoft::net

@@ -1,0 +1,158 @@
+// Tests for PrivateSession — decouple, work alone, rejoin (§2.2).
+#include <gtest/gtest.h>
+
+#include "cosoft/client/private_session.hpp"
+#include "cosoft/client/recorder.hpp"
+#include "helpers.hpp"
+
+namespace cosoft {
+namespace {
+
+using client::ActionRecorder;
+using client::CoApp;
+using client::PrivateSession;
+using testing::Session;
+using toolkit::EventType;
+using toolkit::WidgetClass;
+
+struct Rig {
+    Session session;
+    CoApp* a;
+    CoApp* b;
+    CoApp* c;
+
+    Rig() {
+        a = &session.add_app("A", "alice", 1);
+        b = &session.add_app("B", "bob", 2);
+        c = &session.add_app("C", "carol", 3);
+        for (CoApp* app : {a, b, c}) {
+            (void)app->ui().root().add_child(WidgetClass::kCanvas, "pad");
+            ActionRecorder::enable_remote_replay(*app);
+        }
+        a->couple("pad", b->ref("pad"));
+        session.run();
+        b->couple("pad", c->ref("pad"));
+        session.run();
+    }
+
+    void draw(CoApp& app, const std::string& stroke) {
+        app.emit("pad", app.ui().find("pad")->make_event(EventType::kStroke, stroke));
+        session.run();
+    }
+
+    std::vector<std::string> strokes(CoApp& app) { return app.ui().find("pad")->text_list("strokes"); }
+};
+
+TEST(PrivateSession, BeginLeavesGroupButGroupSurvives) {
+    Rig r;
+    Status st{ErrorCode::kInvalidArgument, "pending"};
+    PrivateSession ps{*r.a, "pad", [&](const Status& s) { st = s; }};
+    r.session.run();
+    ASSERT_TRUE(st.is_ok()) << st.message();
+    ASSERT_TRUE(ps.active());
+    EXPECT_EQ(ps.former_group().size(), 2u);
+
+    EXPECT_FALSE(r.a->is_coupled("pad"));
+    EXPECT_TRUE(r.b->is_coupled("pad"));  // bob and carol stay coupled
+    r.draw(*r.b, "group-work");
+    EXPECT_EQ(r.strokes(*r.c).size(), 1u);
+    EXPECT_TRUE(r.strokes(*r.a).empty());  // alice is alone now
+}
+
+TEST(PrivateSession, BeginOnUncoupledObjectFails) {
+    Session s;
+    CoApp& a = s.add_app("A", "alice", 1);
+    (void)a.ui().root().add_child(WidgetClass::kCanvas, "pad");
+    Status st = Status::ok();
+    PrivateSession ps{a, "pad", [&](const Status& r) { st = r; }};
+    EXPECT_EQ(st.code(), ErrorCode::kNotCoupled);
+    EXPECT_FALSE(ps.active());
+}
+
+TEST(PrivateSession, RejoinAdoptGroupDiscardsPrivateWork) {
+    Rig r;
+    PrivateSession ps{*r.a, "pad"};
+    r.session.run();
+
+    r.draw(*r.a, "private-scribble");
+    r.draw(*r.b, "group-progress");
+    EXPECT_EQ(ps.private_actions(), 1u);
+
+    Status st{ErrorCode::kInvalidArgument, "pending"};
+    ps.rejoin(PrivateSession::Rejoin::kAdoptGroup, [&](const Status& s) { st = s; });
+    r.session.run();
+    ASSERT_TRUE(st.is_ok()) << st.message();
+
+    EXPECT_TRUE(r.a->is_coupled("pad"));
+    EXPECT_EQ(r.strokes(*r.a), std::vector<std::string>{"group-progress"});  // private work gone
+    // Live again: alice's next stroke reaches everyone.
+    r.draw(*r.a, "back");
+    EXPECT_EQ(r.strokes(*r.c).size(), 2u);
+}
+
+TEST(PrivateSession, RejoinPublishMineOverwritesTheGroup) {
+    Rig r;
+    PrivateSession ps{*r.a, "pad"};
+    r.session.run();
+
+    r.draw(*r.a, "committed-work");
+    r.draw(*r.b, "will-be-overwritten");
+
+    Status st{ErrorCode::kInvalidArgument, "pending"};
+    ps.rejoin(PrivateSession::Rejoin::kPublishMine, [&](const Status& s) { st = s; });
+    r.session.run();
+    ASSERT_TRUE(st.is_ok()) << st.message();
+
+    for (CoApp* app : {r.a, r.b, r.c}) {
+        EXPECT_EQ(r.strokes(*app), std::vector<std::string>{"committed-work"}) << app->app_name();
+    }
+}
+
+TEST(PrivateSession, RejoinReplayMergesHistories) {
+    Rig r;
+    PrivateSession ps{*r.a, "pad"};
+    r.session.run();
+
+    r.draw(*r.b, "their-line");
+    r.draw(*r.a, "my-line-1");
+    r.draw(*r.a, "my-line-2");
+
+    Status st{ErrorCode::kInvalidArgument, "pending"};
+    ps.rejoin(PrivateSession::Rejoin::kReplayActions, [&](const Status& s) { st = s; });
+    r.session.run();
+    ASSERT_TRUE(st.is_ok()) << st.message();
+
+    // The anchor (bob) merged: its own work plus alice's replayed actions.
+    const auto merged = r.strokes(*r.b);
+    EXPECT_EQ(merged, (std::vector<std::string>{"their-line", "my-line-1", "my-line-2"}));
+    // Alice adopted the merged state before coupling back.
+    EXPECT_EQ(r.strokes(*r.a), merged);
+    EXPECT_TRUE(r.a->is_coupled("pad"));
+}
+
+TEST(PrivateSession, RejoinTwiceFails) {
+    Rig r;
+    PrivateSession ps{*r.a, "pad"};
+    r.session.run();
+    ps.rejoin(PrivateSession::Rejoin::kAdoptGroup);
+    r.session.run();
+
+    Status st = Status::ok();
+    ps.rejoin(PrivateSession::Rejoin::kAdoptGroup, [&](const Status& s) { st = s; });
+    EXPECT_EQ(st.code(), ErrorCode::kNotCoupled);
+}
+
+TEST(PrivateSession, GroupEventsDoNotLeakIntoPrivateRecorder) {
+    Rig r;
+    PrivateSession ps{*r.a, "pad"};
+    r.session.run();
+    r.draw(*r.b, "group-1");
+    r.draw(*r.b, "group-2");
+    r.draw(*r.a, "mine");
+    // Only alice's own action was recorded (the group's events no longer
+    // reach her decoupled object).
+    EXPECT_EQ(ps.private_actions(), 1u);
+}
+
+}  // namespace
+}  // namespace cosoft

@@ -1,0 +1,111 @@
+// Codec robustness properties: random garbage never crashes the decoder;
+// random mutations of valid frames either fail cleanly or decode to a
+// message that re-encodes consistently; random UiState trees round-trip.
+#include <gtest/gtest.h>
+
+#include "cosoft/protocol/messages.hpp"
+#include "cosoft/sim/rng.hpp"
+
+namespace cosoft::protocol {
+namespace {
+
+class CodecFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CodecFuzz, RandomBytesNeverCrash) {
+    sim::Rng rng{GetParam()};
+    for (int i = 0; i < 2000; ++i) {
+        std::vector<std::uint8_t> frame(rng.below(64));
+        for (auto& b : frame) b = static_cast<std::uint8_t>(rng.below(256));
+        const auto decoded = decode_message(frame);
+        if (decoded.is_ok()) {
+            // Whatever parsed must re-encode without crashing.
+            const auto reencoded = encode_message(decoded.value());
+            EXPECT_FALSE(reencoded.empty());
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecFuzz, ::testing::Values(101, 202, 303, 404));
+
+TEST(CodecFuzz, MutatedValidFramesAreHandled) {
+    sim::Rng rng{555};
+    const Message original = EventMsg{
+        7,
+        {1, "tori/query"},
+        "author",
+        toolkit::Event{toolkit::EventType::kValueChanged, "tori/query/author", std::string{"Hoppe"}, "k"}};
+    const auto frame = encode_message(original);
+    for (int i = 0; i < 3000; ++i) {
+        auto mutated = frame;
+        const std::size_t pos = rng.below(mutated.size());
+        mutated[pos] = static_cast<std::uint8_t>(rng.below(256));
+        const auto decoded = decode_message(mutated);
+        if (decoded.is_ok()) {
+            const auto reencoded = encode_message(decoded.value());
+            const auto redecoded = decode_message(reencoded);
+            ASSERT_TRUE(redecoded.is_ok());
+            EXPECT_EQ(redecoded.value(), decoded.value());
+        }
+    }
+}
+
+toolkit::UiState random_state(sim::Rng& rng, int depth) {
+    toolkit::UiState s;
+    s.cls = static_cast<toolkit::WidgetClass>(rng.below(toolkit::kWidgetClassCount));
+    s.name = "n" + std::to_string(rng.below(1000));
+    const std::uint64_t attrs = rng.below(4);
+    for (std::uint64_t i = 0; i < attrs; ++i) {
+        toolkit::AttributeValue v;
+        switch (rng.below(5)) {
+            case 0: v = rng.chance(0.5); break;
+            case 1: v = static_cast<std::int64_t>(rng.range(-1000, 1000)); break;
+            case 2: v = rng.uniform01() * 100; break;
+            case 3: v = std::string(rng.below(20), 'x'); break;
+            default: v = std::vector<std::string>{"a", std::string(rng.below(8), 'y')}; break;
+        }
+        s.attributes.emplace_back("attr" + std::to_string(i), std::move(v));
+    }
+    if (depth > 0) {
+        const std::uint64_t kids = rng.below(4);
+        for (std::uint64_t i = 0; i < kids; ++i) {
+            toolkit::UiState child = random_state(rng, depth - 1);
+            child.name = "c" + std::to_string(i);
+            s.children.push_back(std::move(child));
+        }
+    }
+    return s;
+}
+
+class StateRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StateRoundTrip, RandomTreesSurviveTheWire) {
+    sim::Rng rng{GetParam()};
+    for (int i = 0; i < 100; ++i) {
+        const toolkit::UiState s = random_state(rng, 4);
+        // Ship it inside the message that actually carries states.
+        const Message msg = ApplyState{1, "dest", MergeMode::kFlexible, HistoryTag::kNormal, s, {}, {1, "src"}};
+        const auto decoded = decode_message(encode_message(msg));
+        ASSERT_TRUE(decoded.is_ok());
+        EXPECT_EQ(std::get<ApplyState>(decoded.value()).state, s);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StateRoundTrip, ::testing::Values(1, 7, 42, 1994));
+
+TEST(CodecFuzz, RandomEventsRoundTripThroughEventMsg) {
+    sim::Rng rng{31337};
+    for (int i = 0; i < 500; ++i) {
+        toolkit::Event e;
+        e.type = static_cast<toolkit::EventType>(rng.below(toolkit::kEventTypeCount));
+        e.path = "p" + std::to_string(rng.below(100));
+        if (rng.chance(0.5)) e.payload = std::string(rng.below(40), 'z');
+        if (rng.chance(0.3)) e.detail = "d";
+        const Message msg = EventMsg{rng.next(), {1, "root"}, "rel", e};
+        const auto decoded = decode_message(encode_message(msg));
+        ASSERT_TRUE(decoded.is_ok());
+        EXPECT_EQ(std::get<EventMsg>(decoded.value()).event, e);
+    }
+}
+
+}  // namespace
+}  // namespace cosoft::protocol

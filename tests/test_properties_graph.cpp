@@ -1,0 +1,195 @@
+// Property tests: the CoupleGraph against a brute-force reference model
+// under randomized operation sequences. The reference recomputes
+// connectivity from the raw link list on every query, so any divergence in
+// the incremental adjacency/closure maintenance shows up immediately.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "cosoft/server/couple_graph.hpp"
+#include "cosoft/server/lock_table.hpp"
+#include "cosoft/sim/rng.hpp"
+
+namespace cosoft::server {
+namespace {
+
+/// Brute-force reference: a bag of undirected links.
+class ReferenceGraph {
+  public:
+    bool add(const ObjectRef& a, const ObjectRef& b) {
+        if (linked(a, b)) return false;
+        links_.emplace_back(a, b);
+        return true;
+    }
+
+    bool remove(const ObjectRef& a, const ObjectRef& b) {
+        const auto it = std::find_if(links_.begin(), links_.end(), [&](const auto& l) {
+            return (l.first == a && l.second == b) || (l.first == b && l.second == a);
+        });
+        if (it == links_.end()) return false;
+        links_.erase(it);
+        return true;
+    }
+
+    void remove_object(const ObjectRef& o) {
+        std::erase_if(links_, [&](const auto& l) { return l.first == o || l.second == o; });
+    }
+
+    void remove_instance(InstanceId id) {
+        std::erase_if(links_,
+                      [&](const auto& l) { return l.first.instance == id || l.second.instance == id; });
+    }
+
+    [[nodiscard]] bool linked(const ObjectRef& a, const ObjectRef& b) const {
+        return std::any_of(links_.begin(), links_.end(), [&](const auto& l) {
+            return (l.first == a && l.second == b) || (l.first == b && l.second == a);
+        });
+    }
+
+    /// Connected component via fixpoint iteration over the link list.
+    [[nodiscard]] std::set<ObjectRef> component(const ObjectRef& o) const {
+        std::set<ObjectRef> comp{o};
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            for (const auto& [a, b] : links_) {
+                if (comp.contains(a) && !comp.contains(b)) {
+                    comp.insert(b);
+                    changed = true;
+                }
+                if (comp.contains(b) && !comp.contains(a)) {
+                    comp.insert(a);
+                    changed = true;
+                }
+            }
+        }
+        return comp;
+    }
+
+    [[nodiscard]] std::size_t link_count() const { return links_.size(); }
+
+  private:
+    std::vector<std::pair<ObjectRef, ObjectRef>> links_;
+};
+
+ObjectRef random_ref(sim::Rng& rng, std::uint32_t instances, std::uint32_t objects) {
+    return ObjectRef{static_cast<InstanceId>(1 + rng.below(instances)),
+                     "o" + std::to_string(rng.below(objects))};
+}
+
+class GraphProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GraphProperty, RandomOpsMatchReference) {
+    sim::Rng rng{GetParam()};
+    CoupleGraph graph;
+    ReferenceGraph reference;
+    constexpr std::uint32_t kInstances = 5;
+    constexpr std::uint32_t kObjects = 6;
+
+    for (int step = 0; step < 600; ++step) {
+        const std::uint64_t op = rng.below(100);
+        if (op < 45) {  // add link
+            const ObjectRef a = random_ref(rng, kInstances, kObjects);
+            const ObjectRef b = random_ref(rng, kInstances, kObjects);
+            const Status got = graph.add_link(a, b, a.instance);
+            if (a == b) {
+                EXPECT_FALSE(got.is_ok());
+            } else {
+                EXPECT_EQ(got.is_ok(), reference.add(a, b)) << "step " << step;
+            }
+        } else if (op < 75) {  // remove link
+            const ObjectRef a = random_ref(rng, kInstances, kObjects);
+            const ObjectRef b = random_ref(rng, kInstances, kObjects);
+            EXPECT_EQ(graph.remove_link(a, b).is_ok(), reference.remove(a, b)) << "step " << step;
+        } else if (op < 90) {  // destroy object
+            const ObjectRef o = random_ref(rng, kInstances, kObjects);
+            (void)graph.remove_object(o);
+            reference.remove_object(o);
+        } else {  // instance termination
+            const auto id = static_cast<InstanceId>(1 + rng.below(kInstances));
+            (void)graph.remove_instance(id);
+            reference.remove_instance(id);
+        }
+
+        ASSERT_EQ(graph.link_count(), reference.link_count()) << "step " << step;
+
+        // Spot-check closures for a few random objects.
+        for (int probe = 0; probe < 3; ++probe) {
+            const ObjectRef o = random_ref(rng, kInstances, kObjects);
+            const auto group = graph.group_of(o);
+            const auto expected = reference.component(o);
+            ASSERT_EQ(group.size(), expected.size()) << "step " << step << " obj " << to_string(o);
+            for (const ObjectRef& m : group) {
+                ASSERT_TRUE(expected.contains(m)) << "step " << step;
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GraphProperty, ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+TEST(GraphProperty, ComponentsOfPartitionIsExact) {
+    // components_of must partition the input: each object appears in exactly
+    // one component, and components equal the reference closure.
+    sim::Rng rng{777};
+    CoupleGraph graph;
+    ReferenceGraph reference;
+    std::vector<ObjectRef> objects;
+    for (int i = 0; i < 40; ++i) {
+        const ObjectRef a = random_ref(rng, 6, 8);
+        const ObjectRef b = random_ref(rng, 6, 8);
+        if (a == b) continue;
+        if (graph.add_link(a, b, 1).is_ok()) reference.add(a, b);
+        objects.push_back(a);
+        objects.push_back(b);
+    }
+    const auto components = graph.components_of(objects);
+    std::map<ObjectRef, int> seen;
+    for (const auto& comp : components) {
+        for (const ObjectRef& o : comp) seen[o]++;
+    }
+    for (const ObjectRef& o : objects) {
+        EXPECT_EQ(seen[o], 1) << to_string(o);
+        EXPECT_EQ(graph.group_of(o).size(), reference.component(o).size());
+    }
+}
+
+TEST(LockProperty, RandomLockUnlockNeverDoubleHolds) {
+    sim::Rng rng{99};
+    LockTable locks;
+    std::map<ObjectRef, LockTable::ActionKey> model;  // reference holder map
+    std::vector<LockTable::ActionKey> active;
+
+    for (int step = 0; step < 2000; ++step) {
+        if (rng.chance(0.6) || active.empty()) {
+            const LockTable::ActionKey key{static_cast<InstanceId>(1 + rng.below(4)),
+                                           static_cast<std::uint64_t>(step)};
+            std::vector<ObjectRef> want;
+            for (std::uint64_t i = 0, n = 1 + rng.below(4); i < n; ++i) {
+                want.push_back(ObjectRef{static_cast<InstanceId>(1 + rng.below(4)),
+                                         "o" + std::to_string(rng.below(5))});
+            }
+            const bool expect_ok = std::all_of(want.begin(), want.end(), [&](const ObjectRef& o) {
+                const auto it = model.find(o);
+                return it == model.end() || it->second == key;
+            });
+            const Status got = locks.try_lock_all(key, want);
+            ASSERT_EQ(got.is_ok(), expect_ok) << "step " << step;
+            if (got.is_ok()) {
+                for (const ObjectRef& o : want) model[o] = key;
+                active.push_back(key);
+            }
+        } else {
+            const std::size_t pick = rng.below(active.size());
+            const LockTable::ActionKey key = active[pick];
+            active.erase(active.begin() + static_cast<std::ptrdiff_t>(pick));
+            (void)locks.unlock_action(key);
+            std::erase_if(model, [&](const auto& kv) { return kv.second == key; });
+        }
+        ASSERT_EQ(locks.locked_count(), model.size()) << "step " << step;
+    }
+}
+
+}  // namespace
+}  // namespace cosoft::server

@@ -1,0 +1,206 @@
+// Randomized full-stack storms: many apps, random couple/decouple/emit/copy
+// operations with interleavings forced by network latency. After the dust
+// settles, the system-wide invariants of DESIGN.md must hold:
+//   - the lock table is empty and every widget is enabled;
+//   - each client's replicated coupling info equals the server's closure;
+//   - within a coupling group of text fields, all relevant state is equal.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cosoft/sim/rng.hpp"
+#include "helpers.hpp"
+
+namespace cosoft {
+namespace {
+
+using client::CoApp;
+using testing::Session;
+using toolkit::EventType;
+using toolkit::WidgetClass;
+
+constexpr std::uint32_t kApps = 5;
+constexpr std::uint32_t kFieldsPerApp = 3;
+
+std::string field_name(std::uint64_t i) { return "f" + std::to_string(i); }
+
+struct Storm {
+    Session session{net::PipeConfig{.latency = 500}};
+    sim::Rng rng;
+
+    explicit Storm(std::uint64_t seed) : rng(seed) {
+        for (std::uint32_t i = 0; i < kApps; ++i) {
+            CoApp& app = session.add_app("storm", "u" + std::to_string(i), i + 1);
+            for (std::uint32_t f = 0; f < kFieldsPerApp; ++f) {
+                (void)app.ui().root().add_child(WidgetClass::kTextField, field_name(f));
+            }
+        }
+    }
+
+    ObjectRef random_object() {
+        return ObjectRef{session.app(rng.below(kApps)).instance(), field_name(rng.below(kFieldsPerApp))};
+    }
+
+    /// `with_state_ops` additionally mixes in copy/undo, which deliberately
+    /// create *partial, temporary* divergence (that is the flexibility the
+    /// paper wants) — the convergence check only applies without them.
+    void random_op(int step, bool with_state_ops) {
+        const std::uint64_t op = rng.below(100);
+        const std::size_t actor = rng.below(kApps);
+        CoApp& app = session.app(actor);
+        const std::string path = field_name(rng.below(kFieldsPerApp));
+        if (op < 30) {
+            // Late join, the §3.1/§3.2 way: adopt a member's state, then
+            // couple ("after two complex UI objects are initially
+            // synchronized by copying the UI state...").
+            const ObjectRef target = random_object();
+            if (!(target == app.ref(path))) {
+                app.copy_from(target, path, protocol::MergeMode::kStrict);
+                session.run();
+                app.couple(path, target);
+            }
+        } else if (op < 45) {
+            app.decouple(path, random_object());
+        } else if (op < 85 || !with_state_ops) {
+            if (toolkit::Widget* w = app.ui().find(path); w != nullptr && w->enabled()) {
+                app.emit(path, w->make_event(EventType::kValueChanged, "v" + std::to_string(step)));
+            }
+        } else if (op < 95) {
+            app.copy_to(path, random_object(), protocol::MergeMode::kStrict);
+        } else {
+            app.undo(path);
+        }
+    }
+
+    void check_invariants(int step, bool check_convergence) {
+        // 1. All floor-control cycles completed.
+        ASSERT_EQ(session.server().locks().locked_count(), 0u) << "step " << step;
+        for (std::uint32_t i = 0; i < kApps; ++i) {
+            ASSERT_FALSE(session.app(i).has_locked_objects()) << "step " << step << " app " << i;
+            for (std::uint32_t f = 0; f < kFieldsPerApp; ++f) {
+                ASSERT_TRUE(session.app(i).ui().find(field_name(f))->enabled())
+                    << "step " << step << " app " << i << " field " << f;
+            }
+        }
+        // 2. Client replicas agree with the server's closure.
+        for (std::uint32_t i = 0; i < kApps; ++i) {
+            CoApp& app = session.app(i);
+            for (std::uint32_t f = 0; f < kFieldsPerApp; ++f) {
+                const ObjectRef self = app.ref(field_name(f));
+                const auto server_group = session.server().couples().group_of(self);
+                const auto replica = app.coupled_with(field_name(f));
+                if (server_group.size() <= 1) {
+                    ASSERT_TRUE(replica.empty()) << "step " << step << " " << to_string(self);
+                } else {
+                    ASSERT_EQ(replica.size(), server_group.size() - 1)
+                        << "step " << step << " " << to_string(self);
+                    const std::set<ObjectRef> expect{server_group.begin(), server_group.end()};
+                    for (const ObjectRef& m : replica) {
+                        ASSERT_TRUE(expect.contains(m)) << "step " << step;
+                    }
+                }
+            }
+        }
+        // 3. Within a group, relevant state (the text value) converged —
+        // only guaranteed when every membership change included the initial
+        // state copy and no one-shot state op (copy/undo) intervened.
+        if (!check_convergence) return;
+        std::set<ObjectRef> checked;
+        for (std::uint32_t i = 0; i < kApps; ++i) {
+            for (std::uint32_t f = 0; f < kFieldsPerApp; ++f) {
+                const ObjectRef self{session.app(i).instance(), field_name(f)};
+                if (checked.contains(self)) continue;
+                const auto group = session.server().couples().group_of(self);
+                if (group.size() <= 1) continue;
+                std::set<std::string> values;
+                for (const ObjectRef& m : group) {
+                    checked.insert(m);
+                    // instance ids are 1-based and assigned in add order
+                    CoApp& owner = session.app(m.instance - 1);
+                    values.insert(owner.ui().find(m.path)->text("value"));
+                }
+                ASSERT_EQ(values.size(), 1u) << "step " << step << " group of " << to_string(self)
+                                             << " diverged";
+            }
+        }
+    }
+};
+
+class StackStorm : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StackStorm, LockAndReplicaInvariantsUnderFullRandomOps) {
+    Storm storm{GetParam()};
+    for (int step = 0; step < 250; ++step) {
+        // A small burst of concurrent operations, then settle.
+        const std::uint64_t burst = 1 + storm.rng.below(3);
+        for (std::uint64_t b = 0; b < burst; ++b) storm.random_op(step, /*with_state_ops=*/true);
+        storm.session.run();
+        storm.check_invariants(step, /*check_convergence=*/false);
+    }
+}
+
+TEST_P(StackStorm, AnEventConvergesItsWholeGroup) {
+    // The actual §3.2 guarantee: whatever divergence state ops or group
+    // merges produced, one re-executed event makes the touched group's
+    // relevant state identical at every member.
+    Storm storm{GetParam() * 31 + 1};
+    for (int step = 0; step < 150; ++step) {
+        storm.random_op(step, /*with_state_ops=*/true);
+        storm.session.run();
+
+        CoApp& probe_app = storm.session.app(storm.rng.below(kApps));
+        const std::string path = field_name(storm.rng.below(kFieldsPerApp));
+        toolkit::Widget* w = probe_app.ui().find(path);
+        if (w == nullptr || !w->enabled() || !probe_app.is_coupled(path)) continue;
+        probe_app.emit(path, w->make_event(EventType::kValueChanged, "probe" + std::to_string(step)));
+        storm.session.run();
+
+        const auto group = storm.session.server().couples().group_of(probe_app.ref(path));
+        std::set<std::string> values;
+        for (const ObjectRef& m : group) {
+            values.insert(storm.session.app(m.instance - 1).ui().find(m.path)->text("value"));
+        }
+        ASSERT_EQ(values.size(), 1u) << "step " << step << " group of " << to_string(probe_app.ref(path));
+        ASSERT_EQ(*values.begin(), "probe" + std::to_string(step)) << "step " << step;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StackStorm, ::testing::Values(11, 22, 33, 44, 55, 66));
+
+TEST(StackStorm, ChurningMembershipKeepsLocksAndReplicasClean) {
+    // One hot object per app, constant re-grouping plus edits by a group
+    // member; after each member edit, that group has converged.
+    Storm storm{4242};
+    for (int round = 0; round < 60; ++round) {
+        // re-group: copy-then-couple (late join)
+        CoApp& joiner = storm.session.app(round % kApps);
+        const ObjectRef target{storm.session.app((round + 1) % kApps).instance(), field_name(0)};
+        joiner.copy_from(target, field_name(0), protocol::MergeMode::kStrict);
+        storm.session.run();
+        joiner.couple(field_name(0), target);
+        storm.session.run();
+
+        // edit by a group member re-converges the (possibly merged) group
+        if (toolkit::Widget* w = joiner.ui().find(field_name(0)); w->enabled()) {
+            joiner.emit(field_name(0), w->make_event(EventType::kValueChanged, "r" + std::to_string(round)));
+        }
+        storm.session.run();
+
+        const auto group = storm.session.server().couples().group_of(joiner.ref(field_name(0)));
+        std::set<std::string> values;
+        for (const ObjectRef& m : group) {
+            values.insert(storm.session.app(m.instance - 1).ui().find(m.path)->text("value"));
+        }
+        EXPECT_EQ(values.size(), 1u) << "round " << round;
+
+        // shrink
+        if (round % 3 == 0) {
+            joiner.decouple(field_name(0), target);
+            storm.session.run();
+        }
+        storm.check_invariants(round, /*check_convergence=*/false);
+    }
+}
+
+}  // namespace
+}  // namespace cosoft

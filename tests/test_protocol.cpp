@@ -1,0 +1,145 @@
+// Wire-protocol tests: every message type round-trips; malformed frames are
+// rejected rather than misparsed.
+#include <gtest/gtest.h>
+
+#include "cosoft/protocol/messages.hpp"
+
+namespace cosoft::protocol {
+namespace {
+
+toolkit::UiState sample_state() {
+    toolkit::UiState s;
+    s.cls = toolkit::WidgetClass::kForm;
+    s.name = "query";
+    s.attributes = {{"title", std::string{"Q"}}};
+    toolkit::UiState child;
+    child.cls = toolkit::WidgetClass::kTextField;
+    child.name = "author";
+    child.attributes = {{"value", std::string{"Hoppe"}}};
+    s.children.push_back(std::move(child));
+    return s;
+}
+
+toolkit::Event sample_event() {
+    toolkit::Event e;
+    e.type = toolkit::EventType::kValueChanged;
+    e.path = "query/author";
+    e.payload = std::string{"Zhao"};
+    return e;
+}
+
+std::vector<Message> all_samples() {
+    return {
+        Register{7, "alice", "host1", "tori"},
+        RegisterAck{3},
+        Unregister{},
+        RegistryQuery{11},
+        RegistryReply{11, {{1, 7, "alice", "host1", "tori"}, {2, 8, "bob", "host2", "cosoft"}}},
+        CoupleReq{5, {1, "a/b"}, {2, "x/y"}},
+        DecoupleReq{6, {1, "a/b"}, {2, "x/y"}},
+        GroupUpdate{{{1, "a"}, {2, "b"}, {3, "c"}}},
+        LockReq{9, {1, "a"}, {{1, "a"}, {2, "b"}}},
+        LockGrant{9},
+        LockDeny{9, {2, "b"}},
+        LockNotify{9, true, {{2, "b"}}},
+        EventMsg{9, {1, "a"}, "sub/field", sample_event()},
+        ExecuteEvent{9, {1, "a"}, {2, "b"}, "sub/field", sample_event()},
+        ExecuteAck{9},
+        CopyTo{12, {2, "dst"}, MergeMode::kFlexible, sample_state(), {1, 2, 3}},
+        CopyFrom{13, {2, "src"}, "local/dst", MergeMode::kDestructive},
+        RemoteCopy{14, {2, "src"}, {3, "dst"}, MergeMode::kStrict},
+        StateQuery{15, "some/path"},
+        StateReply{15, "some/path", true, sample_state(), {9}},
+        ApplyState{16, "dst/path", MergeMode::kFlexible, HistoryTag::kUndo, sample_state(), {7, 7}, {2, "src"}},
+        HistorySave{{1, "obj"}, HistoryTag::kRedo, sample_state()},
+        UndoReq{17, {1, "obj"}},
+        RedoReq{18, {1, "obj"}},
+        Command{19, "open-exercise", 4, {0xde, 0xad}},
+        CommandDeliver{4, "open-exercise", {0xbe, 0xef}},
+        PermissionSet{20, 7, {1, "board"}, kAllRights, false},
+        Ack{21, ErrorCode::kLockConflict, "held elsewhere"},
+        FetchState{22, {3, "exercise"}},
+        SetCouplingMode{23, {1, "pad"}, true},
+        SyncRequest{24, {1, "pad"}},
+    };
+}
+
+class MessageRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MessageRoundTrip, EncodeDecodePreservesEverything) {
+    const Message original = all_samples()[GetParam()];
+    const auto frame = encode_message(original);
+    auto decoded = decode_message(frame);
+    ASSERT_TRUE(decoded.is_ok()) << message_name(original) << ": " << decoded.error().message;
+    EXPECT_EQ(decoded.value(), original) << message_name(original);
+    EXPECT_EQ(message_name(decoded.value()), message_name(original));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTypes, MessageRoundTrip, ::testing::Range<std::size_t>(0, 31),
+                         [](const ::testing::TestParamInfo<std::size_t>& info) {
+                             return std::string{message_name(all_samples()[info.param])};
+                         });
+
+TEST(MessageDecode, SampleSetCoversEveryVariantAlternative) {
+    // Guards against someone adding a message type without a round-trip test.
+    ASSERT_EQ(all_samples().size(), std::variant_size_v<Message>);
+    std::vector<bool> seen(std::variant_size_v<Message>, false);
+    for (const Message& m : all_samples()) seen[m.index()] = true;
+    for (std::size_t i = 0; i < seen.size(); ++i) EXPECT_TRUE(seen[i]) << "variant index " << i;
+}
+
+TEST(MessageDecode, UnknownTagRejected) {
+    const std::vector<std::uint8_t> frame{0xff, 0x00};
+    EXPECT_FALSE(decode_message(frame).is_ok());
+}
+
+TEST(MessageDecode, EmptyFrameRejected) {
+    // An empty frame decodes tag 0 from a failed reader; it must not be
+    // accepted as a valid Register.
+    EXPECT_FALSE(decode_message(std::span<const std::uint8_t>{}).is_ok());
+}
+
+TEST(MessageDecode, TruncatedFramesRejected) {
+    for (const Message& m : all_samples()) {
+        const auto frame = encode_message(m);
+        if (frame.size() <= 1) continue;
+        // Chop the frame at several points; none may decode successfully.
+        for (const std::size_t cut : {frame.size() / 2, frame.size() - 1}) {
+            if (cut == 0) continue;
+            const std::span<const std::uint8_t> truncated{frame.data(), cut};
+            const auto decoded = decode_message(truncated);
+            if (decoded.is_ok()) {
+                // Only acceptable if truncation removed nothing semantic —
+                // never the case for our length-prefixed encodings.
+                FAIL() << message_name(m) << " decoded from a truncated frame of " << cut << "/"
+                       << frame.size() << " bytes";
+            }
+        }
+    }
+}
+
+TEST(MessageDecode, TrailingGarbageRejected) {
+    auto frame = encode_message(Message{LockGrant{1}});
+    frame.push_back(0x77);
+    EXPECT_FALSE(decode_message(frame).is_ok());
+}
+
+TEST(ObjectRefCodec, RoundTrip) {
+    ByteWriter w;
+    encode(w, ObjectRef{42, "a/b/c"});
+    ByteReader r{w.data()};
+    const ObjectRef ref = decode_object_ref(r);
+    EXPECT_EQ(ref, (ObjectRef{42, "a/b/c"}));
+    EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Rights, MaskSemantics) {
+    constexpr auto mask = static_cast<RightsMask>(static_cast<RightsMask>(Right::kView) |
+                                                  static_cast<RightsMask>(Right::kModify));
+    EXPECT_TRUE(mask & static_cast<RightsMask>(Right::kView));
+    EXPECT_FALSE(mask & static_cast<RightsMask>(Right::kCouple));
+    EXPECT_EQ(kAllRights, 7);
+}
+
+}  // namespace
+}  // namespace cosoft::protocol

@@ -1,0 +1,137 @@
+// Tests for the ActionRecorder — the §3.1 recorded-actions alternative.
+#include <gtest/gtest.h>
+
+#include "cosoft/client/recorder.hpp"
+#include "helpers.hpp"
+
+namespace cosoft {
+namespace {
+
+using client::ActionRecorder;
+using client::CoApp;
+using testing::Session;
+using toolkit::EventType;
+using toolkit::Widget;
+using toolkit::WidgetClass;
+
+void build_pad(CoApp& app, const std::string& name) {
+    Widget* pad = app.ui().root().add_child(WidgetClass::kForm, name).value();
+    (void)pad->add_child(WidgetClass::kTextField, "title");
+    (void)pad->add_child(WidgetClass::kCanvas, "sketch");
+}
+
+TEST(Recorder, CapturesEventsUnderTheObjectOnly) {
+    Session s;
+    CoApp& a = s.add_app("A", "alice", 1);
+    build_pad(a, "pad");
+    (void)a.ui().root().add_child(WidgetClass::kTextField, "unrelated");
+
+    ActionRecorder rec{a, "pad"};
+    a.emit("pad/title", a.ui().find("pad/title")->make_event(EventType::kValueChanged, std::string{"t"}));
+    a.emit("pad/sketch", a.ui().find("pad/sketch")->make_event(EventType::kStroke, std::string{"s1"}));
+    a.emit("unrelated", a.ui().find("unrelated")->make_event(EventType::kValueChanged, std::string{"x"}));
+
+    ASSERT_EQ(rec.log().size(), 2u);
+    EXPECT_EQ(rec.log()[0].path, "pad/title");
+    EXPECT_EQ(rec.log()[1].path, "pad/sketch");
+}
+
+TEST(Recorder, StartStopClearControlCapture) {
+    Session s;
+    CoApp& a = s.add_app("A", "alice", 1);
+    build_pad(a, "pad");
+    ActionRecorder rec{a, "pad"};
+
+    a.emit("pad/title", a.ui().find("pad/title")->make_event(EventType::kValueChanged, std::string{"one"}));
+    rec.stop();
+    a.emit("pad/title", a.ui().find("pad/title")->make_event(EventType::kValueChanged, std::string{"two"}));
+    rec.start();
+    a.emit("pad/title", a.ui().find("pad/title")->make_event(EventType::kValueChanged, std::string{"three"}));
+    EXPECT_EQ(rec.log().size(), 2u);
+    rec.clear();
+    EXPECT_TRUE(rec.log().empty());
+}
+
+TEST(Recorder, ReplayOntoLocalObjectReproducesState) {
+    Session s;
+    CoApp& a = s.add_app("A", "alice", 1);
+    build_pad(a, "pad");
+    build_pad(a, "copy");
+
+    ActionRecorder rec{a, "pad"};
+    a.emit("pad/title", a.ui().find("pad/title")->make_event(EventType::kValueChanged, std::string{"v"}));
+    for (int i = 0; i < 5; ++i) {
+        a.emit("pad/sketch",
+               a.ui().find("pad/sketch")->make_event(EventType::kStroke, "s" + std::to_string(i)));
+    }
+
+    ASSERT_TRUE(rec.replay_onto(*a.ui().find("copy")).is_ok());
+    EXPECT_EQ(a.ui().find("copy/title")->text("value"), "v");
+    EXPECT_EQ(a.ui().find("copy/sketch")->text_list("strokes").size(), 5u);
+    // Replaying did not re-record its own events.
+    EXPECT_EQ(rec.log().size(), 6u);
+}
+
+TEST(Recorder, ReplayToRemoteInstanceOverTheWire) {
+    Session s;
+    CoApp& a = s.add_app("A", "alice", 1);
+    CoApp& b = s.add_app("B", "bob", 2);
+    build_pad(a, "pad");
+    build_pad(b, "pad");
+    ActionRecorder::enable_remote_replay(b);
+
+    ActionRecorder rec{a, "pad"};
+    a.emit("pad/title", a.ui().find("pad/title")->make_event(EventType::kValueChanged, std::string{"late"}));
+    a.emit("pad/sketch", a.ui().find("pad/sketch")->make_event(EventType::kStroke, std::string{"line"}));
+
+    Status st{ErrorCode::kInvalidArgument, "pending"};
+    rec.replay_to(b.ref("pad"), [&](const Status& r) { st = r; });
+    s.run();
+    ASSERT_TRUE(st.is_ok()) << st.message();
+    EXPECT_EQ(b.ui().find("pad/title")->text("value"), "late");
+    EXPECT_EQ(b.ui().find("pad/sketch")->text_list("strokes"), std::vector<std::string>{"line"});
+}
+
+TEST(Recorder, EmptyLogReplaysTrivially) {
+    Session s;
+    CoApp& a = s.add_app("A", "alice", 1);
+    CoApp& b = s.add_app("B", "bob", 2);
+    build_pad(a, "pad");
+    build_pad(b, "pad");
+    ActionRecorder rec{a, "pad"};
+    bool done = false;
+    rec.replay_to(b.ref("pad"), [&](const Status& st) { done = st.is_ok(); });
+    s.run();
+    EXPECT_TRUE(done);
+}
+
+TEST(Recorder, CapturesReExecutedEventsFromCoupledPeers) {
+    // The recorder sees re-executions too: recording at B while A drives a
+    // coupled object captures A's actions as they land.
+    Session s;
+    CoApp& a = s.add_app("A", "alice", 1);
+    CoApp& b = s.add_app("B", "bob", 2);
+    build_pad(a, "pad");
+    build_pad(b, "pad");
+    a.couple("pad", b.ref("pad"));
+    s.run();
+
+    ActionRecorder rec{b, "pad"};
+    a.emit("pad/title", a.ui().find("pad/title")->make_event(EventType::kValueChanged, std::string{"from-a"}));
+    s.run();
+    ASSERT_EQ(rec.log().size(), 1u);
+    EXPECT_EQ(rec.log()[0].path, "pad/title");
+}
+
+TEST(Recorder, ReplayOntoMissingTargetReportsError) {
+    Session s;
+    CoApp& a = s.add_app("A", "alice", 1);
+    build_pad(a, "pad");
+    Widget* bare = a.ui().root().add_child(WidgetClass::kForm, "bare").value();
+    ActionRecorder rec{a, "pad"};
+    a.emit("pad/title", a.ui().find("pad/title")->make_event(EventType::kValueChanged, std::string{"v"}));
+    EXPECT_EQ(rec.replay_onto(*bare).code(), ErrorCode::kUnknownObject);
+}
+
+}  // namespace
+}  // namespace cosoft

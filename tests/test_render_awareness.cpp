@@ -1,0 +1,156 @@
+// Tests for the text renderer (the toolkit's display layer) and the
+// group-awareness hooks on CoApp.
+#include <gtest/gtest.h>
+
+#include "cosoft/toolkit/builder.hpp"
+#include "cosoft/toolkit/render.hpp"
+#include "helpers.hpp"
+
+namespace cosoft {
+namespace {
+
+using client::CoApp;
+using testing::Session;
+using toolkit::render;
+using toolkit::render_line;
+using toolkit::RenderOptions;
+using toolkit::Widget;
+using toolkit::WidgetClass;
+
+TEST(Render, EveryWidgetClassHasARepresentation) {
+    toolkit::WidgetTree tree;
+    for (std::size_t i = 0; i < toolkit::kWidgetClassCount; ++i) {
+        const auto cls = static_cast<WidgetClass>(i);
+        Widget* w = tree.root().add_child(cls, "w" + std::to_string(i)).value();
+        EXPECT_FALSE(render_line(*w).empty()) << to_string(cls);
+    }
+    const std::string all = render(tree.root());
+    EXPECT_GT(std::count(all.begin(), all.end(), '\n'), 10);
+}
+
+TEST(Render, TextFieldShowsValueInBrackets) {
+    toolkit::WidgetTree tree;
+    Widget* f = tree.root().add_child(WidgetClass::kTextField, "author").value();
+    (void)f->set_attribute("label", std::string{"Author"});
+    (void)f->set_attribute("value", std::string{"Hoppe"});
+    const std::string line = render_line(*f);
+    EXPECT_NE(line.find("Author: [Hoppe"), std::string::npos) << line;
+}
+
+TEST(Render, MenuShowsSelection) {
+    toolkit::WidgetTree tree;
+    Widget* m = tree.root().add_child(WidgetClass::kMenu, "op").value();
+    (void)m->set_attribute("selection", std::string{"substring"});
+    EXPECT_NE(render_line(*m).find("<substring v>"), std::string::npos);
+}
+
+TEST(Render, ListMarksSelection) {
+    toolkit::WidgetTree tree;
+    Widget* l = tree.root().add_child(WidgetClass::kList, "items").value();
+    (void)l->set_attribute("items", std::vector<std::string>{"a", "b"});
+    (void)l->set_attribute("selection", std::string{"b"});
+    const std::string line = render_line(*l);
+    EXPECT_NE(line.find("- a"), std::string::npos);
+    EXPECT_NE(line.find("> b"), std::string::npos);
+}
+
+TEST(Render, ToggleAndSlider) {
+    toolkit::WidgetTree tree;
+    Widget* t = tree.root().add_child(WidgetClass::kToggle, "opt").value();
+    (void)t->set_attribute("value", true);
+    (void)t->set_attribute("label", std::string{"Sync"});
+    EXPECT_NE(render_line(*t).find("[x] Sync"), std::string::npos);
+
+    Widget* s = tree.root().add_child(WidgetClass::kSlider, "vol").value();
+    (void)s->set_attribute("value", 50.0);
+    const std::string line = render_line(*s);
+    EXPECT_NE(line.find('o'), std::string::npos);
+    EXPECT_NE(line.find("50"), std::string::npos);
+}
+
+TEST(Render, DisabledAnnotationAndHiddenWidgets) {
+    toolkit::WidgetTree tree;
+    Widget* b = tree.root().add_child(WidgetClass::kButton, "go").value();
+    b->set_enabled(false);
+    EXPECT_NE(render_line(*b).find("(disabled)"), std::string::npos);
+
+    Widget* hidden = tree.root().add_child(WidgetClass::kLabel, "ghost").value();
+    (void)hidden->set_attribute("visible", false);
+    (void)hidden->set_attribute("label", std::string{"INVISIBLE"});
+    EXPECT_EQ(render(tree.root()).find("INVISIBLE"), std::string::npos);
+    EXPECT_NE(render(tree.root(), RenderOptions{.show_hidden = true}).find("INVISIBLE"), std::string::npos);
+}
+
+TEST(Render, NestedFormsIndent) {
+    toolkit::WidgetTree tree;
+    ASSERT_TRUE(toolkit::build_from_text(tree.root(),
+                                         "tori:form title=\"TORI\"\n"
+                                         "  query:form title=\"Query\"\n"
+                                         "    author:textfield\n")
+                    .is_ok());
+    const std::string out = render(tree.root());
+    EXPECT_NE(out.find("+== TORI =="), std::string::npos);
+    EXPECT_NE(out.find("  +== Query =="), std::string::npos);
+    EXPECT_NE(out.find("    author:"), std::string::npos);
+}
+
+TEST(Awareness, ObserverFiresOnCoupleAndDecouple) {
+    Session s;
+    CoApp& a = s.add_app("A", "alice", 1);
+    CoApp& b = s.add_app("B", "bob", 2);
+    (void)a.ui().root().add_child(WidgetClass::kTextField, "f");
+    (void)b.ui().root().add_child(WidgetClass::kTextField, "f");
+
+    std::vector<std::pair<std::string, std::size_t>> events;  // (path, group size)
+    b.on_group_change([&](const std::string& path, const std::vector<ObjectRef>& members) {
+        events.emplace_back(path, members.size());
+    });
+
+    a.couple("f", b.ref("f"));
+    s.run();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0], std::make_pair(std::string{"f"}, std::size_t{2}));
+
+    a.decouple("f", b.ref("f"));
+    s.run();
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[1].second, 1u);  // alone again
+    EXPECT_FALSE(b.is_coupled("f"));
+}
+
+TEST(Awareness, CoupledPathsListsActiveGroups) {
+    Session s;
+    CoApp& a = s.add_app("A", "alice", 1);
+    CoApp& b = s.add_app("B", "bob", 2);
+    for (const char* n : {"x", "y", "z"}) {
+        (void)a.ui().root().add_child(WidgetClass::kTextField, n);
+        (void)b.ui().root().add_child(WidgetClass::kTextField, n);
+    }
+    a.couple("x", b.ref("x"));
+    a.couple("z", b.ref("z"));
+    s.run();
+    EXPECT_EQ(a.coupled_paths(), (std::vector<std::string>{"x", "z"}));
+    EXPECT_EQ(b.coupled_paths(), (std::vector<std::string>{"x", "z"}));
+}
+
+TEST(Awareness, ObserverSeesGroupGrowth) {
+    Session s;
+    CoApp& a = s.add_app("A", "alice", 1);
+    CoApp& b = s.add_app("B", "bob", 2);
+    CoApp& c = s.add_app("C", "carol", 3);
+    for (CoApp* app : {&a, &b, &c}) (void)app->ui().root().add_child(WidgetClass::kTextField, "f");
+
+    std::vector<std::size_t> sizes;
+    a.on_group_change([&](const std::string&, const std::vector<ObjectRef>& m) { sizes.push_back(m.size()); });
+
+    a.couple("f", b.ref("f"));
+    s.run();
+    b.couple("f", c.ref("f"));
+    s.run();
+    ASSERT_EQ(sizes.size(), 2u);
+    EXPECT_EQ(sizes[0], 2u);
+    EXPECT_EQ(sizes[1], 3u);
+}
+
+}  // namespace
+}  // namespace cosoft

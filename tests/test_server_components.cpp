@@ -1,0 +1,271 @@
+// Unit tests for the server's four databases (§2.1): couple relation,
+// lock table, historical UI states, access permissions.
+#include <gtest/gtest.h>
+
+#include "cosoft/server/couple_graph.hpp"
+#include "cosoft/server/history_store.hpp"
+#include "cosoft/server/lock_table.hpp"
+#include "cosoft/server/permission_table.hpp"
+
+namespace cosoft::server {
+namespace {
+
+using protocol::Right;
+
+ObjectRef o(InstanceId i, const char* p) { return {i, p}; }
+
+TEST(CoupleGraph, AddAndQueryLinks) {
+    CoupleGraph g;
+    ASSERT_TRUE(g.add_link(o(1, "a"), o(2, "b"), 1).is_ok());
+    EXPECT_TRUE(g.linked(o(1, "a"), o(2, "b")));
+    EXPECT_TRUE(g.linked(o(2, "b"), o(1, "a")));  // undirected reachability
+    EXPECT_EQ(g.link_count(), 1u);
+    EXPECT_EQ(g.object_count(), 2u);
+}
+
+TEST(CoupleGraph, RejectsDuplicatesSelfLinksAndInvalidRefs) {
+    CoupleGraph g;
+    ASSERT_TRUE(g.add_link(o(1, "a"), o(2, "b"), 1).is_ok());
+    EXPECT_EQ(g.add_link(o(1, "a"), o(2, "b"), 1).code(), ErrorCode::kAlreadyCoupled);
+    EXPECT_EQ(g.add_link(o(2, "b"), o(1, "a"), 2).code(), ErrorCode::kAlreadyCoupled);
+    EXPECT_EQ(g.add_link(o(1, "a"), o(1, "a"), 1).code(), ErrorCode::kInvalidArgument);
+    EXPECT_EQ(g.add_link(ObjectRef{}, o(1, "a"), 1).code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(CoupleGraph, TransitiveClosureIsTheGroup) {
+    CoupleGraph g;
+    ASSERT_TRUE(g.add_link(o(1, "a"), o(2, "b"), 1).is_ok());
+    ASSERT_TRUE(g.add_link(o(2, "b"), o(3, "c"), 2).is_ok());
+    ASSERT_TRUE(g.add_link(o(3, "c"), o(4, "d"), 3).is_ok());
+    EXPECT_EQ(g.group_of(o(1, "a")).size(), 4u);
+    EXPECT_EQ(g.coupled_with(o(1, "a")).size(), 3u);
+    // CO(o) excludes o itself.
+    const auto co = g.coupled_with(o(2, "b"));
+    EXPECT_EQ(std::count(co.begin(), co.end(), o(2, "b")), 0);
+}
+
+TEST(CoupleGraph, SeparateComponentsStaySeparate) {
+    CoupleGraph g;
+    ASSERT_TRUE(g.add_link(o(1, "a"), o(2, "b"), 1).is_ok());
+    ASSERT_TRUE(g.add_link(o(3, "c"), o(4, "d"), 3).is_ok());
+    EXPECT_EQ(g.group_of(o(1, "a")).size(), 2u);
+    EXPECT_EQ(g.group_of(o(3, "c")).size(), 2u);
+}
+
+TEST(CoupleGraph, RemoveLinkSplitsGroups) {
+    CoupleGraph g;
+    ASSERT_TRUE(g.add_link(o(1, "a"), o(2, "b"), 1).is_ok());
+    ASSERT_TRUE(g.add_link(o(2, "b"), o(3, "c"), 2).is_ok());
+    ASSERT_TRUE(g.remove_link(o(2, "b"), o(3, "c")).is_ok());
+    EXPECT_EQ(g.group_of(o(1, "a")).size(), 2u);
+    EXPECT_EQ(g.group_of(o(3, "c")).size(), 1u);  // singleton again
+    EXPECT_EQ(g.remove_link(o(2, "b"), o(3, "c")).code(), ErrorCode::kNotCoupled);
+}
+
+TEST(CoupleGraph, RemoveLinkMatchesEitherDirection) {
+    CoupleGraph g;
+    ASSERT_TRUE(g.add_link(o(1, "a"), o(2, "b"), 1).is_ok());
+    ASSERT_TRUE(g.remove_link(o(2, "b"), o(1, "a")).is_ok());
+    EXPECT_EQ(g.link_count(), 0u);
+}
+
+TEST(CoupleGraph, RemoveObjectDropsAllItsLinks) {
+    CoupleGraph g;
+    ASSERT_TRUE(g.add_link(o(1, "hub"), o(2, "x"), 1).is_ok());
+    ASSERT_TRUE(g.add_link(o(1, "hub"), o(3, "y"), 1).is_ok());
+    const auto affected = g.remove_object(o(1, "hub"));
+    EXPECT_EQ(affected.size(), 2u);
+    EXPECT_EQ(g.link_count(), 0u);
+    EXPECT_FALSE(g.contains(o(1, "hub")));
+}
+
+TEST(CoupleGraph, RemoveInstanceDropsEveryObjectOfThatInstance) {
+    CoupleGraph g;
+    ASSERT_TRUE(g.add_link(o(1, "a"), o(2, "b"), 1).is_ok());
+    ASSERT_TRUE(g.add_link(o(1, "c"), o(3, "d"), 1).is_ok());
+    ASSERT_TRUE(g.add_link(o(2, "b"), o(3, "d"), 2).is_ok());
+    const auto affected = g.remove_instance(1);
+    // Survivors whose groups changed: 2:b and 3:d.
+    EXPECT_EQ(affected.size(), 2u);
+    EXPECT_EQ(g.link_count(), 1u);  // 2:b -- 3:d survives
+    EXPECT_TRUE(g.linked(o(2, "b"), o(3, "d")));
+}
+
+TEST(CoupleGraph, ComponentsOfPartitionsObjects) {
+    CoupleGraph g;
+    ASSERT_TRUE(g.add_link(o(1, "a"), o(2, "b"), 1).is_ok());
+    const auto comps = g.components_of({o(1, "a"), o(2, "b"), o(9, "lonely")});
+    ASSERT_EQ(comps.size(), 2u);
+    EXPECT_EQ(comps[0].size() + comps[1].size(), 3u);
+}
+
+TEST(LockTable, AtomicLockOverSet) {
+    LockTable t;
+    const LockTable::ActionKey k1{1, 100};
+    ASSERT_TRUE(t.try_lock_all(k1, {o(1, "a"), o(2, "b")}).is_ok());
+    EXPECT_TRUE(t.is_locked(o(1, "a")));
+    EXPECT_TRUE(t.is_locked(o(2, "b")));
+    EXPECT_EQ(t.locked_count(), 2u);
+    EXPECT_EQ(t.holder(o(1, "a")), k1);
+}
+
+TEST(LockTable, ConflictLeavesNothingLocked) {
+    LockTable t;
+    const LockTable::ActionKey k1{1, 100};
+    const LockTable::ActionKey k2{2, 200};
+    ASSERT_TRUE(t.try_lock_all(k1, {o(2, "b")}).is_ok());
+    ObjectRef conflict;
+    const Status s = t.try_lock_all(k2, {o(1, "a"), o(2, "b"), o(3, "c")}, &conflict);
+    EXPECT_EQ(s.code(), ErrorCode::kLockConflict);
+    EXPECT_EQ(conflict, o(2, "b"));
+    // The failed attempt must not leave partial locks ("undo locking").
+    EXPECT_FALSE(t.is_locked(o(1, "a")));
+    EXPECT_FALSE(t.is_locked(o(3, "c")));
+}
+
+TEST(LockTable, ReentrantLockBySameActionIsIdempotent) {
+    LockTable t;
+    const LockTable::ActionKey k{1, 1};
+    ASSERT_TRUE(t.try_lock_all(k, {o(1, "a")}).is_ok());
+    ASSERT_TRUE(t.try_lock_all(k, {o(1, "a"), o(2, "b")}).is_ok());
+    EXPECT_EQ(t.locked_count(), 2u);
+    const auto released = t.unlock_action(k);
+    EXPECT_EQ(released.size(), 2u);
+    EXPECT_EQ(t.locked_count(), 0u);
+}
+
+TEST(LockTable, UnlockInstanceReleasesAllItsActions) {
+    LockTable t;
+    ASSERT_TRUE(t.try_lock_all({1, 1}, {o(1, "a")}).is_ok());
+    ASSERT_TRUE(t.try_lock_all({1, 2}, {o(2, "b")}).is_ok());
+    ASSERT_TRUE(t.try_lock_all({2, 3}, {o(3, "c")}).is_ok());
+    const auto released = t.unlock_instance(1);
+    EXPECT_EQ(released.size(), 2u);
+    EXPECT_TRUE(t.is_locked(o(3, "c")));
+}
+
+TEST(LockTable, UnlockUnknownActionIsEmpty) {
+    LockTable t;
+    EXPECT_TRUE(t.unlock_action({9, 9}).empty());
+}
+
+toolkit::UiState state_with_title(const std::string& title) {
+    toolkit::UiState s;
+    s.cls = toolkit::WidgetClass::kForm;
+    s.name = "f";
+    s.attributes = {{"title", title}};
+    return s;
+}
+
+TEST(HistoryStore, UndoRedoStacksWork) {
+    HistoryStore h;
+    const ObjectRef obj = o(1, "f");
+    h.push_overwritten(obj, state_with_title("v1"));
+    h.push_overwritten(obj, state_with_title("v2"));
+    EXPECT_EQ(h.undo_depth(obj), 2u);
+
+    auto s = h.pop_undo(obj);
+    ASSERT_TRUE(s.has_value());
+    EXPECT_EQ(*s->find_attribute("title"), toolkit::AttributeValue{std::string{"v2"}});
+    h.push_redo(obj, state_with_title("current"));
+    EXPECT_EQ(h.redo_depth(obj), 1u);
+
+    auto r = h.pop_redo(obj);
+    ASSERT_TRUE(r.has_value());
+    h.push_undo_preserving_redo(obj, state_with_title("v2-again"));
+    EXPECT_EQ(h.undo_depth(obj), 2u);
+}
+
+TEST(HistoryStore, NewEditInvalidatesRedo) {
+    HistoryStore h;
+    const ObjectRef obj = o(1, "f");
+    h.push_overwritten(obj, state_with_title("v1"));
+    h.push_redo(obj, state_with_title("r1"));
+    EXPECT_EQ(h.redo_depth(obj), 1u);
+    h.push_overwritten(obj, state_with_title("v2"));
+    EXPECT_EQ(h.redo_depth(obj), 0u);
+}
+
+TEST(HistoryStore, DepthIsBounded) {
+    HistoryStore h{4};
+    const ObjectRef obj = o(1, "f");
+    for (int i = 0; i < 10; ++i) h.push_overwritten(obj, state_with_title("v" + std::to_string(i)));
+    EXPECT_EQ(h.undo_depth(obj), 4u);
+    // The oldest states were dropped; the newest survive.
+    EXPECT_EQ(*h.pop_undo(obj)->find_attribute("title"), toolkit::AttributeValue{std::string{"v9"}});
+}
+
+TEST(HistoryStore, EmptyPopsReturnNullopt) {
+    HistoryStore h;
+    EXPECT_FALSE(h.pop_undo(o(1, "f")).has_value());
+    EXPECT_FALSE(h.pop_redo(o(1, "f")).has_value());
+}
+
+TEST(HistoryStore, ForgetInstanceDropsItsObjectsOnly) {
+    HistoryStore h;
+    h.push_overwritten(o(1, "a"), state_with_title("x"));
+    h.push_overwritten(o(2, "b"), state_with_title("y"));
+    h.forget_instance(1);
+    EXPECT_EQ(h.undo_depth(o(1, "a")), 0u);
+    EXPECT_EQ(h.undo_depth(o(2, "b")), 1u);
+}
+
+TEST(PermissionTable, DefaultIsAllow) {
+    const PermissionTable t;
+    EXPECT_TRUE(t.check(7, o(1, "anything"), Right::kModify));
+}
+
+TEST(PermissionTable, ExplicitDenyBlocks) {
+    PermissionTable t;
+    t.set(7, o(1, "board"), protocol::kAllRights, /*allow=*/false);
+    EXPECT_FALSE(t.check(7, o(1, "board"), Right::kModify));
+    EXPECT_FALSE(t.check(7, o(1, "board/sub"), Right::kView));  // subtree inherits
+    EXPECT_TRUE(t.check(8, o(1, "board"), Right::kModify));     // other users unaffected
+    EXPECT_TRUE(t.check(7, o(2, "board"), Right::kModify));     // other instance unaffected
+}
+
+TEST(PermissionTable, MostSpecificPathWins) {
+    PermissionTable t;
+    t.set(PermissionTable::kAnyUser, o(1, "board"), protocol::kAllRights, false);
+    t.set(PermissionTable::kAnyUser, o(1, "board/public"), protocol::kAllRights, true);
+    EXPECT_FALSE(t.check(5, o(1, "board/private"), Right::kModify));
+    EXPECT_TRUE(t.check(5, o(1, "board/public"), Right::kModify));
+    EXPECT_TRUE(t.check(5, o(1, "board/public/answer"), Right::kModify));
+}
+
+TEST(PermissionTable, SpecificUserBeatsWildcardAtSamePath) {
+    PermissionTable t;
+    t.set(PermissionTable::kAnyUser, o(1, "x"), protocol::kAllRights, false);
+    t.set(7, o(1, "x"), protocol::kAllRights, true);
+    EXPECT_TRUE(t.check(7, o(1, "x"), Right::kCouple));
+    EXPECT_FALSE(t.check(8, o(1, "x"), Right::kCouple));
+}
+
+TEST(PermissionTable, RightsMaskIsRespected) {
+    PermissionTable t;
+    t.set(7, o(1, "x"), static_cast<protocol::RightsMask>(Right::kModify), false);
+    EXPECT_FALSE(t.check(7, o(1, "x"), Right::kModify));
+    EXPECT_TRUE(t.check(7, o(1, "x"), Right::kView));  // the deny only covers modify
+}
+
+TEST(PermissionTable, SetReplacesAndClearRemoves) {
+    PermissionTable t;
+    t.set(7, o(1, "x"), protocol::kAllRights, false);
+    t.set(7, o(1, "x"), protocol::kAllRights, true);  // replaces
+    EXPECT_TRUE(t.check(7, o(1, "x"), Right::kModify));
+    EXPECT_EQ(t.rule_count(), 1u);
+    t.clear(7, o(1, "x"));
+    EXPECT_EQ(t.rule_count(), 0u);
+}
+
+TEST(PermissionTable, ForgetInstance) {
+    PermissionTable t;
+    t.set(7, o(1, "x"), protocol::kAllRights, false);
+    t.set(7, o(2, "x"), protocol::kAllRights, false);
+    t.forget_instance(1);
+    EXPECT_TRUE(t.check(7, o(1, "x"), Right::kModify));
+    EXPECT_FALSE(t.check(7, o(2, "x"), Right::kModify));
+}
+
+}  // namespace
+}  // namespace cosoft::server

@@ -1,0 +1,238 @@
+// Unit tests for cosoft::sim — event queue, RNG, histogram, workloads.
+#include <gtest/gtest.h>
+
+#include "cosoft/sim/event_queue.hpp"
+#include "cosoft/sim/histogram.hpp"
+#include "cosoft/sim/rng.hpp"
+#include "cosoft/sim/workload.hpp"
+
+namespace cosoft::sim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule_at(30, [&] { order.push_back(3); });
+    q.schedule_at(10, [&] { order.push_back(1); });
+    q.schedule_at(20, [&] { order.push_back(2); });
+    q.run_all();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 30);
+}
+
+TEST(EventQueue, SameTimeIsFifo) {
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i) q.schedule_at(5, [&order, i] { order.push_back(i); });
+    q.run_all();
+    for (int i = 0; i < 8; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, ScheduleAfterUsesCurrentTime) {
+    EventQueue q;
+    SimTime seen = -1;
+    q.schedule_at(100, [&] { q.schedule_after(50, [&] { seen = q.now(); }); });
+    q.run_all();
+    EXPECT_EQ(seen, 150);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+    EventQueue q;
+    bool ran = false;
+    const EventId id = q.schedule_at(10, [&] { ran = true; });
+    EXPECT_TRUE(q.cancel(id));
+    EXPECT_FALSE(q.cancel(id));  // double-cancel reports false
+    q.run_all();
+    EXPECT_FALSE(ran);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents) {
+    EventQueue q;
+    int depth = 0;
+    std::function<void()> chain = [&] {
+        if (++depth < 5) q.schedule_after(1, chain);
+    };
+    q.schedule_at(0, chain);
+    EXPECT_EQ(q.run_all(), 5u);
+    EXPECT_EQ(q.now(), 4);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundaryAndAdvancesClock) {
+    EventQueue q;
+    int count = 0;
+    q.schedule_at(10, [&] { ++count; });
+    q.schedule_at(20, [&] { ++count; });
+    q.schedule_at(30, [&] { ++count; });
+    q.run_until(20);
+    EXPECT_EQ(count, 2);
+    EXPECT_EQ(q.now(), 20);
+    EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueue, PastTimesClampToNow) {
+    EventQueue q;
+    q.schedule_at(100, [] {});
+    q.run_all();
+    SimTime when = -1;
+    q.schedule_at(5, [&] { when = q.now(); });  // in the past
+    q.run_all();
+    EXPECT_EQ(when, 100);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+    Rng a{7};
+    Rng b{7};
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+    Rng a{1};
+    Rng b{2};
+    int same = 0;
+    for (int i = 0; i < 64; ++i) same += (a.next() == b.next());
+    EXPECT_LT(same, 3);
+}
+
+class RngBelow : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngBelow, StaysInRange) {
+    Rng rng{GetParam()};
+    for (std::uint64_t bound : {1ULL, 2ULL, 7ULL, 100ULL, 1ULL << 40}) {
+        for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngBelow, ::testing::Values(1, 42, 1994, 0xdeadbeef));
+
+TEST(Rng, RangeInclusive) {
+    Rng rng{3};
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const std::int64_t v = rng.range(-2, 2);
+        EXPECT_GE(v, -2);
+        EXPECT_LE(v, 2);
+        saw_lo |= (v == -2);
+        saw_hi |= (v == 2);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, Uniform01InUnitInterval) {
+    Rng rng{11};
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform01();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+    Rng rng{13};
+    double sum = 0;
+    constexpr int kSamples = 20000;
+    for (int i = 0; i < kSamples; ++i) sum += rng.exponential(250.0);
+    EXPECT_NEAR(sum / kSamples, 250.0, 10.0);
+}
+
+TEST(Histogram, TracksExactAggregates) {
+    Histogram h;
+    for (std::int64_t v : {5, 1, 9, 3, 7}) h.record(v);
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_EQ(h.min(), 1);
+    EXPECT_EQ(h.max(), 9);
+    EXPECT_DOUBLE_EQ(h.mean(), 5.0);
+}
+
+TEST(Histogram, QuantilesAreMonotoneAndBounded) {
+    Histogram h;
+    Rng rng{17};
+    for (int i = 0; i < 5000; ++i) h.record(static_cast<std::int64_t>(rng.below(100000)));
+    std::int64_t prev = 0;
+    for (double q : {0.0, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+        const std::int64_t v = h.quantile(q);
+        EXPECT_GE(v, prev);
+        EXPECT_GE(v, h.min());
+        EXPECT_LE(v, h.max());
+        prev = v;
+    }
+}
+
+TEST(Histogram, QuantileApproximationIsWithinBucketError) {
+    Histogram h;
+    for (int i = 1; i <= 1000; ++i) h.record(i);
+    // Log buckets with 4 sub-buckets: relative error <= 25% or so.
+    EXPECT_NEAR(static_cast<double>(h.p50()), 500.0, 150.0);
+    EXPECT_NEAR(static_cast<double>(h.p95()), 950.0, 250.0);
+}
+
+TEST(Histogram, MergeCombines) {
+    Histogram a;
+    Histogram b;
+    a.record(1);
+    a.record(2);
+    b.record(100);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_EQ(a.max(), 100);
+    EXPECT_EQ(a.min(), 1);
+}
+
+TEST(Histogram, EmptyIsSafe) {
+    const Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.quantile(0.5), 0);
+    EXPECT_EQ(h.mean(), 0.0);
+}
+
+TEST(Workload, IsDeterministicAndSorted) {
+    WorkloadSpec spec;
+    spec.users = 3;
+    spec.actions_per_user = 50;
+    const auto w1 = generate_workload(spec);
+    const auto w2 = generate_workload(spec);
+    ASSERT_EQ(w1.size(), 150u);
+    for (std::size_t i = 0; i + 1 < w1.size(); ++i) EXPECT_LE(w1[i].issue_time, w1[i + 1].issue_time);
+    for (std::size_t i = 0; i < w1.size(); ++i) {
+        EXPECT_EQ(w1[i].user, w2[i].user);
+        EXPECT_EQ(w1[i].issue_time, w2[i].issue_time);
+    }
+}
+
+TEST(Workload, MixFractionsRoughlyHold) {
+    WorkloadSpec spec;
+    spec.users = 4;
+    spec.actions_per_user = 2000;
+    spec.semantic_fraction = 0.25;
+    spec.ui_local_fraction = 0.25;
+    const auto w = generate_workload(spec);
+    std::size_t semantic = 0;
+    std::size_t ui = 0;
+    for (const auto& a : w) {
+        semantic += (a.kind == ActionKind::kSemantic);
+        ui += (a.kind == ActionKind::kUiLocal);
+    }
+    const auto total = static_cast<double>(w.size());
+    EXPECT_NEAR(static_cast<double>(semantic) / total, 0.25, 0.03);
+    EXPECT_NEAR(static_cast<double>(ui) / total, 0.25, 0.03);
+}
+
+TEST(Workload, ExplodeFineGrainedMultipliesCallbacks) {
+    WorkloadSpec spec;
+    spec.users = 2;
+    spec.actions_per_user = 100;
+    spec.ui_local_fraction = 0.0;
+    spec.semantic_fraction = 0.0;  // all callbacks
+    const auto coarse = generate_workload(spec);
+    const auto fine = explode_fine_grained(coarse, 8);
+    EXPECT_EQ(fine.size(), coarse.size() * 8);
+    for (std::size_t i = 0; i + 1 < fine.size(); ++i) EXPECT_LE(fine[i].issue_time, fine[i + 1].issue_time);
+}
+
+}  // namespace
+}  // namespace cosoft::sim

@@ -1,0 +1,109 @@
+// The full COSOFT stack over real TCP on localhost: server and two clients,
+// coupling and synchronization driven through socket frames.
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "cosoft/client/co_app.hpp"
+#include "cosoft/net/tcp.hpp"
+#include "cosoft/server/co_server.hpp"
+
+namespace cosoft {
+namespace {
+
+using client::CoApp;
+using toolkit::EventType;
+using toolkit::WidgetClass;
+
+/// Pumps all channels until `pred` holds or the deadline passes.
+template <typename Pred>
+bool pump_until(std::vector<std::shared_ptr<net::TcpChannel>>& channels, Pred pred, int timeout_ms = 3000) {
+    using Clock = std::chrono::steady_clock;
+    const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+    while (!pred()) {
+        for (auto& ch : channels) ch->poll();
+        if (Clock::now() > deadline) return false;
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    return true;
+}
+
+TEST(TcpStack, EndToEndCouplingOverSockets) {
+    auto listener = net::TcpListener::create(0);
+    ASSERT_TRUE(listener.is_ok());
+    server::CoServer server;
+
+    // Two clients connect; the server accepts and attaches each.
+    auto c1 = net::tcp_connect("127.0.0.1", listener.value()->port());
+    ASSERT_TRUE(c1.is_ok());
+    auto s1 = listener.value()->accept(2000);
+    ASSERT_TRUE(s1.is_ok());
+    server.attach(s1.value());
+
+    auto c2 = net::tcp_connect("127.0.0.1", listener.value()->port());
+    ASSERT_TRUE(c2.is_ok());
+    auto s2 = listener.value()->accept(2000);
+    ASSERT_TRUE(s2.is_ok());
+    server.attach(s2.value());
+
+    std::vector<std::shared_ptr<net::TcpChannel>> pump{c1.value(), s1.value(), c2.value(), s2.value()};
+
+    CoApp alice{"editor", "alice", 1};
+    CoApp bob{"editor", "bob", 2};
+    alice.connect(c1.value());
+    bob.connect(c2.value());
+    ASSERT_TRUE(pump_until(pump, [&] { return alice.online() && bob.online(); }));
+
+    ASSERT_TRUE(alice.ui().root().add_child(WidgetClass::kTextField, "f").is_ok());
+    ASSERT_TRUE(bob.ui().root().add_child(WidgetClass::kTextField, "f").is_ok());
+
+    bool coupled = false;
+    alice.couple("f", bob.ref("f"), [&](const Status& st) { coupled = st.is_ok(); });
+    ASSERT_TRUE(pump_until(pump, [&] { return coupled && bob.is_coupled("f"); }));
+
+    Status emit_status{ErrorCode::kInvalidArgument, "pending"};
+    alice.emit("f", alice.ui().find("f")->make_event(EventType::kValueChanged, std::string{"over tcp"}),
+               [&](const Status& st) { emit_status = st; });
+    ASSERT_TRUE(pump_until(pump, [&] { return bob.ui().find("f")->text("value") == "over tcp"; }));
+    EXPECT_TRUE(emit_status.is_ok());
+    EXPECT_TRUE(pump_until(pump, [&] { return server.locks().locked_count() == 0; }));
+}
+
+TEST(TcpStack, ClientDisconnectCleansUpServerState) {
+    auto listener = net::TcpListener::create(0);
+    ASSERT_TRUE(listener.is_ok());
+    server::CoServer server;
+
+    auto c1 = net::tcp_connect("127.0.0.1", listener.value()->port());
+    ASSERT_TRUE(c1.is_ok());
+    auto s1 = listener.value()->accept(2000);
+    ASSERT_TRUE(s1.is_ok());
+    server.attach(s1.value());
+
+    auto c2 = net::tcp_connect("127.0.0.1", listener.value()->port());
+    ASSERT_TRUE(c2.is_ok());
+    auto s2 = listener.value()->accept(2000);
+    ASSERT_TRUE(s2.is_ok());
+    server.attach(s2.value());
+
+    std::vector<std::shared_ptr<net::TcpChannel>> pump{c1.value(), s1.value(), c2.value(), s2.value()};
+
+    CoApp alice{"editor", "alice", 1};
+    CoApp bob{"editor", "bob", 2};
+    alice.connect(c1.value());
+    bob.connect(c2.value());
+    ASSERT_TRUE(pump_until(pump, [&] { return alice.online() && bob.online(); }));
+
+    ASSERT_TRUE(alice.ui().root().add_child(WidgetClass::kTextField, "f").is_ok());
+    ASSERT_TRUE(bob.ui().root().add_child(WidgetClass::kTextField, "f").is_ok());
+    bool coupled = false;
+    alice.couple("f", bob.ref("f"), [&](const Status& st) { coupled = st.is_ok(); });
+    ASSERT_TRUE(pump_until(pump, [&] { return coupled; }));
+
+    c1.value()->close();  // alice's process dies
+    ASSERT_TRUE(pump_until(pump, [&] { return server.couples().link_count() == 0; }));
+    EXPECT_TRUE(pump_until(pump, [&] { return !bob.is_coupled("f"); }));
+}
+
+}  // namespace
+}  // namespace cosoft

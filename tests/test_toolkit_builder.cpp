@@ -1,0 +1,119 @@
+// Unit tests for the declarative builder and its text format.
+#include <gtest/gtest.h>
+
+#include "cosoft/toolkit/builder.hpp"
+
+namespace cosoft::toolkit {
+namespace {
+
+TEST(Builder, BuildsSpecTree) {
+    WidgetTree tree;
+    const WidgetSpec spec{
+        "query",
+        WidgetClass::kForm,
+        {{"title", std::string{"Query"}}},
+        {
+            {"author", WidgetClass::kTextField, {{"label", std::string{"Author"}}}, {}},
+            {"op", WidgetClass::kMenu, {{"items", std::vector<std::string>{"a", "b"}}}, {}},
+        },
+    };
+    auto built = build(tree.root(), spec);
+    ASSERT_TRUE(built.is_ok());
+    EXPECT_EQ(tree.find("query")->text("title"), "Query");
+    EXPECT_EQ(tree.find("query/author")->text("label"), "Author");
+    EXPECT_EQ(tree.find("query/op")->text_list("items").size(), 2u);
+}
+
+TEST(Builder, BuildIsAllOrNothingOnBadAttribute) {
+    WidgetTree tree;
+    const WidgetSpec spec{"x", WidgetClass::kButton, {{"no-such-attr", std::int64_t{1}}}, {}};
+    EXPECT_FALSE(build(tree.root(), spec).is_ok());
+    EXPECT_EQ(tree.find("x"), nullptr);  // nothing left behind
+}
+
+TEST(Builder, BuildIsAllOrNothingOnBadChild) {
+    WidgetTree tree;
+    const WidgetSpec spec{
+        "x", WidgetClass::kForm, {}, {{"kid", WidgetClass::kLabel, {{"bogus", std::int64_t{1}}}, {}}}};
+    EXPECT_FALSE(build(tree.root(), spec).is_ok());
+    EXPECT_EQ(tree.find("x"), nullptr);
+}
+
+TEST(BuilderText, ParsesNestedIndentation) {
+    const char* text = R"(queryForm:form title="Literature query"
+  author:textfield label="Author"
+  op:menu items=[substring,exact,like-one-of] selection="substring"
+  advanced:form
+    year:textfield label="Year"
+)";
+    auto specs = parse_spec(text);
+    ASSERT_TRUE(specs.is_ok()) << specs.error().message;
+    ASSERT_EQ(specs.value().size(), 1u);
+    const WidgetSpec& root = specs.value()[0];
+    EXPECT_EQ(root.name, "queryForm");
+    EXPECT_EQ(root.cls, WidgetClass::kForm);
+    ASSERT_EQ(root.children.size(), 3u);
+    EXPECT_EQ(root.children[1].name, "op");
+    ASSERT_EQ(root.children[2].children.size(), 1u);
+    EXPECT_EQ(root.children[2].children[0].name, "year");
+}
+
+TEST(BuilderText, ParsesValueKinds) {
+    auto specs = parse_spec("w:slider value=2.5 min=0.0 visible=true width=200\n");
+    ASSERT_TRUE(specs.is_ok());
+    const auto& attrs = specs.value()[0].attributes;
+    ASSERT_EQ(attrs.size(), 4u);
+    EXPECT_EQ(std::get<double>(attrs[0].second), 2.5);
+    EXPECT_EQ(std::get<double>(attrs[1].second), 0.0);
+    EXPECT_EQ(std::get<bool>(attrs[2].second), true);
+    EXPECT_EQ(std::get<std::int64_t>(attrs[3].second), 200);
+}
+
+TEST(BuilderText, SkipsCommentsAndBlankLines) {
+    auto specs = parse_spec("# header comment\n\na:button\n# another\nb:button\n");
+    ASSERT_TRUE(specs.is_ok());
+    EXPECT_EQ(specs.value().size(), 2u);
+}
+
+TEST(BuilderText, MultipleTopLevelWidgets) {
+    auto specs = parse_spec("a:form\n  inner:label\nb:form\n");
+    ASSERT_TRUE(specs.is_ok());
+    ASSERT_EQ(specs.value().size(), 2u);
+    EXPECT_EQ(specs.value()[0].children.size(), 1u);
+    EXPECT_TRUE(specs.value()[1].children.empty());
+}
+
+TEST(BuilderText, ErrorsAreReported) {
+    EXPECT_FALSE(parse_spec("nocolon\n").is_ok());
+    EXPECT_FALSE(parse_spec("x:unknownclass\n").is_ok());
+    EXPECT_FALSE(parse_spec("x:button label=\"unterminated\n").is_ok());
+    EXPECT_FALSE(parse_spec("x:button items=[unterminated\n").is_ok());
+    EXPECT_FALSE(parse_spec("x:button stray\n").is_ok());
+}
+
+TEST(BuilderText, BuildFromTextEndToEnd) {
+    WidgetTree tree;
+    ASSERT_TRUE(build_from_text(tree.root(),
+                                "tori:form\n"
+                                "  view:menu items=[full,compact] selection=\"full\"\n"
+                                "  invoke:button label=\"Go\"\n")
+                    .is_ok());
+    EXPECT_EQ(tree.find("tori/view")->text("selection"), "full");
+    EXPECT_EQ(tree.find("tori/invoke")->text("label"), "Go");
+}
+
+TEST(BuilderText, QuotedStringsKeepSpaces) {
+    auto specs = parse_spec("x:label label=\"hello world  spaced\"\n");
+    ASSERT_TRUE(specs.is_ok());
+    EXPECT_EQ(std::get<std::string>(specs.value()[0].attributes[0].second), "hello world  spaced");
+}
+
+TEST(BuilderText, ListItemsAreTrimmed) {
+    auto specs = parse_spec("x:menu items=[ a , b ,c ]\n");
+    ASSERT_TRUE(specs.is_ok());
+    EXPECT_EQ(std::get<std::vector<std::string>>(specs.value()[0].attributes[0].second),
+              (std::vector<std::string>{"a", "b", "c"}));
+}
+
+}  // namespace
+}  // namespace cosoft::toolkit

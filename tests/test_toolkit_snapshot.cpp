@@ -1,0 +1,191 @@
+// Unit tests for UiState snapshots and the three merge algorithms (§3.1/§3.3).
+#include <gtest/gtest.h>
+
+#include "cosoft/toolkit/builder.hpp"
+#include "cosoft/toolkit/snapshot.hpp"
+
+namespace cosoft::toolkit {
+namespace {
+
+/// Builds a small query form: form{author:textfield, op:menu}.
+Widget* make_query_form(WidgetTree& tree, const std::string& name) {
+    Widget* form = tree.root().add_child(WidgetClass::kForm, name).value();
+    Widget* author = form->add_child(WidgetClass::kTextField, "author").value();
+    (void)author->set_attribute("value", std::string{"Hoppe"});
+    Widget* op = form->add_child(WidgetClass::kMenu, "op").value();
+    (void)op->set_attribute("items", std::vector<std::string>{"substring", "equals"});
+    (void)op->set_attribute("selection", std::string{"substring"});
+    return form;
+}
+
+TEST(Snapshot, RelevantScopeCapturesOnlyRelevantAttributes) {
+    WidgetTree tree;
+    Widget* form = make_query_form(tree, "q");
+    (void)form->find("author")->set_attribute("font", std::string{"helvetica"});
+
+    const UiState s = snapshot(*form, SnapshotScope::kRelevant);
+    const UiState* author = s.find_child("author");
+    ASSERT_NE(author, nullptr);
+    EXPECT_NE(author->find_attribute("value"), nullptr);
+    EXPECT_EQ(author->find_attribute("font"), nullptr);  // not relevant
+    EXPECT_EQ(s.node_count(), 3u);
+}
+
+TEST(Snapshot, AllScopeCapturesFullSchema) {
+    WidgetTree tree;
+    Widget* form = make_query_form(tree, "q");
+    const UiState s = snapshot(*form, SnapshotScope::kAll);
+    const UiState* author = s.find_child("author");
+    ASSERT_NE(author, nullptr);
+    EXPECT_NE(author->find_attribute("font"), nullptr);
+    EXPECT_NE(author->find_attribute("width"), nullptr);
+}
+
+TEST(Snapshot, ApplyStrictSynchronizesRelevantState) {
+    WidgetTree t1;
+    WidgetTree t2;
+    Widget* src = make_query_form(t1, "q");
+    Widget* dst = make_query_form(t2, "q");
+    (void)dst->find("author")->set_attribute("value", std::string{"old"});
+    // Destination keeps its own geometry ("different size and fonts").
+    (void)dst->find("author")->set_attribute("width", std::int64_t{300});
+
+    ASSERT_TRUE(apply_snapshot(*dst, snapshot(*src, SnapshotScope::kRelevant)).is_ok());
+    EXPECT_EQ(dst->find("author")->text("value"), "Hoppe");
+    EXPECT_EQ(dst->find("author")->integer("width"), 300);
+}
+
+TEST(Snapshot, ApplyStrictRejectsClassMismatch) {
+    WidgetTree t1;
+    WidgetTree t2;
+    Widget* src = t1.root().add_child(WidgetClass::kTextField, "x").value();
+    Widget* dst = t2.root().add_child(WidgetClass::kSlider, "x").value();
+    EXPECT_EQ(apply_snapshot(*dst, snapshot(*src)).code(), ErrorCode::kIncompatible);
+}
+
+TEST(Snapshot, ApplyStrictRejectsStructureMismatch) {
+    WidgetTree t1;
+    WidgetTree t2;
+    Widget* src = make_query_form(t1, "q");
+    Widget* dst = t2.root().add_child(WidgetClass::kForm, "q").value();
+    (void)dst->add_child(WidgetClass::kTextField, "author");
+    // dst lacks the "op" menu.
+    EXPECT_EQ(apply_snapshot(*dst, snapshot(*src)).code(), ErrorCode::kIncompatible);
+}
+
+TEST(Snapshot, DestructiveMergeImposesStructure) {
+    WidgetTree t1;
+    WidgetTree t2;
+    Widget* src = make_query_form(t1, "q");
+    Widget* dst = t2.root().add_child(WidgetClass::kForm, "q").value();
+    (void)dst->add_child(WidgetClass::kButton, "author");    // conflicting class: destroyed
+    (void)dst->add_child(WidgetClass::kLabel, "leftover");   // absent in source: destroyed
+
+    ASSERT_TRUE(apply_destructive(*dst, snapshot(*src, SnapshotScope::kRelevant)).is_ok());
+    ASSERT_NE(dst->find("author"), nullptr);
+    EXPECT_EQ(dst->find("author")->cls(), WidgetClass::kTextField);
+    EXPECT_EQ(dst->find("author")->text("value"), "Hoppe");
+    EXPECT_EQ(dst->find("leftover"), nullptr);
+    ASSERT_NE(dst->find("op"), nullptr);
+    EXPECT_EQ(dst->find("op")->text("selection"), "substring");
+}
+
+TEST(Snapshot, DestructiveMergeMakesStructuresIdentical) {
+    WidgetTree t1;
+    WidgetTree t2;
+    Widget* src = make_query_form(t1, "q");
+    Widget* dst = t2.root().add_child(WidgetClass::kForm, "q").value();
+    ASSERT_TRUE(apply_destructive(*dst, snapshot(*src, SnapshotScope::kRelevant)).is_ok());
+    // Snapshots (relevant scope) must now be equal.
+    EXPECT_EQ(snapshot(*dst, SnapshotScope::kRelevant), snapshot(*src, SnapshotScope::kRelevant));
+}
+
+TEST(Snapshot, DestructiveMergeIsIdempotent) {
+    WidgetTree t1;
+    WidgetTree t2;
+    Widget* src = make_query_form(t1, "q");
+    Widget* dst = t2.root().add_child(WidgetClass::kForm, "q").value();
+    const UiState s = snapshot(*src, SnapshotScope::kRelevant);
+    ASSERT_TRUE(apply_destructive(*dst, s).is_ok());
+    const UiState once = snapshot(*dst, SnapshotScope::kAll);
+    ASSERT_TRUE(apply_destructive(*dst, s).is_ok());
+    EXPECT_EQ(snapshot(*dst, SnapshotScope::kAll), once);
+}
+
+TEST(Snapshot, FlexibleMergeConservesLocalExtras) {
+    WidgetTree t1;
+    WidgetTree t2;
+    Widget* src = make_query_form(t1, "q");
+    Widget* dst = t2.root().add_child(WidgetClass::kForm, "q").value();
+    Widget* local_extra = dst->add_child(WidgetClass::kCanvas, "notes").value();
+    (void)local_extra->set_attribute("strokes", std::vector<std::string>{"doodle"});
+
+    ASSERT_TRUE(apply_flexible(*dst, snapshot(*src, SnapshotScope::kRelevant)).is_ok());
+    // Matching substructures synchronized, source-only children merged in,
+    // local-only children conserved.
+    EXPECT_EQ(dst->find("author")->text("value"), "Hoppe");
+    EXPECT_NE(dst->find("op"), nullptr);
+    ASSERT_NE(dst->find("notes"), nullptr);
+    EXPECT_EQ(dst->find("notes")->text_list("strokes"), std::vector<std::string>{"doodle"});
+}
+
+TEST(Snapshot, FlexibleMergeConservesClassConflicts) {
+    WidgetTree t1;
+    WidgetTree t2;
+    Widget* src = make_query_form(t1, "q");
+    Widget* dst = t2.root().add_child(WidgetClass::kForm, "q").value();
+    Widget* conflicting = dst->add_child(WidgetClass::kButton, "author").value();  // same name, other class
+    (void)conflicting->set_attribute("label", std::string{"press"});
+
+    ASSERT_TRUE(apply_flexible(*dst, snapshot(*src, SnapshotScope::kRelevant)).is_ok());
+    // The conflicting local widget is conserved, not replaced.
+    EXPECT_EQ(dst->find("author")->cls(), WidgetClass::kButton);
+    EXPECT_EQ(dst->find("author")->text("label"), "press");
+}
+
+TEST(Snapshot, CodecRoundTrip) {
+    WidgetTree tree;
+    Widget* form = make_query_form(tree, "q");
+    const UiState s = snapshot(*form, SnapshotScope::kAll);
+    ByteWriter w;
+    encode(w, s);
+    ByteReader r{w.data()};
+    const UiState decoded = decode_ui_state(r);
+    EXPECT_TRUE(r.exhausted());
+    EXPECT_EQ(decoded, s);
+}
+
+TEST(Snapshot, RoundTripAppliedToFreshTreeReproducesState) {
+    WidgetTree t1;
+    Widget* src = make_query_form(t1, "q");
+    const UiState s = snapshot(*src, SnapshotScope::kAll);
+
+    WidgetTree t2;
+    Widget* dst = t2.root().add_child(WidgetClass::kForm, "q").value();
+    ASSERT_TRUE(apply_destructive(*dst, s).is_ok());
+    EXPECT_EQ(snapshot(*dst, SnapshotScope::kAll), s);
+}
+
+TEST(Snapshot, DisplayRenderingContainsStructure) {
+    WidgetTree tree;
+    Widget* form = make_query_form(tree, "q");
+    const std::string rendered = to_string(snapshot(*form, SnapshotScope::kRelevant));
+    EXPECT_NE(rendered.find("q [form]"), std::string::npos);
+    EXPECT_NE(rendered.find("author [textfield]"), std::string::npos);
+    EXPECT_NE(rendered.find("value=Hoppe"), std::string::npos);
+}
+
+TEST(Attributes, ConversionMatrix) {
+    EXPECT_EQ(std::get<std::string>(convert_attribute(std::int64_t{42}, AttrType::kText)), "42");
+    EXPECT_EQ(std::get<std::int64_t>(convert_attribute(std::string{"17"}, AttrType::kInt)), 17);
+    EXPECT_EQ(std::get<double>(convert_attribute(std::int64_t{3}, AttrType::kReal)), 3.0);
+    EXPECT_EQ(std::get<bool>(convert_attribute(std::string{"true"}, AttrType::kBool)), true);
+    EXPECT_EQ(std::get<std::vector<std::string>>(convert_attribute(std::string{"x"}, AttrType::kTextList)),
+              std::vector<std::string>{"x"});
+    // Impossible conversions yield monostate.
+    EXPECT_EQ(type_of(convert_attribute(std::string{"abc"}, AttrType::kInt)), AttrType::kNone);
+    EXPECT_EQ(type_of(convert_attribute(std::vector<std::string>{"a"}, AttrType::kText)), AttrType::kNone);
+}
+
+}  // namespace
+}  // namespace cosoft::toolkit
