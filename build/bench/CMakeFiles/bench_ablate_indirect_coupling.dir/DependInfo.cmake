@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablate_indirect_coupling.cpp" "bench/CMakeFiles/bench_ablate_indirect_coupling.dir/bench_ablate_indirect_coupling.cpp.o" "gcc" "bench/CMakeFiles/bench_ablate_indirect_coupling.dir/bench_ablate_indirect_coupling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/cosoft_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/cosoft_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/cosoft_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/cosoft_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/cosoft_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocol/CMakeFiles/cosoft_protocol.dir/DependInfo.cmake"
+  "/root/repo/build/src/toolkit/CMakeFiles/cosoft_toolkit.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cosoft_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cosoft_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cosoft_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_lock_granularity.dir/bench_ablate_lock_granularity.cpp.o"
+  "CMakeFiles/bench_ablate_lock_granularity.dir/bench_ablate_lock_granularity.cpp.o.d"
+  "bench_ablate_lock_granularity"
+  "bench_ablate_lock_granularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_lock_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_loose_coupling.dir/bench_ablate_loose_coupling.cpp.o"
+  "CMakeFiles/bench_ablate_loose_coupling.dir/bench_ablate_loose_coupling.cpp.o.d"
+  "bench_ablate_loose_coupling"
+  "bench_ablate_loose_coupling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_loose_coupling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

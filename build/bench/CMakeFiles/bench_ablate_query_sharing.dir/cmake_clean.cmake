@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_query_sharing.dir/bench_ablate_query_sharing.cpp.o"
+  "CMakeFiles/bench_ablate_query_sharing.dir/bench_ablate_query_sharing.cpp.o.d"
+  "bench_ablate_query_sharing"
+  "bench_ablate_query_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_query_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

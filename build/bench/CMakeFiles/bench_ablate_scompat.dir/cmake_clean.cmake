@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_scompat.dir/bench_ablate_scompat.cpp.o"
+  "CMakeFiles/bench_ablate_scompat.dir/bench_ablate_scompat.cpp.o.d"
+  "bench_ablate_scompat"
+  "bench_ablate_scompat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_scompat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

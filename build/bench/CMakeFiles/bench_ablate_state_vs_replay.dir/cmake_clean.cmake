@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_state_vs_replay.dir/bench_ablate_state_vs_replay.cpp.o"
+  "CMakeFiles/bench_ablate_state_vs_replay.dir/bench_ablate_state_vs_replay.cpp.o.d"
+  "bench_ablate_state_vs_replay"
+  "bench_ablate_state_vs_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_state_vs_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_multiplex.dir/bench_fig1_multiplex.cpp.o"
+  "CMakeFiles/bench_fig1_multiplex.dir/bench_fig1_multiplex.cpp.o.d"
+  "bench_fig1_multiplex"
+  "bench_fig1_multiplex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_multiplex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_uirep.dir/bench_fig2_uirep.cpp.o"
+  "CMakeFiles/bench_fig2_uirep.dir/bench_fig2_uirep.cpp.o.d"
+  "bench_fig2_uirep"
+  "bench_fig2_uirep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_uirep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

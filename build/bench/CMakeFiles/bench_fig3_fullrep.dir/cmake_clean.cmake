@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_fullrep.dir/bench_fig3_fullrep.cpp.o"
+  "CMakeFiles/bench_fig3_fullrep.dir/bench_fig3_fullrep.cpp.o.d"
+  "bench_fig3_fullrep"
+  "bench_fig3_fullrep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_fullrep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

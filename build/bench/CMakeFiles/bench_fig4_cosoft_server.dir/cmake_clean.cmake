@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_cosoft_server.dir/bench_fig4_cosoft_server.cpp.o"
+  "CMakeFiles/bench_fig4_cosoft_server.dir/bench_fig4_cosoft_server.cpp.o.d"
+  "bench_fig4_cosoft_server"
+  "bench_fig4_cosoft_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_cosoft_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosoft_shell.dir/cosoft_shell.cpp.o"
+  "CMakeFiles/cosoft_shell.dir/cosoft_shell.cpp.o.d"
+  "cosoft_shell"
+  "cosoft_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosoft_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosoftd.dir/cosoftd.cpp.o"
+  "CMakeFiles/cosoftd.dir/cosoftd.cpp.o.d"
+  "cosoftd"
+  "cosoftd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosoftd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moderated_classroom.dir/moderated_classroom.cpp.o"
+  "CMakeFiles/moderated_classroom.dir/moderated_classroom.cpp.o.d"
+  "moderated_classroom"
+  "moderated_classroom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moderated_classroom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

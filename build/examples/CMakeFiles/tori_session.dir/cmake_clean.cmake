@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tori_session.dir/tori_session.cpp.o"
+  "CMakeFiles/tori_session.dir/tori_session.cpp.o.d"
+  "tori_session"
+  "tori_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tori_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosoft_apps.dir/classroom.cpp.o"
+  "CMakeFiles/cosoft_apps.dir/classroom.cpp.o.d"
+  "CMakeFiles/cosoft_apps.dir/moderator.cpp.o"
+  "CMakeFiles/cosoft_apps.dir/moderator.cpp.o.d"
+  "CMakeFiles/cosoft_apps.dir/tori.cpp.o"
+  "CMakeFiles/cosoft_apps.dir/tori.cpp.o.d"
+  "libcosoft_apps.a"
+  "libcosoft_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosoft_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosoft_baselines.dir/architectures.cpp.o"
+  "CMakeFiles/cosoft_baselines.dir/architectures.cpp.o.d"
+  "libcosoft_baselines.a"
+  "libcosoft_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosoft_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

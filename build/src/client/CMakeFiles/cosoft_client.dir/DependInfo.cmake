@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/client/co_app.cpp" "src/client/CMakeFiles/cosoft_client.dir/co_app.cpp.o" "gcc" "src/client/CMakeFiles/cosoft_client.dir/co_app.cpp.o.d"
+  "/root/repo/src/client/compat.cpp" "src/client/CMakeFiles/cosoft_client.dir/compat.cpp.o" "gcc" "src/client/CMakeFiles/cosoft_client.dir/compat.cpp.o.d"
+  "/root/repo/src/client/private_session.cpp" "src/client/CMakeFiles/cosoft_client.dir/private_session.cpp.o" "gcc" "src/client/CMakeFiles/cosoft_client.dir/private_session.cpp.o.d"
+  "/root/repo/src/client/recorder.cpp" "src/client/CMakeFiles/cosoft_client.dir/recorder.cpp.o" "gcc" "src/client/CMakeFiles/cosoft_client.dir/recorder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/protocol/CMakeFiles/cosoft_protocol.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cosoft_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/toolkit/CMakeFiles/cosoft_toolkit.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cosoft_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cosoft_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

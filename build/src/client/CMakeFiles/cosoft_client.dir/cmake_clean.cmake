@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosoft_client.dir/co_app.cpp.o"
+  "CMakeFiles/cosoft_client.dir/co_app.cpp.o.d"
+  "CMakeFiles/cosoft_client.dir/compat.cpp.o"
+  "CMakeFiles/cosoft_client.dir/compat.cpp.o.d"
+  "CMakeFiles/cosoft_client.dir/private_session.cpp.o"
+  "CMakeFiles/cosoft_client.dir/private_session.cpp.o.d"
+  "CMakeFiles/cosoft_client.dir/recorder.cpp.o"
+  "CMakeFiles/cosoft_client.dir/recorder.cpp.o.d"
+  "libcosoft_client.a"
+  "libcosoft_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosoft_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

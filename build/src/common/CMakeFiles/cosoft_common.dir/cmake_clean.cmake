@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosoft_common.dir/bytes.cpp.o"
+  "CMakeFiles/cosoft_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/cosoft_common.dir/error.cpp.o"
+  "CMakeFiles/cosoft_common.dir/error.cpp.o.d"
+  "CMakeFiles/cosoft_common.dir/ids.cpp.o"
+  "CMakeFiles/cosoft_common.dir/ids.cpp.o.d"
+  "CMakeFiles/cosoft_common.dir/strings.cpp.o"
+  "CMakeFiles/cosoft_common.dir/strings.cpp.o.d"
+  "libcosoft_common.a"
+  "libcosoft_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosoft_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

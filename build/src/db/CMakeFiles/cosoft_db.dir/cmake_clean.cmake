@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosoft_db.dir/database.cpp.o"
+  "CMakeFiles/cosoft_db.dir/database.cpp.o.d"
+  "libcosoft_db.a"
+  "libcosoft_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosoft_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

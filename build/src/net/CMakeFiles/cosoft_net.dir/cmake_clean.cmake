@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosoft_net.dir/sim_network.cpp.o"
+  "CMakeFiles/cosoft_net.dir/sim_network.cpp.o.d"
+  "CMakeFiles/cosoft_net.dir/tcp.cpp.o"
+  "CMakeFiles/cosoft_net.dir/tcp.cpp.o.d"
+  "libcosoft_net.a"
+  "libcosoft_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosoft_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

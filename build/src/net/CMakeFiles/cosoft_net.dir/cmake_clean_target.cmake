@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcosoft_net.a"
+)

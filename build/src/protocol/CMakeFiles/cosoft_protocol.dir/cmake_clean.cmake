@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosoft_protocol.dir/messages.cpp.o"
+  "CMakeFiles/cosoft_protocol.dir/messages.cpp.o.d"
+  "libcosoft_protocol.a"
+  "libcosoft_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosoft_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

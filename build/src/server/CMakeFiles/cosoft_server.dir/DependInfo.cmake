@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/server/co_server.cpp" "src/server/CMakeFiles/cosoft_server.dir/co_server.cpp.o" "gcc" "src/server/CMakeFiles/cosoft_server.dir/co_server.cpp.o.d"
+  "/root/repo/src/server/couple_graph.cpp" "src/server/CMakeFiles/cosoft_server.dir/couple_graph.cpp.o" "gcc" "src/server/CMakeFiles/cosoft_server.dir/couple_graph.cpp.o.d"
+  "/root/repo/src/server/history_store.cpp" "src/server/CMakeFiles/cosoft_server.dir/history_store.cpp.o" "gcc" "src/server/CMakeFiles/cosoft_server.dir/history_store.cpp.o.d"
+  "/root/repo/src/server/lock_table.cpp" "src/server/CMakeFiles/cosoft_server.dir/lock_table.cpp.o" "gcc" "src/server/CMakeFiles/cosoft_server.dir/lock_table.cpp.o.d"
+  "/root/repo/src/server/permission_table.cpp" "src/server/CMakeFiles/cosoft_server.dir/permission_table.cpp.o" "gcc" "src/server/CMakeFiles/cosoft_server.dir/permission_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/protocol/CMakeFiles/cosoft_protocol.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cosoft_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/toolkit/CMakeFiles/cosoft_toolkit.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cosoft_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cosoft_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosoft_server.dir/co_server.cpp.o"
+  "CMakeFiles/cosoft_server.dir/co_server.cpp.o.d"
+  "CMakeFiles/cosoft_server.dir/couple_graph.cpp.o"
+  "CMakeFiles/cosoft_server.dir/couple_graph.cpp.o.d"
+  "CMakeFiles/cosoft_server.dir/history_store.cpp.o"
+  "CMakeFiles/cosoft_server.dir/history_store.cpp.o.d"
+  "CMakeFiles/cosoft_server.dir/lock_table.cpp.o"
+  "CMakeFiles/cosoft_server.dir/lock_table.cpp.o.d"
+  "CMakeFiles/cosoft_server.dir/permission_table.cpp.o"
+  "CMakeFiles/cosoft_server.dir/permission_table.cpp.o.d"
+  "libcosoft_server.a"
+  "libcosoft_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosoft_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

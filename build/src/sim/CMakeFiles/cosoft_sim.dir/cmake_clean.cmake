@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosoft_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/cosoft_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/cosoft_sim.dir/histogram.cpp.o"
+  "CMakeFiles/cosoft_sim.dir/histogram.cpp.o.d"
+  "CMakeFiles/cosoft_sim.dir/rng.cpp.o"
+  "CMakeFiles/cosoft_sim.dir/rng.cpp.o.d"
+  "CMakeFiles/cosoft_sim.dir/workload.cpp.o"
+  "CMakeFiles/cosoft_sim.dir/workload.cpp.o.d"
+  "libcosoft_sim.a"
+  "libcosoft_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosoft_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

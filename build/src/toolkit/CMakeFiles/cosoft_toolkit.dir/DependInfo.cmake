@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/toolkit/attributes.cpp" "src/toolkit/CMakeFiles/cosoft_toolkit.dir/attributes.cpp.o" "gcc" "src/toolkit/CMakeFiles/cosoft_toolkit.dir/attributes.cpp.o.d"
+  "/root/repo/src/toolkit/builder.cpp" "src/toolkit/CMakeFiles/cosoft_toolkit.dir/builder.cpp.o" "gcc" "src/toolkit/CMakeFiles/cosoft_toolkit.dir/builder.cpp.o.d"
+  "/root/repo/src/toolkit/events.cpp" "src/toolkit/CMakeFiles/cosoft_toolkit.dir/events.cpp.o" "gcc" "src/toolkit/CMakeFiles/cosoft_toolkit.dir/events.cpp.o.d"
+  "/root/repo/src/toolkit/render.cpp" "src/toolkit/CMakeFiles/cosoft_toolkit.dir/render.cpp.o" "gcc" "src/toolkit/CMakeFiles/cosoft_toolkit.dir/render.cpp.o.d"
+  "/root/repo/src/toolkit/snapshot.cpp" "src/toolkit/CMakeFiles/cosoft_toolkit.dir/snapshot.cpp.o" "gcc" "src/toolkit/CMakeFiles/cosoft_toolkit.dir/snapshot.cpp.o.d"
+  "/root/repo/src/toolkit/widget.cpp" "src/toolkit/CMakeFiles/cosoft_toolkit.dir/widget.cpp.o" "gcc" "src/toolkit/CMakeFiles/cosoft_toolkit.dir/widget.cpp.o.d"
+  "/root/repo/src/toolkit/widget_types.cpp" "src/toolkit/CMakeFiles/cosoft_toolkit.dir/widget_types.cpp.o" "gcc" "src/toolkit/CMakeFiles/cosoft_toolkit.dir/widget_types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cosoft_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosoft_toolkit.dir/attributes.cpp.o"
+  "CMakeFiles/cosoft_toolkit.dir/attributes.cpp.o.d"
+  "CMakeFiles/cosoft_toolkit.dir/builder.cpp.o"
+  "CMakeFiles/cosoft_toolkit.dir/builder.cpp.o.d"
+  "CMakeFiles/cosoft_toolkit.dir/events.cpp.o"
+  "CMakeFiles/cosoft_toolkit.dir/events.cpp.o.d"
+  "CMakeFiles/cosoft_toolkit.dir/render.cpp.o"
+  "CMakeFiles/cosoft_toolkit.dir/render.cpp.o.d"
+  "CMakeFiles/cosoft_toolkit.dir/snapshot.cpp.o"
+  "CMakeFiles/cosoft_toolkit.dir/snapshot.cpp.o.d"
+  "CMakeFiles/cosoft_toolkit.dir/widget.cpp.o"
+  "CMakeFiles/cosoft_toolkit.dir/widget.cpp.o.d"
+  "CMakeFiles/cosoft_toolkit.dir/widget_types.cpp.o"
+  "CMakeFiles/cosoft_toolkit.dir/widget_types.cpp.o.d"
+  "libcosoft_toolkit.a"
+  "libcosoft_toolkit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosoft_toolkit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_db_ordering.dir/test_db_ordering.cpp.o"
+  "CMakeFiles/test_db_ordering.dir/test_db_ordering.cpp.o.d"
+  "test_db_ordering"
+  "test_db_ordering.pdb"
+  "test_db_ordering[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_db_ordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

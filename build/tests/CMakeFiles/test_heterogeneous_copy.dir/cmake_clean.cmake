@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_heterogeneous_copy.dir/test_heterogeneous_copy.cpp.o"
+  "CMakeFiles/test_heterogeneous_copy.dir/test_heterogeneous_copy.cpp.o.d"
+  "test_heterogeneous_copy"
+  "test_heterogeneous_copy.pdb"
+  "test_heterogeneous_copy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_heterogeneous_copy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

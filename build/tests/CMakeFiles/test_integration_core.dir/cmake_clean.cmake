@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_core.dir/test_integration_core.cpp.o"
+  "CMakeFiles/test_integration_core.dir/test_integration_core.cpp.o.d"
+  "test_integration_core"
+  "test_integration_core.pdb"
+  "test_integration_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_extended.dir/test_integration_extended.cpp.o"
+  "CMakeFiles/test_integration_extended.dir/test_integration_extended.cpp.o.d"
+  "test_integration_extended"
+  "test_integration_extended.pdb"
+  "test_integration_extended[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_extended.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_journal_version.dir/test_journal_version.cpp.o"
+  "CMakeFiles/test_journal_version.dir/test_journal_version.cpp.o.d"
+  "test_journal_version"
+  "test_journal_version.pdb"
+  "test_journal_version[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_journal_version.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

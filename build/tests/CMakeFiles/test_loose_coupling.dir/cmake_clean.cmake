@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_loose_coupling.dir/test_loose_coupling.cpp.o"
+  "CMakeFiles/test_loose_coupling.dir/test_loose_coupling.cpp.o.d"
+  "test_loose_coupling"
+  "test_loose_coupling.pdb"
+  "test_loose_coupling[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_loose_coupling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

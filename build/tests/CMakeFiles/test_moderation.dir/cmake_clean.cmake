@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_moderation.dir/test_moderation.cpp.o"
+  "CMakeFiles/test_moderation.dir/test_moderation.cpp.o.d"
+  "test_moderation"
+  "test_moderation.pdb"
+  "test_moderation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_moderation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_private_session.dir/test_private_session.cpp.o"
+  "CMakeFiles/test_private_session.dir/test_private_session.cpp.o.d"
+  "test_private_session"
+  "test_private_session.pdb"
+  "test_private_session[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_private_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

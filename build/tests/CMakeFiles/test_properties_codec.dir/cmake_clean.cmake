@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_properties_codec.dir/test_properties_codec.cpp.o"
+  "CMakeFiles/test_properties_codec.dir/test_properties_codec.cpp.o.d"
+  "test_properties_codec"
+  "test_properties_codec.pdb"
+  "test_properties_codec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_properties_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_properties_graph.dir/test_properties_graph.cpp.o"
+  "CMakeFiles/test_properties_graph.dir/test_properties_graph.cpp.o.d"
+  "test_properties_graph"
+  "test_properties_graph.pdb"
+  "test_properties_graph[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_properties_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

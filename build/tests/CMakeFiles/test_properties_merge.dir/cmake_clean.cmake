@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_properties_merge.dir/test_properties_merge.cpp.o"
+  "CMakeFiles/test_properties_merge.dir/test_properties_merge.cpp.o.d"
+  "test_properties_merge"
+  "test_properties_merge.pdb"
+  "test_properties_merge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_properties_merge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_properties_stack.dir/test_properties_stack.cpp.o"
+  "CMakeFiles/test_properties_stack.dir/test_properties_stack.cpp.o.d"
+  "test_properties_stack"
+  "test_properties_stack.pdb"
+  "test_properties_stack[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_properties_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_render_awareness.dir/test_render_awareness.cpp.o"
+  "CMakeFiles/test_render_awareness.dir/test_render_awareness.cpp.o.d"
+  "test_render_awareness"
+  "test_render_awareness.pdb"
+  "test_render_awareness[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_render_awareness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

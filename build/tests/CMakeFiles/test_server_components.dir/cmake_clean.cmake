@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_server_components.dir/test_server_components.cpp.o"
+  "CMakeFiles/test_server_components.dir/test_server_components.cpp.o.d"
+  "test_server_components"
+  "test_server_components.pdb"
+  "test_server_components[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_server_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

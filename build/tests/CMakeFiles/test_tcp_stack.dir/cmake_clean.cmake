@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tcp_stack.dir/test_tcp_stack.cpp.o"
+  "CMakeFiles/test_tcp_stack.dir/test_tcp_stack.cpp.o.d"
+  "test_tcp_stack"
+  "test_tcp_stack.pdb"
+  "test_tcp_stack[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tcp_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

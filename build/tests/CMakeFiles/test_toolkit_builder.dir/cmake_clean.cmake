@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_toolkit_builder.dir/test_toolkit_builder.cpp.o"
+  "CMakeFiles/test_toolkit_builder.dir/test_toolkit_builder.cpp.o.d"
+  "test_toolkit_builder"
+  "test_toolkit_builder.pdb"
+  "test_toolkit_builder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_toolkit_builder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_toolkit_snapshot.dir/test_toolkit_snapshot.cpp.o"
+  "CMakeFiles/test_toolkit_snapshot.dir/test_toolkit_snapshot.cpp.o.d"
+  "test_toolkit_snapshot"
+  "test_toolkit_snapshot.pdb"
+  "test_toolkit_snapshot[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_toolkit_snapshot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

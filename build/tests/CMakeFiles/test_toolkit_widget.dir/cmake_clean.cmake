@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_toolkit_widget.dir/test_toolkit_widget.cpp.o"
+  "CMakeFiles/test_toolkit_widget.dir/test_toolkit_widget.cpp.o.d"
+  "test_toolkit_widget"
+  "test_toolkit_widget.pdb"
+  "test_toolkit_widget[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_toolkit_widget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
