@@ -1,13 +1,38 @@
 #!/bin/sh
 # Full verification: configure, build, test, run every example that
 # terminates on its own, and regenerate all benchmark tables.
+#
+#   scripts/check.sh                  ordinary build in build/
+#   scripts/check.sh --sanitize=asan  AddressSanitizer+UBSan preset (checked)
+#   scripts/check.sh --sanitize=tsan  ThreadSanitizer preset
+#
+# Sanitizer runs use the CMakePresets.json trees (build/asan, build/tsan)
+# and stop after ctest: examples and benchmarks are only exercised by the
+# ordinary flavor.
 set -e
 cd "$(dirname "$0")/.."
 
-cmake -B build -G Ninja
+SANITIZE=""
+for arg in "$@"; do
+  case "$arg" in
+    --sanitize=asan|--sanitize=tsan) SANITIZE="${arg#--sanitize=}" ;;
+    *) echo "check.sh: unknown argument '$arg' (expected --sanitize=asan|tsan)" >&2; exit 2 ;;
+  esac
+done
+
+if [ -n "$SANITIZE" ]; then
+  cmake --preset "$SANITIZE"
+  cmake --build --preset "$SANITIZE"
+  ctest --preset "$SANITIZE"
+  exit 0
+fi
+
+cmake -B build -G Ninja -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
 cmake --build build
 
 ctest --test-dir build --output-on-failure
+
+scripts/lint.sh build
 
 for e in quickstart classroom tori_session whiteboard tcp_demo moderated_classroom; do
   echo "=== example: $e ==="

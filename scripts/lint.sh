@@ -1,0 +1,47 @@
+#!/bin/sh
+# clang-tidy gate over src/ using the checked-in .clang-tidy configuration.
+#
+#   scripts/lint.sh [build-dir]
+#
+# Needs a configured build tree that exported compile_commands.json (every
+# tree does: the top-level CMakeLists sets CMAKE_EXPORT_COMPILE_COMMANDS).
+# Defaults to build/, falling back to the first preset tree that has one.
+# Exits non-zero on any finding (.clang-tidy sets WarningsAsErrors: '*').
+#
+# clang-tidy itself is optional tooling: when no clang-tidy binary exists on
+# this machine the gate degrades to a loud no-op so that check.sh keeps
+# working on gcc-only containers. Install clang-tidy to arm it.
+set -eu
+cd "$(dirname "$0")/.."
+
+TIDY=""
+for candidate in clang-tidy clang-tidy-19 clang-tidy-18 clang-tidy-17 clang-tidy-16 clang-tidy-15 clang-tidy-14; do
+  if command -v "$candidate" >/dev/null 2>&1; then
+    TIDY="$candidate"
+    break
+  fi
+done
+if [ -z "$TIDY" ]; then
+  echo "lint.sh: no clang-tidy binary found on PATH; skipping the lint gate." >&2
+  echo "lint.sh: install clang-tidy (any version >= 14) to arm it." >&2
+  exit 0
+fi
+
+BUILD_DIR="${1:-}"
+if [ -z "$BUILD_DIR" ]; then
+  for d in build build/release build/asan build/tsan build/checked; do
+    if [ -f "$d/compile_commands.json" ]; then
+      BUILD_DIR="$d"
+      break
+    fi
+  done
+fi
+if [ -z "$BUILD_DIR" ] || [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "lint.sh: no compile_commands.json found; configure first (e.g. cmake --preset release)." >&2
+  exit 1
+fi
+
+echo "lint.sh: running $TIDY over src/ with $BUILD_DIR/compile_commands.json"
+# shellcheck disable=SC2046 — the file list is intentionally word-split.
+"$TIDY" -p "$BUILD_DIR" --quiet $(find src -name '*.cpp' | sort)
+echo "lint.sh: clean"

@@ -1,0 +1,26 @@
+#include "cosoft/common/check.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cosoft::detail {
+
+void check_failed(const char* expr, const char* file, int line, const std::string& msg) noexcept {
+    std::fprintf(stderr, "CO_CHECK failed: %s at %s:%d", expr, file, line);
+    if (!msg.empty()) std::fprintf(stderr, "\n%s", msg.c_str());
+    std::fputc('\n', stderr);
+    std::fflush(stderr);
+    std::abort();
+}
+
+std::string format_violations(const std::vector<std::string>& violations) {
+    std::string out;
+    for (const std::string& v : violations) {
+        if (!out.empty()) out.push_back('\n');
+        out += "  - ";
+        out += v;
+    }
+    return out;
+}
+
+}  // namespace cosoft::detail

@@ -1,0 +1,71 @@
+// Checked-invariant mode: CO_CHECK / CO_CHECK_MSG / CO_CHECK_INVARIANTS.
+//
+// Configure with -DCOSOFT_CHECKED=ON (the `checked` CMake preset) and every
+// CO_CHECK verifies its condition, printing the expression, location, and
+// optional message to stderr and aborting on failure. In ordinary builds the
+// macros expand to `((void)0)` — the condition is *not evaluated*, so checks
+// may be arbitrarily expensive (full data-structure walks) without taxing
+// release hot paths.
+//
+// Unlike <cassert>, which NDEBUG silently disables in the default
+// RelWithDebInfo build, CO_CHECK is tied to an explicit, grep-able build
+// flag, and CO_CHECK_INVARIANTS gives structured multi-line diagnostics from
+// the check_invariants() methods on the server's databases and the widget
+// tree.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cosoft {
+
+/// True when this translation unit was compiled with COSOFT_CHECKED.
+constexpr bool checked_build() noexcept {
+#if defined(COSOFT_CHECKED)
+    return true;
+#else
+    return false;
+#endif
+}
+
+namespace detail {
+
+/// Prints "CO_CHECK failed: <expr> at <file>:<line>[: <msg>]" and aborts.
+[[noreturn]] void check_failed(const char* expr, const char* file, int line, const std::string& msg) noexcept;
+
+/// Joins invariant violations into one readable multi-line message.
+[[nodiscard]] std::string format_violations(const std::vector<std::string>& violations);
+
+}  // namespace detail
+}  // namespace cosoft
+
+#if defined(COSOFT_CHECKED)
+
+#define CO_CHECK(cond)                                                                  \
+    do {                                                                                \
+        if (!(cond)) ::cosoft::detail::check_failed(#cond, __FILE__, __LINE__, {});     \
+    } while (false)
+
+#define CO_CHECK_MSG(cond, msg)                                                         \
+    do {                                                                                \
+        if (!(cond)) ::cosoft::detail::check_failed(#cond, __FILE__, __LINE__, (msg));  \
+    } while (false)
+
+/// Runs `obj.check_invariants()` and aborts with the full violation list if
+/// any invariant is broken. Used at server dispatch boundaries and in tests.
+#define CO_CHECK_INVARIANTS(obj)                                                        \
+    do {                                                                                \
+        const auto co_violations_ = (obj).check_invariants();                           \
+        if (!co_violations_.empty())                                                    \
+            ::cosoft::detail::check_failed(#obj ".check_invariants()", __FILE__,        \
+                                           __LINE__,                                    \
+                                           ::cosoft::detail::format_violations(co_violations_)); \
+    } while (false)
+
+#else
+
+#define CO_CHECK(cond) ((void)0)
+#define CO_CHECK_MSG(cond, msg) ((void)0)
+#define CO_CHECK_INVARIANTS(obj) ((void)0)
+
+#endif  // COSOFT_CHECKED

@@ -6,11 +6,12 @@
 // the paper's floor-control algorithm (§3.2) that callers must branch on.
 #pragma once
 
-#include <cassert>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <variant>
+
+#include "cosoft/common/check.hpp"
 
 namespace cosoft {
 
@@ -72,20 +73,20 @@ class Result {
     explicit operator bool() const noexcept { return is_ok(); }
 
     [[nodiscard]] T& value() & {
-        assert(is_ok());
+        CO_CHECK_MSG(is_ok(), "Result::value() on an error result");
         return std::get<0>(value_);
     }
     [[nodiscard]] const T& value() const& {
-        assert(is_ok());
+        CO_CHECK_MSG(is_ok(), "Result::value() on an error result");
         return std::get<0>(value_);
     }
     [[nodiscard]] T&& value() && {
-        assert(is_ok());
+        CO_CHECK_MSG(is_ok(), "Result::value() on an error result");
         return std::get<0>(std::move(value_));
     }
 
     [[nodiscard]] const Error& error() const {
-        assert(!is_ok());
+        CO_CHECK_MSG(!is_ok(), "Result::error() on an ok result");
         return std::get<1>(value_);
     }
     [[nodiscard]] ErrorCode code() const noexcept {

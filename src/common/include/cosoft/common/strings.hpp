@@ -26,7 +26,9 @@ inline constexpr char kPathSeparator = '/';
 [[nodiscard]] bool path_is_or_under(std::string_view path, std::string_view prefix);
 
 /// Rebases "a/b/x/y" from prefix "a/b" onto "c": returns "c/x/y".
-/// Precondition: path_is_or_under(path, from).
+/// Precondition: path_is_or_under(path, from). A path outside `from` is a
+/// caller bug: checked builds abort via CO_CHECK, release builds return
+/// `path` unchanged rather than splicing unrelated components.
 [[nodiscard]] std::string rebase_path(std::string_view path, std::string_view from, std::string_view onto);
 
 /// Last component of a pathname ("a/b/c" -> "c"); whole string if no '/'.

@@ -1,6 +1,6 @@
 #include "cosoft/common/strings.hpp"
 
-#include <cassert>
+#include "cosoft/common/check.hpp"
 
 namespace cosoft {
 
@@ -41,7 +41,13 @@ bool path_is_or_under(std::string_view path, std::string_view prefix) {
 }
 
 std::string rebase_path(std::string_view path, std::string_view from, std::string_view onto) {
-    assert(path_is_or_under(path, from));
+    if (!path_is_or_under(path, from)) {
+        // Callers are expected to guard with path_is_or_under; rewriting a
+        // path outside `from` would splice unrelated components together, so
+        // refuse and return the path unchanged instead.
+        CO_CHECK_MSG(false, "rebase_path: '" + std::string{path} + "' is not under '" + std::string{from} + "'");
+        return std::string{path};
+    }
     if (path == from) return std::string{onto};
     std::string out{onto};
     out += path.substr(from.size());  // includes the leading separator

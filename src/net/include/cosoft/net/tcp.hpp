@@ -4,6 +4,14 @@
 // Threading model: a background reader thread per channel enqueues complete
 // frames; the owner calls poll() to dispatch them on its own thread, so all
 // COSOFT logic stays single-threaded exactly as with SimNetwork.
+//
+// Thread safety (verified by test_tcp_stress under the tsan preset):
+// send(), poll()/poll_blocking(), and close() may each be called from
+// different threads concurrently; sends are serialized internally so frames
+// never interleave on the wire, and the socket fd stays open until the
+// destructor so a racing close() never yanks it from under a send or the
+// reader. Handlers must be installed before concurrent use begins, and the
+// destructor must not race other calls on the same object.
 #pragma once
 
 #include <atomic>
@@ -47,9 +55,10 @@ class TcpChannel final : public Channel {
     int fd_;
     std::atomic<bool> connected_{true};
     std::atomic<bool> peer_gone_{false};
-    bool close_reported_ = false;
+    std::atomic<bool> close_reported_{false};
     std::thread reader_;
-    std::mutex mu_;
+    std::mutex mu_;        ///< guards inbox_ and the receive-side stats
+    std::mutex send_mu_;   ///< serializes frame writes and the send-side stats
     std::deque<std::vector<std::uint8_t>> inbox_;
     ReceiveHandler receive_;
     CloseHandler close_handler_;

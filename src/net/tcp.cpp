@@ -53,6 +53,11 @@ TcpChannel::TcpChannel(int fd) : fd_(fd) {
 TcpChannel::~TcpChannel() {
     close();
     if (reader_.joinable()) reader_.join();
+    // The fd is closed here, not in close(): the reader thread and racing
+    // send() calls may still be blocked on it when close() runs, and closing
+    // an fd in use by another thread invites fd-reuse corruption. shutdown()
+    // in close() is what actually unblocks them.
+    ::close(fd_);
 }
 
 void TcpChannel::reader_loop() {
@@ -83,6 +88,7 @@ Status TcpChannel::send(std::vector<std::uint8_t> frame) {
     size_buf[1] = static_cast<std::uint8_t>(size >> 8);
     size_buf[2] = static_cast<std::uint8_t>(size >> 16);
     size_buf[3] = static_cast<std::uint8_t>(size >> 24);
+    const std::lock_guard lock{send_mu_};  // whole frames: length and payload never interleave
     if (!write_all(fd_, size_buf, 4) || !write_all(fd_, frame.data(), frame.size())) {
         return Status{ErrorCode::kTransport, std::strerror(errno)};
     }
@@ -96,15 +102,27 @@ std::size_t TcpChannel::poll() {
     {
         const std::lock_guard lock{mu_};
         batch.swap(inbox_);
+        for (const auto& frame : batch) {
+            stats_.frames_received++;
+            stats_.bytes_received += frame.size();
+        }
     }
     for (auto& frame : batch) {
-        stats_.frames_received++;
-        stats_.bytes_received += frame.size();
         if (receive_) receive_(frame);
     }
-    if (peer_gone_.load(std::memory_order_acquire) && !close_reported_ && batch.empty()) {
-        close_reported_ = true;
-        if (close_handler_) close_handler_();
+    if (peer_gone_.load(std::memory_order_acquire) && batch.empty()) {
+        // peer_gone_ is set after the reader's final enqueue, so once it is
+        // visible the inbox can only shrink: an empty inbox here means every
+        // frame has been dispatched and the close may be reported.
+        bool drained;
+        {
+            const std::lock_guard lock{mu_};
+            drained = inbox_.empty();
+        }
+        bool expected = false;
+        if (drained && close_reported_.compare_exchange_strong(expected, true, std::memory_order_acq_rel)) {
+            if (close_handler_) close_handler_();
+        }
     }
     return batch.size();
 }
@@ -122,8 +140,9 @@ std::size_t TcpChannel::poll_blocking(int timeout_ms) {
 
 void TcpChannel::close() {
     if (connected_.exchange(false, std::memory_order_acq_rel)) {
+        // Unblocks the reader (recv returns 0) and fails in-flight sends;
+        // the fd itself stays valid until the destructor.
         ::shutdown(fd_, SHUT_RDWR);
-        ::close(fd_);
     }
 }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "cosoft/common/check.hpp"
+
 namespace cosoft::server {
 
 using namespace protocol;
@@ -14,10 +16,14 @@ InstanceId CoServer::attach(std::shared_ptr<net::Channel> channel) {
     Conn& placed = conns_.emplace(id, std::move(conn)).first->second;
     placed.channel->on_receive([this, id](std::span<const std::uint8_t> frame) { handle_frame(id, frame); });
     placed.channel->on_close([this, id] { cleanup(id); });
+    CO_CHECK_INVARIANTS(*this);
     return id;
 }
 
-void CoServer::detach(InstanceId instance) { cleanup(instance); }
+void CoServer::detach(InstanceId instance) {
+    cleanup(instance);
+    CO_CHECK_INVARIANTS(*this);
+}
 
 std::vector<RegistrationRecord> CoServer::registrations() const {
     std::vector<RegistrationRecord> out;
@@ -69,6 +75,87 @@ void CoServer::handle_frame(InstanceId from, std::span<const std::uint8_t> frame
             // Server-to-client message types arriving here are ignored.
         },
         msg);
+
+    // Dispatch boundary: in checked builds every message leaves the four
+    // databases (§2.1) in a consistent state or the server aborts loudly.
+    CO_CHECK_INVARIANTS(*this);
+}
+
+std::vector<std::string> CoServer::check_invariants() const {
+    std::vector<std::string> out;
+    const auto merge = [&out](std::vector<std::string> violations) {
+        out.insert(out.end(), std::make_move_iterator(violations.begin()),
+                   std::make_move_iterator(violations.end()));
+    };
+    merge(locks_.check_invariants());
+    merge(graph_.check_invariants());
+    merge(history_.check_invariants());
+
+    const auto is_registered = [this](InstanceId id) {
+        const auto it = conns_.find(id);
+        return it != conns_.end() && it->second.registered;
+    };
+
+    for (const auto& [id, conn] : conns_) {
+        if (conn.channel == nullptr) out.push_back("server: connection " + std::to_string(id) + " has no channel");
+        if (id >= next_instance_) {
+            out.push_back("server: connection " + std::to_string(id) + " not below next_instance_");
+        }
+    }
+
+    // Lock holders and every locked object must belong to registered clients.
+    for (const CoupleLink& link : graph_.links()) {
+        for (const ObjectRef& endpoint : {link.source, link.dest}) {
+            if (!is_registered(endpoint.instance)) {
+                out.push_back("server: couple edge endpoint " + to_string(endpoint) +
+                              " belongs to an unregistered instance");
+            }
+        }
+    }
+    for (const auto& [h, pending] : pending_actions_) {
+        if (!is_registered(pending.key.instance)) {
+            out.push_back("server: pending action held by unregistered instance " +
+                          std::to_string(pending.key.instance));
+        }
+        for (const ObjectRef& o : locks_.objects_of(pending.key)) {
+            if (!is_registered(o.instance)) {
+                out.push_back("server: locked object " + to_string(o) + " belongs to an unregistered instance");
+            }
+            const auto holder = locks_.holder(o);
+            if (!holder || !(*holder == pending.key)) {
+                out.push_back("server: locked object " + to_string(o) + " not held by its pending action");
+            }
+        }
+        std::size_t acked_sum = 0;
+        for (const auto& [inst, count] : pending.per_instance) {
+            acked_sum += count;
+            if (conns_.find(inst) == conns_.end()) {
+                out.push_back("server: pending action awaits acks from detached instance " + std::to_string(inst));
+            }
+        }
+        if (pending.event_seen && pending.awaiting != acked_sum) {
+            out.push_back("server: pending action of instance " + std::to_string(pending.key.instance) +
+                          " awaits " + std::to_string(pending.awaiting) + " acks but tracks " +
+                          std::to_string(acked_sum));
+        }
+        if (!pending.event_seen && pending.awaiting != 0) {
+            out.push_back("server: pending action of instance " + std::to_string(pending.key.instance) +
+                          " awaits acks before its event arrived");
+        }
+    }
+
+    for (const ObjectRef& o : loose_objects_) {
+        if (!is_registered(o.instance)) {
+            out.push_back("server: loose object " + to_string(o) + " belongs to an unregistered instance");
+        }
+    }
+    for (const auto& [object, queue] : deferred_) {
+        if (!loose_objects_.contains(object)) {
+            out.push_back("server: deferred queue for tight object " + to_string(object));
+        }
+        if (queue.empty()) out.push_back("server: empty deferred queue for " + to_string(object));
+    }
+    return out;
 }
 
 void CoServer::send(InstanceId to, const Message& msg) {
@@ -318,9 +405,12 @@ void CoServer::handle(InstanceId from, const ExecuteAck& msg) {
 }
 
 void CoServer::finish_action(const LockTable::ActionKey& key) {
-    pending_actions_.erase(action_hash(key));
-    const auto released = locks_.unlock_action(key);
-    if (!released.empty()) notify_locks(released, ObjectRef{}, false, key.action);
+    // `key` is often a reference into the PendingAction node itself (the
+    // ExecuteAck handler passes pending.key); copy it before erase() frees it.
+    const LockTable::ActionKey finished = key;
+    pending_actions_.erase(action_hash(finished));
+    const auto released = locks_.unlock_action(finished);
+    if (!released.empty()) notify_locks(released, ObjectRef{}, false, finished.action);
 }
 
 // --- sync-by-state (§3.1) -------------------------------------------------------

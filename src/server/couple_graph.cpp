@@ -101,6 +101,48 @@ bool CoupleGraph::linked(const ObjectRef& a, const ObjectRef& b) const noexcept 
     return it != adjacency_.end() && it->second.contains(b);
 }
 
+std::vector<std::string> CoupleGraph::check_invariants() const {
+    std::vector<std::string> out;
+    std::size_t adjacency_edges = 0;
+    for (const auto& [ref, neighbours] : adjacency_) {
+        if (!ref.valid()) out.push_back("couple graph: invalid object in adjacency: " + to_string(ref));
+        if (neighbours.empty()) {
+            out.push_back("couple graph: " + to_string(ref) + " has an empty adjacency set");
+        }
+        adjacency_edges += neighbours.size();
+        for (const ObjectRef& n : neighbours) {
+            if (n == ref) out.push_back("couple graph: self edge on " + to_string(ref));
+            const auto back = adjacency_.find(n);
+            if (back == adjacency_.end() || !back->second.contains(ref)) {
+                out.push_back("couple graph: asymmetric edge " + to_string(ref) + " -> " + to_string(n));
+            }
+        }
+    }
+    for (std::size_t i = 0; i < links_.size(); ++i) {
+        const CoupleLink& l = links_[i];
+        if (!l.source.valid() || !l.dest.valid() || l.source == l.dest) {
+            out.push_back("couple graph: malformed link " + to_string(l.source) + " -> " + to_string(l.dest));
+        }
+        if (!linked(l.source, l.dest)) {
+            out.push_back("couple graph: link " + to_string(l.source) + " -> " + to_string(l.dest) +
+                          " missing from adjacency");
+        }
+        for (std::size_t j = i + 1; j < links_.size(); ++j) {
+            const CoupleLink& m = links_[j];
+            if ((m.source == l.source && m.dest == l.dest) || (m.source == l.dest && m.dest == l.source)) {
+                out.push_back("couple graph: duplicate link " + to_string(l.source) + " <-> " + to_string(l.dest));
+            }
+        }
+    }
+    // Each undirected link contributes two adjacency entries; with symmetry
+    // and no duplicates above, equality pins adjacency to exactly the links.
+    if (adjacency_edges != 2 * links_.size()) {
+        out.push_back("couple graph: " + std::to_string(links_.size()) + " links but " +
+                      std::to_string(adjacency_edges) + " directed adjacency entries");
+    }
+    return out;
+}
+
 std::vector<std::vector<ObjectRef>> CoupleGraph::components_of(const std::vector<ObjectRef>& objects) const {
     std::vector<std::vector<ObjectRef>> out;
     std::unordered_set<ObjectRef> assigned;

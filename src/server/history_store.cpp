@@ -53,4 +53,19 @@ void HistoryStore::forget_instance(InstanceId instance) {
 
 void HistoryStore::forget_object(const ObjectRef& object) { stacks_.erase(object); }
 
+std::vector<std::string> HistoryStore::check_invariants() const {
+    std::vector<std::string> out;
+    for (const auto& [object, stacks] : stacks_) {
+        if (!object.valid()) {
+            out.push_back("history store: entry keyed by invalid object ref " + to_string(object));
+        }
+        if (stacks.undo.size() > max_depth_ || stacks.redo.size() > max_depth_) {
+            out.push_back("history store: " + to_string(object) + " exceeds max depth " +
+                          std::to_string(max_depth_) + " (undo " + std::to_string(stacks.undo.size()) +
+                          ", redo " + std::to_string(stacks.redo.size()) + ")");
+        }
+    }
+    return out;
+}
+
 }  // namespace cosoft::server

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -68,6 +69,15 @@ class CoServer {
     }
     [[nodiscard]] std::size_t connection_count() const noexcept { return conns_.size(); }
     [[nodiscard]] std::vector<protocol::RegistrationRecord> registrations() const;
+
+    /// Cross-database invariants (§2.1): the lock table, couple graph, and
+    /// history store must be internally consistent, every lock holder and
+    /// couple endpoint must belong to a registered connection, in-flight
+    /// actions must balance their acknowledgement counters, and deferred
+    /// queues may exist only for loose objects. Returns human-readable
+    /// violations (empty = consistent). COSOFT_CHECKED builds verify this
+    /// after every dispatched message; tests call it directly.
+    [[nodiscard]] std::vector<std::string> check_invariants() const;
 
   private:
     struct Conn {

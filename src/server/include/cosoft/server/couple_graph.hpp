@@ -13,6 +13,7 @@
 #pragma once
 
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -61,6 +62,12 @@ class CoupleGraph {
     /// Splits `objects` into connected components under the current relation
     /// (objects with no remaining links become singleton components).
     [[nodiscard]] std::vector<std::vector<ObjectRef>> components_of(const std::vector<ObjectRef>& objects) const;
+
+    /// Structural invariants, checked in COSOFT_CHECKED builds and by tests:
+    /// the link list and the adjacency index must describe the same simple,
+    /// symmetric graph — no self links, no duplicates, no dangling adjacency
+    /// entries. Returns human-readable violations (empty = consistent).
+    [[nodiscard]] std::vector<std::string> check_invariants() const;
 
   private:
     void unlink_adjacency(const ObjectRef& a, const ObjectRef& b);

@@ -9,6 +9,7 @@
 
 #include <cstddef>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -42,6 +43,11 @@ class HistoryStore {
     void forget_object(const ObjectRef& object);
 
     [[nodiscard]] std::size_t max_depth() const noexcept { return max_depth_; }
+
+    /// Structural invariants, checked in COSOFT_CHECKED builds and by tests:
+    /// every stack respects the depth bound and every entry is keyed by a
+    /// valid object ref. Returns human-readable violations (empty = ok).
+    [[nodiscard]] std::vector<std::string> check_invariants() const;
 
   private:
     struct Stacks {

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -42,6 +43,12 @@ class LockTable {
 
     /// Objects currently held by an action (empty if none).
     [[nodiscard]] std::vector<ObjectRef> objects_of(const ActionKey& key) const;
+
+    /// Structural invariants, checked in COSOFT_CHECKED builds and by tests:
+    /// the holder index and the per-action object lists must describe the
+    /// same set of locks, with no duplicates and no empty action entries.
+    /// Returns human-readable violation descriptions (empty = consistent).
+    [[nodiscard]] std::vector<std::string> check_invariants() const;
 
   private:
     struct ActionKeyHash {

@@ -10,9 +10,12 @@ Status LockTable::try_lock_all(const ActionKey& key, const std::vector<ObjectRef
             return Status{ErrorCode::kLockConflict, "already locked: " + to_string(o)};
         }
     }
-    auto& held = actions_[key];
+    std::vector<ObjectRef>* held = nullptr;  // created lazily: no empty action entries
     for (const ObjectRef& o : objects) {
-        if (holders_.emplace(o, key).second) held.push_back(o);
+        if (holders_.emplace(o, key).second) {
+            if (held == nullptr) held = &actions_[key];
+            held->push_back(o);
+        }
     }
     return Status::ok();
 }
@@ -48,6 +51,36 @@ std::optional<LockTable::ActionKey> LockTable::holder(const ObjectRef& ref) cons
 std::vector<ObjectRef> LockTable::objects_of(const ActionKey& key) const {
     const auto it = actions_.find(key);
     return it == actions_.end() ? std::vector<ObjectRef>{} : it->second;
+}
+
+std::vector<std::string> LockTable::check_invariants() const {
+    std::vector<std::string> out;
+    std::size_t listed = 0;
+    for (const auto& [key, objs] : actions_) {
+        if (objs.empty()) {
+            out.push_back("lock table: action (" + std::to_string(key.instance) + "," +
+                          std::to_string(key.action) + ") holds no objects");
+        }
+        listed += objs.size();
+        for (const ObjectRef& o : objs) {
+            if (!o.valid()) {
+                out.push_back("lock table: invalid object ref in action list: " + to_string(o));
+            }
+            const auto h = holders_.find(o);
+            if (h == holders_.end()) {
+                out.push_back("lock table: " + to_string(o) + " listed for an action but has no holder entry");
+            } else if (!(h->second == key)) {
+                out.push_back("lock table: " + to_string(o) + " listed for one action but held by another");
+            }
+        }
+    }
+    // Equal sizes + every listed object resolving to its own action implies
+    // the two indexes are exact mirrors (duplicates would inflate `listed`).
+    if (listed != holders_.size()) {
+        out.push_back("lock table: " + std::to_string(holders_.size()) + " holder entries vs " +
+                      std::to_string(listed) + " objects listed across actions");
+    }
+    return out;
 }
 
 }  // namespace cosoft::server

@@ -161,6 +161,12 @@ class WidgetTree {
     /// Total number of widgets excluding the root.
     [[nodiscard]] std::size_t size() const noexcept;
 
+    /// Structural invariants, checked in COSOFT_CHECKED builds and by tests:
+    /// parent/child backpointers agree, every widget belongs to this tree,
+    /// sibling names are unique single path components, and the resulting
+    /// pathnames are globally unique. Returns violations (empty = ok).
+    [[nodiscard]] std::vector<std::string> check_invariants() const;
+
     // Observers (used by CoApp for auto-decoupling and by tests/benches as a
     // stand-in for the display update path).
     using DestroyObserver = std::function<void(const std::string& path)>;

@@ -1,7 +1,7 @@
 #include "cosoft/toolkit/widget.hpp"
 
 #include <algorithm>
-#include <cassert>
+#include <unordered_set>
 
 #include "cosoft/common/strings.hpp"
 
@@ -292,6 +292,41 @@ std::size_t WidgetTree::size() const noexcept {
     std::size_t n = 0;
     root_->visit([&](const Widget&) { ++n; });
     return n - 1;  // exclude the invisible root
+}
+
+std::vector<std::string> WidgetTree::check_invariants() const {
+    std::vector<std::string> out;
+    std::unordered_set<std::string> paths;
+    if (root_->parent_ != nullptr) out.emplace_back("widget tree: root has a parent");
+    if (!root_->name_.empty()) out.push_back("widget tree: root is named '" + root_->name_ + "'");
+
+    const std::function<void(const Widget&)> walk = [&](const Widget& w) {
+        if (w.tree_ != this) {
+            out.push_back("widget tree: '" + w.path() + "' points at a different tree");
+        }
+        std::unordered_set<std::string_view> sibling_names;
+        for (const auto& child : w.children_) {
+            if (child == nullptr) {
+                out.push_back("widget tree: null child under '" + w.path() + "'");
+                continue;
+            }
+            if (child->parent_ != &w) {
+                out.push_back("widget tree: '" + child->path() + "' has a stale parent backpointer");
+            }
+            if (child->name_.empty() || child->name_.find(kPathSeparator) != std::string::npos) {
+                out.push_back("widget tree: invalid widget name '" + child->name_ + "' under '" + w.path() + "'");
+            }
+            if (!sibling_names.insert(child->name_).second) {
+                out.push_back("widget tree: duplicate sibling name '" + child->name_ + "' under '" + w.path() + "'");
+            }
+            if (!paths.insert(child->path()).second) {
+                out.push_back("widget tree: duplicate pathname '" + child->path() + "'");
+            }
+            walk(*child);
+        }
+    };
+    walk(*root_);
+    return out;
 }
 
 void WidgetTree::notify_destroy(const std::string& path) const {

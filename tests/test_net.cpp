@@ -161,6 +161,32 @@ TEST(Tcp, PeerCloseFiresCloseHandler) {
     EXPECT_TRUE(closed);
 }
 
+TEST(Tcp, PeerDropMidPollBlockingFiresCloseHandlerExactlyOnce) {
+    auto listener = TcpListener::create(0);
+    ASSERT_TRUE(listener.is_ok());
+    auto client = tcp_connect("127.0.0.1", listener.value()->port());
+    ASSERT_TRUE(client.is_ok());
+    auto served = listener.value()->accept(2000);
+    ASSERT_TRUE(served.is_ok());
+
+    std::atomic<int> closes{0};
+    served.value()->on_close([&] { closes.fetch_add(1); });
+
+    // Block in poll_blocking, then drop the peer mid-wait: the poll must
+    // notice, fire the close handler (once), and return without data.
+    std::size_t polled = 99;
+    std::thread poller([&] { polled = served.value()->poll_blocking(10000); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    client.value()->close();
+    poller.join();
+
+    EXPECT_EQ(polled, 0u);
+    EXPECT_EQ(closes.load(), 1);
+    // Further polls must not re-report the close.
+    for (int i = 0; i < 20; ++i) served.value()->poll();
+    EXPECT_EQ(closes.load(), 1);
+}
+
 TEST(Tcp, ConnectToClosedPortFails) {
     // Grab an ephemeral port, then close the listener so nothing listens.
     std::uint16_t port = 0;

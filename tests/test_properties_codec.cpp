@@ -92,6 +92,125 @@ TEST_P(StateRoundTrip, RandomTreesSurviveTheWire) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, StateRoundTrip, ::testing::Values(1, 7, 42, 1994));
 
+// --- every-message round-trip property ---------------------------------------
+
+std::string random_name(sim::Rng& rng) {
+    std::string s;
+    const std::uint64_t n = rng.below(12);
+    for (std::uint64_t i = 0; i < n; ++i) s.push_back(static_cast<char>('a' + rng.below(26)));
+    return s;
+}
+
+ObjectRef random_ref(sim::Rng& rng) {
+    return {static_cast<InstanceId>(1 + rng.below(1000)), random_name(rng) + "/" + random_name(rng)};
+}
+
+std::vector<ObjectRef> random_refs(sim::Rng& rng) {
+    std::vector<ObjectRef> out(rng.below(5));
+    for (auto& r : out) r = random_ref(rng);
+    return out;
+}
+
+std::vector<std::uint8_t> random_bytes(sim::Rng& rng) {
+    std::vector<std::uint8_t> out(rng.below(32));
+    for (auto& b : out) b = static_cast<std::uint8_t>(rng.below(256));
+    return out;
+}
+
+toolkit::Event random_event(sim::Rng& rng) {
+    toolkit::Event e;
+    e.type = static_cast<toolkit::EventType>(rng.below(toolkit::kEventTypeCount));
+    e.path = random_name(rng);
+    if (rng.chance(0.7)) e.payload = random_name(rng);
+    if (rng.chance(0.3)) e.detail = random_name(rng);
+    return e;
+}
+
+MergeMode random_mode(sim::Rng& rng) { return static_cast<MergeMode>(rng.below(3)); }
+HistoryTag random_tag(sim::Rng& rng) { return static_cast<HistoryTag>(rng.below(3)); }
+
+RegistrationRecord random_record(sim::Rng& rng) {
+    return {static_cast<InstanceId>(1 + rng.below(1000)), static_cast<UserId>(1 + rng.below(1000)),
+            random_name(rng), random_name(rng), random_name(rng)};
+}
+
+/// One randomized instance of the `index`-th Message alternative. The switch
+/// is exhaustive over the variant: adding a message type without extending
+/// this generator fails the static_assert below.
+Message random_message(std::size_t index, sim::Rng& rng) {
+    switch (index) {
+        case 0: return Register{static_cast<UserId>(rng.below(1000)), random_name(rng), random_name(rng),
+                                random_name(rng), static_cast<std::uint32_t>(rng.below(16))};
+        case 1: return RegisterAck{static_cast<InstanceId>(rng.below(1000))};
+        case 2: return Unregister{};
+        case 3: return RegistryQuery{rng.next()};
+        case 4: {
+            RegistryReply reply{rng.next(), {}};
+            const std::uint64_t n = rng.below(4);
+            for (std::uint64_t i = 0; i < n; ++i) reply.instances.push_back(random_record(rng));
+            return reply;
+        }
+        case 5: return CoupleReq{rng.next(), random_ref(rng), random_ref(rng)};
+        case 6: return DecoupleReq{rng.next(), random_ref(rng), random_ref(rng)};
+        case 7: return GroupUpdate{random_refs(rng)};
+        case 8: return LockReq{rng.next(), random_ref(rng), random_refs(rng)};
+        case 9: return LockGrant{rng.next()};
+        case 10: return LockDeny{rng.next(), random_ref(rng)};
+        case 11: return LockNotify{rng.next(), rng.chance(0.5), random_refs(rng)};
+        case 12: return EventMsg{rng.next(), random_ref(rng), random_name(rng), random_event(rng)};
+        case 13: return ExecuteEvent{rng.next(), random_ref(rng), random_ref(rng), random_name(rng),
+                                     random_event(rng)};
+        case 14: return ExecuteAck{rng.next()};
+        case 15: return CopyTo{rng.next(), random_ref(rng), random_mode(rng), random_state(rng, 2),
+                               random_bytes(rng)};
+        case 16: return CopyFrom{rng.next(), random_ref(rng), random_name(rng), random_mode(rng)};
+        case 17: return RemoteCopy{rng.next(), random_ref(rng), random_ref(rng), random_mode(rng)};
+        case 18: return StateQuery{rng.next(), random_name(rng)};
+        case 19: return StateReply{rng.next(), random_name(rng), rng.chance(0.5), random_state(rng, 2),
+                                   random_bytes(rng)};
+        case 20: return ApplyState{rng.next(), random_name(rng), random_mode(rng), random_tag(rng),
+                                   random_state(rng, 2), random_bytes(rng), random_ref(rng)};
+        case 21: return HistorySave{random_ref(rng), random_tag(rng), random_state(rng, 2)};
+        case 22: return UndoReq{rng.next(), random_ref(rng)};
+        case 23: return RedoReq{rng.next(), random_ref(rng)};
+        case 24: return Command{rng.next(), random_name(rng), static_cast<InstanceId>(rng.below(1000)),
+                                random_bytes(rng)};
+        case 25: return CommandDeliver{static_cast<InstanceId>(rng.below(1000)), random_name(rng),
+                                       random_bytes(rng)};
+        case 26: return PermissionSet{rng.next(), static_cast<UserId>(rng.below(1000)), random_ref(rng),
+                                      static_cast<RightsMask>(rng.below(8)), rng.chance(0.5)};
+        case 27: return Ack{rng.next(), static_cast<ErrorCode>(rng.below(13)), random_name(rng)};
+        case 28: return FetchState{rng.next(), random_ref(rng)};
+        case 29: return SetCouplingMode{rng.next(), random_ref(rng), rng.chance(0.5)};
+        case 30: return SyncRequest{rng.next(), random_ref(rng)};
+        default: return Unregister{};
+    }
+}
+
+static_assert(std::variant_size_v<Message> == 31,
+              "a Message alternative was added or removed: extend random_message() to cover it");
+
+class EveryMessageRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EveryMessageRoundTrip, RandomPayloadsReencodeByteExact) {
+    sim::Rng rng{GetParam()};
+    for (int repeat = 0; repeat < 40; ++repeat) {
+        for (std::size_t index = 0; index < std::variant_size_v<Message>; ++index) {
+            const Message original = random_message(index, rng);
+            const auto frame = encode_message(original);
+            auto decoded = decode_message(frame);
+            ASSERT_TRUE(decoded.is_ok())
+                << message_name(original) << ": " << decoded.error().message;
+            EXPECT_EQ(decoded.value(), original) << message_name(original);
+            // Byte-exact re-encode: the codec must be canonical, not merely
+            // value-preserving, or journal replay ordering could diverge.
+            EXPECT_EQ(encode_message(decoded.value()), frame) << message_name(original);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EveryMessageRoundTrip, ::testing::Values(11, 97, 1994, 31337));
+
 TEST(CodecFuzz, RandomEventsRoundTripThroughEventMsg) {
     sim::Rng rng{31337};
     for (int i = 0; i < 500; ++i) {

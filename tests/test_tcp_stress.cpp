@@ -1,0 +1,145 @@
+// Multi-threaded TcpChannel stress tests. These exist primarily to give the
+// tsan preset real interleavings of the documented thread-safety contract —
+// concurrent send / poll_blocking / close / destruct — and to pin down the
+// close-reporting semantics under concurrency:
+//   - frames are never torn or interleaved, whatever thread sends them;
+//   - the close handler fires exactly once, only after the inbox drained;
+//   - destroying one endpoint while the peer is mid-send never crashes.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "cosoft/net/tcp.hpp"
+
+namespace cosoft::net {
+namespace {
+
+using namespace std::chrono_literals;
+
+struct Loopback {
+    std::unique_ptr<TcpListener> listener;
+    std::shared_ptr<TcpChannel> client;
+    std::shared_ptr<TcpChannel> server;
+};
+
+Loopback connect_loopback() {
+    Loopback lb;
+    auto listener = TcpListener::create(0);
+    EXPECT_TRUE(listener.is_ok()) << listener.error().message;
+    lb.listener = std::move(listener).value();
+    auto client = tcp_connect("127.0.0.1", lb.listener->port());
+    EXPECT_TRUE(client.is_ok()) << client.error().message;
+    lb.client = std::move(client).value();
+    auto served = lb.listener->accept(5000);
+    EXPECT_TRUE(served.is_ok()) << served.error().message;
+    lb.server = std::move(served).value();
+    return lb;
+}
+
+/// A frame whose payload encodes its own length pattern, so a torn or
+/// interleaved write shows up as a corrupt frame on the receiving side.
+std::vector<std::uint8_t> patterned_frame(std::size_t n) {
+    std::vector<std::uint8_t> f(1 + (n % 257));
+    for (std::size_t i = 0; i < f.size(); ++i) f[i] = static_cast<std::uint8_t>((f.size() + i) & 0xff);
+    return f;
+}
+
+bool frame_intact(std::span<const std::uint8_t> f) {
+    for (std::size_t i = 0; i < f.size(); ++i) {
+        if (f[i] != static_cast<std::uint8_t>((f.size() + i) & 0xff)) return false;
+    }
+    return !f.empty();
+}
+
+TEST(TcpStress, ConcurrentSendersPollersAndMidFlightClose) {
+    for (int round = 0; round < 4; ++round) {
+        Loopback lb = connect_loopback();
+        std::atomic<int> ok_client{0};
+        std::atomic<int> ok_server{0};
+        std::atomic<int> closes_client{0};
+        std::atomic<int> closes_server{0};
+        lb.client->on_receive([&](std::span<const std::uint8_t> f) {
+            if (frame_intact(f)) ok_client.fetch_add(1, std::memory_order_relaxed);
+        });
+        lb.server->on_receive([&](std::span<const std::uint8_t> f) {
+            if (frame_intact(f)) ok_server.fetch_add(1, std::memory_order_relaxed);
+        });
+        lb.client->on_close([&] { closes_client.fetch_add(1, std::memory_order_relaxed); });
+        lb.server->on_close([&] { closes_server.fetch_add(1, std::memory_order_relaxed); });
+
+        std::atomic<bool> stop{false};
+        const auto sender = [&stop](const std::shared_ptr<TcpChannel>& ch, int salt) {
+            // Two senders per endpoint: serialization inside send() is what
+            // keeps their frames from interleaving on the wire.
+            for (std::size_t i = 0; i < 4000 && !stop.load(std::memory_order_relaxed); ++i) {
+                if (!ch->send(patterned_frame(i * 13 + static_cast<std::size_t>(salt))).is_ok()) break;
+            }
+        };
+        const auto poller = [&stop](const std::shared_ptr<TcpChannel>& ch) {
+            while (!stop.load(std::memory_order_relaxed)) ch->poll_blocking(1);
+            ch->poll();  // final drain
+        };
+
+        std::vector<std::thread> threads;
+        threads.emplace_back(sender, lb.client, 1);
+        threads.emplace_back(sender, lb.client, 2);
+        threads.emplace_back(sender, lb.server, 3);
+        threads.emplace_back(sender, lb.server, 4);
+        threads.emplace_back(poller, lb.client);
+        threads.emplace_back(poller, lb.server);
+
+        std::this_thread::sleep_for(10ms);
+        lb.client->close();  // mid-flight close races the senders and pollers
+
+        // Both sides observe the drop; give the pollers time to report it.
+        const auto deadline = std::chrono::steady_clock::now() + 5s;
+        while ((closes_server.load() == 0 || closes_client.load() == 0) &&
+               std::chrono::steady_clock::now() < deadline) {
+            std::this_thread::sleep_for(1ms);
+        }
+        stop.store(true, std::memory_order_relaxed);
+        for (auto& t : threads) t.join();
+
+        // Every frame that arrived was intact, and the close handler fired
+        // exactly once per endpoint despite concurrent polling.
+        EXPECT_EQ(closes_client.load(), 1);
+        EXPECT_EQ(closes_server.load(), 1);
+        EXPECT_FALSE(lb.client->connected());
+        // No corrupt frame was counted separately: intact counts are simply
+        // non-negative receipt totals; corruption would have failed
+        // frame_intact and the totals below would disagree with stats.
+        EXPECT_EQ(static_cast<std::uint64_t>(ok_client.load()), lb.client->stats().frames_received);
+        EXPECT_EQ(static_cast<std::uint64_t>(ok_server.load()), lb.server->stats().frames_received);
+    }
+}
+
+TEST(TcpStress, DestructWhilePeerStillSends) {
+    Loopback lb = connect_loopback();
+    std::atomic<bool> stop{false};
+    std::thread sender([&] {
+        for (std::size_t i = 0; i < 100000 && !stop.load(std::memory_order_relaxed); ++i) {
+            if (!lb.client->send(patterned_frame(i)).is_ok()) break;  // peer gone: expected
+        }
+    });
+    std::this_thread::sleep_for(5ms);
+    lb.server.reset();  // destruct with the peer mid-send: joins its reader, closes the fd last
+    stop.store(true, std::memory_order_relaxed);
+    sender.join();
+    lb.client->close();
+}
+
+TEST(TcpStress, ConcurrentCloseFromManyThreads) {
+    Loopback lb = connect_loopback();
+    std::vector<std::thread> closers;
+    for (int i = 0; i < 8; ++i) closers.emplace_back([&] { lb.client->close(); });
+    for (auto& t : closers) t.join();
+    EXPECT_FALSE(lb.client->connected());
+    EXPECT_FALSE(lb.client->send({1, 2, 3}).is_ok());
+}
+
+}  // namespace
+}  // namespace cosoft::net
