@@ -5,20 +5,39 @@
 #   scripts/check.sh                  ordinary build in build/
 #   scripts/check.sh --sanitize=asan  AddressSanitizer+UBSan preset (checked)
 #   scripts/check.sh --sanitize=tsan  ThreadSanitizer preset
+#   scripts/check.sh --mc             bounded model-checking sweep (cosoft-mc)
 #
 # Sanitizer runs use the CMakePresets.json trees (build/asan, build/tsan)
 # and stop after ctest: examples and benchmarks are only exercised by the
-# ordinary flavor.
+# ordinary flavor. The --mc flavor builds the ordinary tree, then runs a
+# bounded cosoft-mc sweep over every registered scenario (fault-free plus
+# one-drop and one-crash budgets) and fails on any property violation.
 set -e
 cd "$(dirname "$0")/.."
 
 SANITIZE=""
+MC=""
 for arg in "$@"; do
   case "$arg" in
     --sanitize=asan|--sanitize=tsan) SANITIZE="${arg#--sanitize=}" ;;
-    *) echo "check.sh: unknown argument '$arg' (expected --sanitize=asan|tsan)" >&2; exit 2 ;;
+    --mc) MC=1 ;;
+    *) echo "check.sh: unknown argument '$arg' (expected --sanitize=asan|tsan or --mc)" >&2; exit 2 ;;
   esac
 done
+
+if [ -n "$MC" ]; then
+  cmake -B build -G Ninja -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+  cmake --build build --target cosoft-mc
+  echo "=== cosoft-mc sweep: fault-free ==="
+  ./build/tools/cosoft-mc sweep
+  echo "=== cosoft-mc sweep: drop-fault budget 1 ==="
+  ./build/tools/cosoft-mc explore couple_lock_execute --drop-faults 1 --max-interleavings 20000 \
+    && { echo "expected the drop-fault sweep to surface a drain violation" >&2; exit 1; } \
+    || echo "seeded drop fault reproduced as expected"
+  echo "=== cosoft-mc sweep: crash-fault budget 1 ==="
+  ./build/tools/cosoft-mc explore couple_lock_execute --close-faults 1 --max-interleavings 20000
+  exit 0
+fi
 
 if [ -n "$SANITIZE" ]; then
   cmake --preset "$SANITIZE"

@@ -9,7 +9,9 @@
 #include <vector>
 
 #include "cosoft/client/co_app.hpp"
+#include "cosoft/common/check.hpp"
 #include "cosoft/net/sim_network.hpp"
+#include "cosoft/protocol/conformance.hpp"
 #include "cosoft/server/co_server.hpp"
 
 namespace cosoft::apps {
@@ -19,15 +21,27 @@ class LocalSession {
     LocalSession() = default;
     explicit LocalSession(net::PipeConfig pipe) : pipe_(pipe) {}
 
+    /// Enables/disables wire-protocol conformance checking for apps added
+    /// afterwards. Defaults to on in COSOFT_CHECKED builds, where a protocol
+    /// violation aborts at the offending frame.
+    void set_conformance(bool on) noexcept { conformance_ = on; }
+
     /// Creates a client app, connects it, and completes registration.
     client::CoApp& add_app(const std::string& app_name, const std::string& user_name, UserId user) {
         auto app = std::make_unique<client::CoApp>(app_name, user_name, user);
         auto [client_end, server_end] = network_.make_pipe(pipe_);
         server_.attach(server_end);
-        app->connect(client_end);
+        std::shared_ptr<net::Channel> link = client_end;
+        std::shared_ptr<protocol::ConformanceChecker> checker;
+        if (conformance_) {
+            checker = std::make_shared<protocol::ConformanceChecker>(app_name);
+            link = std::make_shared<protocol::CheckedChannel>(link, checker);
+        }
+        app->connect(link);
         network_.run_all();
         apps_.push_back(std::move(app));
         ends_.push_back({client_end, server_end});
+        checkers_.push_back(std::move(checker));
         return *apps_.back();
     }
 
@@ -42,6 +56,20 @@ class LocalSession {
     /// Wire statistics of app i's client-side channel (frames/bytes).
     [[nodiscard]] const net::ChannelStats& client_stats(std::size_t i) const {
         return ends_.at(i).client_end->stats();
+    }
+
+    /// App i's conformance checker, or nullptr when checking is off.
+    [[nodiscard]] const protocol::ConformanceChecker* conformance(std::size_t i) const {
+        return checkers_.at(i).get();
+    }
+
+    /// All protocol violations recorded across every checked connection.
+    [[nodiscard]] std::vector<std::string> conformance_violations() const {
+        std::vector<std::string> all;
+        for (const auto& c : checkers_) {
+            if (c) all.insert(all.end(), c->violations().begin(), c->violations().end());
+        }
+        return all;
     }
 
     /// Severs app i's connection from the client side (app crash); the
@@ -65,10 +93,12 @@ class LocalSession {
     };
 
     net::PipeConfig pipe_;
+    bool conformance_ = checked_build();
     net::SimNetwork network_;
     server::CoServer server_;
     std::vector<std::unique_ptr<client::CoApp>> apps_;
     std::vector<Pipe> ends_;
+    std::vector<std::shared_ptr<protocol::ConformanceChecker>> checkers_;
 };
 
 }  // namespace cosoft::apps

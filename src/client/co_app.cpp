@@ -34,8 +34,18 @@ void CoApp::connect(std::shared_ptr<net::Channel> channel) {
         }
         auto emits = std::move(pending_emits_);
         pending_emits_.clear();
-        for (auto& [id, pe] : emits) {
+        // Unwind newest-first: each undo record captured the state produced
+        // by the emits before it, so reverse order restores the base state.
+        std::vector<ActionId> ids;
+        ids.reserve(emits.size());
+        for (const auto& [id, pe] : emits) ids.push_back(id);
+        std::sort(ids.begin(), ids.end(), std::greater<>{});
+        for (const ActionId id : ids) {
+            PendingEmit& pe = emits.at(id);
             if (toolkit::Widget* w = tree_.find(pe.widget_path)) w->undo_feedback(pe.undo);
+        }
+        for (const ActionId id : ids) {
+            PendingEmit& pe = emits.at(id);
             if (pe.done) pe.done(Status{ErrorCode::kTransport, "server connection lost"});
         }
     });
@@ -58,6 +68,25 @@ void CoApp::finish(ActionId request, const Status& status) {
     Done done = std::move(it->second);
     pending_requests_.erase(it);
     if (done) done(status);
+}
+
+std::vector<ActionId> CoApp::pending_emits_on(const std::string& widget_path, ActionId above) const {
+    std::vector<ActionId> ids;
+    for (const auto& [id, pe] : pending_emits_) {
+        if (id > above && pe.widget_path == widget_path) ids.push_back(id);
+    }
+    std::sort(ids.begin(), ids.end());
+    return ids;
+}
+
+void CoApp::reapply_pending_around(toolkit::Widget& w, ActionId above, const std::function<void()>& apply) {
+    const std::vector<ActionId> ids = pending_emits_on(w.path(), above);
+    for (auto it = ids.rbegin(); it != ids.rend(); ++it) w.undo_feedback(pending_emits_.at(*it).undo);
+    apply();
+    for (const ActionId id : ids) {
+        PendingEmit& pe = pending_emits_.at(id);
+        pe.undo = w.apply_feedback(pe.event);
+    }
 }
 
 // --- coupling ------------------------------------------------------------------
@@ -300,8 +329,12 @@ void CoApp::handle(const LockDeny& msg) {
     PendingEmit pe = std::move(it->second);
     pending_emits_.erase(it);
 
-    // "undo syntactic built-in feedback of the event e"
-    if (toolkit::Widget* w = tree_.find(pe.widget_path)) w->undo_feedback(pe.undo);
+    // "undo syntactic built-in feedback of the event e" — around any newer
+    // optimistic feedback on the same widget, so their undo records stay
+    // coherent with what actually remains applied.
+    if (toolkit::Widget* w = tree_.find(pe.widget_path)) {
+        reapply_pending_around(*w, msg.action, [&] { w->undo_feedback(pe.undo); });
+    }
     ++stats_.locks_denied;
     if (pe.done) pe.done(Status{ErrorCode::kLockConflict, "floor lock denied at " + to_string(msg.conflicting)});
 }
@@ -328,9 +361,15 @@ void CoApp::handle(const ExecuteEvent& msg) {
             toolkit::Event local_event = msg.event;
             local_event.path = w->path();
             // Re-execution bypasses the enabled check: the floor holder's
-            // action must land even though this object is locked.
-            (void)w->apply_feedback(local_event);
-            w->fire_callbacks(local_event);
+            // action must land even though this object is locked. The remote
+            // action logically precedes our unconfirmed emissions, so it is
+            // applied beneath them: otherwise a later LockDeny would undo
+            // our feedback back to a value that predates the remote action
+            // and the replicas would diverge.
+            reapply_pending_around(*w, 0, [&] {
+                (void)w->apply_feedback(local_event);
+                w->fire_callbacks(local_event);
+            });
             ++stats_.events_reexecuted;
         }
     }
@@ -522,6 +561,75 @@ void CoApp::handle_frame(std::span<const std::uint8_t> frame) {
             // Client-to-server types arriving here are ignored.
         },
         decoded.value());
+}
+
+void CoApp::fingerprint(ByteWriter& w) const {
+    w.u32(instance_);
+    w.u64(next_action_);
+    w.u32(user_);
+    w.str(app_name_);
+    w.boolean(channel_ != nullptr && channel_->connected());
+
+    toolkit::encode(w, toolkit::snapshot(tree_.root(), toolkit::SnapshotScope::kAll));
+
+    std::vector<const std::pair<const std::string, std::vector<ObjectRef>>*> groups;
+    groups.reserve(groups_.size());
+    for (const auto& kv : groups_) groups.push_back(&kv);
+    std::sort(groups.begin(), groups.end(), [](const auto* a, const auto* b) { return a->first < b->first; });
+    w.u32(static_cast<std::uint32_t>(groups.size()));
+    for (const auto* kv : groups) {
+        w.str(kv->first);
+        std::vector<ObjectRef> members = kv->second;
+        std::sort(members.begin(), members.end());
+        w.u32(static_cast<std::uint32_t>(members.size()));
+        for (const ObjectRef& m : members) {
+            w.u32(m.instance);
+            w.str(m.path);
+        }
+    }
+
+    const auto write_sorted_paths = [&w](const std::unordered_set<std::string>& paths) {
+        std::vector<std::string> sorted(paths.begin(), paths.end());
+        std::sort(sorted.begin(), sorted.end());
+        w.u32(static_cast<std::uint32_t>(sorted.size()));
+        for (const std::string& p : sorted) w.str(p);
+    };
+    write_sorted_paths(locked_paths_);
+    write_sorted_paths(loose_paths_);
+
+    std::vector<ActionId> emit_ids;
+    emit_ids.reserve(pending_emits_.size());
+    for (const auto& [id, pe] : pending_emits_) emit_ids.push_back(id);
+    std::sort(emit_ids.begin(), emit_ids.end());
+    w.u32(static_cast<std::uint32_t>(emit_ids.size()));
+    for (const ActionId id : emit_ids) {
+        const PendingEmit& pe = pending_emits_.at(id);
+        w.u64(id);
+        w.str(pe.widget_path);
+        w.str(pe.source_path);
+        w.str(pe.relative);
+        toolkit::encode(w, pe.event);
+        w.u32(static_cast<std::uint32_t>(pe.undo.entries.size()));
+        for (const auto& entry : pe.undo.entries) {
+            w.str(entry.attribute);
+            toolkit::encode(w, entry.previous);
+        }
+    }
+
+    const auto write_sorted_ids = [&w](const auto& map) {
+        std::vector<ActionId> ids;
+        ids.reserve(map.size());
+        for (const auto& [id, value] : map) ids.push_back(id);
+        std::sort(ids.begin(), ids.end());
+        w.u32(static_cast<std::uint32_t>(ids.size()));
+        for (const ActionId id : ids) w.u64(id);
+    };
+    write_sorted_ids(pending_requests_);
+    write_sorted_ids(pending_registry_);
+    write_sorted_ids(pending_fetches_);
+
+    // The one counter safety properties read (execution accounting).
+    w.u64(stats_.events_reexecuted);
 }
 
 }  // namespace cosoft::client

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "cosoft/client/compat.hpp"
+#include "cosoft/common/bytes.hpp"
 #include "cosoft/common/error.hpp"
 #include "cosoft/common/ids.hpp"
 #include "cosoft/net/channel.hpp"
@@ -179,6 +180,18 @@ class CoApp {
     [[nodiscard]] CorrespondenceRegistry& correspondences() noexcept { return correspondences_; }
 
     [[nodiscard]] const AppStats& stats() const noexcept { return stats_; }
+    /// Emissions whose floor-lock verdict is still outstanding.
+    [[nodiscard]] std::size_t pending_emit_count() const noexcept { return pending_emits_.size(); }
+    /// Tracked requests (acks, registry queries, fetches) still in flight.
+    [[nodiscard]] std::size_t pending_request_count() const noexcept {
+        return pending_requests_.size() + pending_registry_.size() + pending_fetches_.size();
+    }
+
+    /// Canonical serialization of all replicated client state: widget tree,
+    /// coupling groups, lock markers, in-flight requests, and the counters
+    /// safety properties read. Independent of hash-map iteration order; used
+    /// by cosoft-mc to hash states for interleaving pruning.
+    void fingerprint(ByteWriter& w) const;
     /// True while any local object is disabled by a peer's floor lock.
     [[nodiscard]] bool has_locked_objects() const noexcept { return !locked_paths_.empty(); }
     [[nodiscard]] bool is_locked(std::string_view path) const noexcept {
@@ -211,6 +224,18 @@ class CoApp {
 
     void send(const protocol::Message& msg);
     void finish(protocol::ActionId request, const Status& status);
+
+    /// Action ids (ascending) of pending emits newer than `above` whose
+    /// optimistic feedback touched `widget_path`.
+    [[nodiscard]] std::vector<protocol::ActionId> pending_emits_on(const std::string& widget_path,
+                                                                   protocol::ActionId above) const;
+
+    /// Runs `apply` against the state the widget had before the optimistic
+    /// feedback of pending emits newer than `above`: unwinds them (newest
+    /// first), applies, then re-applies them in emission order, recapturing
+    /// each undo record against the new base. This keeps LockDeny's undo
+    /// from clobbering a concurrently re-executed remote action.
+    void reapply_pending_around(toolkit::Widget& w, protocol::ActionId above, const std::function<void()>& apply);
     protocol::ActionId track(Done done);
     void on_widget_destroyed(const std::string& path);
 

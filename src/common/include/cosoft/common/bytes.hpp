@@ -61,6 +61,9 @@ class ByteReader {
     std::vector<std::uint8_t> bytes();
 
     [[nodiscard]] bool ok() const noexcept { return !failed_; }
+    /// Marks the stream malformed; decoders call this on semantic errors the
+    /// bounds checks cannot see (out-of-range enum, nesting too deep).
+    void fail() noexcept { failed_ = true; }
     /// True when the whole buffer has been consumed without error.
     [[nodiscard]] bool exhausted() const noexcept { return ok() && pos_ == data_.size(); }
     [[nodiscard]] std::size_t remaining() const noexcept { return data_.size() - pos_; }

@@ -1,0 +1,100 @@
+#include "cosoft/mc/controller.hpp"
+
+#include <utility>
+
+#include "cosoft/common/check.hpp"
+
+namespace cosoft::mc {
+
+int ScheduleController::register_endpoint(std::shared_ptr<net::SimChannel> dest, std::string label) {
+    endpoints_.push_back(Endpoint{std::move(dest), std::move(label), {}});
+    return static_cast<int>(endpoints_.size()) - 1;
+}
+
+int ScheduleController::find(const net::SimChannel* dest) const noexcept {
+    for (std::size_t i = 0; i < endpoints_.size(); ++i) {
+        if (endpoints_[i].dest.get() == dest) return static_cast<int>(i);
+    }
+    return -1;
+}
+
+void ScheduleController::on_frame(const std::shared_ptr<net::SimChannel>& dest, std::vector<std::uint8_t> frame) {
+    const int e = find(dest.get());
+    if (e < 0) {
+        deliver_now(*dest, std::move(frame));
+        return;
+    }
+    at(e).queue.push_back(Pending{false, std::move(frame)});
+}
+
+void ScheduleController::on_peer_close(const std::shared_ptr<net::SimChannel>& dest) {
+    const int e = find(dest.get());
+    if (e < 0) {
+        close_now(*dest);
+        return;
+    }
+    at(e).queue.push_back(Pending{true, {}});
+}
+
+std::vector<std::string> ScheduleController::labels() const {
+    std::vector<std::string> out;
+    out.reserve(endpoints_.size());
+    for (const Endpoint& ep : endpoints_) out.push_back(ep.label);
+    return out;
+}
+
+bool ScheduleController::head_is_close(int endpoint) const {
+    const Endpoint& ep = at(endpoint);
+    return !ep.queue.empty() && ep.queue.front().close;
+}
+
+bool ScheduleController::quiescent() const noexcept {
+    for (const Endpoint& ep : endpoints_) {
+        if (!ep.queue.empty()) return false;
+    }
+    return true;
+}
+
+int ScheduleController::first_pending() const noexcept {
+    for (std::size_t i = 0; i < endpoints_.size(); ++i) {
+        if (!endpoints_[i].queue.empty()) return static_cast<int>(i);
+    }
+    return -1;
+}
+
+void ScheduleController::deliver_head(int endpoint) {
+    Endpoint& ep = at(endpoint);
+    CO_CHECK_MSG(!ep.queue.empty(), "deliver_head on an empty endpoint");
+    Pending item = std::move(ep.queue.front());
+    ep.queue.pop_front();
+    // Delivery can re-enter on_frame (handlers send replies); the deque
+    // tolerates that.
+    if (item.close) {
+        close_now(*ep.dest);
+    } else {
+        deliver_now(*ep.dest, std::move(item.frame));
+    }
+}
+
+void ScheduleController::drop_head(int endpoint) {
+    Endpoint& ep = at(endpoint);
+    CO_CHECK_MSG(!ep.queue.empty() && !ep.queue.front().close, "drop_head needs a pending frame");
+    ep.queue.pop_front();
+}
+
+void ScheduleController::run_fifo() {
+    for (int e = first_pending(); e >= 0; e = first_pending()) deliver_head(e);
+}
+
+void ScheduleController::fingerprint(ByteWriter& w) const {
+    w.u32(static_cast<std::uint32_t>(endpoints_.size()));
+    for (const Endpoint& ep : endpoints_) {
+        w.u32(static_cast<std::uint32_t>(ep.queue.size()));
+        for (const Pending& item : ep.queue) {
+            w.boolean(item.close);
+            w.bytes(item.frame);
+        }
+    }
+}
+
+}  // namespace cosoft::mc

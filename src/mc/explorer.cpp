@@ -1,0 +1,193 @@
+#include "cosoft/mc/explorer.hpp"
+
+#include <algorithm>
+
+namespace cosoft::mc {
+
+namespace {
+
+/// Two choices are independent (order-irrelevant) iff both deliver into
+/// client endpoints of different clients: each such delivery mutates only
+/// that app, its conformance checker, and its own client-to-server queue.
+/// Anything involving the server endpoint, a fault, or the same endpoint is
+/// treated as dependent.
+bool independent(const Choice& a, const Choice& b) {
+    return a.kind == ChoiceKind::kDeliver && b.kind == ChoiceKind::kDeliver &&
+           World::is_client_endpoint(a.index) && World::is_client_endpoint(b.index) && a.index != b.index;
+}
+
+bool contains(const std::vector<Choice>& set, const Choice& c) {
+    return std::find(set.begin(), set.end(), c) != set.end();
+}
+
+}  // namespace
+
+Explorer::Explorer(const Scenario& scenario, Options options) : scenario_(scenario), options_(options) {}
+
+std::vector<std::string> Explorer::endpoint_labels() const {
+    return World(scenario_, options_).endpoint_labels();
+}
+
+std::unique_ptr<World> Explorer::rebuild(const std::vector<Choice>& prefix) const {
+    auto world = std::make_unique<World>(scenario_, options_);
+    for (const Choice& c : prefix) world->apply(c);
+    return world;
+}
+
+void Explorer::record(ExploreResult& result, const std::string& message, const std::vector<Choice>& schedule) {
+    Violation v;
+    const auto colon = message.find(':');
+    v.property = colon == std::string::npos ? message : message.substr(0, colon);
+    v.detail = message;
+    v.schedule = schedule;
+    result.violations.push_back(std::move(v));
+    if (options_.stop_on_violation) stop_ = true;
+}
+
+ExploreResult Explorer::explore() {
+    visited_.clear();
+    stop_ = false;
+    ExploreResult result;
+    std::vector<Choice> prefix;
+    dfs(std::make_unique<World>(scenario_, options_), prefix, {}, result);
+    return result;
+}
+
+void Explorer::dfs(std::unique_ptr<World> world, std::vector<Choice>& prefix, std::vector<Choice> sleep,
+                   ExploreResult& result) {
+    if (stop_) return;
+    ++result.states_visited;
+
+    if (options_.use_state_pruning && !visited_.insert(world->digest()).second) {
+        // Every continuation of an already-expanded state has been (or will
+        // be) covered from its first visit.
+        ++result.states_pruned;
+        ++result.interleavings;
+        return;
+    }
+
+    const std::vector<Choice> all = world->choices();
+    if (all.empty()) {
+        ++result.interleavings;
+        const std::vector<std::string> qv = world->quiescence_violations();
+        if (!qv.empty()) record(result, qv.front(), prefix);
+        if (options_.max_interleavings != 0 && result.interleavings >= options_.max_interleavings) {
+            stop_ = true;
+            result.complete = false;
+        }
+        return;
+    }
+    if (prefix.size() >= static_cast<std::size_t>(options_.max_depth)) {
+        ++result.depth_cap_hits;
+        ++result.interleavings;
+        return;
+    }
+
+    std::vector<Choice> enabled;
+    enabled.reserve(all.size());
+    for (const Choice& c : all) {
+        if (!contains(sleep, c)) enabled.push_back(c);
+    }
+    if (enabled.empty()) {
+        // Everything runnable is asleep: this whole subtree is a reordering
+        // of schedules reached elsewhere.
+        ++result.sleep_skips;
+        return;
+    }
+
+    for (std::size_t i = 0; i < enabled.size() && !stop_; ++i) {
+        const Choice c = enabled[i];
+        std::vector<Choice> child_sleep;
+        if (options_.use_por) {
+            for (const Choice& d : sleep) {
+                if (independent(d, c)) child_sleep.push_back(d);
+            }
+            for (std::size_t j = 0; j < i; ++j) {
+                if (independent(enabled[j], c)) child_sleep.push_back(enabled[j]);
+            }
+        }
+        // Reuse the live world for the last child; siblings replay the prefix.
+        std::unique_ptr<World> w = (i + 1 == enabled.size()) ? std::move(world) : rebuild(prefix);
+        w->apply(c);
+        prefix.push_back(c);
+        const std::vector<std::string> sv = w->step_violations();
+        if (!sv.empty()) {
+            ++result.interleavings;
+            record(result, sv.front(), prefix);
+        } else {
+            dfs(std::move(w), prefix, std::move(child_sleep), result);
+        }
+        prefix.pop_back();
+        if (options_.max_interleavings != 0 && result.interleavings >= options_.max_interleavings) {
+            stop_ = true;
+            result.complete = false;
+        }
+    }
+}
+
+std::optional<Violation> Explorer::replay(const std::vector<Choice>& steps) {
+    World world(scenario_, options_);
+    const auto check_step = [&]() -> std::optional<Violation> {
+        const std::vector<std::string> sv = world.step_violations();
+        if (sv.empty()) return std::nullopt;
+        Violation v;
+        const auto colon = sv.front().find(':');
+        v.property = colon == std::string::npos ? sv.front() : sv.front().substr(0, colon);
+        v.detail = sv.front();
+        v.schedule = steps;
+        return v;
+    };
+    for (const Choice& c : steps) {
+        if (!world.can_apply(c)) return std::nullopt;  // inapplicable candidate
+        world.apply(c);
+        if (auto v = check_step()) return v;
+    }
+    // Implicit tail: drain the remaining traffic in FIFO order.
+    while (!world.quiescent()) {
+        world.controller().deliver_head(world.controller().first_pending());
+        if (auto v = check_step()) return v;
+    }
+    const std::vector<std::string> qv = world.quiescence_violations();
+    if (!qv.empty()) {
+        Violation v;
+        const auto colon = qv.front().find(':');
+        v.property = colon == std::string::npos ? qv.front() : qv.front().substr(0, colon);
+        v.detail = qv.front();
+        v.schedule = steps;
+        return v;
+    }
+    return std::nullopt;
+}
+
+std::vector<Choice> Explorer::minimize(const Violation& v) {
+    std::vector<Choice> best = v.schedule;
+
+    // 1. Shortest violating prefix (the drain tail re-delivers the rest).
+    for (std::size_t len = 0; len < best.size(); ++len) {
+        const std::vector<Choice> prefix(best.begin(), best.begin() + static_cast<std::ptrdiff_t>(len));
+        const auto res = replay(prefix);
+        if (res && res->property == v.property) {
+            best = prefix;
+            break;
+        }
+    }
+
+    // 2. Greedy single-step removal to a fixpoint.
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::size_t i = 0; i < best.size(); ++i) {
+            std::vector<Choice> candidate = best;
+            candidate.erase(candidate.begin() + static_cast<std::ptrdiff_t>(i));
+            const auto res = replay(candidate);
+            if (res && res->property == v.property) {
+                best = std::move(candidate);
+                changed = true;
+                break;
+            }
+        }
+    }
+    return best;
+}
+
+}  // namespace cosoft::mc

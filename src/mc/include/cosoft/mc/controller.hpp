@@ -1,0 +1,69 @@
+// Schedule controller: the net::FrameScheduler cosoft-mc installs on a
+// SimNetwork. Every frame (and peer-close notification) a channel would hand
+// to the event queue is parked here in a per-destination FIFO instead, and
+// the explorer picks which head to deliver — or drop — next. Per-channel
+// FIFO order is preserved (COSOFT channels are ordered); only the
+// cross-channel interleaving is explored.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cosoft/common/bytes.hpp"
+#include "cosoft/net/sim_network.hpp"
+
+namespace cosoft::mc {
+
+class ScheduleController final : public net::FrameScheduler {
+  public:
+    struct Pending {
+        bool close = false;               ///< peer-close notification
+        std::vector<std::uint8_t> frame;  ///< valid when !close
+    };
+
+    /// Registers a destination endpoint; frames addressed to it queue up
+    /// under the returned index. Frames for unregistered destinations are
+    /// delivered immediately (none occur in practice).
+    int register_endpoint(std::shared_ptr<net::SimChannel> dest, std::string label);
+
+    void on_frame(const std::shared_ptr<net::SimChannel>& dest, std::vector<std::uint8_t> frame) override;
+    void on_peer_close(const std::shared_ptr<net::SimChannel>& dest) override;
+
+    [[nodiscard]] std::size_t endpoint_count() const noexcept { return endpoints_.size(); }
+    [[nodiscard]] const std::string& label(int endpoint) const { return at(endpoint).label; }
+    [[nodiscard]] std::vector<std::string> labels() const;
+    [[nodiscard]] std::size_t pending(int endpoint) const { return at(endpoint).queue.size(); }
+    [[nodiscard]] bool head_is_close(int endpoint) const;
+    [[nodiscard]] bool quiescent() const noexcept;
+
+    /// Delivers the head item (frame or close) of `endpoint` into its channel.
+    void deliver_head(int endpoint);
+    /// Discards the head frame of `endpoint` (loss fault). Head must be a frame.
+    void drop_head(int endpoint);
+    /// Delivers everything in deterministic FIFO order until quiescent.
+    void run_fifo();
+    /// Lowest endpoint index with pending items, or -1 when quiescent.
+    [[nodiscard]] int first_pending() const noexcept;
+
+    /// Canonical serialization of every parked item (for state hashing: two
+    /// interleavings only merge if the same frames are still in flight).
+    void fingerprint(ByteWriter& w) const;
+
+  private:
+    struct Endpoint {
+        std::shared_ptr<net::SimChannel> dest;
+        std::string label;
+        std::deque<Pending> queue;
+    };
+
+    [[nodiscard]] const Endpoint& at(int endpoint) const { return endpoints_.at(static_cast<std::size_t>(endpoint)); }
+    [[nodiscard]] Endpoint& at(int endpoint) { return endpoints_.at(static_cast<std::size_t>(endpoint)); }
+    [[nodiscard]] int find(const net::SimChannel* dest) const noexcept;
+
+    std::vector<Endpoint> endpoints_;
+};
+
+}  // namespace cosoft::mc

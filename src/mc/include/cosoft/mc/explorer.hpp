@@ -1,0 +1,83 @@
+// The cosoft-mc exploration engine.
+//
+// Stateless-model-checking DFS over delivery/fault choices: a branch is
+// entered by rebuilding a fresh World and replaying the choice prefix (the
+// current world is reused for the last child, so a straight-line schedule
+// costs one world). Two reductions keep the search tractable:
+//
+//  - sleep sets (partial-order reduction): deliveries into two *different
+//    client* endpoints touch disjoint state — app i, its checker, and its
+//    own to-server queue — so exploring both orders is redundant. Sound
+//    here because the explored state graph is acyclic (monotone message
+//    counters), where sleep sets lose no reachable local states.
+//  - digest pruning: a canonical 128-bit fingerprint of server + apps +
+//    checkers + in-flight frames; a state seen before is not re-expanded.
+//
+// Violations carry the explicit schedule prefix that produced them; replay()
+// re-executes a schedule deterministically (explicit steps, then FIFO
+// drain) and minimize() shrinks it while preserving the violated property.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cosoft/mc/world.hpp"
+
+namespace cosoft::mc {
+
+struct Violation {
+    std::string property;          ///< "invariants", "conformance", "drain", ...
+    std::string detail;            ///< full human-readable message
+    std::vector<Choice> schedule;  ///< explicit steps from the initial state
+};
+
+struct ExploreResult {
+    std::uint64_t interleavings = 0;   ///< maximal schedules reached (quiescent, pruned, or capped)
+    std::uint64_t states_visited = 0;  ///< DFS nodes expanded
+    std::uint64_t states_pruned = 0;   ///< nodes cut by digest pruning
+    std::uint64_t sleep_skips = 0;     ///< redundant branches cut by sleep sets
+    std::uint64_t depth_cap_hits = 0;
+    bool complete = true;              ///< false iff the interleaving cap stopped the search
+    std::vector<Violation> violations;
+};
+
+class Explorer {
+  public:
+    Explorer(const Scenario& scenario, Options options);
+
+    [[nodiscard]] const Options& options() const noexcept { return options_; }
+    /// Endpoint labels of this scenario's worlds (for trace formatting).
+    [[nodiscard]] std::vector<std::string> endpoint_labels() const;
+
+    ExploreResult explore();
+
+    /// Re-executes a schedule from the initial state: explicit steps first,
+    /// then a deterministic FIFO drain, checking every property along the
+    /// way. Returns the first violation hit, or nullopt if the run is clean
+    /// — or if the schedule is inapplicable (a minimization candidate may
+    /// reference a frame that no longer exists).
+    [[nodiscard]] std::optional<Violation> replay(const std::vector<Choice>& steps);
+
+    /// Shrinks a violating schedule: shortest violating prefix, then greedy
+    /// single-step removal to a fixpoint. Every candidate is revalidated by
+    /// replay and must violate the same property.
+    [[nodiscard]] std::vector<Choice> minimize(const Violation& v);
+
+  private:
+    void dfs(std::unique_ptr<World> world, std::vector<Choice>& prefix, std::vector<Choice> sleep,
+             ExploreResult& result);
+    [[nodiscard]] std::unique_ptr<World> rebuild(const std::vector<Choice>& prefix) const;
+    void record(ExploreResult& result, const std::string& message, const std::vector<Choice>& schedule);
+
+    const Scenario& scenario_;
+    Options options_;
+    std::set<std::pair<std::uint64_t, std::uint64_t>> visited_;
+    bool stop_ = false;
+};
+
+}  // namespace cosoft::mc

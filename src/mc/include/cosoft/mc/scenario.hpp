@@ -1,0 +1,36 @@
+// Model-checking scenarios: small, named session setups whose concurrent
+// stimuli cosoft-mc explores. A scenario builds the widgets, establishes
+// couplings (run to quiescence), then injects the racing actions — the
+// explorer takes over from there.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cosoft::mc {
+
+class World;
+
+struct Scenario {
+    std::string name;
+    std::string description;
+    int clients = 2;
+    /// Creates local widgets on each app; no traffic.
+    std::function<void(World&)> build;
+    /// Establishes couplings etc.; the world drains to quiescence after it.
+    std::function<void(World&)> setup;
+    /// Fires the concurrent stimuli whose interleavings are explored.
+    std::function<void(World&)> inject;
+    /// Widget paths that must be snapshot-equal across every (non-crashed)
+    /// client at fault-free quiescence.
+    std::vector<std::string> converge;
+    /// Optional scenario-specific quiescence check; returns "" when happy.
+    std::function<std::string(World&)> extra_check;
+};
+
+[[nodiscard]] const std::vector<Scenario>& scenarios();
+[[nodiscard]] const Scenario* find_scenario(std::string_view name);
+
+}  // namespace cosoft::mc

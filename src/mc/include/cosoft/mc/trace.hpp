@@ -1,0 +1,52 @@
+// Replayable schedule traces for cosoft-mc.
+//
+// A trace names a scenario, a fault budget, and the explicit schedule prefix
+// that led to a violation. Replaying a trace applies the explicit steps in
+// order and then drains the remaining frames in deterministic FIFO order,
+// re-checking every property — so a minimized counterexample stays a
+// counterexample, byte-for-byte, across runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cosoft/common/error.hpp"
+
+namespace cosoft::mc {
+
+/// One nondeterministic decision at a scheduling point.
+enum class ChoiceKind : std::uint8_t {
+    kDeliver,  ///< deliver the head item (frame or close) at an endpoint
+    kDrop,     ///< discard the head frame at an endpoint (loss fault)
+    kCrash,    ///< close a client's end of its connection (crash fault)
+};
+
+[[nodiscard]] std::string_view to_string(ChoiceKind k) noexcept;
+
+struct Choice {
+    ChoiceKind kind = ChoiceKind::kDeliver;
+    /// Endpoint index for kDeliver/kDrop, client index for kCrash.
+    int index = 0;
+
+    friend bool operator==(const Choice&, const Choice&) = default;
+};
+
+/// A self-contained, replayable counterexample.
+struct Trace {
+    std::string scenario;
+    int drop_faults = 0;
+    int close_faults = 0;
+    std::string property;  ///< which property the schedule violates
+    std::vector<Choice> steps;
+};
+
+/// Text form, one directive per line; endpoints are written by label so the
+/// file is human-readable and diffable.
+[[nodiscard]] std::string format_trace(const Trace& trace, const std::vector<std::string>& endpoint_labels);
+
+/// Inverse of format_trace; labels resolve positionally via `endpoint_labels`.
+[[nodiscard]] Result<Trace> parse_trace(std::string_view text, const std::vector<std::string>& endpoint_labels);
+
+}  // namespace cosoft::mc

@@ -1,0 +1,94 @@
+// One explorable instance of a scenario: a CoServer, N CoApps, SimNetwork
+// pipes routed through a ScheduleController, and a ConformanceChecker on
+// every client connection. The explorer advances a World by applying
+// Choices; the World answers which choices exist, whether the state is
+// quiescent, what its canonical digest is, and whether any safety property
+// is currently violated.
+//
+// Worlds are cheap enough to rebuild that exploration is stateless: there is
+// no undo — a sibling branch is reached by constructing a fresh World and
+// replaying the prefix.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cosoft/client/co_app.hpp"
+#include "cosoft/mc/controller.hpp"
+#include "cosoft/mc/scenario.hpp"
+#include "cosoft/mc/trace.hpp"
+#include "cosoft/net/sim_network.hpp"
+#include "cosoft/protocol/conformance.hpp"
+#include "cosoft/server/co_server.hpp"
+
+namespace cosoft::mc {
+
+/// Exploration parameters, shared by Explorer and World (fault budgets).
+struct Options {
+    int max_depth = 96;                   ///< explicit-schedule depth cap
+    std::uint64_t max_interleavings = 0;  ///< stop after this many paths (0 = unlimited)
+    int drop_faults = 0;                  ///< frame-loss budget per schedule
+    int close_faults = 0;                 ///< client-crash budget per schedule
+    bool use_por = true;                  ///< sleep-set partial-order reduction
+    bool use_state_pruning = true;        ///< digest-based visited-state pruning
+    bool stop_on_violation = true;        ///< abandon exploration at the first violation
+};
+
+class World {
+  public:
+    World(const Scenario& scenario, const Options& options);
+
+    /// All choices available at the current state. Empty iff quiescent
+    /// (crash faults are only offered while traffic is in flight, so
+    /// exploration terminates).
+    [[nodiscard]] std::vector<Choice> choices() const;
+    /// Whether `c` is applicable right now (used by trace replay, where a
+    /// minimization candidate may reference a frame that no longer exists).
+    [[nodiscard]] bool can_apply(const Choice& c) const;
+    void apply(const Choice& c);
+
+    [[nodiscard]] bool quiescent() const { return controller_.quiescent(); }
+    /// Canonical state digest: server + apps + checkers + in-flight frames.
+    [[nodiscard]] std::pair<std::uint64_t, std::uint64_t> digest() const;
+
+    /// Properties checked after every step: server invariants, conformance.
+    /// Returns "property: detail" strings; empty when all hold.
+    [[nodiscard]] std::vector<std::string> step_violations() const;
+    /// Properties checked only at quiescence: drain, convergence, accounting,
+    /// plus the scenario's extra check.
+    [[nodiscard]] std::vector<std::string> quiescence_violations();
+
+    [[nodiscard]] bool faults_used() const noexcept { return drops_used_ + crashes_used_ > 0; }
+    [[nodiscard]] int drops_used() const noexcept { return drops_used_; }
+    [[nodiscard]] int crashes_used() const noexcept { return crashes_used_; }
+    [[nodiscard]] bool crashed(int client) const { return crashed_.at(static_cast<std::size_t>(client)); }
+
+    [[nodiscard]] const Scenario& scenario() const noexcept { return scenario_; }
+    [[nodiscard]] ScheduleController& controller() noexcept { return controller_; }
+    [[nodiscard]] server::CoServer& server() noexcept { return server_; }
+    [[nodiscard]] client::CoApp& app(int i) { return *apps_.at(static_cast<std::size_t>(i)); }
+    [[nodiscard]] int app_count() const noexcept { return static_cast<int>(apps_.size()); }
+    /// Endpoint labels, index-aligned with Choice::index for deliver/drop.
+    [[nodiscard]] std::vector<std::string> endpoint_labels() const { return controller_.labels(); }
+
+    /// True when endpoint `e` delivers into a client (server-to-client leg).
+    [[nodiscard]] static bool is_client_endpoint(int e) noexcept { return (e % 2) == 1; }
+
+  private:
+    const Scenario& scenario_;
+    Options options_;
+    ScheduleController controller_;
+    net::SimNetwork network_;
+    server::CoServer server_;
+    std::vector<std::unique_ptr<client::CoApp>> apps_;
+    std::vector<std::shared_ptr<net::SimChannel>> client_ends_;
+    std::vector<std::shared_ptr<protocol::ConformanceChecker>> checkers_;
+    std::vector<bool> crashed_;
+    int drops_used_ = 0;
+    int crashes_used_ = 0;
+};
+
+}  // namespace cosoft::mc

@@ -1,0 +1,127 @@
+#include "cosoft/mc/scenario.hpp"
+
+#include <string>
+
+#include "cosoft/mc/world.hpp"
+#include "cosoft/toolkit/widget.hpp"
+
+namespace cosoft::mc {
+
+namespace {
+
+void add_field(World& w, int client, const std::string& name) {
+    (void)w.app(client).ui().root().add_child(toolkit::WidgetClass::kTextField, name);
+}
+
+void emit_value(World& w, int client, const std::string& path, const std::string& value) {
+    toolkit::Widget* widget = w.app(client).ui().find(path);
+    w.app(client).emit(path, widget->make_event(toolkit::EventType::kValueChanged, value));
+}
+
+std::vector<Scenario> build_scenarios() {
+    std::vector<Scenario> out;
+
+    // The acceptance scenario: two coupled text fields, seven overlapping
+    // emissions (pipelined from both clients), every §3.2 phase in
+    // flight at once — lock requests, grants/denies, event fan-out, ack
+    // collection, and optimistic-feedback rollback.
+    {
+        Scenario s;
+        s.name = "couple_lock_execute";
+        s.description = "2 clients, coupled field; c0 pipelines A,C,E,G while c1 pipelines B,D,F";
+        s.clients = 2;
+        s.build = [](World& w) {
+            add_field(w, 0, "field");
+            add_field(w, 1, "field");
+        };
+        s.setup = [](World& w) { w.app(0).couple("field", w.app(1).ref("field")); };
+        s.inject = [](World& w) {
+            emit_value(w, 0, "field", "A");
+            emit_value(w, 1, "field", "B");
+            emit_value(w, 0, "field", "C");
+            emit_value(w, 1, "field", "D");
+            emit_value(w, 0, "field", "E");
+            emit_value(w, 1, "field", "F");
+            emit_value(w, 0, "field", "G");
+        };
+        s.converge = {"field"};
+        s.extra_check = [](World& w) -> std::string {
+            if (w.faults_used()) return "";
+            // Whatever the grant order, the surviving value is one of the
+            // emitted ones — never a torn or resurrected intermediate.
+            const std::string value = w.app(0).ui().find("field")->text("value");
+            if (value.size() != 1 || value.front() < 'A' || value.front() > 'G') {
+                return "final value '" + value + "' was never emitted";
+            }
+            return "";
+        };
+        out.push_back(std::move(s));
+    }
+
+    // Loose coupling (§2.2 time relaxation): c1 detaches in time, c0 keeps
+    // emitting, and a SyncRequest races with the emissions. Convergence is
+    // not required (post-sync emissions legitimately stay deferred); the
+    // accounting and drain properties still must hold.
+    {
+        Scenario s;
+        s.name = "loose_sync";
+        s.description = "2 clients, c1 loosely coupled; c0 emits twice while c1 syncs";
+        s.clients = 2;
+        s.build = [](World& w) {
+            add_field(w, 0, "field");
+            add_field(w, 1, "field");
+        };
+        s.setup = [](World& w) {
+            w.app(0).couple("field", w.app(1).ref("field"));
+            w.app(1).set_loose("field", true);
+        };
+        s.inject = [](World& w) {
+            emit_value(w, 0, "field", "A");
+            emit_value(w, 1, "field", "B");  // loose side emits too
+            w.app(1).sync_now("field");
+        };
+        out.push_back(std::move(s));
+    }
+
+    // Three-way race on one group: every client emits once, so two of the
+    // three lock requests collide and at least one deny/retry-free path
+    // exists per ordering.
+    {
+        Scenario s;
+        s.name = "trio_race";
+        s.description = "3 clients, one coupled field, one emission each";
+        s.clients = 3;
+        s.build = [](World& w) {
+            for (int i = 0; i < 3; ++i) add_field(w, i, "field");
+        };
+        s.setup = [](World& w) {
+            w.app(0).couple("field", w.app(1).ref("field"));
+            w.app(0).couple("field", w.app(2).ref("field"));
+        };
+        s.inject = [](World& w) {
+            emit_value(w, 0, "field", "A");
+            emit_value(w, 1, "field", "B");
+            emit_value(w, 2, "field", "C");
+        };
+        s.converge = {"field"};
+        out.push_back(std::move(s));
+    }
+
+    return out;
+}
+
+}  // namespace
+
+const std::vector<Scenario>& scenarios() {
+    static const std::vector<Scenario> all = build_scenarios();
+    return all;
+}
+
+const Scenario* find_scenario(std::string_view name) {
+    for (const Scenario& s : scenarios()) {
+        if (s.name == name) return &s;
+    }
+    return nullptr;
+}
+
+}  // namespace cosoft::mc

@@ -1,0 +1,103 @@
+#include "cosoft/mc/trace.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace cosoft::mc {
+
+namespace {
+
+Error bad(const std::string& detail) {
+    return Error{ErrorCode::kInvalidArgument, "trace: " + detail};
+}
+
+}  // namespace
+
+std::string_view to_string(ChoiceKind k) noexcept {
+    switch (k) {
+        case ChoiceKind::kDeliver: return "deliver";
+        case ChoiceKind::kDrop: return "drop";
+        case ChoiceKind::kCrash: return "crash";
+    }
+    return "?";
+}
+
+std::string format_trace(const Trace& trace, const std::vector<std::string>& endpoint_labels) {
+    std::ostringstream out;
+    out << "# cosoft-mc trace v1\n";
+    out << "scenario " << trace.scenario << "\n";
+    out << "faults drop=" << trace.drop_faults << " close=" << trace.close_faults << "\n";
+    if (!trace.property.empty()) out << "violates " << trace.property << "\n";
+    for (const Choice& c : trace.steps) {
+        out << "step " << to_string(c.kind) << " ";
+        if (c.kind == ChoiceKind::kCrash) {
+            out << "client" << c.index;
+        } else {
+            out << endpoint_labels.at(static_cast<std::size_t>(c.index));
+        }
+        out << "\n";
+    }
+    return out.str();
+}
+
+Result<Trace> parse_trace(std::string_view text, const std::vector<std::string>& endpoint_labels) {
+    Trace trace;
+    std::istringstream in{std::string{text}};
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#') continue;
+        std::istringstream ls{line};
+        std::string directive;
+        ls >> directive;
+        if (directive == "scenario") {
+            ls >> trace.scenario;
+        } else if (directive == "faults") {
+            std::string field;
+            while (ls >> field) {
+                const auto eq = field.find('=');
+                if (eq == std::string::npos) return bad("malformed faults field '" + field + "'");
+                const std::string key = field.substr(0, eq);
+                const int value = std::stoi(field.substr(eq + 1));
+                if (key == "drop") {
+                    trace.drop_faults = value;
+                } else if (key == "close") {
+                    trace.close_faults = value;
+                } else {
+                    return bad("unknown fault kind '" + key + "'");
+                }
+            }
+        } else if (directive == "violates") {
+            ls >> trace.property;
+        } else if (directive == "step") {
+            std::string kind;
+            std::string operand;
+            ls >> kind >> operand;
+            Choice c;
+            if (kind == "deliver") {
+                c.kind = ChoiceKind::kDeliver;
+            } else if (kind == "drop") {
+                c.kind = ChoiceKind::kDrop;
+            } else if (kind == "crash") {
+                c.kind = ChoiceKind::kCrash;
+            } else {
+                return bad("unknown step kind '" + kind + "'");
+            }
+            if (c.kind == ChoiceKind::kCrash) {
+                constexpr std::string_view prefix = "client";
+                if (operand.rfind(prefix, 0) != 0) return bad("crash operand '" + operand + "'");
+                c.index = std::stoi(operand.substr(prefix.size()));
+            } else {
+                const auto it = std::find(endpoint_labels.begin(), endpoint_labels.end(), operand);
+                if (it == endpoint_labels.end()) return bad("unknown endpoint '" + operand + "'");
+                c.index = static_cast<int>(it - endpoint_labels.begin());
+            }
+            trace.steps.push_back(c);
+        } else {
+            return bad("unknown directive '" + directive + "'");
+        }
+    }
+    if (trace.scenario.empty()) return bad("missing scenario directive");
+    return trace;
+}
+
+}  // namespace cosoft::mc

@@ -1,0 +1,206 @@
+#include "cosoft/mc/world.hpp"
+
+#include <string>
+#include <utility>
+
+#include "cosoft/common/check.hpp"
+#include "cosoft/toolkit/snapshot.hpp"
+
+namespace cosoft::mc {
+
+namespace {
+
+// Two independent FNV-1a-style 64-bit hashes over the canonical state bytes.
+// A 128-bit fingerprint makes accidental collisions (which would silently
+// prune a reachable state) implausible at exploration scale.
+std::pair<std::uint64_t, std::uint64_t> hash_bytes(const std::vector<std::uint8_t>& bytes) {
+    std::uint64_t h1 = 1469598103934665603ULL;        // FNV offset basis
+    std::uint64_t h2 = 0x9E3779B97F4A7C15ULL;         // golden-ratio basis
+    for (const std::uint8_t b : bytes) {
+        h1 = (h1 ^ b) * 1099511628211ULL;             // FNV prime
+        h2 = (h2 ^ (b + 0x9E)) * 0xC2B2AE3D27D4EB4FULL;
+        h2 ^= h2 >> 29;
+    }
+    return {h1, h2};
+}
+
+}  // namespace
+
+World::World(const Scenario& scenario, const Options& options) : scenario_(scenario), options_(options) {
+    network_.set_scheduler(&controller_);
+    for (int i = 0; i < scenario_.clients; ++i) {
+        auto [client_end, server_end] = network_.make_pipe();
+        const std::string tag = "c" + std::to_string(i);
+        controller_.register_endpoint(server_end, tag + "->srv");  // even index: into the server
+        controller_.register_endpoint(client_end, "srv->" + tag);  // odd index: into client i
+        server_.attach(server_end);
+
+        auto app = std::make_unique<client::CoApp>("app" + std::to_string(i), "user" + std::to_string(i),
+                                                   static_cast<UserId>(i + 1));
+        auto checker = std::make_shared<protocol::ConformanceChecker>(tag);
+        app->connect(std::make_shared<protocol::CheckedChannel>(client_end, checker));
+
+        apps_.push_back(std::move(app));
+        client_ends_.push_back(std::move(client_end));
+        checkers_.push_back(std::move(checker));
+        crashed_.push_back(false);
+    }
+    controller_.run_fifo();  // registration handshakes
+    if (scenario_.build) scenario_.build(*this);
+    if (scenario_.setup) {
+        scenario_.setup(*this);
+        controller_.run_fifo();  // couplings etc. settle deterministically
+    }
+    // The injected stimuli stay parked in the controller: every in-flight
+    // frame they produce is now an exploration choice.
+    if (scenario_.inject) scenario_.inject(*this);
+}
+
+std::vector<Choice> World::choices() const {
+    std::vector<Choice> out;
+    const int endpoints = static_cast<int>(controller_.endpoint_count());
+    for (int e = 0; e < endpoints; ++e) {
+        if (controller_.pending(e) == 0) continue;
+        out.push_back(Choice{ChoiceKind::kDeliver, e});
+        if (drops_used_ < options_.drop_faults && !controller_.head_is_close(e)) {
+            out.push_back(Choice{ChoiceKind::kDrop, e});
+        }
+    }
+    // Crash faults are only offered while traffic is in flight; a crash at
+    // quiescence races with nothing, and gating it keeps exploration finite.
+    if (!out.empty() && crashes_used_ < options_.close_faults) {
+        for (int i = 0; i < app_count(); ++i) {
+            if (!crashed_[static_cast<std::size_t>(i)] && client_ends_[static_cast<std::size_t>(i)]->connected()) {
+                out.push_back(Choice{ChoiceKind::kCrash, i});
+            }
+        }
+    }
+    return out;
+}
+
+bool World::can_apply(const Choice& c) const {
+    switch (c.kind) {
+        case ChoiceKind::kDeliver:
+            return c.index >= 0 && c.index < static_cast<int>(controller_.endpoint_count()) &&
+                   controller_.pending(c.index) > 0;
+        case ChoiceKind::kDrop:
+            return drops_used_ < options_.drop_faults && c.index >= 0 &&
+                   c.index < static_cast<int>(controller_.endpoint_count()) && controller_.pending(c.index) > 0 &&
+                   !controller_.head_is_close(c.index);
+        case ChoiceKind::kCrash:
+            return crashes_used_ < options_.close_faults && c.index >= 0 && c.index < app_count() &&
+                   !crashed_[static_cast<std::size_t>(c.index)] &&
+                   client_ends_[static_cast<std::size_t>(c.index)]->connected();
+    }
+    return false;
+}
+
+void World::apply(const Choice& c) {
+    CO_CHECK_MSG(can_apply(c), "applying an unavailable choice");
+    switch (c.kind) {
+        case ChoiceKind::kDeliver:
+            controller_.deliver_head(c.index);
+            break;
+        case ChoiceKind::kDrop:
+            controller_.drop_head(c.index);
+            ++drops_used_;
+            break;
+        case ChoiceKind::kCrash:
+            client_ends_[static_cast<std::size_t>(c.index)]->close();
+            crashed_[static_cast<std::size_t>(c.index)] = true;
+            ++crashes_used_;
+            break;
+    }
+}
+
+std::pair<std::uint64_t, std::uint64_t> World::digest() const {
+    ByteWriter w;
+    server_.fingerprint(w);
+    for (const auto& app : apps_) app->fingerprint(w);
+    for (const auto& checker : checkers_) checker->fingerprint(w);
+    controller_.fingerprint(w);
+    for (const bool c : crashed_) w.boolean(c);
+    w.u32(static_cast<std::uint32_t>(drops_used_));
+    w.u32(static_cast<std::uint32_t>(crashes_used_));
+    return hash_bytes(w.data());
+}
+
+std::vector<std::string> World::step_violations() const {
+    std::vector<std::string> out;
+    for (const std::string& s : server_.check_invariants()) out.push_back("invariants: " + s);
+    for (const auto& checker : checkers_) {
+        for (const std::string& v : checker->violations()) out.push_back("conformance: " + v);
+    }
+    return out;
+}
+
+std::vector<std::string> World::quiescence_violations() {
+    std::vector<std::string> out;
+
+    // Drain: at quiescence nothing may still be held or awaited. A crashed
+    // client legitimately leaves nothing behind either — the server cleans
+    // its locks on close — so this holds even on fault paths.
+    if (server_.locks().locked_count() != 0) {
+        out.push_back("drain: " + std::to_string(server_.locks().locked_count()) +
+                      " object(s) still locked at quiescence");
+    }
+    if (server_.pending_action_count() != 0) {
+        out.push_back("drain: " + std::to_string(server_.pending_action_count()) +
+                      " pending action(s) still awaiting acks at quiescence");
+    }
+    for (int i = 0; i < app_count(); ++i) {
+        if (crashed_[static_cast<std::size_t>(i)]) continue;
+        client::CoApp& a = app(i);
+        if (a.pending_emit_count() != 0) {
+            out.push_back("drain: client " + std::to_string(i) + " has " + std::to_string(a.pending_emit_count()) +
+                          " unresolved pending emit(s)");
+        }
+        if (a.pending_request_count() != 0) {
+            out.push_back("drain: client " + std::to_string(i) + " has " +
+                          std::to_string(a.pending_request_count()) + " unresolved request(s)");
+        }
+    }
+
+    // Convergence and accounting only hold on fault-free paths: a dropped
+    // frame or crashed client is allowed to lose updates.
+    if (!faults_used()) {
+        for (const std::string& path : scenario_.converge) {
+            const toolkit::Widget* reference = nullptr;
+            int reference_client = -1;
+            for (int i = 0; i < app_count(); ++i) {
+                if (crashed_[static_cast<std::size_t>(i)]) continue;
+                const toolkit::Widget* w = app(i).ui().find(path);
+                if (w == nullptr) {
+                    out.push_back("convergence: client " + std::to_string(i) + " lost widget '" + path + "'");
+                    continue;
+                }
+                if (reference == nullptr) {
+                    reference = w;
+                    reference_client = i;
+                    continue;
+                }
+                if (!(toolkit::snapshot(*reference, toolkit::SnapshotScope::kRelevant) ==
+                      toolkit::snapshot(*w, toolkit::SnapshotScope::kRelevant))) {
+                    out.push_back("convergence: '" + path + "' differs between client " +
+                                  std::to_string(reference_client) + " and client " + std::to_string(i));
+                }
+            }
+        }
+
+        std::uint64_t reexecuted = 0;
+        for (const auto& a : apps_) reexecuted += a->stats().events_reexecuted;
+        const std::uint64_t sent = server_.stats().events_broadcast + server_.stats().events_flushed;
+        if (reexecuted != sent) {
+            out.push_back("accounting: server fanned out " + std::to_string(sent) + " re-execution(s) but clients applied " +
+                          std::to_string(reexecuted));
+        }
+    }
+
+    if (scenario_.extra_check) {
+        const std::string s = scenario_.extra_check(*this);
+        if (!s.empty()) out.push_back("scenario: " + s);
+    }
+    return out;
+}
+
+}  // namespace cosoft::mc

@@ -20,6 +20,7 @@ namespace cosoft::net {
 struct ChannelStats {
     std::uint64_t frames_sent = 0;
     std::uint64_t frames_received = 0;
+    std::uint64_t frames_dropped = 0;  ///< sent but lost in transit (SimNetwork loss injection)
     std::uint64_t bytes_sent = 0;
     std::uint64_t bytes_received = 0;
 };

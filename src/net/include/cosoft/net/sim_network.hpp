@@ -25,11 +25,40 @@ struct PipeConfig {
 
 class SimChannel;
 
+/// Intercepts every frame (and close notification) a SimChannel would hand to
+/// the EventQueue, so an external scheduler can decide delivery order — the
+/// hook cosoft-mc uses to enumerate interleavings. While a scheduler is
+/// installed, latency and probabilistic loss are bypassed: ordering and fault
+/// injection become the scheduler's explicit choices.
+class FrameScheduler {
+  public:
+    FrameScheduler() = default;
+    FrameScheduler(const FrameScheduler&) = delete;
+    FrameScheduler& operator=(const FrameScheduler&) = delete;
+    virtual ~FrameScheduler() = default;
+
+    /// A frame bound for `dest` was sent; the scheduler now owns it.
+    virtual void on_frame(const std::shared_ptr<SimChannel>& dest, std::vector<std::uint8_t> frame) = 0;
+    /// `dest`'s peer closed; the notification is the scheduler's to deliver.
+    virtual void on_peer_close(const std::shared_ptr<SimChannel>& dest) = 0;
+
+  protected:
+    // Deferred-delivery primitives for subclasses (SimChannel's receive path
+    // is private; these are the sanctioned way back in).
+    static void deliver_now(SimChannel& dest, std::vector<std::uint8_t> frame);
+    static void close_now(SimChannel& dest);
+};
+
 /// Factory and owner of the event queue driving all simulated channels.
 class SimNetwork {
   public:
     SimNetwork() = default;
     explicit SimNetwork(sim::EventQueue* external_queue) : external_(external_queue) {}
+
+    /// Routes all subsequent traffic through `scheduler` (nullptr restores
+    /// normal EventQueue delivery). The scheduler must outlive the channels.
+    void set_scheduler(FrameScheduler* scheduler) noexcept { scheduler_ = scheduler; }
+    [[nodiscard]] FrameScheduler* scheduler() const noexcept { return scheduler_; }
 
     /// Creates a connected pair of channel endpoints (a, b). Frames sent on
     /// `a` arrive at `b` after `config.latency`, and vice versa.
@@ -45,6 +74,7 @@ class SimNetwork {
   private:
     sim::EventQueue owned_;
     sim::EventQueue* external_ = nullptr;
+    FrameScheduler* scheduler_ = nullptr;
 };
 
 class SimChannel final : public Channel, public std::enable_shared_from_this<SimChannel> {
@@ -57,6 +87,7 @@ class SimChannel final : public Channel, public std::enable_shared_from_this<Sim
 
   private:
     friend class SimNetwork;
+    friend class FrameScheduler;
     SimChannel(SimNetwork* net, PipeConfig config) : net_(net), config_(config), rng_(config.drop_seed) {}
 
     void deliver(std::vector<std::uint8_t> frame);

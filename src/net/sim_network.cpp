@@ -13,6 +13,12 @@ std::pair<std::shared_ptr<SimChannel>, std::shared_ptr<SimChannel>> SimNetwork::
     return {a, b};
 }
 
+void FrameScheduler::deliver_now(SimChannel& dest, std::vector<std::uint8_t> frame) {
+    dest.deliver(std::move(frame));
+}
+
+void FrameScheduler::close_now(SimChannel& dest) { dest.peer_closed(); }
+
 Status SimChannel::send(std::vector<std::uint8_t> frame) {
     if (!connected_) return Status{ErrorCode::kTransport, "channel closed"};
     auto peer = peer_.lock();
@@ -21,7 +27,15 @@ Status SimChannel::send(std::vector<std::uint8_t> frame) {
     stats_.frames_sent++;
     stats_.bytes_sent += frame.size();
 
+    if (FrameScheduler* scheduler = net_->scheduler()) {
+        // Under a scheduler, loss is an explicit scheduler choice, never a
+        // coin flip: hand the frame over and let it decide.
+        scheduler->on_frame(peer, std::move(frame));
+        return Status::ok();
+    }
+
     if (config_.drop_probability > 0.0 && rng_.chance(config_.drop_probability)) {
+        stats_.frames_dropped++;
         return Status::ok();  // silently lost in transit
     }
 
@@ -41,6 +55,10 @@ void SimChannel::close() {
     if (!connected_) return;
     connected_ = false;
     if (auto peer = peer_.lock()) {
+        if (FrameScheduler* scheduler = net_->scheduler()) {
+            scheduler->on_peer_close(peer);
+            return;
+        }
         // Close notification travels with the same latency as data frames.
         net_->queue().schedule_after(config_.latency, [peer] { peer->peer_closed(); });
     }

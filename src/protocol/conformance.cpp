@@ -1,0 +1,319 @@
+#include "cosoft/protocol/conformance.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <variant>
+
+#include "cosoft/common/check.hpp"
+
+namespace cosoft::protocol {
+
+namespace {
+
+template <typename T>
+constexpr std::size_t tag_of() {
+    return Message(std::in_place_type<T>).index();
+}
+
+std::vector<MessageRule> build_rules() {
+    std::vector<MessageRule> rules(std::variant_size_v<Message>);
+    const auto c2s = [&rules](std::size_t tag, std::string_view name, bool needs_registration = true) {
+        rules[tag] = MessageRule{name, /*client_to_server=*/true, /*server_to_client=*/false, needs_registration};
+    };
+    const auto s2c = [&rules](std::size_t tag, std::string_view name) {
+        rules[tag] = MessageRule{name, /*client_to_server=*/false, /*server_to_client=*/true, false};
+    };
+    c2s(tag_of<Register>(), "Register", /*needs_registration=*/false);
+    s2c(tag_of<RegisterAck>(), "RegisterAck");
+    c2s(tag_of<Unregister>(), "Unregister");
+    c2s(tag_of<RegistryQuery>(), "RegistryQuery");
+    s2c(tag_of<RegistryReply>(), "RegistryReply");
+    c2s(tag_of<CoupleReq>(), "CoupleReq");
+    c2s(tag_of<DecoupleReq>(), "DecoupleReq");
+    s2c(tag_of<GroupUpdate>(), "GroupUpdate");
+    c2s(tag_of<LockReq>(), "LockReq");
+    s2c(tag_of<LockGrant>(), "LockGrant");
+    s2c(tag_of<LockDeny>(), "LockDeny");
+    s2c(tag_of<LockNotify>(), "LockNotify");
+    c2s(tag_of<EventMsg>(), "EventMsg");
+    s2c(tag_of<ExecuteEvent>(), "ExecuteEvent");
+    c2s(tag_of<ExecuteAck>(), "ExecuteAck");
+    c2s(tag_of<CopyTo>(), "CopyTo");
+    c2s(tag_of<CopyFrom>(), "CopyFrom");
+    c2s(tag_of<RemoteCopy>(), "RemoteCopy");
+    s2c(tag_of<StateQuery>(), "StateQuery");
+    // StateReply travels both ways: C2S answering a server StateQuery, S2C
+    // routing a FetchState result back to the requester.
+    rules[tag_of<StateReply>()] = MessageRule{"StateReply", true, true, true};
+    s2c(tag_of<ApplyState>(), "ApplyState");
+    c2s(tag_of<HistorySave>(), "HistorySave");
+    c2s(tag_of<UndoReq>(), "UndoReq");
+    c2s(tag_of<RedoReq>(), "RedoReq");
+    c2s(tag_of<Command>(), "Command");
+    s2c(tag_of<CommandDeliver>(), "CommandDeliver");
+    c2s(tag_of<PermissionSet>(), "PermissionSet");
+    s2c(tag_of<Ack>(), "Ack");
+    c2s(tag_of<FetchState>(), "FetchState");
+    c2s(tag_of<SetCouplingMode>(), "SetCouplingMode");
+    c2s(tag_of<SyncRequest>(), "SyncRequest");
+    return rules;
+}
+
+}  // namespace
+
+std::string_view to_string(Direction d) noexcept {
+    return d == Direction::kClientToServer ? "client->server" : "server->client";
+}
+
+const std::vector<MessageRule>& message_rules() {
+    static const std::vector<MessageRule> rules = build_rules();
+    return rules;
+}
+
+ConformanceChecker::ConformanceChecker(std::string label) : label_(std::move(label)) {}
+
+void ConformanceChecker::violation(Direction dir, const Message& msg, const std::string& detail) {
+    violations_.push_back(label_ + ": [" + std::string{to_string(dir)} + "] " +
+                          std::string{message_name(msg)} + ": " + detail);
+}
+
+void ConformanceChecker::observe_frame(Direction dir, std::span<const std::uint8_t> frame) {
+    auto decoded = decode_message(frame);
+    if (!decoded) {
+        ++frames_observed_;
+        violations_.push_back(label_ + ": [" + std::string{to_string(dir)} + "] malformed frame of " +
+                              std::to_string(frame.size()) + " bytes: " + decoded.status().message());
+        return;
+    }
+    observe(dir, decoded.value());
+}
+
+void ConformanceChecker::observe(Direction dir, const Message& msg) {
+    ++frames_observed_;
+    const MessageRule& rule = message_rules()[msg.index()];
+    const bool legal_direction =
+        dir == Direction::kClientToServer ? rule.client_to_server : rule.server_to_client;
+    if (!legal_direction) {
+        violation(dir, msg, "message type never travels this direction");
+        return;
+    }
+    if (dir == Direction::kClientToServer) {
+        check_client_to_server(msg);
+    } else {
+        check_server_to_client(msg);
+    }
+}
+
+void ConformanceChecker::consume(Direction dir, const Message& msg, ActionId request, Expect kind) {
+    const auto it = outstanding_.find(request);
+    if (it == outstanding_.end()) {
+        violation(dir, msg, "response to unknown or already-answered request " + std::to_string(request));
+        return;
+    }
+    // An error Ack may answer any request; typed replies must match theirs.
+    if (kind != Expect::kAck && it->second != kind) {
+        violation(dir, msg, "response type does not match request " + std::to_string(request));
+    }
+    outstanding_.erase(it);
+}
+
+void ConformanceChecker::check_client_to_server(const Message& msg) {
+    constexpr Direction dir = Direction::kClientToServer;
+    if (unregister_sent_) {
+        violation(dir, msg, "client frame after Unregister");
+        return;
+    }
+    const MessageRule& rule = message_rules()[msg.index()];
+    if (const auto* reg = std::get_if<Register>(&msg)) {
+        (void)reg;
+        if (registered_) {
+            violation(dir, msg, "Register after registration already completed");
+            return;
+        }
+        register_sent_ = true;  // retries before RegisterAck are legal
+        return;
+    }
+    if (rule.needs_registration && !registered_) {
+        violation(dir, msg, "sent before registration completed");
+        return;
+    }
+
+    // Requests that expect exactly one response.
+    const auto request = [&](ActionId id, Expect kind) {
+        if (outstanding_.contains(id)) {
+            violation(dir, msg, "reused request id " + std::to_string(id));
+            return;
+        }
+        outstanding_.emplace(id, kind);
+    };
+
+    if (std::holds_alternative<Unregister>(msg)) {
+        unregister_sent_ = true;
+    } else if (const auto* m = std::get_if<RegistryQuery>(&msg)) {
+        request(m->request, Expect::kRegistryReply);
+    } else if (const auto* m = std::get_if<FetchState>(&msg)) {
+        request(m->request, Expect::kStateReply);
+    } else if (const auto* m = std::get_if<CoupleReq>(&msg)) {
+        request(m->request, Expect::kAck);
+    } else if (const auto* m = std::get_if<DecoupleReq>(&msg)) {
+        request(m->request, Expect::kAck);
+    } else if (const auto* m = std::get_if<CopyTo>(&msg)) {
+        request(m->request, Expect::kAck);
+    } else if (const auto* m = std::get_if<CopyFrom>(&msg)) {
+        request(m->request, Expect::kAck);
+    } else if (const auto* m = std::get_if<RemoteCopy>(&msg)) {
+        request(m->request, Expect::kAck);
+    } else if (const auto* m = std::get_if<UndoReq>(&msg)) {
+        request(m->request, Expect::kAck);
+    } else if (const auto* m = std::get_if<RedoReq>(&msg)) {
+        request(m->request, Expect::kAck);
+    } else if (const auto* m = std::get_if<Command>(&msg)) {
+        request(m->request, Expect::kAck);
+    } else if (const auto* m = std::get_if<PermissionSet>(&msg)) {
+        request(m->request, Expect::kAck);
+    } else if (const auto* m = std::get_if<SetCouplingMode>(&msg)) {
+        request(m->request, Expect::kAck);
+    } else if (const auto* m = std::get_if<SyncRequest>(&msg)) {
+        request(m->request, Expect::kAck);
+    } else if (const auto* m = std::get_if<LockReq>(&msg)) {
+        if (own_actions_.contains(m->action)) {
+            violation(dir, msg, "reused action id " + std::to_string(m->action));
+        } else {
+            own_actions_.emplace(m->action, LockPhase::kRequested);
+        }
+    } else if (const auto* m = std::get_if<EventMsg>(&msg)) {
+        const auto it = own_actions_.find(m->action);
+        if (it == own_actions_.end() || it->second != LockPhase::kGranted) {
+            violation(dir, msg, "EventMsg for action " + std::to_string(m->action) + " without a LockGrant");
+        } else {
+            it->second = LockPhase::kEventSent;
+            own_ack_pending_[m->action] = true;
+        }
+    } else if (const auto* m = std::get_if<ExecuteAck>(&msg)) {
+        // Every ack balances either a received ExecuteEvent or the client's
+        // own completion after its EventMsg (§3.2).
+        const auto exec = exec_pending_.find(m->action);
+        if (exec != exec_pending_.end() && exec->second > 0) {
+            if (--exec->second == 0) exec_pending_.erase(exec);
+        } else if (own_ack_pending_.contains(m->action)) {
+            own_ack_pending_.erase(m->action);
+            own_actions_[m->action] = LockPhase::kRetired;  // lifecycle complete client-side
+        } else {
+            violation(dir, msg, "ExecuteAck for action " + std::to_string(m->action) +
+                                    " without a matching ExecuteEvent or own EventMsg");
+        }
+    } else if (const auto* m = std::get_if<StateReply>(&msg)) {
+        const auto it = server_queries_.find(m->request);
+        if (it == server_queries_.end()) {
+            violation(dir, msg, "StateReply without a matching server StateQuery (request " +
+                                    std::to_string(m->request) + ")");
+        } else {
+            server_queries_.erase(it);
+        }
+    }
+    // HistorySave: fire-and-forget push of an overwritten state; no pairing.
+}
+
+void ConformanceChecker::check_server_to_client(const Message& msg) {
+    constexpr Direction dir = Direction::kServerToClient;
+    if (const auto* m = std::get_if<RegisterAck>(&msg)) {
+        (void)m;
+        if (!register_sent_) {
+            violation(dir, msg, "RegisterAck before the client sent Register");
+        } else if (registered_) {
+            violation(dir, msg, "duplicate RegisterAck");
+        }
+        registered_ = true;
+        return;
+    }
+    if (const auto* m = std::get_if<Ack>(&msg)) {
+        // Request 0 is the server's unsolicited notice slot (e.g. protocol
+        // version mismatch before registration).
+        if (m->request != 0) consume(dir, msg, m->request, Expect::kAck);
+        return;
+    }
+    if (!registered_) {
+        violation(dir, msg, "server push before registration completed");
+        return;
+    }
+    if (const auto* m = std::get_if<RegistryReply>(&msg)) {
+        consume(dir, msg, m->request, Expect::kRegistryReply);
+    } else if (const auto* m = std::get_if<StateReply>(&msg)) {
+        consume(dir, msg, m->request, Expect::kStateReply);
+    } else if (const auto* m = std::get_if<StateQuery>(&msg)) {
+        if (server_queries_.contains(m->request)) {
+            violation(dir, msg, "duplicate server StateQuery request " + std::to_string(m->request));
+        } else {
+            server_queries_.emplace(m->request, true);
+        }
+    } else if (const auto* m = std::get_if<LockGrant>(&msg)) {
+        const auto it = own_actions_.find(m->action);
+        if (it == own_actions_.end() || it->second != LockPhase::kRequested) {
+            violation(dir, msg, "LockGrant without a pending LockReq (action " + std::to_string(m->action) + ")");
+        } else {
+            it->second = LockPhase::kGranted;
+        }
+    } else if (const auto* m = std::get_if<LockDeny>(&msg)) {
+        const auto it = own_actions_.find(m->action);
+        if (it == own_actions_.end() || it->second != LockPhase::kRequested) {
+            violation(dir, msg, "LockDeny without a pending LockReq (action " + std::to_string(m->action) + ")");
+        } else {
+            it->second = LockPhase::kRetired;
+        }
+    } else if (const auto* m = std::get_if<ExecuteEvent>(&msg)) {
+        ++exec_pending_[m->action];
+    }
+    // GroupUpdate / LockNotify / ApplyState / CommandDeliver are server
+    // pushes with no per-frame pairing obligations at this endpoint:
+    // LockNotify in particular reuses foreign action ids and releases with
+    // action 0 on cleanup, so any stricter rule would reject legal traffic.
+}
+
+void ConformanceChecker::fingerprint(ByteWriter& w) const {
+    w.boolean(register_sent_);
+    w.boolean(registered_);
+    w.boolean(unregister_sent_);
+    w.u64(violations_.size());
+
+    const auto write_sorted = [&w](const auto& map, const auto& value_of) {
+        std::vector<ActionId> ids;
+        ids.reserve(map.size());
+        for (const auto& [id, value] : map) ids.push_back(id);
+        std::sort(ids.begin(), ids.end());
+        w.u32(static_cast<std::uint32_t>(ids.size()));
+        for (const ActionId id : ids) {
+            w.u64(id);
+            w.u64(value_of(map.at(id)));
+        }
+    };
+    write_sorted(outstanding_, [](Expect e) { return static_cast<std::uint64_t>(e); });
+    write_sorted(own_actions_, [](LockPhase p) { return static_cast<std::uint64_t>(p); });
+    write_sorted(own_ack_pending_, [](bool b) { return static_cast<std::uint64_t>(b); });
+    write_sorted(exec_pending_, [](std::uint64_t n) { return n; });
+    write_sorted(server_queries_, [](bool b) { return static_cast<std::uint64_t>(b); });
+}
+
+CheckedChannel::CheckedChannel(std::shared_ptr<net::Channel> inner, std::shared_ptr<ConformanceChecker> checker)
+    : inner_(std::move(inner)), checker_(std::move(checker)) {}
+
+Status CheckedChannel::send(std::vector<std::uint8_t> frame) {
+    const std::size_t before = checker_->violations().size();
+    checker_->observe_frame(Direction::kClientToServer, frame);
+    CO_CHECK_MSG(checker_->violations().size() == before, checker_->violations().back());
+    stats_.frames_sent++;
+    stats_.bytes_sent += frame.size();
+    return inner_->send(std::move(frame));
+}
+
+void CheckedChannel::on_receive(ReceiveHandler handler) {
+    // Capture the checker by value, not `this`: the inner channel can
+    // outlive this wrapper.
+    inner_->on_receive([checker = checker_, handler = std::move(handler)](std::span<const std::uint8_t> frame) {
+        const std::size_t before = checker->violations().size();
+        checker->observe_frame(Direction::kServerToClient, frame);
+        CO_CHECK_MSG(checker->violations().size() == before, checker->violations().back());
+        if (handler) handler(frame);
+    });
+}
+
+}  // namespace cosoft::protocol

@@ -34,6 +34,24 @@ void put_record(ByteWriter& w, const RegistrationRecord& rec) {
     w.str(rec.app_name);
 }
 
+MergeMode get_mode(ByteReader& r) {
+    const std::uint8_t v = r.u8();
+    if (v > static_cast<std::uint8_t>(MergeMode::kFlexible)) r.fail();
+    return static_cast<MergeMode>(v);
+}
+
+HistoryTag get_tag(ByteReader& r) {
+    const std::uint8_t v = r.u8();
+    if (v > static_cast<std::uint8_t>(HistoryTag::kRedo)) r.fail();
+    return static_cast<HistoryTag>(v);
+}
+
+ErrorCode get_code(ByteReader& r) {
+    const std::uint8_t v = r.u8();
+    if (v > static_cast<std::uint8_t>(ErrorCode::kInvalidArgument)) r.fail();
+    return static_cast<ErrorCode>(v);
+}
+
 RegistrationRecord get_record(ByteReader& r) {
     RegistrationRecord rec;
     rec.instance = r.u32();
@@ -332,7 +350,7 @@ Result<Message> decode_message(std::span<const std::uint8_t> frame) {
             CopyTo m;
             m.request = r.u64();
             m.dest = decode_object_ref(r);
-            m.mode = static_cast<MergeMode>(r.u8());
+            m.mode = get_mode(r);
             m.state = toolkit::decode_ui_state(r);
             m.semantic = r.bytes();
             msg = std::move(m);
@@ -343,7 +361,7 @@ Result<Message> decode_message(std::span<const std::uint8_t> frame) {
             m.request = r.u64();
             m.source = decode_object_ref(r);
             m.dest_path = r.str();
-            m.mode = static_cast<MergeMode>(r.u8());
+            m.mode = get_mode(r);
             msg = std::move(m);
             break;
         }
@@ -352,7 +370,7 @@ Result<Message> decode_message(std::span<const std::uint8_t> frame) {
             m.request = r.u64();
             m.source = decode_object_ref(r);
             m.dest = decode_object_ref(r);
-            m.mode = static_cast<MergeMode>(r.u8());
+            m.mode = get_mode(r);
             msg = std::move(m);
             break;
         }
@@ -377,8 +395,8 @@ Result<Message> decode_message(std::span<const std::uint8_t> frame) {
             ApplyState m;
             m.request = r.u64();
             m.dest_path = r.str();
-            m.mode = static_cast<MergeMode>(r.u8());
-            m.tag = static_cast<HistoryTag>(r.u8());
+            m.mode = get_mode(r);
+            m.tag = get_tag(r);
             m.state = toolkit::decode_ui_state(r);
             m.semantic = r.bytes();
             m.origin = decode_object_ref(r);
@@ -388,7 +406,7 @@ Result<Message> decode_message(std::span<const std::uint8_t> frame) {
         case tag_of<HistorySave>(): {
             HistorySave m;
             m.object = decode_object_ref(r);
-            m.tag = static_cast<HistoryTag>(r.u8());
+            m.tag = get_tag(r);
             m.state = toolkit::decode_ui_state(r);
             msg = std::move(m);
             break;
@@ -437,7 +455,7 @@ Result<Message> decode_message(std::span<const std::uint8_t> frame) {
         case tag_of<Ack>(): {
             Ack m;
             m.request = r.u64();
-            m.code = static_cast<ErrorCode>(r.u8());
+            m.code = get_code(r);
             m.message = r.str();
             msg = std::move(m);
             break;

@@ -1,6 +1,8 @@
 #include "cosoft/server/co_server.hpp"
 
 #include <algorithm>
+#include <tuple>
+#include <utility>
 
 #include "cosoft/common/check.hpp"
 
@@ -90,6 +92,7 @@ std::vector<std::string> CoServer::check_invariants() const {
     merge(locks_.check_invariants());
     merge(graph_.check_invariants());
     merge(history_.check_invariants());
+    merge(permissions_.check_invariants());
 
     const auto is_registered = [this](InstanceId id) {
         const auto it = conns_.find(id);
@@ -141,6 +144,14 @@ std::vector<std::string> CoServer::check_invariants() const {
         if (!pending.event_seen && pending.awaiting != 0) {
             out.push_back("server: pending action of instance " + std::to_string(pending.key.instance) +
                           " awaits acks before its event arrived");
+        }
+    }
+
+    // Rules are installed only by an object's owner and dropped on cleanup,
+    // so every referenced instance must still be registered.
+    for (const InstanceId inst : permissions_.referenced_instances()) {
+        if (!is_registered(inst)) {
+            out.push_back("server: permission rule references unregistered instance " + std::to_string(inst));
         }
     }
 
@@ -223,9 +234,12 @@ void CoServer::cleanup(InstanceId instance) {
     }
     for (const auto& key : to_finish) finish_action(key);
 
-    // Release locks held by the instance's own actions.
+    // Release locks held by the instance's own actions, then drop its own
+    // objects from any surviving foreign action: the objects no longer
+    // exist, and a stale entry would pin "locked by a ghost" state forever.
     const auto released = locks_.unlock_instance(instance);
     if (!released.empty()) notify_locks(released, ObjectRef{}, false, 0);
+    (void)locks_.release_owned_by(instance);
 
     // "The decoupling algorithm is applied automatically when ... an
     // application instance terminates."
@@ -645,8 +659,104 @@ void CoServer::handle(InstanceId from, const PermissionSet& msg) {
             Status{ErrorCode::kPermissionDenied, "only the owning instance may set permissions"});
         return;
     }
-    permissions_.set(msg.user, msg.object, msg.rights, msg.allow);
+    const auto rights = static_cast<protocol::RightsMask>(msg.rights & protocol::kAllRights);
+    if (rights == 0) {
+        ack(from, msg.request, Status{ErrorCode::kInvalidArgument, "empty rights mask"});
+        return;
+    }
+    permissions_.set(msg.user, msg.object, rights, msg.allow);
     ack(from, msg.request, Status::ok());
+}
+
+void CoServer::fingerprint(ByteWriter& w) const {
+    std::vector<InstanceId> ids;
+    ids.reserve(conns_.size());
+    for (const auto& [id, conn] : conns_) ids.push_back(id);
+    std::sort(ids.begin(), ids.end());
+    w.u32(static_cast<std::uint32_t>(ids.size()));
+    for (const InstanceId id : ids) {
+        const Conn& conn = conns_.at(id);
+        w.u32(id);
+        w.boolean(conn.registered);
+        w.boolean(conn.channel != nullptr && conn.channel->connected());
+        w.u32(conn.record.user);
+        w.str(conn.record.user_name);
+        w.str(conn.record.host_name);
+        w.str(conn.record.app_name);
+    }
+    w.u32(next_instance_);
+
+    graph_.fingerprint(w);
+    locks_.fingerprint(w);
+    history_.fingerprint(w);
+    permissions_.fingerprint(w);
+
+    std::vector<const PendingAction*> actions;
+    actions.reserve(pending_actions_.size());
+    for (const auto& [h, pending] : pending_actions_) actions.push_back(&pending);
+    std::sort(actions.begin(), actions.end(), [](const PendingAction* a, const PendingAction* b) {
+        return std::tie(a->key.instance, a->key.action) < std::tie(b->key.instance, b->key.action);
+    });
+    w.u32(static_cast<std::uint32_t>(actions.size()));
+    for (const PendingAction* pending : actions) {
+        w.u32(pending->key.instance);
+        w.u64(pending->key.action);
+        w.boolean(pending->event_seen);
+        w.u64(pending->awaiting);
+        std::vector<std::pair<InstanceId, std::size_t>> per(pending->per_instance.begin(),
+                                                            pending->per_instance.end());
+        std::sort(per.begin(), per.end());
+        w.u32(static_cast<std::uint32_t>(per.size()));
+        for (const auto& [inst, count] : per) {
+            w.u32(inst);
+            w.u64(count);
+        }
+    }
+
+    std::vector<std::pair<std::uint64_t, const PendingCopy*>> copies;
+    copies.reserve(pending_copies_.size());
+    for (const auto& [req, copy] : pending_copies_) copies.emplace_back(req, &copy);
+    std::sort(copies.begin(), copies.end());
+    w.u32(static_cast<std::uint32_t>(copies.size()));
+    for (const auto& [req, copy] : copies) {
+        w.u64(req);
+        w.u32(copy->requester);
+        w.u64(copy->requester_request);
+        w.u32(copy->source.instance);
+        w.str(copy->source.path);
+        w.u32(copy->dest.instance);
+        w.str(copy->dest.path);
+        w.u8(static_cast<std::uint8_t>(copy->mode));
+        w.boolean(copy->fetch_only);
+    }
+    w.u64(next_server_request_);
+
+    std::vector<ObjectRef> loose(loose_objects_.begin(), loose_objects_.end());
+    std::sort(loose.begin(), loose.end());
+    w.u32(static_cast<std::uint32_t>(loose.size()));
+    for (const ObjectRef& o : loose) {
+        w.u32(o.instance);
+        w.str(o.path);
+    }
+
+    std::vector<const std::pair<const ObjectRef, std::vector<ExecuteEvent>>*> deferred;
+    deferred.reserve(deferred_.size());
+    for (const auto& kv : deferred_) deferred.push_back(&kv);
+    std::sort(deferred.begin(), deferred.end(),
+              [](const auto* a, const auto* b) { return a->first < b->first; });
+    w.u32(static_cast<std::uint32_t>(deferred.size()));
+    for (const auto* kv : deferred) {
+        w.u32(kv->first.instance);
+        w.str(kv->first.path);
+        w.u32(static_cast<std::uint32_t>(kv->second.size()));
+        for (const ExecuteEvent& ev : kv->second) w.bytes(encode_message(Message{ev}));
+    }
+
+    // Only the counters that feed safety properties: including the raw
+    // message totals would make every state unique and defeat pruning.
+    w.u64(stats_.events_broadcast);
+    w.u64(stats_.events_deferred);
+    w.u64(stats_.events_flushed);
 }
 
 }  // namespace cosoft::server

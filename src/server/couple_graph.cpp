@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <deque>
+#include <tuple>
 
 namespace cosoft::server {
 
@@ -141,6 +142,26 @@ std::vector<std::string> CoupleGraph::check_invariants() const {
                       std::to_string(adjacency_edges) + " directed adjacency entries");
     }
     return out;
+}
+
+void CoupleGraph::fingerprint(ByteWriter& w) const {
+    // Links are undirected: normalize each to (min, max) so the fingerprint
+    // does not depend on creation direction, then sort.
+    std::vector<std::tuple<ObjectRef, ObjectRef, InstanceId>> sorted;
+    sorted.reserve(links_.size());
+    for (const CoupleLink& l : links_) {
+        const bool flip = l.dest < l.source;
+        sorted.emplace_back(flip ? l.dest : l.source, flip ? l.source : l.dest, l.creator);
+    }
+    std::sort(sorted.begin(), sorted.end());
+    w.u32(static_cast<std::uint32_t>(sorted.size()));
+    for (const auto& [a, b, creator] : sorted) {
+        w.u32(a.instance);
+        w.str(a.path);
+        w.u32(b.instance);
+        w.str(b.path);
+        w.u32(creator);
+    }
 }
 
 std::vector<std::vector<ObjectRef>> CoupleGraph::components_of(const std::vector<ObjectRef>& objects) const {

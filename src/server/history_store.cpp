@@ -1,5 +1,8 @@
 #include "cosoft/server/history_store.hpp"
 
+#include <algorithm>
+#include <utility>
+
 namespace cosoft::server {
 
 void HistoryStore::push_bounded(std::vector<toolkit::UiState>& stack, toolkit::UiState state) {
@@ -66,6 +69,22 @@ std::vector<std::string> HistoryStore::check_invariants() const {
         }
     }
     return out;
+}
+
+void HistoryStore::fingerprint(ByteWriter& w) const {
+    std::vector<const std::pair<const ObjectRef, Stacks>*> sorted;
+    sorted.reserve(stacks_.size());
+    for (const auto& kv : stacks_) sorted.push_back(&kv);
+    std::sort(sorted.begin(), sorted.end(), [](const auto* a, const auto* b) { return a->first < b->first; });
+    w.u32(static_cast<std::uint32_t>(sorted.size()));
+    for (const auto* kv : sorted) {
+        w.u32(kv->first.instance);
+        w.str(kv->first.path);
+        w.u32(static_cast<std::uint32_t>(kv->second.undo.size()));
+        for (const toolkit::UiState& s : kv->second.undo) toolkit::encode(w, s);
+        w.u32(static_cast<std::uint32_t>(kv->second.redo.size()));
+        for (const toolkit::UiState& s : kv->second.redo) toolkit::encode(w, s);
+    }
 }
 
 }  // namespace cosoft::server

@@ -68,7 +68,15 @@ class CoServer {
         return it == deferred_.end() ? 0 : it->second.size();
     }
     [[nodiscard]] std::size_t connection_count() const noexcept { return conns_.size(); }
+    [[nodiscard]] std::size_t pending_action_count() const noexcept { return pending_actions_.size(); }
     [[nodiscard]] std::vector<protocol::RegistrationRecord> registrations() const;
+
+    /// Canonical serialization of the entire server state (all four §2.1
+    /// databases, connections, in-flight actions/copies, and the counters
+    /// that drive future behaviour). Independent of hash-map iteration
+    /// order; the journal is excluded (diagnostics, ring-buffered). Used by
+    /// cosoft-mc to hash states for interleaving pruning.
+    void fingerprint(ByteWriter& w) const;
 
     /// Cross-database invariants (§2.1): the lock table, couple graph, and
     /// history store must be internally consistent, every lock holder and

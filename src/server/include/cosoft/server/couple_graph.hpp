@@ -18,6 +18,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "cosoft/common/bytes.hpp"
 #include "cosoft/common/error.hpp"
 #include "cosoft/common/ids.hpp"
 
@@ -68,6 +69,9 @@ class CoupleGraph {
     /// symmetric graph — no self links, no duplicates, no dangling adjacency
     /// entries. Returns human-readable violations (empty = consistent).
     [[nodiscard]] std::vector<std::string> check_invariants() const;
+
+    /// Order-independent canonical serialization (model-checker state hash).
+    void fingerprint(ByteWriter& w) const;
 
   private:
     void unlink_adjacency(const ObjectRef& a, const ObjectRef& b);

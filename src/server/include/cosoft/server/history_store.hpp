@@ -13,6 +13,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "cosoft/common/bytes.hpp"
 #include "cosoft/common/ids.hpp"
 #include "cosoft/toolkit/snapshot.hpp"
 
@@ -48,6 +49,9 @@ class HistoryStore {
     /// every stack respects the depth bound and every entry is keyed by a
     /// valid object ref. Returns human-readable violations (empty = ok).
     [[nodiscard]] std::vector<std::string> check_invariants() const;
+
+    /// Order-independent canonical serialization (model-checker state hash).
+    void fingerprint(ByteWriter& w) const;
 
   private:
     struct Stacks {

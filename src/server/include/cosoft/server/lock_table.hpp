@@ -13,6 +13,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "cosoft/common/bytes.hpp"
 #include "cosoft/common/error.hpp"
 #include "cosoft/common/ids.hpp"
 
@@ -37,6 +38,12 @@ class LockTable {
     /// Releases every lock held by any action of `instance` (termination).
     std::vector<ObjectRef> unlock_instance(InstanceId instance);
 
+    /// Drops locked objects *owned by* `instance` from every action's held
+    /// set (the objects cease to exist when their instance terminates, even
+    /// if another instance's action holds the lock). Actions left holding
+    /// nothing are removed. Returns the dropped objects.
+    std::vector<ObjectRef> release_owned_by(InstanceId instance);
+
     [[nodiscard]] bool is_locked(const ObjectRef& ref) const noexcept { return holders_.contains(ref); }
     [[nodiscard]] std::optional<ActionKey> holder(const ObjectRef& ref) const;
     [[nodiscard]] std::size_t locked_count() const noexcept { return holders_.size(); }
@@ -49,6 +56,13 @@ class LockTable {
     /// same set of locks, with no duplicates and no empty action entries.
     /// Returns human-readable violation descriptions (empty = consistent).
     [[nodiscard]] std::vector<std::string> check_invariants() const;
+
+    /// All (object, holder) pairs, sorted by object (stable enumeration for
+    /// state fingerprints and diagnostics).
+    [[nodiscard]] std::vector<std::pair<ObjectRef, ActionKey>> entries() const;
+
+    /// Order-independent canonical serialization (model-checker state hash).
+    void fingerprint(ByteWriter& w) const;
 
   private:
     struct ActionKeyHash {

@@ -8,8 +8,10 @@
 // default is open collaboration with selective restriction.
 #pragma once
 
+#include <string>
 #include <vector>
 
+#include "cosoft/common/bytes.hpp"
 #include "cosoft/common/ids.hpp"
 #include "cosoft/protocol/messages.hpp"
 
@@ -32,6 +34,19 @@ class PermissionTable {
     void forget_instance(InstanceId instance);
 
     [[nodiscard]] std::size_t rule_count() const noexcept { return rules_.size(); }
+
+    /// Structural invariants, checked in COSOFT_CHECKED builds and by tests:
+    /// at most one rule per (user, object) pair, every rights mask within
+    /// kAllRights, no rule with an empty mask (it could never apply), and no
+    /// rule keyed to an invalid object instance. Returns human-readable
+    /// violation descriptions (empty = consistent).
+    [[nodiscard]] std::vector<std::string> check_invariants() const;
+
+    /// Order-independent canonical serialization (model-checker state hash).
+    void fingerprint(ByteWriter& w) const;
+
+    /// Instances referenced by at least one rule, deduplicated.
+    [[nodiscard]] std::vector<InstanceId> referenced_instances() const;
 
   private:
     struct Rule {

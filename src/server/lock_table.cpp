@@ -1,5 +1,8 @@
 #include "cosoft/server/lock_table.hpp"
 
+#include <algorithm>
+#include <utility>
+
 namespace cosoft::server {
 
 Status LockTable::try_lock_all(const ActionKey& key, const std::vector<ObjectRef>& objects, ObjectRef* conflict) {
@@ -38,6 +41,24 @@ std::vector<ObjectRef> LockTable::unlock_instance(InstanceId instance) {
     for (const ActionKey& key : doomed) {
         auto objs = unlock_action(key);
         released.insert(released.end(), objs.begin(), objs.end());
+    }
+    return released;
+}
+
+std::vector<ObjectRef> LockTable::release_owned_by(InstanceId instance) {
+    std::vector<ObjectRef> released;
+    for (auto it = holders_.begin(); it != holders_.end();) {
+        if (it->first.instance != instance) {
+            ++it;
+            continue;
+        }
+        const auto act = actions_.find(it->second);
+        if (act != actions_.end()) {
+            std::erase(act->second, it->first);
+            if (act->second.empty()) actions_.erase(act);
+        }
+        released.push_back(it->first);
+        it = holders_.erase(it);
     }
     return released;
 }
@@ -81,6 +102,23 @@ std::vector<std::string> LockTable::check_invariants() const {
                       std::to_string(listed) + " objects listed across actions");
     }
     return out;
+}
+
+std::vector<std::pair<ObjectRef, LockTable::ActionKey>> LockTable::entries() const {
+    std::vector<std::pair<ObjectRef, ActionKey>> out(holders_.begin(), holders_.end());
+    std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) { return a.first < b.first; });
+    return out;
+}
+
+void LockTable::fingerprint(ByteWriter& w) const {
+    const auto sorted = entries();
+    w.u32(static_cast<std::uint32_t>(sorted.size()));
+    for (const auto& [object, key] : sorted) {
+        w.u32(object.instance);
+        w.str(object.path);
+        w.u32(key.instance);
+        w.u64(key.action);
+    }
 }
 
 }  // namespace cosoft::server

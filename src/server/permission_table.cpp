@@ -1,6 +1,8 @@
 #include "cosoft/server/permission_table.hpp"
 
 #include <algorithm>
+#include <string>
+#include <tuple>
 
 #include "cosoft/common/strings.hpp"
 
@@ -55,6 +57,55 @@ bool PermissionTable::check(UserId user, const ObjectRef& object, protocol::Righ
 
 void PermissionTable::forget_instance(InstanceId instance) {
     std::erase_if(rules_, [&](const Rule& r) { return r.object.instance == instance; });
+}
+
+std::vector<std::string> PermissionTable::check_invariants() const {
+    std::vector<std::string> out;
+    for (std::size_t i = 0; i < rules_.size(); ++i) {
+        const Rule& r = rules_[i];
+        if ((r.rights & ~protocol::kAllRights) != 0) {
+            out.push_back("permission rule for '" + r.object.path + "' has rights outside kAllRights");
+        }
+        if (r.rights == 0) {
+            out.push_back("permission rule for '" + r.object.path + "' has an empty rights mask");
+        }
+        if (r.object.instance == kInvalidInstance) {
+            out.push_back("permission rule for '" + r.object.path + "' references an invalid instance");
+        }
+        for (std::size_t j = i + 1; j < rules_.size(); ++j) {
+            if (rules_[j].user == r.user && rules_[j].object == r.object) {
+                out.push_back("duplicate permission rule for user " + std::to_string(r.user) + " on '" +
+                              r.object.path + "'");
+            }
+        }
+    }
+    return out;
+}
+
+void PermissionTable::fingerprint(ByteWriter& w) const {
+    std::vector<const Rule*> sorted;
+    sorted.reserve(rules_.size());
+    for (const Rule& r : rules_) sorted.push_back(&r);
+    std::sort(sorted.begin(), sorted.end(), [](const Rule* a, const Rule* b) {
+        return std::tie(a->user, a->object, a->rights, a->allow) < std::tie(b->user, b->object, b->rights, b->allow);
+    });
+    w.u32(static_cast<std::uint32_t>(sorted.size()));
+    for (const Rule* r : sorted) {
+        w.u32(r->user);
+        w.u32(r->object.instance);
+        w.str(r->object.path);
+        w.u8(r->rights);
+        w.boolean(r->allow);
+    }
+}
+
+std::vector<InstanceId> PermissionTable::referenced_instances() const {
+    std::vector<InstanceId> out;
+    out.reserve(rules_.size());
+    for (const Rule& r : rules_) out.push_back(r.object.instance);
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
 }
 
 }  // namespace cosoft::server

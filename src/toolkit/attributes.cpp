@@ -77,7 +77,9 @@ AttributeValue decode_attribute_value(ByteReader& r) {
             for (std::uint32_t i = 0; i < n && r.ok(); ++i) items.push_back(r.str());
             return items;
         }
-        default: return std::monostate{};
+        default:
+            r.fail();  // unknown tag: malformed, not silently none
+            return std::monostate{};
     }
 }
 

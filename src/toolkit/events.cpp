@@ -11,7 +11,9 @@ void encode(ByteWriter& w, const Event& e) {
 
 Event decode_event(ByteReader& r) {
     Event e;
-    e.type = static_cast<EventType>(r.u8());
+    const std::uint8_t type = r.u8();
+    if (type >= kEventTypeCount) r.fail();
+    e.type = static_cast<EventType>(type);
     e.path = r.str();
     e.payload = decode_attribute_value(r);
     e.detail = r.str();

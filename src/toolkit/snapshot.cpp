@@ -139,9 +139,17 @@ void encode(ByteWriter& w, const UiState& s) {
     for (const auto& c : s.children) encode(w, c);
 }
 
-UiState decode_ui_state(ByteReader& r) {
+namespace {
+
+// Hostile input could nest children arbitrarily deep and blow the stack of
+// this recursive decoder; no sane UI tree comes close to this depth.
+constexpr std::uint32_t kMaxSnapshotDepth = 128;
+
+UiState decode_ui_state_at(ByteReader& r, std::uint32_t depth) {
     UiState s;
-    s.cls = static_cast<WidgetClass>(r.u8());
+    const std::uint8_t cls = r.u8();
+    if (cls >= kWidgetClassCount) r.fail();
+    s.cls = static_cast<WidgetClass>(cls);
     s.name = r.str();
     const std::uint32_t na = r.u32();
     for (std::uint32_t i = 0; i < na && r.ok(); ++i) {
@@ -149,9 +157,17 @@ UiState decode_ui_state(ByteReader& r) {
         s.attributes.emplace_back(std::move(name), decode_attribute_value(r));
     }
     const std::uint32_t nc = r.u32();
-    for (std::uint32_t i = 0; i < nc && r.ok(); ++i) s.children.push_back(decode_ui_state(r));
+    if (nc > 0 && depth + 1 >= kMaxSnapshotDepth) {
+        r.fail();
+        return s;
+    }
+    for (std::uint32_t i = 0; i < nc && r.ok(); ++i) s.children.push_back(decode_ui_state_at(r, depth + 1));
     return s;
 }
+
+}  // namespace
+
+UiState decode_ui_state(ByteReader& r) { return decode_ui_state_at(r, 0); }
 
 namespace {
 

@@ -61,6 +61,104 @@ TEST(SimNetwork, DropProbabilityLosesFrames) {
     EXPECT_LT(received, 650);
 }
 
+TEST(SimNetwork, DropStatsBalanceSentFrames) {
+    SimNetwork net;
+    auto [a, b] = net.make_pipe({.latency = 0, .drop_probability = 0.3, .drop_seed = 1234});
+    int received = 0;
+    std::size_t received_bytes = 0;
+    b->on_receive([&](std::span<const std::uint8_t> f) {
+        ++received;
+        received_bytes += f.size();
+    });
+    std::size_t sent_bytes = 0;
+    for (std::uint8_t i = 0; i < 200; ++i) {
+        std::vector<std::uint8_t> payload(static_cast<std::size_t>(i % 7) + 1, i);
+        sent_bytes += payload.size();
+        ASSERT_TRUE(a->send(std::move(payload)).is_ok());
+    }
+    net.run_all();
+
+    // Every sent frame is accounted for: delivered or counted as dropped.
+    EXPECT_EQ(a->stats().frames_sent, 200u);
+    EXPECT_EQ(a->stats().bytes_sent, sent_bytes);
+    EXPECT_EQ(a->stats().frames_dropped + b->stats().frames_received, 200u);
+    EXPECT_EQ(static_cast<int>(b->stats().frames_received), received);
+    EXPECT_EQ(b->stats().bytes_received, received_bytes);
+    EXPECT_GT(a->stats().frames_dropped, 0u);  // 0.3 loss over 200 frames
+    EXPECT_LT(a->stats().frames_dropped, 200u);
+}
+
+TEST(SimNetwork, LatencyPlusLossKeepsOrderAndCounters) {
+    SimNetwork net;
+    auto [a, b] = net.make_pipe({.latency = 25, .drop_probability = 0.4, .drop_seed = 77});
+    std::vector<std::uint8_t> order;
+    b->on_receive([&](std::span<const std::uint8_t> f) { order.push_back(f[0]); });
+    std::vector<std::uint8_t> back;
+    a->on_receive([&](std::span<const std::uint8_t> f) { back.push_back(f[0]); });
+    for (std::uint8_t i = 0; i < 100; ++i) {
+        ASSERT_TRUE(a->send(frame({i})).is_ok());
+        ASSERT_TRUE(b->send(frame({i})).is_ok());
+    }
+    net.run_all();
+
+    // The surviving frames arrive in send order (FIFO even under loss)...
+    for (std::size_t i = 1; i < order.size(); ++i) EXPECT_LT(order[i - 1], order[i]);
+    for (std::size_t i = 1; i < back.size(); ++i) EXPECT_LT(back[i - 1], back[i]);
+    // ...and each direction's counters balance independently.
+    EXPECT_EQ(a->stats().frames_dropped + b->stats().frames_received, 100u);
+    EXPECT_EQ(b->stats().frames_dropped + a->stats().frames_received, 100u);
+    EXPECT_EQ(order.size(), b->stats().frames_received);
+    EXPECT_EQ(back.size(), a->stats().frames_received);
+}
+
+namespace {
+/// Minimal scheduler: parks frames and delivers on demand.
+class ParkingScheduler final : public FrameScheduler {
+  public:
+    void on_frame(const std::shared_ptr<SimChannel>& dest, std::vector<std::uint8_t> f) override {
+        parked.emplace_back(dest, std::move(f));
+    }
+    void on_peer_close(const std::shared_ptr<SimChannel>& dest) override { closes.push_back(dest); }
+    void deliver_all() {
+        for (auto& [dest, f] : parked) deliver_now(*dest, std::move(f));
+        parked.clear();
+        for (auto& dest : closes) close_now(*dest);
+        closes.clear();
+    }
+    std::vector<std::pair<std::shared_ptr<SimChannel>, std::vector<std::uint8_t>>> parked;
+    std::vector<std::shared_ptr<SimChannel>> closes;
+};
+}  // namespace
+
+TEST(SimNetwork, SchedulerInterceptsAndBypassesLossAndLatency) {
+    SimNetwork net;
+    ParkingScheduler scheduler;
+    net.set_scheduler(&scheduler);
+    // Certain loss and large latency: both must be bypassed while the
+    // scheduler owns delivery — faults become the scheduler's decisions.
+    auto [a, b] = net.make_pipe({.latency = 10000, .drop_probability = 1.0, .drop_seed = 5});
+    std::vector<std::uint8_t> got;
+    bool closed = false;
+    b->on_receive([&](std::span<const std::uint8_t> f) { got.assign(f.begin(), f.end()); });
+    b->on_close([&] { closed = true; });
+
+    ASSERT_TRUE(a->send(frame({42})).is_ok());
+    net.run_all();  // the event queue has nothing: the frame is parked
+    EXPECT_TRUE(got.empty());
+    ASSERT_EQ(scheduler.parked.size(), 1u);
+    EXPECT_EQ(a->stats().frames_sent, 1u);
+    EXPECT_EQ(a->stats().frames_dropped, 0u);
+
+    a->close();
+    EXPECT_FALSE(closed) << "peer-close notification must also be parked";
+    ASSERT_EQ(scheduler.closes.size(), 1u);
+
+    scheduler.deliver_all();
+    EXPECT_EQ(got, frame({42}));
+    EXPECT_TRUE(closed);
+    EXPECT_EQ(b->stats().frames_received, 1u);
+}
+
 TEST(SimNetwork, CloseNotifiesPeerAndFailsSends) {
     SimNetwork net;
     auto [a, b] = net.make_pipe();

@@ -267,5 +267,59 @@ TEST(PermissionTable, ForgetInstance) {
     EXPECT_FALSE(t.check(7, o(2, "x"), Right::kModify));
 }
 
+TEST(PermissionTable, InvariantsHoldOnWellFormedTable) {
+    PermissionTable t;
+    t.set(7, o(1, "x"), protocol::kAllRights, false);
+    t.set(PermissionTable::kAnyUser, o(1, "x"), static_cast<protocol::RightsMask>(Right::kView), true);
+    t.set(7, o(2, "y/z"), static_cast<protocol::RightsMask>(Right::kModify), false);
+    EXPECT_TRUE(t.check_invariants().empty());
+}
+
+TEST(PermissionTable, InvariantsFlagOutOfRangeRightsMask) {
+    PermissionTable t;
+    t.set(7, o(1, "x"), static_cast<protocol::RightsMask>(0xf0), false);
+    const auto problems = t.check_invariants();
+    ASSERT_EQ(problems.size(), 1u);
+    EXPECT_NE(problems.front().find("rights"), std::string::npos);
+}
+
+TEST(PermissionTable, InvariantsFlagEmptyRightsMask) {
+    PermissionTable t;
+    t.set(7, o(1, "x"), 0, true);  // a rule that could never apply
+    EXPECT_FALSE(t.check_invariants().empty());
+}
+
+TEST(PermissionTable, InvariantsFlagInvalidObject) {
+    PermissionTable t;
+    t.set(7, ObjectRef{kInvalidInstance, "x"}, protocol::kAllRights, true);
+    EXPECT_FALSE(t.check_invariants().empty());
+}
+
+TEST(PermissionTable, FingerprintIsOrderIndependent) {
+    PermissionTable forward;
+    forward.set(7, o(1, "x"), protocol::kAllRights, true);
+    forward.set(8, o(2, "y"), static_cast<protocol::RightsMask>(Right::kView), false);
+    PermissionTable backward;
+    backward.set(8, o(2, "y"), static_cast<protocol::RightsMask>(Right::kView), false);
+    backward.set(7, o(1, "x"), protocol::kAllRights, true);
+
+    ByteWriter wf;
+    ByteWriter wb;
+    forward.fingerprint(wf);
+    backward.fingerprint(wb);
+    EXPECT_EQ(wf.data(), wb.data());
+}
+
+TEST(PermissionTable, ReferencedInstancesAreSortedAndUnique) {
+    PermissionTable t;
+    t.set(7, o(5, "x"), protocol::kAllRights, true);
+    t.set(8, o(2, "y"), protocol::kAllRights, true);
+    t.set(9, o(5, "z"), protocol::kAllRights, false);
+    const auto instances = t.referenced_instances();
+    ASSERT_EQ(instances.size(), 2u);
+    EXPECT_EQ(instances[0], 2u);
+    EXPECT_EQ(instances[1], 5u);
+}
+
 }  // namespace
 }  // namespace cosoft::server

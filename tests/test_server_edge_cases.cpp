@@ -222,5 +222,43 @@ TEST(ServerEdge, LockReqForUncoupledObjectGrantsSingleton) {
     EXPECT_EQ(s.server().locks().locked_count(), 0u);
 }
 
+TEST(ServerEdge, PermissionSetWithEmptyMaskIsRejected) {
+    Session s;
+    RawClient raw{s};
+    raw.register_as(s, "mallory", 9);
+    ASSERT_NE(raw.instance, kInvalidInstance);
+
+    raw.send(protocol::PermissionSet{77, 2, ObjectRef{raw.instance, "w"}, 0, true});
+    s.run();
+
+    // Rejected with kInvalidArgument; nothing entered the table.
+    bool saw_rejection = false;
+    for (const auto& m : raw.received) {
+        if (const auto* ack = std::get_if<protocol::Ack>(&m); ack && ack->request == 77) {
+            saw_rejection = ack->code == ErrorCode::kInvalidArgument;
+        }
+    }
+    EXPECT_TRUE(saw_rejection);
+    EXPECT_EQ(s.server().permissions().rule_count(), 0u);
+    EXPECT_TRUE(s.server().permissions().check_invariants().empty());
+}
+
+TEST(ServerEdge, PermissionSetSanitizesOutOfRangeRights) {
+    Session s;
+    RawClient raw{s};
+    raw.register_as(s, "mallory", 9);
+    ASSERT_NE(raw.instance, kInvalidInstance);
+
+    // Garbage high bits must be masked away, not stored: the invariant
+    // check at the handle_frame boundary would flag them.
+    raw.send(protocol::PermissionSet{78, 2, ObjectRef{raw.instance, "w"}, 0xf5, false});
+    s.run();
+
+    EXPECT_EQ(s.server().permissions().rule_count(), 1u);
+    EXPECT_TRUE(s.server().permissions().check_invariants().empty())
+        << s.server().permissions().check_invariants().front();
+    EXPECT_TRUE(s.server().check_invariants().empty());
+}
+
 }  // namespace
 }  // namespace cosoft

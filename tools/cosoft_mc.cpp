@@ -1,0 +1,229 @@
+// cosoft-mc: systematic interleaving model checker for COSOFT sessions.
+//
+//   cosoft-mc list
+//   cosoft-mc explore <scenario> [options]
+//   cosoft-mc replay <trace-file>
+//   cosoft-mc sweep [options]
+//
+// explore/sweep options:
+//   --drop-faults N         frame-loss budget per schedule (default 0)
+//   --close-faults N        client-crash budget per schedule (default 0)
+//   --max-depth N           explicit-schedule depth cap (default 96)
+//   --max-interleavings N   stop after N maximal schedules (default: unlimited
+//                           for explore, 20000 per scenario for sweep)
+//   --no-por                disable sleep-set partial-order reduction
+//   --no-prune              disable digest-based state pruning
+//   --keep-going            collect all violations instead of stopping at one
+//   --trace-out FILE        write the first (minimized) violation as a trace
+//
+// Exit status: 0 = no violations, 1 = violations found, 2 = usage/IO error.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cosoft/mc/explorer.hpp"
+#include "cosoft/mc/scenario.hpp"
+#include "cosoft/mc/trace.hpp"
+
+namespace {
+
+using namespace cosoft;
+
+struct CliOptions {
+    mc::Options mc;
+    std::string trace_out;
+};
+
+int usage() {
+    std::cerr << "usage: cosoft-mc list\n"
+              << "       cosoft-mc explore <scenario> [--drop-faults N] [--close-faults N]\n"
+              << "                 [--max-depth N] [--max-interleavings N] [--no-por]\n"
+              << "                 [--no-prune] [--keep-going] [--trace-out FILE]\n"
+              << "       cosoft-mc replay <trace-file>\n"
+              << "       cosoft-mc sweep [same options as explore]\n";
+    return 2;
+}
+
+bool parse_flags(int argc, char** argv, int first, CliOptions& out) {
+    for (int i = first; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+        if (arg == "--drop-faults") {
+            const char* v = next();
+            if (!v) return false;
+            out.mc.drop_faults = std::stoi(v);
+        } else if (arg == "--close-faults") {
+            const char* v = next();
+            if (!v) return false;
+            out.mc.close_faults = std::stoi(v);
+        } else if (arg == "--max-depth") {
+            const char* v = next();
+            if (!v) return false;
+            out.mc.max_depth = std::stoi(v);
+        } else if (arg == "--max-interleavings") {
+            const char* v = next();
+            if (!v) return false;
+            out.mc.max_interleavings = std::stoull(v);
+        } else if (arg == "--no-por") {
+            out.mc.use_por = false;
+        } else if (arg == "--no-prune") {
+            out.mc.use_state_pruning = false;
+        } else if (arg == "--keep-going") {
+            out.mc.stop_on_violation = false;
+        } else if (arg == "--trace-out") {
+            const char* v = next();
+            if (!v) return false;
+            out.trace_out = v;
+        } else {
+            std::cerr << "cosoft-mc: unknown option '" << arg << "'\n";
+            return false;
+        }
+    }
+    return true;
+}
+
+void print_result(const std::string& scenario, const mc::ExploreResult& r) {
+    std::cout << scenario << ": " << r.interleavings << " interleavings ("
+              << r.states_visited << " states, " << r.states_pruned << " pruned, "
+              << r.sleep_skips << " sleep-set skips, " << r.depth_cap_hits << " depth-capped"
+              << (r.complete ? "" : ", INCOMPLETE: interleaving cap hit") << ")\n";
+    for (const mc::Violation& v : r.violations) {
+        std::cout << "  VIOLATION [" << v.property << "] " << v.detail << "\n"
+                  << "    schedule: " << v.schedule.size() << " explicit step(s)\n";
+    }
+}
+
+int run_one(const mc::Scenario& scenario, const CliOptions& cli) {
+    mc::Explorer explorer(scenario, cli.mc);
+    const mc::ExploreResult result = explorer.explore();
+    print_result(scenario.name, result);
+    if (result.violations.empty()) return 0;
+
+    const mc::Violation& first = result.violations.front();
+    const std::vector<mc::Choice> minimized = explorer.minimize(first);
+    std::cout << "  minimized: " << first.schedule.size() << " -> " << minimized.size() << " step(s)\n";
+
+    if (!cli.trace_out.empty()) {
+        mc::Trace trace;
+        trace.scenario = scenario.name;
+        trace.drop_faults = cli.mc.drop_faults;
+        trace.close_faults = cli.mc.close_faults;
+        trace.property = first.property;
+        trace.steps = minimized;
+        std::ofstream out(cli.trace_out);
+        if (!out) {
+            std::cerr << "cosoft-mc: cannot write '" << cli.trace_out << "'\n";
+            return 2;
+        }
+        out << mc::format_trace(trace, explorer.endpoint_labels());
+        std::cout << "  trace written to " << cli.trace_out << "\n";
+    }
+    return 1;
+}
+
+int cmd_explore(int argc, char** argv) {
+    if (argc < 3) return usage();
+    const mc::Scenario* scenario = mc::find_scenario(argv[2]);
+    if (!scenario) {
+        std::cerr << "cosoft-mc: unknown scenario '" << argv[2] << "' (try: cosoft-mc list)\n";
+        return 2;
+    }
+    CliOptions cli;
+    if (!parse_flags(argc, argv, 3, cli)) return usage();
+    return run_one(*scenario, cli);
+}
+
+int cmd_sweep(int argc, char** argv) {
+    CliOptions cli;
+    cli.mc.max_interleavings = 20000;  // bounded per scenario; overridable
+    if (!parse_flags(argc, argv, 2, cli)) return usage();
+    int worst = 0;
+    for (const mc::Scenario& s : mc::scenarios()) {
+        const int rc = run_one(s, cli);
+        worst = std::max(worst, rc);
+    }
+    return worst;
+}
+
+int cmd_replay(int argc, char** argv) {
+    if (argc < 3) return usage();
+    std::ifstream in(argv[2]);
+    if (!in) {
+        std::cerr << "cosoft-mc: cannot read '" << argv[2] << "'\n";
+        return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+
+    // The scenario name lives inside the trace, but labels need a scenario:
+    // parse leniently first with no labels to learn the scenario, then
+    // re-parse with the real labels.
+    mc::Trace header;
+    {
+        std::istringstream scan(buf.str());
+        std::string line;
+        while (std::getline(scan, line)) {
+            std::istringstream ls(line);
+            std::string directive;
+            ls >> directive;
+            if (directive == "scenario") {
+                ls >> header.scenario;
+                break;
+            }
+        }
+    }
+    const mc::Scenario* scenario = mc::find_scenario(header.scenario);
+    if (!scenario) {
+        std::cerr << "cosoft-mc: trace names unknown scenario '" << header.scenario << "'\n";
+        return 2;
+    }
+
+    mc::Options probe;  // labels don't depend on options
+    const std::vector<std::string> labels = mc::World(*scenario, probe).endpoint_labels();
+    const auto parsed = mc::parse_trace(buf.str(), labels);
+    if (!parsed) {
+        std::cerr << "cosoft-mc: " << parsed.status().message() << "\n";
+        return 2;
+    }
+    const mc::Trace& trace = parsed.value();
+
+    mc::Options options;
+    options.drop_faults = trace.drop_faults;
+    options.close_faults = trace.close_faults;
+    mc::Explorer explorer(*scenario, options);
+    const auto violation = explorer.replay(trace.steps);
+    if (!violation) {
+        std::cout << trace.scenario << ": clean replay, no violation\n";
+        return trace.property.empty() ? 0 : 1;  // expected one and it vanished
+    }
+    std::cout << trace.scenario << ": reproduced [" << violation->property << "] " << violation->detail << "\n";
+    if (trace.property.empty()) return 1;  // trace claimed to be clean
+    if (violation->property != trace.property) {
+        std::cout << "  note: trace expected property '" << trace.property << "'\n";
+        return 1;
+    }
+    return 0;  // reproduced exactly what the trace promised
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) return usage();
+    const std::string cmd = argv[1];
+    if (cmd == "list") {
+        for (const mc::Scenario& s : mc::scenarios()) {
+            std::cout << s.name << ": " << s.description << " (" << s.clients << " clients)\n";
+        }
+        return 0;
+    }
+    if (cmd == "explore") return cmd_explore(argc, argv);
+    if (cmd == "replay") return cmd_replay(argc, argv);
+    if (cmd == "sweep") return cmd_sweep(argc, argv);
+    return usage();
+}
