@@ -1,0 +1,226 @@
+// F5 — broadcast fan-out on the encode-once message path.
+//
+// The server serializes each broadcast exactly once and enqueues the same
+// refcounted Frame to every partner connection. This bench quantifies that
+// against the pre-refactor shape (one encode per recipient) across fan-out
+// widths, and emits the numbers as BENCH_fanout.json for the check harness:
+//
+//   (a) channel level: broadcasts/sec and heap allocations per broadcast for
+//       shared-frame vs per-recipient-encode fan-out over SimNetwork pipes;
+//   (b) server level: encodes per command broadcast measured from CoServer
+//       stats (must be exactly 1 at any width);
+//   (c) google-benchmark microbenchmarks of the same two fan-out loops.
+//
+// `--smoke` trims iteration counts and skips the microbenchmarks so the
+// binary doubles as a fast ctest entry (label: bench).
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <new>
+
+#include "bench_util.hpp"
+#include "cosoft/apps/local_session.hpp"
+#include "cosoft/net/sim_network.hpp"
+#include "cosoft/protocol/messages.hpp"
+
+// --- allocation accounting ----------------------------------------------------
+// Counts every heap allocation in the process; measurements take deltas
+// around the timed loop, so unrelated startup noise cancels out.
+
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+std::atomic<std::uint64_t> g_alloc_bytes{0};
+}  // namespace
+
+// GCC pairs the replaced operator new with the free() inside the replaced
+// operator delete and flags a mismatch; both sides really are malloc/free.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
+void* operator new(std::size_t n) {
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+    g_alloc_bytes.fetch_add(n, std::memory_order_relaxed);
+    if (void* p = std::malloc(n)) return p;
+    throw std::bad_alloc{};
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+
+#pragma GCC diagnostic pop
+
+namespace {
+
+using namespace cosoft;
+using namespace cosoft::bench;
+using apps::LocalSession;
+using client::CoApp;
+using protocol::Frame;
+using protocol::Message;
+
+constexpr std::size_t kPayloadBytes = 4 << 10;
+
+Message broadcast_message() {
+    return protocol::CommandDeliver{1, "fanout", std::vector<std::uint8_t>(kPayloadBytes, 0x5a)};
+}
+
+/// `partners` one-way pipes with a no-op receiver, plus the queue that
+/// drains them.
+struct FanoutRig {
+    net::SimNetwork net;
+    std::vector<std::shared_ptr<net::SimChannel>> senders;
+
+    explicit FanoutRig(std::size_t partners) {
+        for (std::size_t i = 0; i < partners; ++i) {
+            auto [a, b] = net.make_pipe();
+            b->on_receive([](const Frame&) {});
+            senders.push_back(a);
+        }
+    }
+
+    /// The new path: one encode, every partner shares the buffer.
+    void broadcast_shared(const Message& msg) {
+        const Frame frame = protocol::encode_message(msg);
+        for (auto& ch : senders) (void)ch->send(frame);
+        net.run_all();
+    }
+
+    /// The old path: serialize the same message once per recipient.
+    void broadcast_per_recipient(const Message& msg) {
+        for (auto& ch : senders) (void)ch->send(protocol::encode_message(msg));
+        net.run_all();
+    }
+};
+
+struct FanoutSample {
+    std::size_t partners = 0;
+    double shared_per_sec = 0;
+    double per_recipient_per_sec = 0;
+    double speedup = 0;
+    double allocs_shared = 0;         ///< heap allocations per broadcast
+    double allocs_per_recipient = 0;
+    double encodes_per_broadcast = 0; ///< server-side, from CoServer stats
+};
+
+template <typename Fn>
+std::pair<double, double> timed_rate(std::size_t iters, Fn&& fn) {
+    fn();  // warm the pipes and the allocator
+    const std::uint64_t allocs_before = g_allocs.load();
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < iters; ++i) fn();
+    const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
+    const std::uint64_t allocs = g_allocs.load() - allocs_before;
+    return {static_cast<double>(iters) / elapsed.count(),
+            static_cast<double>(allocs) / static_cast<double>(iters)};
+}
+
+/// Encodes per command broadcast on the real server at width `partners`.
+double measured_encodes_per_broadcast(std::size_t partners, std::size_t iters) {
+    LocalSession s;
+    for (std::size_t i = 0; i < partners + 1; ++i) {
+        (void)s.add_app("bench", "u" + std::to_string(i), static_cast<UserId>(i + 1));
+    }
+    for (std::size_t i = 1; i <= partners; ++i) {
+        s.app(i).on_command("fanout", [](InstanceId, std::span<const std::uint8_t>) {});
+    }
+    s.run();
+    const std::uint64_t before = s.server().stats().broadcast_encodes;
+    for (std::size_t i = 0; i < iters; ++i) {
+        s.app(0).send_command("fanout", std::vector<std::uint8_t>(kPayloadBytes, 0x5a));
+        s.run();
+    }
+    return static_cast<double>(s.server().stats().broadcast_encodes - before) /
+           static_cast<double>(iters);
+}
+
+std::vector<FanoutSample> run_fanout_sweep(bool smoke) {
+    const std::size_t channel_iters = smoke ? 50 : 2000;
+    const std::size_t server_iters = smoke ? 10 : 100;
+    artifact_header("F5", "encode-once broadcast fan-out",
+                    "one serialization per broadcast, shared by every partner connection");
+    row("%-10s %-16s %-20s %-10s %-14s %-16s %-10s", "partners", "shared(bc/s)", "per-recipient(bc/s)",
+        "speedup", "allocs/shared", "allocs/per-rec", "encodes");
+    std::vector<FanoutSample> out;
+    for (const std::size_t partners : {2u, 8u, 32u, 128u}) {
+        FanoutSample sample;
+        sample.partners = partners;
+        const Message msg = broadcast_message();
+        {
+            FanoutRig rig(partners);
+            std::tie(sample.shared_per_sec, sample.allocs_shared) =
+                timed_rate(channel_iters, [&] { rig.broadcast_shared(msg); });
+        }
+        {
+            FanoutRig rig(partners);
+            std::tie(sample.per_recipient_per_sec, sample.allocs_per_recipient) =
+                timed_rate(channel_iters, [&] { rig.broadcast_per_recipient(msg); });
+        }
+        sample.speedup = sample.shared_per_sec / sample.per_recipient_per_sec;
+        sample.encodes_per_broadcast = measured_encodes_per_broadcast(partners, server_iters);
+        row("%-10zu %-16.0f %-20.0f %-10.2f %-14.1f %-16.1f %-10.2f", sample.partners,
+            sample.shared_per_sec, sample.per_recipient_per_sec, sample.speedup, sample.allocs_shared,
+            sample.allocs_per_recipient, sample.encodes_per_broadcast);
+        out.push_back(sample);
+    }
+    return out;
+}
+
+void write_json(const std::vector<FanoutSample>& samples, const char* path) {
+    std::ofstream f(path);
+    f << "{\n  \"bench\": \"fanout\",\n  \"payload_bytes\": " << kPayloadBytes << ",\n  \"rows\": [\n";
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        const FanoutSample& s = samples[i];
+        f << "    {\"partners\": " << s.partners << ", \"encodes_per_broadcast\": " << s.encodes_per_broadcast
+          << ", \"shared_broadcasts_per_sec\": " << s.shared_per_sec
+          << ", \"per_recipient_broadcasts_per_sec\": " << s.per_recipient_per_sec
+          << ", \"speedup\": " << s.speedup << ", \"allocs_per_broadcast_shared\": " << s.allocs_shared
+          << ", \"allocs_per_broadcast_per_recipient\": " << s.allocs_per_recipient << "}"
+          << (i + 1 < samples.size() ? "," : "") << "\n";
+    }
+    f << "  ]\n}\n";
+    std::printf("\nwrote %s\n", path);
+}
+
+void BM_BroadcastSharedFrame(benchmark::State& state) {
+    FanoutRig rig(static_cast<std::size_t>(state.range(0)));
+    const Message msg = broadcast_message();
+    for (auto _ : state) rig.broadcast_shared(msg);
+    state.SetLabel("partners=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_BroadcastSharedFrame)->Arg(2)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_BroadcastPerRecipientEncode(benchmark::State& state) {
+    FanoutRig rig(static_cast<std::size_t>(state.range(0)));
+    const Message msg = broadcast_message();
+    for (auto _ : state) rig.broadcast_per_recipient(msg);
+    state.SetLabel("partners=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_BroadcastPerRecipientEncode)->Arg(2)->Arg(8)->Arg(32)->Arg(128);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    }
+    const auto samples = run_fanout_sweep(smoke);
+    write_json(samples, "BENCH_fanout.json");
+
+    // Sanity for the check harness: one encode per broadcast at any width,
+    // and the shared path must actually win where fan-out is wide.
+    for (const auto& s : samples) {
+        if (s.encodes_per_broadcast != 1.0) {
+            std::fprintf(stderr, "FAIL: %zu partners used %.2f encodes per broadcast (want 1)\n",
+                         s.partners, s.encodes_per_broadcast);
+            return 1;
+        }
+    }
+    if (!smoke) {
+        benchmark::Initialize(&argc, argv);
+        benchmark::RunSpecifiedBenchmarks();
+    }
+    return 0;
+}

@@ -84,7 +84,8 @@ void BM_Register(benchmark::State& state) {
     LocalSession s;
     std::size_t i = 0;
     for (auto _ : state) {
-        CoApp& app = s.add_app("bench", "u" + std::to_string(i), static_cast<UserId>(++i));
+        ++i;
+        CoApp& app = s.add_app("bench", "u" + std::to_string(i), static_cast<UserId>(i));
         benchmark::DoNotOptimize(app.instance());
     }
 }
@@ -172,7 +173,7 @@ void BM_MessageCodec(benchmark::State& state) {
     const protocol::Message msg = protocol::ExecuteEvent{
         42,
         {1, "tori/query"},
-        {2, "tori/query"},
+        {{2, "tori/query"}},
         "author",
         toolkit::Event{EventType::kValueChanged, "tori/query/author", std::string{"Hoppe"}, ""}};
     for (auto _ : state) {

@@ -6,6 +6,7 @@
 #   scripts/check.sh --sanitize=asan  AddressSanitizer+UBSan preset (checked)
 #   scripts/check.sh --sanitize=tsan  ThreadSanitizer preset
 #   scripts/check.sh --mc             bounded model-checking sweep (cosoft-mc)
+#   scripts/check.sh --bench          benchmark smoke run (ctest label: bench)
 #
 # Sanitizer runs use the CMakePresets.json trees (build/asan, build/tsan)
 # and stop after ctest: examples and benchmarks are only exercised by the
@@ -17,13 +18,30 @@ cd "$(dirname "$0")/.."
 
 SANITIZE=""
 MC=""
+BENCH=""
 for arg in "$@"; do
   case "$arg" in
     --sanitize=asan|--sanitize=tsan) SANITIZE="${arg#--sanitize=}" ;;
     --mc) MC=1 ;;
-    *) echo "check.sh: unknown argument '$arg' (expected --sanitize=asan|tsan or --mc)" >&2; exit 2 ;;
+    --bench) BENCH=1 ;;
+    *) echo "check.sh: unknown argument '$arg' (expected --sanitize=asan|tsan, --mc, or --bench)" >&2; exit 2 ;;
   esac
 done
+
+if [ -n "$BENCH" ]; then
+  # Reuse whatever generator build/ already has; a fresh tree gets the default.
+  cmake -B build -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+  cmake --build build --target bench_fanout
+  echo "=== bench smoke: ctest -L bench ==="
+  # --no-tests=ignore: a tree without registered bench tests skips gracefully
+  # instead of failing the gate.
+  ctest --test-dir build -L bench --output-on-failure --no-tests=ignore
+  if [ -f build/bench/BENCH_fanout.json ]; then
+    echo "=== BENCH_fanout.json ==="
+    cat build/bench/BENCH_fanout.json
+  fi
+  exit 0
+fi
 
 if [ -n "$MC" ]; then
   cmake -B build -G Ninja -DCMAKE_EXPORT_COMPILE_COMMANDS=ON

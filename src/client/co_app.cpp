@@ -23,7 +23,7 @@ CoApp::~CoApp() {
 
 void CoApp::connect(std::shared_ptr<net::Channel> channel) {
     channel_ = std::move(channel);
-    channel_->on_receive([this](std::span<const std::uint8_t> frame) { handle_frame(frame); });
+    channel_->on_receive([this](const protocol::Frame& frame) { handle_frame(frame); });
     channel_->on_close([this] {
         instance_ = kInvalidInstance;
         // Fail every outstanding request; the server has forgotten us.
@@ -352,29 +352,32 @@ void CoApp::handle(const LockNotify& msg) {
 }
 
 void CoApp::handle(const ExecuteEvent& msg) {
-    toolkit::Widget* base = (msg.target.instance == instance_) ? tree_.find(msg.target.path) : nullptr;
-    if (base != nullptr) {
+    // The shared broadcast frame lists every locked target; re-execute the
+    // ones this instance owns and answer with a single ack for the frame.
+    for (const ObjectRef& target : msg.targets) {
+        if (target.instance != instance_) continue;
+        toolkit::Widget* base = tree_.find(target.path);
+        if (base == nullptr) continue;
         const std::string local_rel =
-            correspondences_.map_remote_path(msg.target.path, msg.source, msg.relative_path);
+            correspondences_.map_remote_path(target.path, msg.source, msg.relative_path);
         toolkit::Widget* w = local_rel.empty() ? base : base->find(local_rel);
-        if (w != nullptr) {
-            toolkit::Event local_event = msg.event;
-            local_event.path = w->path();
-            // Re-execution bypasses the enabled check: the floor holder's
-            // action must land even though this object is locked. The remote
-            // action logically precedes our unconfirmed emissions, so it is
-            // applied beneath them: otherwise a later LockDeny would undo
-            // our feedback back to a value that predates the remote action
-            // and the replicas would diverge.
-            reapply_pending_around(*w, 0, [&] {
-                (void)w->apply_feedback(local_event);
-                w->fire_callbacks(local_event);
-            });
-            ++stats_.events_reexecuted;
-        }
+        if (w == nullptr) continue;
+        toolkit::Event local_event = msg.event;
+        local_event.path = w->path();
+        // Re-execution bypasses the enabled check: the floor holder's
+        // action must land even though this object is locked. The remote
+        // action logically precedes our unconfirmed emissions, so it is
+        // applied beneath them: otherwise a later LockDeny would undo
+        // our feedback back to a value that predates the remote action
+        // and the replicas would diverge.
+        reapply_pending_around(*w, 0, [&] {
+            (void)w->apply_feedback(local_event);
+            w->fire_callbacks(local_event);
+        });
+        ++stats_.events_reexecuted;
     }
-    // Always acknowledge: the group must not stay locked because a widget
-    // disappeared between locking and execution.
+    // Always acknowledge (once per frame): the group must not stay locked
+    // because a widget disappeared between locking and execution.
     send(ExecuteAck{msg.action});
 }
 
@@ -542,7 +545,7 @@ void CoApp::on_widget_destroyed(const std::string& path) {
     }
 }
 
-void CoApp::handle_frame(std::span<const std::uint8_t> frame) {
+void CoApp::handle_frame(const protocol::Frame& frame) {
     auto decoded = decode_message(frame);
     if (!decoded) return;
     std::visit(

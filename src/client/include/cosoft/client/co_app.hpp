@@ -208,7 +208,7 @@ class CoApp {
         Done done;
     };
 
-    void handle_frame(std::span<const std::uint8_t> frame);
+    void handle_frame(const protocol::Frame& frame);
     void handle(protocol::RegisterAck msg);
     void handle(protocol::GroupUpdate msg);
     void handle(const protocol::LockGrant& msg);

@@ -18,10 +18,10 @@ int ScheduleController::find(const net::SimChannel* dest) const noexcept {
     return -1;
 }
 
-void ScheduleController::on_frame(const std::shared_ptr<net::SimChannel>& dest, std::vector<std::uint8_t> frame) {
+void ScheduleController::on_frame(const std::shared_ptr<net::SimChannel>& dest, protocol::Frame frame) {
     const int e = find(dest.get());
     if (e < 0) {
-        deliver_now(*dest, std::move(frame));
+        deliver_now(*dest, frame);
         return;
     }
     at(e).queue.push_back(Pending{false, std::move(frame)});

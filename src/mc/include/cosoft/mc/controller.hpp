@@ -20,8 +20,8 @@ namespace cosoft::mc {
 class ScheduleController final : public net::FrameScheduler {
   public:
     struct Pending {
-        bool close = false;               ///< peer-close notification
-        std::vector<std::uint8_t> frame;  ///< valid when !close
+        bool close = false;     ///< peer-close notification
+        protocol::Frame frame;  ///< valid when !close; shares the sender's encode
     };
 
     /// Registers a destination endpoint; frames addressed to it queue up
@@ -29,7 +29,7 @@ class ScheduleController final : public net::FrameScheduler {
     /// delivered immediately (none occur in practice).
     int register_endpoint(std::shared_ptr<net::SimChannel> dest, std::string label);
 
-    void on_frame(const std::shared_ptr<net::SimChannel>& dest, std::vector<std::uint8_t> frame) override;
+    void on_frame(const std::shared_ptr<net::SimChannel>& dest, protocol::Frame frame) override;
     void on_peer_close(const std::shared_ptr<net::SimChannel>& dest) override;
 
     [[nodiscard]] std::size_t endpoint_count() const noexcept { return endpoints_.size(); }

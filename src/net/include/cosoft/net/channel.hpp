@@ -1,19 +1,22 @@
 // Transport abstraction. COSOFT is hub-and-spoke (clients talk only to the
-// central server, Fig. 4), so the unit of networking is a duplex byte-frame
-// channel between one client and the server.
+// central server, Fig. 4), so the unit of networking is a duplex frame
+// channel between one client and the server. Frames are immutable refcounted
+// protocol::Frame buffers: send() takes a reference, never copies the bytes,
+// and on_receive hands the handler a view of the delivered frame — the same
+// buffer the sender encoded, end to end.
 //
 // Two implementations exist:
 //  - SimNetwork pipes: deterministic, single-threaded, latency/loss
 //    injectable, driven by a sim::EventQueue (used by tests and benches);
-//  - TCP sockets on localhost (used by the tcp_demo example).
+//  - TCP sockets on localhost with a bounded per-connection outbound queue
+//    (used by the tcp_demo example and the server's socket deployments).
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <span>
-#include <vector>
 
 #include "cosoft/common/error.hpp"
+#include "cosoft/protocol/frame.hpp"
 
 namespace cosoft::net {
 
@@ -23,12 +26,14 @@ struct ChannelStats {
     std::uint64_t frames_dropped = 0;  ///< sent but lost in transit (SimNetwork loss injection)
     std::uint64_t bytes_sent = 0;
     std::uint64_t bytes_received = 0;
+    std::uint64_t backpressure_events = 0;  ///< outbound high-watermark crossings (TCP queue)
+    std::uint64_t send_queue_peak_bytes = 0;  ///< max outbound queue occupancy observed
 };
 
 /// One side of a duplex, ordered, frame-preserving connection.
 class Channel {
   public:
-    using ReceiveHandler = std::function<void(std::span<const std::uint8_t>)>;
+    using ReceiveHandler = std::function<void(const protocol::Frame&)>;
     using CloseHandler = std::function<void()>;
 
     Channel() = default;
@@ -37,7 +42,9 @@ class Channel {
     virtual ~Channel() = default;
 
     /// Queues one frame for delivery to the peer. Ordered, all-or-nothing.
-    virtual Status send(std::vector<std::uint8_t> frame) = 0;
+    /// The frame's payload is shared, not copied: the same Frame may be
+    /// enqueued on any number of channels concurrently.
+    virtual Status send(protocol::Frame frame) = 0;
 
     /// Installs the handler invoked once per received frame. For SimNetwork
     /// channels the handler runs during EventQueue processing; for TCP it
@@ -49,6 +56,12 @@ class Channel {
 
     [[nodiscard]] virtual bool connected() const = 0;
     virtual void close() = 0;
+
+    /// Frames accepted by send() but not yet handed to the transport.
+    /// Non-zero only for transports with an outbound queue (TcpChannel);
+    /// synchronous transports report 0.
+    [[nodiscard]] virtual std::size_t outbound_queued_frames() const { return 0; }
+    [[nodiscard]] virtual std::size_t outbound_queued_bytes() const { return 0; }
 
     [[nodiscard]] const ChannelStats& stats() const noexcept { return stats_; }
 

@@ -37,15 +37,16 @@ class FrameScheduler {
     FrameScheduler& operator=(const FrameScheduler&) = delete;
     virtual ~FrameScheduler() = default;
 
-    /// A frame bound for `dest` was sent; the scheduler now owns it.
-    virtual void on_frame(const std::shared_ptr<SimChannel>& dest, std::vector<std::uint8_t> frame) = 0;
+    /// A frame bound for `dest` was sent; the scheduler now shares ownership
+    /// of its (immutable, refcounted) payload.
+    virtual void on_frame(const std::shared_ptr<SimChannel>& dest, protocol::Frame frame) = 0;
     /// `dest`'s peer closed; the notification is the scheduler's to deliver.
     virtual void on_peer_close(const std::shared_ptr<SimChannel>& dest) = 0;
 
   protected:
     // Deferred-delivery primitives for subclasses (SimChannel's receive path
     // is private; these are the sanctioned way back in).
-    static void deliver_now(SimChannel& dest, std::vector<std::uint8_t> frame);
+    static void deliver_now(SimChannel& dest, const protocol::Frame& frame);
     static void close_now(SimChannel& dest);
 };
 
@@ -79,7 +80,7 @@ class SimNetwork {
 
 class SimChannel final : public Channel, public std::enable_shared_from_this<SimChannel> {
   public:
-    Status send(std::vector<std::uint8_t> frame) override;
+    Status send(protocol::Frame frame) override;
     void on_receive(ReceiveHandler handler) override { receive_ = std::move(handler); }
     void on_close(CloseHandler handler) override { close_handler_ = std::move(handler); }
     [[nodiscard]] bool connected() const override { return connected_; }
@@ -90,7 +91,7 @@ class SimChannel final : public Channel, public std::enable_shared_from_this<Sim
     friend class FrameScheduler;
     SimChannel(SimNetwork* net, PipeConfig config) : net_(net), config_(config), rng_(config.drop_seed) {}
 
-    void deliver(std::vector<std::uint8_t> frame);
+    void deliver(const protocol::Frame& frame);
     void peer_closed();
 
     SimNetwork* net_;

@@ -2,19 +2,37 @@
 // over real sockets. Frames are length-prefixed (4-byte little-endian size).
 //
 // Threading model: a background reader thread per channel enqueues complete
-// frames; the owner calls poll() to dispatch them on its own thread, so all
-// COSOFT logic stays single-threaded exactly as with SimNetwork.
+// inbound frames and a background writer thread drains the bounded outbound
+// queue; the owner calls poll() to dispatch inbound frames on its own
+// thread, so all COSOFT logic stays single-threaded exactly as with
+// SimNetwork. send() only enqueues (sharing the Frame's refcounted payload)
+// and never blocks on the socket, so one stalled peer cannot stall the
+// sender's dispatch loop — the queue absorbs the skew and backpressure makes
+// it visible:
 //
-// Thread safety (verified by test_tcp_stress under the tsan preset):
-// send(), poll()/poll_blocking(), and close() may each be called from
-// different threads concurrently; sends are serialized internally so frames
-// never interleave on the wire, and the socket fd stays open until the
-// destructor so a racing close() never yanks it from under a send or the
-// reader. Handlers must be installed before concurrent use begins, and the
-// destructor must not race other calls on the same object.
+//  - Crossing `high_watermark` queued bytes fires the backpressure handler
+//    with congested=true (once per onset; again with congested=false when
+//    the writer drains below half the watermark).
+//  - A send that would exceed `max_bytes` either blocks until the writer
+//    frees space (OverflowPolicy::kBlock, the SimNetwork-like default) or
+//    fails the send and closes the channel (kDisconnect, fail-fast for
+//    servers that must not wait on a dead peer).
+//
+// Thread safety (verified by test_tcp_stress and test_backpressure under the
+// tsan preset): send(), poll()/poll_blocking(), and close() may each be
+// called from different threads concurrently; the writer thread serializes
+// frames on the wire, and the socket fd stays open until the destructor so a
+// racing close() never yanks it from under the reader or writer. Handlers
+// (receive/close/backpressure) and configure_send_queue() must be installed
+// before concurrent use begins, and the destructor must not race other calls
+// on the same object. The backpressure handler runs on whichever thread
+// detects the edge: the sending thread (onset, overflow) or the writer
+// thread (drain).
 #pragma once
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -26,15 +44,49 @@
 
 namespace cosoft::net {
 
+/// What send() does when the outbound queue is at `max_bytes`.
+enum class OverflowPolicy : std::uint8_t {
+    kBlock,       ///< wait for the writer to free space (backpressure propagates to the caller)
+    kDisconnect,  ///< fail the send and close the channel (fail-fast)
+};
+
+struct SendQueueOptions {
+    std::size_t max_bytes = 8U << 20;       ///< hard cap on queued payload bytes
+    std::size_t high_watermark = 2U << 20;  ///< backpressure-signal threshold
+    OverflowPolicy overflow = OverflowPolicy::kBlock;
+    /// On close(), how long the writer may keep flushing already-accepted
+    /// frames to a peer that is slow to read before giving up.
+    int drain_timeout_ms = 5000;
+};
+
 class TcpChannel final : public Channel {
   public:
+    /// congested=true when queued bytes cross the high watermark (or a
+    /// kDisconnect overflow fires), false when the writer drains below half
+    /// of it. `queued_bytes` is the occupancy at the edge.
+    using BackpressureHandler = std::function<void(bool congested, std::size_t queued_bytes)>;
+
     ~TcpChannel() override;
 
-    Status send(std::vector<std::uint8_t> frame) override;
+    Status send(protocol::Frame frame) override;
     void on_receive(ReceiveHandler handler) override { receive_ = std::move(handler); }
     void on_close(CloseHandler handler) override { close_handler_ = std::move(handler); }
     [[nodiscard]] bool connected() const override { return connected_.load(std::memory_order_acquire); }
+
+    /// Stops accepting sends, lets the writer flush already-accepted frames
+    /// (bounded by SendQueueOptions::drain_timeout_ms), then completes the
+    /// shutdown with a FIN. Never blocks the caller. While draining, the
+    /// reader keeps consuming (and discarding) inbound bytes — letting them
+    /// rot in the kernel buffer closes our receive window and can wedge the
+    /// whole connection, flush included, behind the peer's retransmit
+    /// backoff.
     void close() override;
+
+    void configure_send_queue(const SendQueueOptions& opts) { send_opts_ = opts; }
+    void on_backpressure(BackpressureHandler handler) { backpressure_ = std::move(handler); }
+
+    [[nodiscard]] std::size_t outbound_queued_frames() const override;
+    [[nodiscard]] std::size_t outbound_queued_bytes() const override;
 
     /// Dispatches all queued inbound frames to the receive handler on the
     /// calling thread. Returns the number of frames dispatched. Also fires
@@ -51,17 +103,43 @@ class TcpChannel final : public Channel {
 
     explicit TcpChannel(int fd);
     void reader_loop();
+    /// Reads exactly `n` bytes, polling so abort requests interrupt a quiet
+    /// peer. 1 = ok, 0 = orderly EOF, -1 = error/abort.
+    int read_some(std::uint8_t* data, std::size_t n);
+    void writer_loop();
+    /// Writes one length-prefixed frame, polling so abort/drain-deadline
+    /// requests interrupt a stalled peer. False = give up (link is dead or
+    /// the drain budget ran out).
+    bool write_frame(const protocol::Frame& frame);
+    bool write_some(const std::uint8_t* data, std::size_t n);
+    /// Immediate teardown (overflow kDisconnect): drops queued frames.
+    void abort_close();
 
     int fd_;
     std::atomic<bool> connected_{true};
     std::atomic<bool> peer_gone_{false};
     std::atomic<bool> close_reported_{false};
     std::thread reader_;
-    std::mutex mu_;        ///< guards inbox_ and the receive-side stats
-    std::mutex send_mu_;   ///< serializes frame writes and the send-side stats
-    std::deque<std::vector<std::uint8_t>> inbox_;
+    std::thread writer_;
+    std::mutex mu_;  ///< guards inbox_ and the receive-side stats
+    std::deque<protocol::Frame> inbox_;
     ReceiveHandler receive_;
     CloseHandler close_handler_;
+
+    SendQueueOptions send_opts_;
+    BackpressureHandler backpressure_;
+    mutable std::mutex out_mu_;  ///< guards outbox_*, congested_, draining_, and send-side stats
+    std::condition_variable out_cv_;    ///< writer waits for work / drain / abort
+    std::condition_variable space_cv_;  ///< kBlock senders wait for queue space
+    std::deque<protocol::Frame> outbox_;
+    std::size_t outbox_bytes_ = 0;
+    bool congested_ = false;
+    /// close() requested: flush, then shut down. Atomic because write_some()
+    /// checks it mid-frame without taking out_mu_; drain_deadline_ is written
+    /// once before the release store, so the acquire load orders the read.
+    std::atomic<bool> draining_{false};
+    std::chrono::steady_clock::time_point drain_deadline_{};
+    std::atomic<bool> writer_abort_{false};
 };
 
 class TcpListener {

@@ -13,13 +13,11 @@ std::pair<std::shared_ptr<SimChannel>, std::shared_ptr<SimChannel>> SimNetwork::
     return {a, b};
 }
 
-void FrameScheduler::deliver_now(SimChannel& dest, std::vector<std::uint8_t> frame) {
-    dest.deliver(std::move(frame));
-}
+void FrameScheduler::deliver_now(SimChannel& dest, const protocol::Frame& frame) { dest.deliver(frame); }
 
 void FrameScheduler::close_now(SimChannel& dest) { dest.peer_closed(); }
 
-Status SimChannel::send(std::vector<std::uint8_t> frame) {
+Status SimChannel::send(protocol::Frame frame) {
     if (!connected_) return Status{ErrorCode::kTransport, "channel closed"};
     auto peer = peer_.lock();
     if (!peer || !peer->connected_) return Status{ErrorCode::kTransport, "peer gone"};
@@ -39,12 +37,12 @@ Status SimChannel::send(std::vector<std::uint8_t> frame) {
         return Status::ok();  // silently lost in transit
     }
 
-    net_->queue().schedule_after(config_.latency,
-                                 [peer, f = std::move(frame)]() mutable { peer->deliver(std::move(f)); });
+    // The lambda shares the frame's payload; no byte copy rides the queue.
+    net_->queue().schedule_after(config_.latency, [peer, f = std::move(frame)] { peer->deliver(f); });
     return Status::ok();
 }
 
-void SimChannel::deliver(std::vector<std::uint8_t> frame) {
+void SimChannel::deliver(const protocol::Frame& frame) {
     if (!connected_) return;  // closed while the frame was in flight
     stats_.frames_received++;
     stats_.bytes_received += frame.size();

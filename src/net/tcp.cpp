@@ -8,18 +8,195 @@
 #include <unistd.h>
 
 #include <cerrno>
-#include <chrono>
 #include <cstring>
 
 namespace cosoft::net {
 
-namespace {
+TcpChannel::TcpChannel(int fd) : fd_(fd) {
+    int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    reader_ = std::thread([this] { reader_loop(); });
+    writer_ = std::thread([this] { writer_loop(); });
+}
 
-bool write_all(int fd, const std::uint8_t* data, std::size_t n) {
+TcpChannel::~TcpChannel() {
+    close();
+    // The writer exits once the drain completes (bounded by the drain
+    // budget); only then may the reader stop consuming — its lingering reads
+    // are what keep a bursty peer from wedging our own flush.
+    if (writer_.joinable()) writer_.join();
+    ::shutdown(fd_, SHUT_RD);
+    if (reader_.joinable()) reader_.join();
+    // The fd is closed here, not in close(): the reader and writer threads
+    // may still be blocked on it when close() runs, and closing an fd in use
+    // by another thread invites fd-reuse corruption. shutdown() is what
+    // actually unblocks them.
+    ::close(fd_);
+}
+
+int TcpChannel::read_some(std::uint8_t* data, std::size_t n) {
     while (n > 0) {
-        const ssize_t w = ::send(fd, data, n, MSG_NOSIGNAL);
-        if (w < 0) {
+        if (writer_abort_.load(std::memory_order_acquire)) return -1;
+        pollfd pfd{fd_, POLLIN, 0};
+        const int ready = ::poll(&pfd, 1, 50);
+        if (ready < 0) {
             if (errno == EINTR) continue;
+            return -1;
+        }
+        if (ready == 0) continue;  // quiet peer; re-check abort
+        const ssize_t r = ::recv(fd_, data, n, MSG_DONTWAIT);
+        if (r < 0) {
+            if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+            return -1;
+        }
+        if (r == 0) return 0;  // orderly shutdown
+        data += r;
+        n -= static_cast<std::size_t>(r);
+    }
+    return 1;
+}
+
+void TcpChannel::reader_loop() {
+    for (;;) {
+        std::uint8_t size_buf[4];
+        if (read_some(size_buf, 4) <= 0) break;
+        const std::uint32_t size = static_cast<std::uint32_t>(size_buf[0]) |
+                                   (static_cast<std::uint32_t>(size_buf[1]) << 8) |
+                                   (static_cast<std::uint32_t>(size_buf[2]) << 16) |
+                                   (static_cast<std::uint32_t>(size_buf[3]) << 24);
+        constexpr std::uint32_t kMaxFrame = 64U << 20;
+        if (size > kMaxFrame) break;
+        std::vector<std::uint8_t> payload(size);
+        if (size > 0 && read_some(payload.data(), size) <= 0) break;
+        if (!connected_.load(std::memory_order_acquire)) continue;  // closing: drain and discard
+        {
+            const std::lock_guard lock{mu_};
+            inbox_.emplace_back(std::move(payload));
+        }
+    }
+    peer_gone_.store(true, std::memory_order_release);
+}
+
+Status TcpChannel::send(protocol::Frame frame) {
+    if (!connected()) return Status{ErrorCode::kTransport, "channel closed"};
+    const std::size_t size = frame.size();
+    bool onset = false;
+    std::size_t queued = 0;
+    {
+        std::unique_lock lock{out_mu_};
+        // A lone frame larger than the whole cap is still accepted when the
+        // queue is empty: the bound must not make oversized frames unsendable.
+        if (outbox_bytes_ + size > send_opts_.max_bytes && !outbox_.empty()) {
+            if (send_opts_.overflow == OverflowPolicy::kDisconnect) {
+                stats_.backpressure_events++;
+                queued = outbox_bytes_;
+                lock.unlock();
+                if (backpressure_) backpressure_(true, queued);
+                abort_close();
+                return Status{ErrorCode::kTransport, "outbound queue overflow"};
+            }
+            // kBlock: the caller absorbs the backpressure until the writer
+            // frees space (or the channel dies under us).
+            space_cv_.wait(lock, [&] {
+                return outbox_bytes_ + size <= send_opts_.max_bytes || outbox_.empty() ||
+                       !connected_.load(std::memory_order_acquire) ||
+                       peer_gone_.load(std::memory_order_acquire) ||
+                       writer_abort_.load(std::memory_order_acquire);
+            });
+            if (!connected_.load(std::memory_order_acquire) ||
+                writer_abort_.load(std::memory_order_acquire)) {
+                return Status{ErrorCode::kTransport, "channel closed"};
+            }
+            if (peer_gone_.load(std::memory_order_acquire)) {
+                return Status{ErrorCode::kTransport, "peer gone"};
+            }
+        }
+        outbox_.push_back(std::move(frame));
+        outbox_bytes_ += size;
+        stats_.frames_sent++;
+        stats_.bytes_sent += size;
+        if (outbox_bytes_ > stats_.send_queue_peak_bytes) stats_.send_queue_peak_bytes = outbox_bytes_;
+        if (!congested_ && outbox_bytes_ > send_opts_.high_watermark) {
+            congested_ = true;
+            stats_.backpressure_events++;
+            onset = true;
+            queued = outbox_bytes_;
+        }
+    }
+    out_cv_.notify_one();
+    if (onset && backpressure_) backpressure_(true, queued);
+    return Status::ok();
+}
+
+void TcpChannel::writer_loop() {
+    for (;;) {
+        protocol::Frame frame;
+        bool decongested = false;
+        std::size_t queued = 0;
+        {
+            std::unique_lock lock{out_mu_};
+            out_cv_.wait(lock, [&] {
+                return !outbox_.empty() || draining_.load(std::memory_order_acquire) ||
+                       writer_abort_.load(std::memory_order_acquire);
+            });
+            if (writer_abort_.load(std::memory_order_acquire)) return;
+            if (outbox_.empty()) {
+                // draining_ with an empty queue: everything accepted has been
+                // flushed; tell the peer we are done and retire.
+                ::shutdown(fd_, SHUT_WR);
+                return;
+            }
+            frame = std::move(outbox_.front());
+            outbox_.pop_front();
+            outbox_bytes_ -= frame.size();
+            queued = outbox_bytes_;
+            if (congested_ && outbox_bytes_ <= send_opts_.high_watermark / 2) {
+                congested_ = false;
+                decongested = true;
+            }
+        }
+        space_cv_.notify_all();
+        if (decongested && backpressure_) backpressure_(false, queued);
+        if (!write_frame(frame)) {
+            // Link dead, aborted, or the drain budget ran out on a peer that
+            // stopped reading: remaining queued frames are dropped, and the
+            // owner learns through the (poll-reported) close.
+            peer_gone_.store(true, std::memory_order_release);
+            ::shutdown(fd_, SHUT_RDWR);
+            space_cv_.notify_all();
+            return;
+        }
+    }
+}
+
+bool TcpChannel::write_frame(const protocol::Frame& frame) {
+    std::uint8_t size_buf[4];
+    const auto size = static_cast<std::uint32_t>(frame.size());
+    size_buf[0] = static_cast<std::uint8_t>(size);
+    size_buf[1] = static_cast<std::uint8_t>(size >> 8);
+    size_buf[2] = static_cast<std::uint8_t>(size >> 16);
+    size_buf[3] = static_cast<std::uint8_t>(size >> 24);
+    if (!write_some(size_buf, 4)) return false;
+    return frame.empty() || write_some(frame.data(), frame.size());
+}
+
+bool TcpChannel::write_some(const std::uint8_t* data, std::size_t n) {
+    while (n > 0) {
+        if (writer_abort_.load(std::memory_order_acquire)) return false;
+        if (draining_.load(std::memory_order_acquire) &&
+            std::chrono::steady_clock::now() >= drain_deadline_) {
+            return false;
+        }
+        pollfd pfd{fd_, POLLOUT, 0};
+        const int ready = ::poll(&pfd, 1, 50);
+        if (ready < 0) {
+            if (errno == EINTR) continue;
+            return false;
+        }
+        if (ready == 0) continue;  // not writable yet; re-check abort/deadline
+        const ssize_t w = ::send(fd_, data, n, MSG_NOSIGNAL | MSG_DONTWAIT);
+        if (w < 0) {
+            if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
             return false;
         }
         data += w;
@@ -28,77 +205,18 @@ bool write_all(int fd, const std::uint8_t* data, std::size_t n) {
     return true;
 }
 
-bool read_all(int fd, std::uint8_t* data, std::size_t n) {
-    while (n > 0) {
-        const ssize_t r = ::recv(fd, data, n, 0);
-        if (r < 0) {
-            if (errno == EINTR) continue;
-            return false;
-        }
-        if (r == 0) return false;  // orderly shutdown
-        data += r;
-        n -= static_cast<std::size_t>(r);
-    }
-    return true;
+std::size_t TcpChannel::outbound_queued_frames() const {
+    const std::lock_guard lock{out_mu_};
+    return outbox_.size();
 }
 
-}  // namespace
-
-TcpChannel::TcpChannel(int fd) : fd_(fd) {
-    int one = 1;
-    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-    reader_ = std::thread([this] { reader_loop(); });
-}
-
-TcpChannel::~TcpChannel() {
-    close();
-    if (reader_.joinable()) reader_.join();
-    // The fd is closed here, not in close(): the reader thread and racing
-    // send() calls may still be blocked on it when close() runs, and closing
-    // an fd in use by another thread invites fd-reuse corruption. shutdown()
-    // in close() is what actually unblocks them.
-    ::close(fd_);
-}
-
-void TcpChannel::reader_loop() {
-    while (connected_.load(std::memory_order_acquire)) {
-        std::uint8_t size_buf[4];
-        if (!read_all(fd_, size_buf, 4)) break;
-        const std::uint32_t size = static_cast<std::uint32_t>(size_buf[0]) |
-                                   (static_cast<std::uint32_t>(size_buf[1]) << 8) |
-                                   (static_cast<std::uint32_t>(size_buf[2]) << 16) |
-                                   (static_cast<std::uint32_t>(size_buf[3]) << 24);
-        constexpr std::uint32_t kMaxFrame = 64U << 20;
-        if (size > kMaxFrame) break;
-        std::vector<std::uint8_t> frame(size);
-        if (size > 0 && !read_all(fd_, frame.data(), size)) break;
-        {
-            const std::lock_guard lock{mu_};
-            inbox_.push_back(std::move(frame));
-        }
-    }
-    peer_gone_.store(true, std::memory_order_release);
-}
-
-Status TcpChannel::send(std::vector<std::uint8_t> frame) {
-    if (!connected()) return Status{ErrorCode::kTransport, "channel closed"};
-    std::uint8_t size_buf[4];
-    const auto size = static_cast<std::uint32_t>(frame.size());
-    size_buf[0] = static_cast<std::uint8_t>(size);
-    size_buf[1] = static_cast<std::uint8_t>(size >> 8);
-    size_buf[2] = static_cast<std::uint8_t>(size >> 16);
-    size_buf[3] = static_cast<std::uint8_t>(size >> 24);
-    const std::lock_guard lock{send_mu_};  // whole frames: length and payload never interleave
-    if (!write_all(fd_, size_buf, 4) || !write_all(fd_, frame.data(), frame.size())) {
-        return Status{ErrorCode::kTransport, std::strerror(errno)};
-    }
-    stats_.frames_sent++;
-    stats_.bytes_sent += frame.size();
-    return Status::ok();
+std::size_t TcpChannel::outbound_queued_bytes() const {
+    const std::lock_guard lock{out_mu_};
+    return outbox_bytes_;
 }
 
 std::size_t TcpChannel::poll() {
-    std::deque<std::vector<std::uint8_t>> batch;
+    std::deque<protocol::Frame> batch;
     {
         const std::lock_guard lock{mu_};
         batch.swap(inbox_);
@@ -107,10 +225,14 @@ std::size_t TcpChannel::poll() {
             stats_.bytes_received += frame.size();
         }
     }
-    for (auto& frame : batch) {
+    for (const auto& frame : batch) {
         if (receive_) receive_(frame);
     }
-    if (peer_gone_.load(std::memory_order_acquire) && batch.empty()) {
+    // A locally closed channel reports closure the same way a vanished peer
+    // does: once every already-received frame has been dispatched.
+    if ((peer_gone_.load(std::memory_order_acquire) ||
+         !connected_.load(std::memory_order_acquire)) &&
+        batch.empty()) {
         // peer_gone_ is set after the reader's final enqueue, so once it is
         // visible the inbox can only shrink: an empty inbox here means every
         // frame has been dispatched and the close may be reported.
@@ -132,7 +254,10 @@ std::size_t TcpChannel::poll_blocking(int timeout_ms) {
     const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
     while (true) {
         const std::size_t n = poll();
-        if (n > 0 || peer_gone_.load(std::memory_order_acquire)) return n;
+        if (n > 0 || peer_gone_.load(std::memory_order_acquire) ||
+            !connected_.load(std::memory_order_acquire)) {
+            return n;
+        }
         if (Clock::now() >= deadline) return 0;
         std::this_thread::sleep_for(std::chrono::microseconds(200));
     }
@@ -140,10 +265,25 @@ std::size_t TcpChannel::poll_blocking(int timeout_ms) {
 
 void TcpChannel::close() {
     if (connected_.exchange(false, std::memory_order_acq_rel)) {
-        // Unblocks the reader (recv returns 0) and fails in-flight sends;
-        // the fd itself stays valid until the destructor.
-        ::shutdown(fd_, SHUT_RDWR);
+        // Outbound drains: the writer flushes already-accepted frames within
+        // the drain budget, then completes the shutdown with SHUT_WR. The
+        // reader keeps consuming (discarding) inbound bytes meanwhile — see
+        // the header comment — and stops at the peer's FIN or when the
+        // destructor shuts the read side down after the writer retires.
+        drain_deadline_ = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(send_opts_.drain_timeout_ms);
+        draining_.store(true, std::memory_order_release);
+        out_cv_.notify_all();
+        space_cv_.notify_all();
     }
+}
+
+void TcpChannel::abort_close() {
+    writer_abort_.store(true, std::memory_order_release);
+    connected_.store(false, std::memory_order_release);
+    ::shutdown(fd_, SHUT_RDWR);
+    out_cv_.notify_all();
+    space_cv_.notify_all();
 }
 
 Result<std::unique_ptr<TcpListener>> TcpListener::create(std::uint16_t port) {

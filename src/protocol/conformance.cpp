@@ -296,8 +296,8 @@ void ConformanceChecker::fingerprint(ByteWriter& w) const {
 CheckedChannel::CheckedChannel(std::shared_ptr<net::Channel> inner, std::shared_ptr<ConformanceChecker> checker)
     : inner_(std::move(inner)), checker_(std::move(checker)) {}
 
-Status CheckedChannel::send(std::vector<std::uint8_t> frame) {
-    const std::size_t before = checker_->violations().size();
+Status CheckedChannel::send(Frame frame) {
+    [[maybe_unused]] const std::size_t before = checker_->violations().size();
     checker_->observe_frame(Direction::kClientToServer, frame);
     CO_CHECK_MSG(checker_->violations().size() == before, checker_->violations().back());
     stats_.frames_sent++;
@@ -308,8 +308,8 @@ Status CheckedChannel::send(std::vector<std::uint8_t> frame) {
 void CheckedChannel::on_receive(ReceiveHandler handler) {
     // Capture the checker by value, not `this`: the inner channel can
     // outlive this wrapper.
-    inner_->on_receive([checker = checker_, handler = std::move(handler)](std::span<const std::uint8_t> frame) {
-        const std::size_t before = checker->violations().size();
+    inner_->on_receive([checker = checker_, handler = std::move(handler)](const Frame& frame) {
+        [[maybe_unused]] const std::size_t before = checker->violations().size();
         checker->observe_frame(Direction::kServerToClient, frame);
         CO_CHECK_MSG(checker->violations().size() == before, checker->violations().back());
         if (handler) handler(frame);

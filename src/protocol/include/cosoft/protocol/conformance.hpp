@@ -106,11 +106,17 @@ class CheckedChannel final : public net::Channel {
   public:
     CheckedChannel(std::shared_ptr<net::Channel> inner, std::shared_ptr<ConformanceChecker> checker);
 
-    Status send(std::vector<std::uint8_t> frame) override;
+    Status send(Frame frame) override;
     void on_receive(ReceiveHandler handler) override;
     void on_close(CloseHandler handler) override { inner_->on_close(std::move(handler)); }
     [[nodiscard]] bool connected() const override { return inner_->connected(); }
     void close() override { inner_->close(); }
+    [[nodiscard]] std::size_t outbound_queued_frames() const override {
+        return inner_->outbound_queued_frames();
+    }
+    [[nodiscard]] std::size_t outbound_queued_bytes() const override {
+        return inner_->outbound_queued_bytes();
+    }
 
     [[nodiscard]] const ConformanceChecker& checker() const noexcept { return *checker_; }
 

@@ -1,0 +1,76 @@
+// An immutable, refcounted wire frame: the unit the whole message path moves.
+//
+// encode_message() produces a Frame once; the server's broadcast paths then
+// enqueue the *same* Frame to every partner connection, SimNetwork parks it in
+// its delivery queues, and TcpChannel holds it in its outbound queue — all
+// without copying the bytes. Copying a Frame copies a shared_ptr; the payload
+// is allocated exactly once per encode and freed when the last holder drops
+// it, which is what makes encode-once fan-out safe across threads (TCP writer
+// threads hold references concurrently with the sender).
+//
+// Header-only on purpose: net consumes Frame but protocol links net (for
+// CheckedChannel), so a frame *library* would close a dependency cycle.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace cosoft::protocol {
+
+class Frame {
+  public:
+    /// An empty frame (zero bytes, no allocation).
+    Frame() = default;
+
+    /// Adopts `bytes` as the immutable payload. Implicit so the many
+    /// `send({...})` / `send(std::move(vec))` call sites read naturally.
+    Frame(std::vector<std::uint8_t> bytes)  // NOLINT(google-explicit-constructor)
+        : buf_(bytes.empty() ? nullptr
+                             : std::make_shared<const std::vector<std::uint8_t>>(std::move(bytes))) {}
+
+    /// Copies `bytes` into a fresh frame (for callers that only hold a view).
+    [[nodiscard]] static Frame copy_of(std::span<const std::uint8_t> bytes) {
+        return Frame{std::vector<std::uint8_t>(bytes.begin(), bytes.end())};
+    }
+
+    [[nodiscard]] std::span<const std::uint8_t> bytes() const noexcept {
+        return buf_ ? std::span<const std::uint8_t>{*buf_} : std::span<const std::uint8_t>{};
+    }
+    /// Implicit view conversion keeps span-based consumers (decode_message,
+    /// ByteWriter::bytes, receive handlers written against spans) working.
+    operator std::span<const std::uint8_t>() const noexcept { return bytes(); }  // NOLINT
+
+    [[nodiscard]] const std::uint8_t* data() const noexcept { return buf_ ? buf_->data() : nullptr; }
+    [[nodiscard]] std::size_t size() const noexcept { return buf_ ? buf_->size() : 0; }
+    [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+
+    /// How many Frame handles share this payload (1 = sole owner, 0 = empty).
+    /// Approximate under concurrency, exact in single-threaded tests.
+    [[nodiscard]] long shares() const noexcept { return buf_.use_count(); }
+
+    /// Mutable copy of the payload (tests that corrupt encoded bytes).
+    [[nodiscard]] std::vector<std::uint8_t> to_vector() const {
+        const auto view = bytes();
+        return {view.begin(), view.end()};
+    }
+
+    friend bool operator==(const Frame& a, const Frame& b) noexcept {
+        if (a.buf_ == b.buf_) return true;
+        const auto va = a.bytes();
+        const auto vb = b.bytes();
+        return va.size() == vb.size() && std::equal(va.begin(), va.end(), vb.begin());
+    }
+    friend bool operator==(const Frame& a, const std::vector<std::uint8_t>& b) noexcept {
+        const auto va = a.bytes();
+        return va.size() == b.size() && std::equal(va.begin(), va.end(), b.begin());
+    }
+
+  private:
+    std::shared_ptr<const std::vector<std::uint8_t>> buf_;
+};
+
+}  // namespace cosoft::protocol

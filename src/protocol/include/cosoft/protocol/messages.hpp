@@ -32,6 +32,7 @@
 #include "cosoft/common/bytes.hpp"
 #include "cosoft/common/error.hpp"
 #include "cosoft/common/ids.hpp"
+#include "cosoft/protocol/frame.hpp"
 #include "cosoft/toolkit/events.hpp"
 #include "cosoft/toolkit/snapshot.hpp"
 
@@ -170,11 +171,16 @@ struct EventMsg {
     friend bool operator==(const EventMsg&, const EventMsg&) = default;
 };
 
-/// Re-execution order for one coupled target object.
+/// Re-execution order for the whole coupled group. `targets` is the
+/// authoritative locked target set (the source excluded) across every
+/// instance, so the message is identical for all recipients and the server
+/// encodes it exactly once per broadcast. Each receiving instance applies
+/// the members it owns and answers with one ExecuteAck; deferred (loose)
+/// re-executions are flushed later as single-target orders.
 struct ExecuteEvent {
     ActionId action = 0;
     ObjectRef source;
-    ObjectRef target;           ///< the coupled object in the receiving instance
+    std::vector<ObjectRef> targets;  ///< all coupled objects to re-execute on
     std::string relative_path;
     toolkit::Event event;
     friend bool operator==(const ExecuteEvent&, const ExecuteEvent&) = default;
@@ -338,8 +344,17 @@ using Message = std::variant<Register, RegisterAck, Unregister, RegistryQuery, R
                              ApplyState, HistorySave, UndoReq, RedoReq, Command, CommandDeliver, PermissionSet,
                              Ack, FetchState, SetCouplingMode, SyncRequest>;
 
-/// Serializes a message to a transport frame.
-[[nodiscard]] std::vector<std::uint8_t> encode_message(const Message& msg);
+/// Serializes a message into an immutable, refcounted transport frame. The
+/// returned Frame is what travels the whole message path: broadcast fan-out
+/// enqueues the same Frame to every partner, so each message is encoded
+/// exactly once no matter how many recipients it has.
+[[nodiscard]] Frame encode_message(const Message& msg);
+
+/// Total encode_message() calls since start (or the last reset). The
+/// instrumentation behind the encode-once guarantee: tests and bench_fanout
+/// assert that a broadcast costs one encode regardless of partner count.
+[[nodiscard]] std::uint64_t encode_count() noexcept;
+void reset_encode_count() noexcept;
 
 /// Parses a transport frame.
 [[nodiscard]] Result<Message> decode_message(std::span<const std::uint8_t> frame);

@@ -1,5 +1,7 @@
 #include "cosoft/protocol/messages.hpp"
 
+#include <atomic>
+
 namespace cosoft::protocol {
 
 namespace {
@@ -115,7 +117,7 @@ struct Encoder {
     void operator()(const ExecuteEvent& m) {
         w.u64(m.action);
         encode(w, m.source);
-        encode(w, m.target);
+        put_refs(w, m.targets);
         w.str(m.relative_path);
         encode(w, m.event);
     }
@@ -224,11 +226,21 @@ ObjectRef decode_object_ref(ByteReader& r) {
     return ref;
 }
 
-std::vector<std::uint8_t> encode_message(const Message& msg) {
+namespace {
+// Relaxed is enough: the counter is read for assertions on quiesced systems,
+// never for synchronization.
+std::atomic<std::uint64_t> g_encode_count{0};
+}  // namespace
+
+std::uint64_t encode_count() noexcept { return g_encode_count.load(std::memory_order_relaxed); }
+void reset_encode_count() noexcept { g_encode_count.store(0, std::memory_order_relaxed); }
+
+Frame encode_message(const Message& msg) {
+    g_encode_count.fetch_add(1, std::memory_order_relaxed);
     ByteWriter w;
     w.u8(static_cast<std::uint8_t>(msg.index()));
     std::visit(Encoder{w}, msg);
-    return w.take();
+    return Frame{w.take()};
 }
 
 Result<Message> decode_message(std::span<const std::uint8_t> frame) {
@@ -334,7 +346,7 @@ Result<Message> decode_message(std::span<const std::uint8_t> frame) {
             ExecuteEvent m;
             m.action = r.u64();
             m.source = decode_object_ref(r);
-            m.target = decode_object_ref(r);
+            m.targets = get_refs(r);
             m.relative_path = r.str();
             m.event = toolkit::decode_event(r);
             msg = std::move(m);

@@ -16,7 +16,7 @@ InstanceId CoServer::attach(std::shared_ptr<net::Channel> channel) {
     conn.channel = std::move(channel);
     conn.record.instance = id;
     Conn& placed = conns_.emplace(id, std::move(conn)).first->second;
-    placed.channel->on_receive([this, id](std::span<const std::uint8_t> frame) { handle_frame(id, frame); });
+    placed.channel->on_receive([this, id](const protocol::Frame& frame) { handle_frame(id, frame); });
     placed.channel->on_close([this, id] { cleanup(id); });
     CO_CHECK_INVARIANTS(*this);
     return id;
@@ -37,10 +37,11 @@ std::vector<RegistrationRecord> CoServer::registrations() const {
     return out;
 }
 
-void CoServer::handle_frame(InstanceId from, std::span<const std::uint8_t> frame) {
+void CoServer::handle_frame(InstanceId from, const protocol::Frame& frame) {
     ++stats_.messages_received;
     auto decoded = decode_message(frame);
     if (!decoded) {
+        ++stats_.malformed_frames;
         journal_.record(true, from, "<malformed>", frame.size());
         return;  // malformed frame: drop (transport is trusted)
     }
@@ -170,12 +171,41 @@ std::vector<std::string> CoServer::check_invariants() const {
 }
 
 void CoServer::send(InstanceId to, const Message& msg) {
+    if (!conns_.contains(to)) return;
+    send_frame(to, encode_message(msg), message_name(msg));
+}
+
+void CoServer::broadcast(const std::vector<InstanceId>& recipients, const Message& msg) {
+    if (recipients.empty()) return;
+    // Encode exactly once; every recipient's queue shares the same payload.
+    const Frame frame = encode_message(msg);
+    ++stats_.broadcast_encodes;
+    const std::string_view name = message_name(msg);
+    for (const InstanceId to : recipients) {
+        ++stats_.frames_fanned_out;
+        send_frame(to, frame, name);
+    }
+}
+
+void CoServer::send_frame(InstanceId to, const Frame& frame, std::string_view name) {
     const auto it = conns_.find(to);
     if (it == conns_.end() || !it->second.channel->connected()) return;
     ++stats_.messages_sent;
-    auto frame = encode_message(msg);
-    journal_.record(false, to, std::string{message_name(msg)}, frame.size());
-    (void)it->second.channel->send(std::move(frame));
+    journal_.record(false, to, std::string{name}, frame.size());
+    (void)it->second.channel->send(frame);
+    const std::size_t depth = it->second.channel->outbound_queued_frames();
+    if (depth > stats_.send_queue_peak_frames) stats_.send_queue_peak_frames = depth;
+}
+
+std::size_t CoServer::outbound_queued(InstanceId instance) const {
+    const auto it = conns_.find(instance);
+    return it == conns_.end() ? 0 : it->second.channel->outbound_queued_frames();
+}
+
+std::size_t CoServer::outbound_queued_total() const {
+    std::size_t total = 0;
+    for (const auto& [id, conn] : conns_) total += conn.channel->outbound_queued_frames();
+    return total;
 }
 
 void CoServer::ack(InstanceId to, ActionId request, const Status& status) {
@@ -313,12 +343,16 @@ void CoServer::handle(InstanceId from, const DecoupleReq& msg) {
 }
 
 void CoServer::broadcast_group(const std::vector<ObjectRef>& group) {
-    std::unordered_map<InstanceId, bool> owners;
-    for (const ObjectRef& o : group) owners[o.instance] = true;
-    for (const auto& [owner, _] : owners) {
-        ++stats_.group_updates;
-        send(owner, GroupUpdate{group});
+    // Unique owners in first-appearance order: deterministic fan-out, and the
+    // GroupUpdate body is recipient-independent, so one encode serves all.
+    std::vector<InstanceId> owners;
+    for (const ObjectRef& o : group) {
+        if (std::find(owners.begin(), owners.end(), o.instance) == owners.end()) {
+            owners.push_back(o.instance);
+        }
     }
+    stats_.group_updates += owners.size();
+    broadcast(owners, GroupUpdate{group});
 }
 
 void CoServer::broadcast_components(const std::vector<ObjectRef>& objects) {
@@ -330,14 +364,19 @@ void CoServer::broadcast_components(const std::vector<ObjectRef>& objects) {
 
 void CoServer::notify_locks(const std::vector<ObjectRef>& objects, const ObjectRef& source, bool locked,
                             ActionId action) {
-    std::unordered_map<InstanceId, std::vector<ObjectRef>> per_owner;
+    // One LockNotify carries the whole affected set; receivers filter to the
+    // objects they own (CoApp already does), so the frame is identical for
+    // every owner and is encoded exactly once.
+    std::vector<ObjectRef> affected;
+    std::vector<InstanceId> owners;
     for (const ObjectRef& o : objects) {
         if (o == source) continue;  // the acting object stays enabled
-        per_owner[o.instance].push_back(o);
+        affected.push_back(o);
+        if (std::find(owners.begin(), owners.end(), o.instance) == owners.end()) {
+            owners.push_back(o.instance);
+        }
     }
-    for (auto& [owner, objs] : per_owner) {
-        send(owner, LockNotify{action, locked, std::move(objs)});
-    }
+    broadcast(owners, LockNotify{action, locked, std::move(affected)});
 }
 
 void CoServer::handle(InstanceId from, const LockReq& msg) {
@@ -385,20 +424,31 @@ void CoServer::handle(InstanceId from, EventMsg msg) {
     pending.awaiting = 1;  // the source's own completion ack
     pending.per_instance[from] += 1;
 
+    // One ExecuteEvent carries the whole locked target set; each owning
+    // instance gets the same shared frame once (encoded exactly once by
+    // broadcast) and answers with one ExecuteAck, however many of the
+    // targets it re-executes.
+    std::vector<ObjectRef> targets;
+    std::vector<InstanceId> recipients;
     for (const ObjectRef& target : locked) {
         if (target == msg.source) continue;
-        ++stats_.events_broadcast;
-        ++pending.awaiting;
-        ++pending.per_instance[target.instance];
-        send(target.instance, ExecuteEvent{msg.action, msg.source, target, msg.relative_path, msg.event});
+        ++stats_.events_broadcast;  // one re-execution order per target
+        targets.push_back(target);
+        if (std::find(recipients.begin(), recipients.end(), target.instance) == recipients.end()) {
+            recipients.push_back(target.instance);
+            ++pending.awaiting;
+            ++pending.per_instance[target.instance];
+        }
     }
+    broadcast(recipients, ExecuteEvent{msg.action, msg.source, std::move(targets), msg.relative_path, msg.event});
 
     // Loose group members were excluded from the lock set: queue their
-    // re-executions for their next synchronization instead.
+    // re-executions for their next synchronization instead (flushed later as
+    // single-target orders).
     for (const ObjectRef& target : graph_.group_of(msg.source)) {
         if (target == msg.source || !loose_objects_.contains(target)) continue;
         ++stats_.events_deferred;
-        deferred_[target].push_back(ExecuteEvent{msg.action, msg.source, target, msg.relative_path, msg.event});
+        deferred_[target].push_back(ExecuteEvent{msg.action, msg.source, {target}, msg.relative_path, msg.event});
     }
 }
 
@@ -594,11 +644,14 @@ void CoServer::handle(InstanceId from, const RedoReq& msg) {
 
 void CoServer::handle(InstanceId from, Command msg) {
     if (msg.target == kInvalidInstance) {
+        std::vector<InstanceId> recipients;
         for (const auto& [id, conn] : conns_) {
             if (id == from || !conn.registered) continue;
-            ++stats_.commands_routed;
-            send(id, CommandDeliver{from, msg.name, msg.payload});
+            recipients.push_back(id);
         }
+        std::sort(recipients.begin(), recipients.end());  // deterministic fan-out order
+        stats_.commands_routed += recipients.size();
+        broadcast(recipients, CommandDeliver{from, std::move(msg.name), std::move(msg.payload)});
         ack(from, msg.request, Status::ok());
         return;
     }

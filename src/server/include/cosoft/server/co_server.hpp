@@ -12,6 +12,7 @@
 
 #include <memory>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -31,7 +32,8 @@ namespace cosoft::server {
 struct ServerStats {
     std::uint64_t messages_received = 0;
     std::uint64_t messages_sent = 0;
-    std::uint64_t events_broadcast = 0;   ///< ExecuteEvent fan-out messages
+    std::uint64_t malformed_frames = 0;   ///< frames that failed to decode (journaled, dropped)
+    std::uint64_t events_broadcast = 0;   ///< re-execution orders fanned out (one per locked target)
     std::uint64_t locks_granted = 0;
     std::uint64_t locks_denied = 0;
     std::uint64_t states_applied = 0;     ///< ApplyState messages sent
@@ -39,6 +41,9 @@ struct ServerStats {
     std::uint64_t commands_routed = 0;
     std::uint64_t events_deferred = 0;    ///< re-executions queued for loose objects
     std::uint64_t events_flushed = 0;     ///< deferred re-executions delivered
+    std::uint64_t broadcast_encodes = 0;  ///< encode_message calls made by broadcast paths
+    std::uint64_t frames_fanned_out = 0;  ///< connections a shared broadcast frame was enqueued to
+    std::uint64_t send_queue_peak_frames = 0;  ///< max per-connection outbound depth seen at send time
 };
 
 class CoServer {
@@ -69,6 +74,11 @@ class CoServer {
     }
     [[nodiscard]] std::size_t connection_count() const noexcept { return conns_.size(); }
     [[nodiscard]] std::size_t pending_action_count() const noexcept { return pending_actions_.size(); }
+    /// Outbound frames accepted but not yet on the wire for one connection
+    /// (0 for unknown instances and synchronous transports).
+    [[nodiscard]] std::size_t outbound_queued(InstanceId instance) const;
+    /// Sum of outbound_queued over all connections.
+    [[nodiscard]] std::size_t outbound_queued_total() const;
     [[nodiscard]] std::vector<protocol::RegistrationRecord> registrations() const;
 
     /// Canonical serialization of the entire server state (all four §2.1
@@ -113,7 +123,7 @@ class CoServer {
         bool fetch_only = false;  ///< FetchState: route the reply back raw
     };
 
-    void handle_frame(InstanceId from, std::span<const std::uint8_t> frame);
+    void handle_frame(InstanceId from, const protocol::Frame& frame);
     void handle(InstanceId from, protocol::Register msg);
     void handle(InstanceId from, const protocol::Unregister& msg);
     void handle(InstanceId from, const protocol::RegistryQuery& msg);
@@ -137,6 +147,12 @@ class CoServer {
 
     void cleanup(InstanceId instance);
     void send(InstanceId to, const protocol::Message& msg);
+    /// Encode-once fan-out: serializes `msg` a single time and enqueues the
+    /// same refcounted Frame to every recipient connection.
+    void broadcast(const std::vector<InstanceId>& recipients, const protocol::Message& msg);
+    /// Enqueues an already-encoded frame (shared, never copied) to one
+    /// connection, with journaling and queue-depth accounting.
+    void send_frame(InstanceId to, const protocol::Frame& frame, std::string_view name);
     void ack(InstanceId to, protocol::ActionId request, const Status& status);
     /// Broadcasts the group membership to every instance owning a member.
     void broadcast_group(const std::vector<ObjectRef>& group);

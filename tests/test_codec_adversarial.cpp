@@ -44,7 +44,7 @@ std::vector<Message> corpus() {
     out.push_back(protocol::LockDeny{6, b});
     out.push_back(protocol::LockNotify{6, true, {a}});
     out.push_back(protocol::EventMsg{6, a, "sub/widget", event});
-    out.push_back(protocol::ExecuteEvent{6, a, b, "", event});
+    out.push_back(protocol::ExecuteEvent{6, a, {a, b}, "", event});
     out.push_back(protocol::CopyTo{8, b, protocol::MergeMode::kFlexible, state, {0x01, 0x02}});
     out.push_back(protocol::ApplyState{9, "dest", protocol::MergeMode::kDestructive,
                                        protocol::HistoryTag::kUndo, state, {}, a});
@@ -86,7 +86,7 @@ TEST(CodecAdversarial, EveryTruncationFailsGracefully) {
 
 TEST(CodecAdversarial, EverySingleByteMutationFailsGracefully) {
     for (const Message& m : corpus()) {
-        const auto bytes = protocol::encode_message(m);
+        const auto bytes = protocol::encode_message(m).to_vector();
         for (std::size_t i = 0; i < bytes.size(); ++i) {
             for (const std::uint8_t delta : {std::uint8_t{0x01}, std::uint8_t{0x80}, std::uint8_t{0xff}}) {
                 auto mutated = bytes;
@@ -119,7 +119,8 @@ TEST(CodecAdversarial, OutOfRangeEnumBytesAreRejected) {
     // the out-of-range value and require that no mutation crashes and at
     // least one is rejected (the enum byte itself).
     const auto bytes =
-        protocol::encode_message(protocol::CopyFrom{3, ObjectRef{1, "a"}, "b", protocol::MergeMode::kStrict});
+        protocol::encode_message(protocol::CopyFrom{3, ObjectRef{1, "a"}, "b", protocol::MergeMode::kStrict})
+            .to_vector();
     bool some_rejected = false;
     for (std::size_t i = 1; i < bytes.size(); ++i) {  // keep the message tag intact
         auto mutated = bytes;
@@ -173,7 +174,7 @@ TEST(CodecAdversarial, AbsurdCollectionCountIsRejected) {
     // reuse a real frame's tag byte, then splice in a huge varint count.
     const auto valid = protocol::encode_message(protocol::GroupUpdate{{}});
     ASSERT_FALSE(valid.empty());
-    std::vector<std::uint8_t> frame{valid.front()};
+    std::vector<std::uint8_t> frame{valid.data()[0]};
     for (int i = 0; i < 4; ++i) frame.push_back(0xff);
     frame.push_back(0x0f);
     const auto decoded = protocol::decode_message(frame);

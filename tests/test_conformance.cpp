@@ -155,7 +155,7 @@ TEST(ConformanceChecker, ExecuteAckBalancesExecuteEvent) {
     ConformanceChecker c = registered_checker();
     const ObjectRef source{9, "field"};
     const ObjectRef target{7, "field"};
-    c.observe(kS2C, protocol::ExecuteEvent{11, source, target, "", {}});
+    c.observe(kS2C, protocol::ExecuteEvent{11, source, {target}, "", {}});
     c.observe(kC2S, protocol::ExecuteAck{11});
     EXPECT_TRUE(c.violations().empty());
     c.observe(kC2S, protocol::ExecuteAck{11});  // one ack too many

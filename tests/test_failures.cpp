@@ -122,15 +122,18 @@ TEST(Failures, MalformedFramesAreIgnoredByServer) {
     // Handcraft a garbage frame on a fresh raw channel.
     auto [raw_client, raw_server] = s.net().make_pipe();
     s.server().attach(raw_server);
-    ASSERT_TRUE(raw_client->send({0xff, 0x01, 0x02}).is_ok());
-    ASSERT_TRUE(raw_client->send({}).is_ok());
+    ASSERT_TRUE(raw_client->send(std::vector<std::uint8_t>{0xff, 0x01, 0x02}).is_ok());
+    ASSERT_TRUE(raw_client->send(std::vector<std::uint8_t>{}).is_ok());
     s.run();
+    // Each garbage frame is counted, journaled, and dropped.
+    EXPECT_EQ(s.server().stats().malformed_frames, 2u);
     // Server survives and the registered client still works.
     Status st{ErrorCode::kInvalidArgument, "pending"};
     a.emit("f", a.ui().find("f")->make_event(EventType::kValueChanged, std::string{"still-alive"}),
            [&](const Status& r) { st = r; });
     s.run();
     EXPECT_TRUE(st.is_ok());
+    EXPECT_EQ(s.server().stats().malformed_frames, 2u);
 }
 
 TEST(Failures, UnregisteredClientsCannotOperate) {

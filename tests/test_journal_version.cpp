@@ -71,7 +71,7 @@ TEST(Journal, MalformedFramesAreJournalled) {
     Session s;
     auto [raw_client, raw_server] = s.net().make_pipe();
     s.server().attach(raw_server);
-    ASSERT_TRUE(raw_client->send({0xff, 0xff, 0xff}).is_ok());
+    ASSERT_TRUE(raw_client->send(std::vector<std::uint8_t>{0xff, 0xff, 0xff}).is_ok());
     s.run();
     const auto entries = s.server().journal().entries();
     EXPECT_TRUE(std::any_of(entries.begin(), entries.end(),

@@ -115,17 +115,17 @@ namespace {
 /// Minimal scheduler: parks frames and delivers on demand.
 class ParkingScheduler final : public FrameScheduler {
   public:
-    void on_frame(const std::shared_ptr<SimChannel>& dest, std::vector<std::uint8_t> f) override {
+    void on_frame(const std::shared_ptr<SimChannel>& dest, protocol::Frame f) override {
         parked.emplace_back(dest, std::move(f));
     }
     void on_peer_close(const std::shared_ptr<SimChannel>& dest) override { closes.push_back(dest); }
     void deliver_all() {
-        for (auto& [dest, f] : parked) deliver_now(*dest, std::move(f));
+        for (auto& [dest, f] : parked) deliver_now(*dest, f);
         parked.clear();
         for (auto& dest : closes) close_now(*dest);
         closes.clear();
     }
-    std::vector<std::pair<std::shared_ptr<SimChannel>, std::vector<std::uint8_t>>> parked;
+    std::vector<std::pair<std::shared_ptr<SimChannel>, protocol::Frame>> parked;
     std::vector<std::shared_ptr<SimChannel>> closes;
 };
 }  // namespace

@@ -34,7 +34,7 @@ TEST(CodecFuzz, MutatedValidFramesAreHandled) {
         {1, "tori/query"},
         "author",
         toolkit::Event{toolkit::EventType::kValueChanged, "tori/query/author", std::string{"Hoppe"}, "k"}};
-    const auto frame = encode_message(original);
+    const auto frame = encode_message(original).to_vector();
     for (int i = 0; i < 3000; ++i) {
         auto mutated = frame;
         const std::size_t pos = rng.below(mutated.size());
@@ -158,7 +158,7 @@ Message random_message(std::size_t index, sim::Rng& rng) {
         case 10: return LockDeny{rng.next(), random_ref(rng)};
         case 11: return LockNotify{rng.next(), rng.chance(0.5), random_refs(rng)};
         case 12: return EventMsg{rng.next(), random_ref(rng), random_name(rng), random_event(rng)};
-        case 13: return ExecuteEvent{rng.next(), random_ref(rng), random_ref(rng), random_name(rng),
+        case 13: return ExecuteEvent{rng.next(), random_ref(rng), random_refs(rng), random_name(rng),
                                      random_event(rng)};
         case 14: return ExecuteAck{rng.next()};
         case 15: return CopyTo{rng.next(), random_ref(rng), random_mode(rng), random_state(rng, 2),

@@ -43,7 +43,7 @@ std::vector<Message> all_samples() {
         LockDeny{9, {2, "b"}},
         LockNotify{9, true, {{2, "b"}}},
         EventMsg{9, {1, "a"}, "sub/field", sample_event()},
-        ExecuteEvent{9, {1, "a"}, {2, "b"}, "sub/field", sample_event()},
+        ExecuteEvent{9, {1, "a"}, {{2, "b"}, {3, "c"}}, "sub/field", sample_event()},
         ExecuteAck{9},
         CopyTo{12, {2, "dst"}, MergeMode::kFlexible, sample_state(), {1, 2, 3}},
         CopyFrom{13, {2, "src"}, "local/dst", MergeMode::kDestructive},
@@ -119,9 +119,9 @@ TEST(MessageDecode, TruncatedFramesRejected) {
 }
 
 TEST(MessageDecode, TrailingGarbageRejected) {
-    auto frame = encode_message(Message{LockGrant{1}});
-    frame.push_back(0x77);
-    EXPECT_FALSE(decode_message(frame).is_ok());
+    auto bytes = encode_message(Message{LockGrant{1}}).to_vector();
+    bytes.push_back(0x77);
+    EXPECT_FALSE(decode_message(bytes).is_ok());
 }
 
 TEST(ObjectRefCodec, RoundTrip) {

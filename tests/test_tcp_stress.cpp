@@ -138,7 +138,7 @@ TEST(TcpStress, ConcurrentCloseFromManyThreads) {
     for (int i = 0; i < 8; ++i) closers.emplace_back([&] { lb.client->close(); });
     for (auto& t : closers) t.join();
     EXPECT_FALSE(lb.client->connected());
-    EXPECT_FALSE(lb.client->send({1, 2, 3}).is_ok());
+    EXPECT_FALSE(lb.client->send(std::vector<std::uint8_t>{1, 2, 3}).is_ok());
 }
 
 }  // namespace
