@@ -13,16 +13,19 @@
 //
 // `--smoke` trims iteration counts and skips the microbenchmarks so the
 // binary doubles as a fast ctest entry (label: bench).
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <new>
+#include <utility>
 
 #include "bench_util.hpp"
 #include "cosoft/apps/local_session.hpp"
 #include "cosoft/net/sim_network.hpp"
+#include "cosoft/obs/trace.hpp"
 #include "cosoft/protocol/messages.hpp"
 
 // --- allocation accounting ----------------------------------------------------
@@ -92,6 +95,14 @@ struct FanoutRig {
         for (auto& ch : senders) (void)ch->send(protocol::encode_message(msg));
         net.run_all();
     }
+
+    /// The shared path through the trace-aware encoder with tracing off: the
+    /// invalid context must collapse to the plain encoding at negligible cost.
+    void broadcast_trace_disabled(const Message& msg) {
+        const Frame frame = protocol::encode_message(msg, obs::TraceContext{});
+        for (auto& ch : senders) (void)ch->send(frame);
+        net.run_all();
+    }
 };
 
 struct FanoutSample {
@@ -135,6 +146,48 @@ double measured_encodes_per_broadcast(std::size_t partners, std::size_t iters) {
            static_cast<double>(iters);
 }
 
+/// Overhead of the trace-aware encode path with tracing disabled, as a
+/// percentage slowdown of shared-frame broadcasts at width `partners`.
+/// Best-of-`reps` on both sides to suppress scheduler noise.
+double measured_trace_disabled_overhead(std::size_t partners, std::size_t iters, int reps) {
+    const Message msg = broadcast_message();
+    double best_plain = 0;
+    double best_disabled = 0;
+    for (int r = 0; r < reps; ++r) {
+        FanoutRig rig(partners);
+        best_plain = std::max(best_plain, timed_rate(iters, [&] { rig.broadcast_shared(msg); }).first);
+        best_disabled =
+            std::max(best_disabled, timed_rate(iters, [&] { rig.broadcast_trace_disabled(msg); }).first);
+    }
+    return (best_plain - best_disabled) / best_plain * 100.0;
+}
+
+/// Server-level emit throughput with the tracer toggled, for the JSON record:
+/// the cost of actually recording spans on every pipeline stage.
+std::pair<double, double> measured_tracing_rates(std::size_t partners, std::size_t iters) {
+    LocalSession s;
+    for (std::size_t i = 0; i < partners + 1; ++i) {
+        (void)s.add_app("bench", "u" + std::to_string(i), static_cast<UserId>(i + 1));
+    }
+    for (std::size_t i = 1; i <= partners; ++i) {
+        s.app(i).on_command("fanout", [](InstanceId, std::span<const std::uint8_t>) {});
+    }
+    s.run();
+    const auto one_sweep = [&] {
+        for (std::size_t i = 0; i < iters; ++i) {
+            s.app(0).send_command("fanout", std::vector<std::uint8_t>(kPayloadBytes, 0x5a));
+            s.run();
+        }
+    };
+    obs::Tracer::instance().set_enabled(false);
+    const double rate_off = timed_rate(1, one_sweep).first * static_cast<double>(iters);
+    obs::Tracer::instance().set_enabled(true);
+    const double rate_on = timed_rate(1, one_sweep).first * static_cast<double>(iters);
+    obs::Tracer::instance().set_enabled(false);
+    obs::Tracer::instance().clear();
+    return {rate_off, rate_on};
+}
+
 std::vector<FanoutSample> run_fanout_sweep(bool smoke) {
     const std::size_t channel_iters = smoke ? 50 : 2000;
     const std::size_t server_iters = smoke ? 10 : 100;
@@ -167,9 +220,19 @@ std::vector<FanoutSample> run_fanout_sweep(bool smoke) {
     return out;
 }
 
-void write_json(const std::vector<FanoutSample>& samples, const char* path) {
+struct TracingNumbers {
+    double disabled_overhead_percent = 0;  ///< trace-aware encode, tracing off, vs plain encode
+    double emits_per_sec_tracing_off = 0;
+    double emits_per_sec_tracing_on = 0;
+};
+
+void write_json(const std::vector<FanoutSample>& samples, const TracingNumbers& tracing,
+                const char* path) {
     std::ofstream f(path);
-    f << "{\n  \"bench\": \"fanout\",\n  \"payload_bytes\": " << kPayloadBytes << ",\n  \"rows\": [\n";
+    f << "{\n  \"bench\": \"fanout\",\n  \"payload_bytes\": " << kPayloadBytes
+      << ",\n  \"tracing\": {\"disabled_overhead_percent\": " << tracing.disabled_overhead_percent
+      << ", \"emits_per_sec_tracing_off\": " << tracing.emits_per_sec_tracing_off
+      << ", \"emits_per_sec_tracing_on\": " << tracing.emits_per_sec_tracing_on << "},\n  \"rows\": [\n";
     for (std::size_t i = 0; i < samples.size(); ++i) {
         const FanoutSample& s = samples[i];
         f << "    {\"partners\": " << s.partners << ", \"encodes_per_broadcast\": " << s.encodes_per_broadcast
@@ -207,7 +270,20 @@ int main(int argc, char** argv) {
         if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
     }
     const auto samples = run_fanout_sweep(smoke);
-    write_json(samples, "BENCH_fanout.json");
+
+    // Tracing must cost nothing when it is off: the trace-aware encoder with
+    // an invalid context has to keep pace with the plain one.
+    TracingNumbers tracing;
+    tracing.disabled_overhead_percent =
+        measured_trace_disabled_overhead(/*partners=*/32, smoke ? 50 : 1000, /*reps=*/3);
+    std::tie(tracing.emits_per_sec_tracing_off, tracing.emits_per_sec_tracing_on) =
+        measured_tracing_rates(/*partners=*/8, smoke ? 20 : 200);
+    std::printf("\ntracing-disabled encode overhead: %.2f%% (target < 2%%)\n",
+                tracing.disabled_overhead_percent);
+    std::printf("emit throughput: %.0f/s tracing off, %.0f/s tracing on\n",
+                tracing.emits_per_sec_tracing_off, tracing.emits_per_sec_tracing_on);
+
+    write_json(samples, tracing, "BENCH_fanout.json");
 
     // Sanity for the check harness: one encode per broadcast at any width,
     // and the shared path must actually win where fan-out is wide.
@@ -217,6 +293,16 @@ int main(int argc, char** argv) {
                          s.partners, s.encodes_per_broadcast);
             return 1;
         }
+    }
+    if (tracing.disabled_overhead_percent > 15.0) {
+        std::fprintf(stderr, "FAIL: tracing-disabled overhead %.2f%% is far above the 2%% budget\n",
+                     tracing.disabled_overhead_percent);
+        return 1;
+    }
+    if (tracing.disabled_overhead_percent > 2.0) {
+        std::fprintf(stderr, "WARN: tracing-disabled overhead %.2f%% exceeds the 2%% budget "
+                             "(noisy host?)\n",
+                     tracing.disabled_overhead_percent);
     }
     if (!smoke) {
         benchmark::Initialize(&argc, argv);

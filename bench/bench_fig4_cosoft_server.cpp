@@ -1,13 +1,19 @@
 // F4 — Figure 4: the COSOFT server-client architecture, measured on the
 // real implementation (CoServer + CoApp over in-process channels).
 //
-// Two parts:
+// Three parts:
 //   (a) a deterministic message-cost table: how many protocol messages one
 //       couple / emit-cycle / copy / undo needs as the coupling group grows
 //       (the fan-out structure of Fig. 4);
-//   (b) google-benchmark wall-time microbenchmarks of the same operations.
+//   (b) google-benchmark wall-time microbenchmarks of the same operations;
+//   (c) per-stage latency distributions (p50/p95/p99) of the §3.2 pipeline,
+//       read from the obs histograms the server and client record on every
+//       emit cycle, written to BENCH_fig4.json.
+#include <fstream>
+
 #include "bench_util.hpp"
 #include "cosoft/apps/local_session.hpp"
+#include "cosoft/obs/metrics.hpp"
 #include "cosoft/toolkit/builder.hpp"
 
 namespace {
@@ -78,6 +84,77 @@ void print_message_cost_table() {
     }
     std::printf("\nNote: the emit cycle is lock-req/grant + event + per-member execute/ack +\n"
                 "lock notifies — linear in group size; copies and undo are independent of it.\n");
+}
+
+// --- per-stage latency quantiles ---------------------------------------------
+
+struct StageQuantiles {
+    std::string stage;
+    std::uint64_t count = 0;
+    double p50 = 0;
+    double p95 = 0;
+    double p99 = 0;
+};
+
+StageQuantiles quantiles_of(const std::string& stage, const obs::Histogram& h) {
+    return {stage, h.count(), h.quantile(0.50), h.quantile(0.95), h.quantile(0.99)};
+}
+
+/// Runs emit cycles through a coupled group and reads back the per-stage
+/// latency histograms the pipeline itself recorded.
+std::vector<StageQuantiles> measure_stage_latencies(std::size_t group, std::size_t iters) {
+    auto s = make_session(group);
+    couple_group(*s, group);
+
+    const auto bounds = obs::Histogram::exponential_buckets(1.0, 2.0, 20);
+    obs::Histogram& lock_us = s->server().registry().histogram("cosoft_server_stage_lock_us", bounds);
+    obs::Histogram& broadcast_us =
+        s->server().registry().histogram("cosoft_server_stage_broadcast_us", bounds);
+    obs::Histogram& ack_us = s->server().registry().histogram("cosoft_server_stage_ack_us", bounds);
+    obs::Histogram& dispatch_us = obs::Registry::global().histogram("cosoft_client_dispatch_us", bounds);
+    obs::Histogram& replay_us = obs::Registry::global().histogram("cosoft_client_replay_us", bounds);
+    // The client histograms are process globals; start from a clean slate so
+    // the quantiles cover exactly this workload.
+    for (obs::Histogram* h : {&lock_us, &broadcast_us, &ack_us, &dispatch_us, &replay_us}) h->reset();
+
+    toolkit::Widget* f = s->app(0).ui().find("f");
+    for (std::size_t i = 0; i < iters; ++i) {
+        s->app(0).emit("f", f->make_event(EventType::kValueChanged, std::string{"v"}));
+        s->run();
+    }
+
+    return {
+        quantiles_of("client.dispatch", dispatch_us), quantiles_of("server.lock", lock_us),
+        quantiles_of("server.broadcast", broadcast_us), quantiles_of("client.replay", replay_us),
+        quantiles_of("server.ack", ack_us),
+    };
+}
+
+void print_stage_latency_table(const std::vector<StageQuantiles>& stages, std::size_t group,
+                               std::size_t iters) {
+    artifact_header("F4b", "per-stage latency of the §3.2 emit cycle",
+                    "every pipeline stage has a measured latency distribution (obs histograms)");
+    std::printf("group=%zu, %zu emit cycles; all values in microseconds\n\n", group, iters);
+    row("%-18s %-10s %-10s %-10s %-10s", "stage", "samples", "p50(us)", "p95(us)", "p99(us)");
+    for (const StageQuantiles& q : stages) {
+        row("%-18s %-10llu %-10.1f %-10.1f %-10.1f", q.stage.c_str(),
+            static_cast<unsigned long long>(q.count), q.p50, q.p95, q.p99);
+    }
+}
+
+void write_stage_json(const std::vector<StageQuantiles>& stages, std::size_t group, std::size_t iters,
+                      const char* path) {
+    std::ofstream f(path);
+    f << "{\n  \"bench\": \"fig4_stage_latency\",\n  \"group_size\": " << group
+      << ",\n  \"emit_cycles\": " << iters << ",\n  \"unit\": \"us\",\n  \"stages\": [\n";
+    for (std::size_t i = 0; i < stages.size(); ++i) {
+        const StageQuantiles& q = stages[i];
+        f << "    {\"stage\": \"" << q.stage << "\", \"samples\": " << q.count << ", \"p50\": " << q.p50
+          << ", \"p95\": " << q.p95 << ", \"p99\": " << q.p99 << "}"
+          << (i + 1 < stages.size() ? "," : "") << "\n";
+    }
+    f << "  ]\n}\n";
+    std::printf("\nwrote %s\n", path);
 }
 
 void BM_Register(benchmark::State& state) {
@@ -188,6 +265,11 @@ BENCHMARK(BM_MessageCodec);
 
 int main(int argc, char** argv) {
     print_message_cost_table();
+    constexpr std::size_t kStageGroup = 8;
+    constexpr std::size_t kStageIters = 200;
+    const auto stages = measure_stage_latencies(kStageGroup, kStageIters);
+    print_stage_latency_table(stages, kStageGroup, kStageIters);
+    write_stage_json(stages, kStageGroup, kStageIters, "BENCH_fig4.json");
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

@@ -3,13 +3,20 @@
 // length-prefixed frames on loopback connections — the same deployment shape
 // as the original system's workstation network.
 //
+// The coupled emit runs with the causal tracer enabled and exports the
+// session as Chrome trace JSON (cosoft_trace.json, load in chrome://tracing):
+// one trace id spans client dispatch, server lock grant, broadcast, and the
+// partner replay.
+//
 // Run: ./tcp_demo
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <thread>
 
 #include "cosoft/client/co_app.hpp"
 #include "cosoft/net/tcp.hpp"
+#include "cosoft/obs/trace.hpp"
 #include "cosoft/server/co_server.hpp"
 
 using namespace cosoft;
@@ -76,6 +83,7 @@ int main() {
     }
     std::printf("coupled alice:field <-> bob:field\n");
 
+    obs::Tracer::instance().set_enabled(true);
     alice.emit("field", alice.ui().find("field")->make_event(toolkit::EventType::kValueChanged,
                                                              std::string{"hello over TCP"}));
     if (!pump_until(pump, [&] { return bob.ui().find("field")->text("value") == "hello over TCP"; })) {
@@ -85,6 +93,16 @@ int main() {
     std::printf("alice typed -> bob sees: \"%s\"\n", bob.ui().find("field")->text("value").c_str());
 
     pump_until(pump, [&] { return server.locks().locked_count() == 0; });
+    obs::Tracer::instance().set_enabled(false);
+
+    std::printf("\ntraced stages of that one coupled event:\n");
+    for (const obs::Span& span : obs::Tracer::instance().collect()) {
+        std::printf("  trace=%016llx span=%-18s %llu ns\n",
+                    static_cast<unsigned long long>(span.trace), span.name,
+                    static_cast<unsigned long long>(span.duration_ns));
+    }
+    std::ofstream("cosoft_trace.json") << obs::Tracer::instance().chrome_trace_json();
+    std::printf("wrote cosoft_trace.json (load in chrome://tracing)\n");
     std::printf("\nwire traffic: alice sent %llu frames (%llu bytes), received %llu frames (%llu bytes)\n",
                 static_cast<unsigned long long>(pump[0]->stats().frames_sent),
                 static_cast<unsigned long long>(pump[0]->stats().bytes_sent),

@@ -7,6 +7,7 @@
 #   scripts/check.sh --sanitize=tsan  ThreadSanitizer preset
 #   scripts/check.sh --mc             bounded model-checking sweep (cosoft-mc)
 #   scripts/check.sh --bench          benchmark smoke run (ctest label: bench)
+#   scripts/check.sh --obs            observability suite only (ctest label: obs)
 #
 # Sanitizer runs use the CMakePresets.json trees (build/asan, build/tsan)
 # and stop after ctest: examples and benchmarks are only exercised by the
@@ -19,14 +20,25 @@ cd "$(dirname "$0")/.."
 SANITIZE=""
 MC=""
 BENCH=""
+OBS=""
 for arg in "$@"; do
   case "$arg" in
     --sanitize=asan|--sanitize=tsan) SANITIZE="${arg#--sanitize=}" ;;
     --mc) MC=1 ;;
     --bench) BENCH=1 ;;
-    *) echo "check.sh: unknown argument '$arg' (expected --sanitize=asan|tsan, --mc, or --bench)" >&2; exit 2 ;;
+    --obs) OBS=1 ;;
+    *) echo "check.sh: unknown argument '$arg' (expected --sanitize=asan|tsan, --mc, --bench, or --obs)" >&2; exit 2 ;;
   esac
 done
+
+if [ -n "$OBS" ]; then
+  # Reuse whatever generator build/ already has; a fresh tree gets the default.
+  cmake -B build -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+  cmake --build build --target test_obs test_trace cosoft-stat
+  echo "=== observability suite: ctest -L obs ==="
+  ctest --test-dir build -L obs --output-on-failure --no-tests=ignore
+  exit 0
+fi
 
 if [ -n "$BENCH" ]; then
   # Reuse whatever generator build/ already has; a fresh tree gets the default.

@@ -54,7 +54,8 @@ class LocalSession {
     [[nodiscard]] std::size_t app_count() const noexcept { return apps_.size(); }
 
     /// Wire statistics of app i's client-side channel (frames/bytes).
-    [[nodiscard]] const net::ChannelStats& client_stats(std::size_t i) const {
+    /// By value: Channel::stats() snapshots lock-free counters.
+    [[nodiscard]] net::ChannelStats client_stats(std::size_t i) const {
         return ends_.at(i).client_end->stats();
     }
 

@@ -3,11 +3,31 @@
 #include <algorithm>
 
 #include "cosoft/common/strings.hpp"
+#include "cosoft/obs/metrics.hpp"
 #include "cosoft/toolkit/snapshot.hpp"
 
 namespace cosoft::client {
 
 using namespace protocol;
+
+namespace {
+
+// Client-side stage latencies live in the process-wide registry: a process
+// may host many CoApps, and per-stage latency is a property of the client
+// runtime, not of one instance.
+obs::Histogram& dispatch_histogram() {
+    static obs::Histogram& h = obs::Registry::global().histogram(
+        "cosoft_client_dispatch_us", obs::Histogram::exponential_buckets(1.0, 2.0, 20));
+    return h;
+}
+
+obs::Histogram& replay_histogram() {
+    static obs::Histogram& h = obs::Registry::global().histogram(
+        "cosoft_client_replay_us", obs::Histogram::exponential_buckets(1.0, 2.0, 20));
+    return h;
+}
+
+}  // namespace
 
 CoApp::CoApp(std::string app_name, std::string user_name, UserId user, std::string host_name)
     : app_name_(std::move(app_name)),
@@ -53,7 +73,7 @@ void CoApp::connect(std::shared_ptr<net::Channel> channel) {
 }
 
 void CoApp::send(const Message& msg) {
-    if (channel_ && channel_->connected()) (void)channel_->send(encode_message(msg));
+    if (channel_ && channel_->connected()) (void)channel_->send(encode_message(msg, current_trace_));
 }
 
 ActionId CoApp::track(Done done) {
@@ -290,6 +310,12 @@ void CoApp::emit(std::string_view path, toolkit::Event event, Done done) {
         return;
     }
 
+    const ActionId action = next_action_++;
+    // Each coupled emission mints a fresh trace: the client dispatch span is
+    // the root of the §3.2 causal chain (lock, broadcast, partner replays).
+    const obs::ScopedTimer timer{dispatch_histogram()};
+    const obs::ScopedSpan span{"client.dispatch", "client", obs::Tracer::instance().start_trace(), action};
+
     // Built-in syntactic feedback happens immediately; callbacks wait for
     // the floor lock.
     PendingEmit pe;
@@ -299,15 +325,17 @@ void CoApp::emit(std::string_view path, toolkit::Event event, Done done) {
     pe.undo = w->apply_feedback(event);
     pe.event = event;
     pe.done = std::move(done);
+    pe.trace = span.context();
 
-    const ActionId action = next_action_++;
     const auto group_it = groups_.find(context);
     LockReq req;
     req.action = action;
     req.source = ref(context);
     if (group_it != groups_.end()) req.objects = group_it->second;
     pending_emits_.emplace(action, std::move(pe));
+    current_trace_ = span.context();
     send(req);
+    current_trace_ = {};
 }
 
 void CoApp::handle(const LockGrant& msg) {
@@ -316,6 +344,11 @@ void CoApp::handle(const LockGrant& msg) {
     PendingEmit pe = std::move(it->second);
     pending_emits_.erase(it);
 
+    // Parent on the grant's server.lock span when it carried one; fall back
+    // to the emission's own dispatch span (trace-extension-less server).
+    const obs::ScopedSpan span{"client.callbacks", "client",
+                               current_trace_.valid() ? current_trace_ : pe.trace, msg.action};
+    current_trace_ = span.context();
     if (toolkit::Widget* w = tree_.find(pe.widget_path)) w->fire_callbacks(pe.event);
     ++stats_.events_coupled;
     send(EventMsg{msg.action, ref(pe.source_path), pe.relative, pe.event});
@@ -352,6 +385,11 @@ void CoApp::handle(const LockNotify& msg) {
 }
 
 void CoApp::handle(const ExecuteEvent& msg) {
+    const obs::ScopedTimer timer{replay_histogram()};
+    // The partner replay descends from the server's broadcast span carried
+    // on the shared ExecuteEvent frame.
+    const obs::ScopedSpan span{"client.replay", "client", current_trace_, msg.action};
+    current_trace_ = span.context();
     // The shared broadcast frame lists every locked target; re-execute the
     // ones this instance owns and answer with a single ack for the frame.
     for (const ObjectRef& target : msg.targets) {
@@ -546,8 +584,11 @@ void CoApp::on_widget_destroyed(const std::string& path) {
 }
 
 void CoApp::handle_frame(const protocol::Frame& frame) {
-    auto decoded = decode_message(frame);
+    auto decoded = decode_frame(frame);
     if (!decoded) return;
+    // The frame's trace context (if any) parents everything this dispatch
+    // sends; handlers that open their own span narrow it further.
+    current_trace_ = decoded.value().trace;
     std::visit(
         [&](auto&& m) {
             using T = std::decay_t<decltype(m)>;
@@ -563,7 +604,8 @@ void CoApp::handle_frame(const protocol::Frame& frame) {
             }
             // Client-to-server types arriving here are ignored.
         },
-        decoded.value());
+        decoded.value().message);
+    current_trace_ = {};
 }
 
 void CoApp::fingerprint(ByteWriter& w) const {

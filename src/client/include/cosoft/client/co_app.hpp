@@ -24,6 +24,7 @@
 #include "cosoft/common/error.hpp"
 #include "cosoft/common/ids.hpp"
 #include "cosoft/net/channel.hpp"
+#include "cosoft/obs/trace.hpp"
 #include "cosoft/protocol/messages.hpp"
 #include "cosoft/toolkit/widget.hpp"
 
@@ -206,6 +207,9 @@ class CoApp {
         toolkit::Event event;
         toolkit::FeedbackUndo undo;
         Done done;
+        /// Root dispatch span of this emission's causal trace (fallback
+        /// parent if the server's grant arrives without a trace extension).
+        obs::TraceContext trace;
     };
 
     void handle_frame(const protocol::Frame& frame);
@@ -265,6 +269,9 @@ class CoApp {
 
     CorrespondenceRegistry correspondences_;
     AppStats stats_;
+    /// Trace context attached to frames sent by the current dispatch (the
+    /// received frame's context, or the span a handler opened over it).
+    obs::TraceContext current_trace_;
 };
 
 }  // namespace cosoft::client

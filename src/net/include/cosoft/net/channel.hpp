@@ -16,6 +16,7 @@
 #include <functional>
 
 #include "cosoft/common/error.hpp"
+#include "cosoft/obs/metrics.hpp"
 #include "cosoft/protocol/frame.hpp"
 
 namespace cosoft::net {
@@ -63,10 +64,26 @@ class Channel {
     [[nodiscard]] virtual std::size_t outbound_queued_frames() const { return 0; }
     [[nodiscard]] virtual std::size_t outbound_queued_bytes() const { return 0; }
 
-    [[nodiscard]] const ChannelStats& stats() const noexcept { return stats_; }
+    /// Snapshot of the per-channel counters. By value: the counters are
+    /// lock-free atomics (obs::Counter/obs::Gauge) so the snapshot is safe
+    /// to take from any thread — TcpChannel mutates them from its I/O
+    /// thread while callers poll from another.
+    [[nodiscard]] ChannelStats stats() const noexcept {
+        return ChannelStats{
+            frames_sent_.value(),       frames_received_.value(),  frames_dropped_.value(),
+            bytes_sent_.value(),        bytes_received_.value(),   backpressure_events_.value(),
+            send_queue_peak_bytes_.value(),
+        };
+    }
 
   protected:
-    ChannelStats stats_;
+    obs::Counter frames_sent_;
+    obs::Counter frames_received_;
+    obs::Counter frames_dropped_;
+    obs::Counter bytes_sent_;
+    obs::Counter bytes_received_;
+    obs::Counter backpressure_events_;
+    obs::Gauge send_queue_peak_bytes_;
 };
 
 }  // namespace cosoft::net

@@ -22,8 +22,8 @@ Status SimChannel::send(protocol::Frame frame) {
     auto peer = peer_.lock();
     if (!peer || !peer->connected_) return Status{ErrorCode::kTransport, "peer gone"};
 
-    stats_.frames_sent++;
-    stats_.bytes_sent += frame.size();
+    frames_sent_.inc();
+    bytes_sent_.inc(frame.size());
 
     if (FrameScheduler* scheduler = net_->scheduler()) {
         // Under a scheduler, loss is an explicit scheduler choice, never a
@@ -33,7 +33,7 @@ Status SimChannel::send(protocol::Frame frame) {
     }
 
     if (config_.drop_probability > 0.0 && rng_.chance(config_.drop_probability)) {
-        stats_.frames_dropped++;
+        frames_dropped_.inc();
         return Status::ok();  // silently lost in transit
     }
 
@@ -44,8 +44,8 @@ Status SimChannel::send(protocol::Frame frame) {
 
 void SimChannel::deliver(const protocol::Frame& frame) {
     if (!connected_) return;  // closed while the frame was in flight
-    stats_.frames_received++;
-    stats_.bytes_received += frame.size();
+    frames_received_.inc();
+    bytes_received_.inc(frame.size());
     if (receive_) receive_(frame);
 }
 

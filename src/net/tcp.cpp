@@ -88,7 +88,7 @@ Status TcpChannel::send(protocol::Frame frame) {
         // queue is empty: the bound must not make oversized frames unsendable.
         if (outbox_bytes_ + size > send_opts_.max_bytes && !outbox_.empty()) {
             if (send_opts_.overflow == OverflowPolicy::kDisconnect) {
-                stats_.backpressure_events++;
+                backpressure_events_.inc();
                 queued = outbox_bytes_;
                 lock.unlock();
                 if (backpressure_) backpressure_(true, queued);
@@ -113,12 +113,12 @@ Status TcpChannel::send(protocol::Frame frame) {
         }
         outbox_.push_back(std::move(frame));
         outbox_bytes_ += size;
-        stats_.frames_sent++;
-        stats_.bytes_sent += size;
-        if (outbox_bytes_ > stats_.send_queue_peak_bytes) stats_.send_queue_peak_bytes = outbox_bytes_;
+        frames_sent_.inc();
+        bytes_sent_.inc(size);
+        send_queue_peak_bytes_.update_max(outbox_bytes_);
         if (!congested_ && outbox_bytes_ > send_opts_.high_watermark) {
             congested_ = true;
-            stats_.backpressure_events++;
+            backpressure_events_.inc();
             onset = true;
             queued = outbox_bytes_;
         }
@@ -221,8 +221,8 @@ std::size_t TcpChannel::poll() {
         const std::lock_guard lock{mu_};
         batch.swap(inbox_);
         for (const auto& frame : batch) {
-            stats_.frames_received++;
-            stats_.bytes_received += frame.size();
+            frames_received_.inc();
+            bytes_received_.inc(frame.size());
         }
     }
     for (const auto& frame : batch) {

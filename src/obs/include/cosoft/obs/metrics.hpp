@@ -1,0 +1,151 @@
+// Unified metrics layer: named counters, gauges, and fixed-bucket histograms
+// with lock-free hot-path updates, collected in a Registry that can snapshot
+// itself and render Prometheus-style text exposition.
+//
+// Design: registration (name -> instrument) is mutex-guarded and happens once
+// per metric, at setup time; the returned reference is stable for the life of
+// the Registry, so the hot path touches only the instrument's own atomics.
+// CoServer owns one Registry per server; process-wide instruments (protocol
+// encode counting, client-side stage latencies) live in Registry::global().
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace cosoft::obs {
+
+/// Monotonic event count. Relaxed atomics: counters are read for snapshots
+/// and assertions on quiesced systems, never for synchronization.
+class Counter {
+  public:
+    void inc(std::uint64_t n = 1) noexcept { value_.fetch_add(n, std::memory_order_relaxed); }
+    [[nodiscard]] std::uint64_t value() const noexcept { return value_.load(std::memory_order_relaxed); }
+    void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written value with a lock-free running maximum (queue depths, peaks).
+class Gauge {
+  public:
+    void set(std::uint64_t v) noexcept { value_.store(v, std::memory_order_relaxed); }
+    /// Raises the gauge to `v` if it is larger (CAS loop, monotone max).
+    void update_max(std::uint64_t v) noexcept {
+        std::uint64_t cur = value_.load(std::memory_order_relaxed);
+        while (v > cur && !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+        }
+    }
+    [[nodiscard]] std::uint64_t value() const noexcept { return value_.load(std::memory_order_relaxed); }
+    void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/// Fixed-bucket histogram: upper bounds are chosen at registration and every
+/// observe() is a bucket search plus two relaxed atomic adds — no locking,
+/// no allocation. Quantiles are estimated by linear interpolation inside the
+/// bucket containing the target rank (the Prometheus histogram_quantile
+/// model), which is as precise as the bucket layout.
+class Histogram {
+  public:
+    explicit Histogram(std::vector<double> upper_bounds);
+
+    void observe(double value) noexcept;
+
+    [[nodiscard]] std::uint64_t count() const noexcept { return count_.load(std::memory_order_relaxed); }
+    [[nodiscard]] double sum() const noexcept;
+    /// Estimated q-quantile (q in [0,1]); 0 when empty.
+    [[nodiscard]] double quantile(double q) const noexcept;
+    [[nodiscard]] const std::vector<double>& upper_bounds() const noexcept { return bounds_; }
+    /// Cumulative counts per bucket (last entry = +Inf bucket = count()).
+    [[nodiscard]] std::vector<std::uint64_t> cumulative_buckets() const;
+    void reset() noexcept;
+
+    /// `count` bounds starting at `start`, each `factor` times the previous —
+    /// the standard latency layout (e.g. 1us..~1s with factor 2).
+    static std::vector<double> exponential_buckets(double start, double factor, std::size_t count);
+
+  private:
+    std::vector<double> bounds_;                       ///< ascending upper bounds (exclusive of +Inf)
+    std::vector<std::atomic<std::uint64_t>> buckets_;  ///< bounds_.size()+1 cells, last = overflow
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<std::uint64_t> sum_bits_{0};  ///< double sum, CAS-accumulated via bit_cast
+};
+
+/// Records the elapsed wall time of one scope into a latency histogram
+/// (in microseconds) on scope exit.
+class ScopedTimer {
+  public:
+    explicit ScopedTimer(Histogram& h) noexcept : h_(h), start_(std::chrono::steady_clock::now()) {}
+    ScopedTimer(const ScopedTimer&) = delete;
+    ScopedTimer& operator=(const ScopedTimer&) = delete;
+    ~ScopedTimer() {
+        const auto elapsed = std::chrono::steady_clock::now() - start_;
+        h_.observe(static_cast<double>(
+                       std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count()) /
+                   1000.0);
+    }
+
+  private:
+    Histogram& h_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+enum class MetricType : std::uint8_t { kCounter, kGauge, kHistogram };
+
+/// Point-in-time value of one instrument (histograms carry their buckets).
+struct MetricSample {
+    std::string name;
+    MetricType type = MetricType::kCounter;
+    std::uint64_t value = 0;  ///< counter/gauge value; histogram observation count
+    double sum = 0.0;         ///< histogram only
+    std::vector<double> upper_bounds;          ///< histogram only
+    std::vector<std::uint64_t> cumulative;     ///< histogram only, parallel to upper_bounds + Inf
+};
+
+/// Named instrument directory. Thread-safe; instrument references returned by
+/// counter()/gauge()/histogram() stay valid as long as the Registry lives.
+class Registry {
+  public:
+    Registry() = default;
+    Registry(const Registry&) = delete;
+    Registry& operator=(const Registry&) = delete;
+
+    /// Finds or creates the named instrument. Names follow Prometheus rules
+    /// ([a-zA-Z_][a-zA-Z0-9_]*); counters end in _total by convention.
+    Counter& counter(const std::string& name);
+    Gauge& gauge(const std::string& name);
+    /// `upper_bounds` is used only on first registration of `name`.
+    Histogram& histogram(const std::string& name, std::vector<double> upper_bounds);
+
+    /// Point-in-time copy of every registered instrument, sorted by name.
+    [[nodiscard]] std::vector<MetricSample> snapshot() const;
+
+    /// Prometheus text exposition format (one # TYPE line per metric,
+    /// histogram rendered as _bucket{le=...}/_sum/_count series).
+    [[nodiscard]] std::string prometheus_text() const;
+
+    /// Resets every instrument to zero (tests and bench warm-up).
+    void reset();
+
+    /// Process-wide registry for instruments that are not per-server.
+    static Registry& global();
+
+  private:
+    mutable std::mutex mu_;
+    // node-based maps: references into the mapped values are stable.
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace cosoft::obs

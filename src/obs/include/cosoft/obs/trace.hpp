@@ -1,0 +1,129 @@
+// Causal event tracer for the §3.2 coupling pipeline.
+//
+// A TraceContext (trace id + span id) is minted when a callback event enters
+// CoApp::emit on the floor-holding client, rides an optional wire-frame
+// extension through the server's lock handling, broadcast fan-out, and every
+// partner's re-execution, and each stage records a Span into a bounded
+// per-thread ring buffer. The collected spans export as Chrome trace_event
+// JSON, so one coupled action renders as a causally linked timeline in
+// chrome://tracing.
+//
+// Cost model: tracing is off by default; the disabled hot path is a single
+// relaxed atomic load per hook. When enabled, a span is two steady_clock
+// reads plus one ring-buffer store under an uncontended per-thread mutex.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace cosoft::obs {
+
+/// Identity of one causal chain (trace) and the position within it (span).
+/// trace == 0 means "no context": frames without the wire extension and
+/// spans taken while tracing is disabled carry the invalid context.
+struct TraceContext {
+    std::uint64_t trace = 0;
+    std::uint64_t span = 0;
+
+    [[nodiscard]] bool valid() const noexcept { return trace != 0; }
+    friend bool operator==(const TraceContext&, const TraceContext&) = default;
+};
+
+/// One completed stage of a traced causal chain.
+struct Span {
+    std::uint64_t trace = 0;
+    std::uint64_t span = 0;
+    std::uint64_t parent = 0;      ///< span id of the causally preceding stage (0 = root)
+    const char* name = "";         ///< static string, e.g. "client.dispatch"
+    const char* category = "";     ///< static string, e.g. "client" / "server"
+    std::uint64_t start_ns = 0;    ///< steady-clock timestamp
+    std::uint64_t duration_ns = 0; ///< >= 1 for every recorded span
+    std::uint64_t tid = 0;         ///< recording thread (stable hash of thread::id)
+    std::uint64_t arg = 0;         ///< protocol action/request id (0 = none)
+};
+
+/// Process-wide span sink. Thread-safe; each thread records into its own
+/// bounded ring buffer (oldest spans overwritten), and the rings outlive
+/// their threads so collect() sees spans from joined workers too.
+class Tracer {
+  public:
+    static Tracer& instance();
+
+    void set_enabled(bool on) noexcept { enabled_.store(on, std::memory_order_relaxed); }
+    [[nodiscard]] bool enabled() const noexcept { return enabled_.load(std::memory_order_relaxed); }
+
+    /// Mints a fresh root context (new trace id, span 0 as the parent slot).
+    /// Returns the invalid context while tracing is disabled, so callers can
+    /// propagate it unconditionally.
+    [[nodiscard]] TraceContext start_trace() noexcept;
+    [[nodiscard]] std::uint64_t next_span_id() noexcept {
+        return next_id_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    /// Appends one completed span to the calling thread's ring.
+    void record(const Span& span);
+
+    /// Snapshot of every ring, ordered by start time.
+    [[nodiscard]] std::vector<Span> collect() const;
+    /// Drops all recorded spans (rings stay registered).
+    void clear();
+
+    /// Capacity of each per-thread ring (default 4096 spans). Applies to
+    /// rings created after the call.
+    void set_ring_capacity(std::size_t spans) noexcept;
+
+    /// Chrome trace_event JSON ({"traceEvents":[...]}): one complete ("X")
+    /// event per span, microsecond timestamps, trace/span/parent ids in args.
+    [[nodiscard]] std::string chrome_trace_json() const;
+
+    [[nodiscard]] static std::uint64_t now_ns() noexcept;
+
+  private:
+    struct Ring {
+        explicit Ring(std::size_t cap) : spans(cap) {}
+        mutable std::mutex mu;
+        std::vector<Span> spans;
+        std::size_t next = 0;
+        std::size_t size = 0;
+    };
+
+    Tracer() = default;
+    Ring& this_thread_ring();
+
+    std::atomic<bool> enabled_{false};
+    std::atomic<std::uint64_t> next_id_{1};
+    std::atomic<std::size_t> ring_capacity_{4096};
+    mutable std::mutex rings_mu_;
+    std::vector<std::shared_ptr<Ring>> rings_;  ///< keeps rings alive past thread exit
+};
+
+/// RAII span: starts timing on construction, records on destruction. Inactive
+/// (zero-cost beyond one branch) when tracing is disabled or the parent
+/// context is invalid, in which case context() passes the parent through
+/// unchanged.
+class ScopedSpan {
+  public:
+    ScopedSpan(const char* name, const char* category, TraceContext parent, std::uint64_t arg = 0);
+    ~ScopedSpan();
+    ScopedSpan(const ScopedSpan&) = delete;
+    ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+    /// Context to propagate into messages caused by this stage: the parent's
+    /// trace with this span as the new parent (or the unchanged parent
+    /// context when inactive).
+    [[nodiscard]] TraceContext context() const noexcept {
+        return active_ ? TraceContext{span_.trace, span_.span} : parent_;
+    }
+    [[nodiscard]] bool active() const noexcept { return active_; }
+
+  private:
+    TraceContext parent_;
+    Span span_;
+    bool active_ = false;
+};
+
+}  // namespace cosoft::obs

@@ -1,0 +1,185 @@
+#include "cosoft/obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace cosoft::obs {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), buckets_(bounds_.size() + 1) {
+    std::sort(bounds_.begin(), bounds_.end());
+}
+
+void Histogram::observe(double value) noexcept {
+    const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+    const std::size_t idx = static_cast<std::size_t>(it - bounds_.begin());
+    buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    // Accumulate the double sum through its bit pattern: CAS keeps the add
+    // atomic without requiring std::atomic<double>::fetch_add support.
+    std::uint64_t old_bits = sum_bits_.load(std::memory_order_relaxed);
+    while (true) {
+        const double updated = std::bit_cast<double>(old_bits) + value;
+        if (sum_bits_.compare_exchange_weak(old_bits, std::bit_cast<std::uint64_t>(updated),
+                                            std::memory_order_relaxed)) {
+            break;
+        }
+    }
+}
+
+double Histogram::sum() const noexcept { return std::bit_cast<double>(sum_bits_.load(std::memory_order_relaxed)); }
+
+std::vector<std::uint64_t> Histogram::cumulative_buckets() const {
+    std::vector<std::uint64_t> out(buckets_.size());
+    std::uint64_t running = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        running += buckets_[i].load(std::memory_order_relaxed);
+        out[i] = running;
+    }
+    return out;
+}
+
+double Histogram::quantile(double q) const noexcept {
+    const std::uint64_t n = count();
+    if (n == 0) return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    const double rank = q * static_cast<double>(n);
+    std::uint64_t running = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        const std::uint64_t in_bucket = buckets_[i].load(std::memory_order_relaxed);
+        if (static_cast<double>(running + in_bucket) < rank || in_bucket == 0) {
+            running += in_bucket;
+            continue;
+        }
+        if (i >= bounds_.size()) return bounds_.empty() ? 0.0 : bounds_.back();  // +Inf bucket: clamp
+        const double lower = i == 0 ? 0.0 : bounds_[i - 1];
+        const double upper = bounds_[i];
+        const double fraction = (rank - static_cast<double>(running)) / static_cast<double>(in_bucket);
+        return lower + (upper - lower) * std::clamp(fraction, 0.0, 1.0);
+    }
+    return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
+void Histogram::reset() noexcept {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_bits_.store(0, std::memory_order_relaxed);
+}
+
+std::vector<double> Histogram::exponential_buckets(double start, double factor, std::size_t count) {
+    std::vector<double> out;
+    out.reserve(count);
+    double bound = start;
+    for (std::size_t i = 0; i < count; ++i) {
+        out.push_back(bound);
+        bound *= factor;
+    }
+    return out;
+}
+
+Counter& Registry::counter(const std::string& name) {
+    const std::lock_guard lock{mu_};
+    auto& slot = counters_[name];
+    if (!slot) slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+    const std::lock_guard lock{mu_};
+    auto& slot = gauges_[name];
+    if (!slot) slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name, std::vector<double> upper_bounds) {
+    const std::lock_guard lock{mu_};
+    auto& slot = histograms_[name];
+    if (!slot) slot = std::make_unique<Histogram>(std::move(upper_bounds));
+    return *slot;
+}
+
+std::vector<MetricSample> Registry::snapshot() const {
+    const std::lock_guard lock{mu_};
+    std::vector<MetricSample> out;
+    out.reserve(counters_.size() + gauges_.size() + histograms_.size());
+    for (const auto& [name, c] : counters_) {
+        MetricSample s;
+        s.name = name;
+        s.type = MetricType::kCounter;
+        s.value = c->value();
+        out.push_back(std::move(s));
+    }
+    for (const auto& [name, g] : gauges_) {
+        MetricSample s;
+        s.name = name;
+        s.type = MetricType::kGauge;
+        s.value = g->value();
+        out.push_back(std::move(s));
+    }
+    for (const auto& [name, h] : histograms_) {
+        MetricSample s;
+        s.name = name;
+        s.type = MetricType::kHistogram;
+        s.value = h->count();
+        s.sum = h->sum();
+        s.upper_bounds = h->upper_bounds();
+        s.cumulative = h->cumulative_buckets();
+        out.push_back(std::move(s));
+    }
+    std::sort(out.begin(), out.end(),
+              [](const MetricSample& a, const MetricSample& b) { return a.name < b.name; });
+    return out;
+}
+
+namespace {
+
+std::string format_double(double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%g", v);
+    return buf;
+}
+
+}  // namespace
+
+std::string Registry::prometheus_text() const {
+    std::string out;
+    for (const MetricSample& s : snapshot()) {
+        switch (s.type) {
+            case MetricType::kCounter:
+                out += "# TYPE " + s.name + " counter\n";
+                out += s.name + " " + std::to_string(s.value) + "\n";
+                break;
+            case MetricType::kGauge:
+                out += "# TYPE " + s.name + " gauge\n";
+                out += s.name + " " + std::to_string(s.value) + "\n";
+                break;
+            case MetricType::kHistogram: {
+                out += "# TYPE " + s.name + " histogram\n";
+                for (std::size_t i = 0; i < s.upper_bounds.size(); ++i) {
+                    out += s.name + "_bucket{le=\"" + format_double(s.upper_bounds[i]) +
+                           "\"} " + std::to_string(s.cumulative[i]) + "\n";
+                }
+                out += s.name + "_bucket{le=\"+Inf\"} " + std::to_string(s.value) + "\n";
+                out += s.name + "_sum " + format_double(s.sum) + "\n";
+                out += s.name + "_count " + std::to_string(s.value) + "\n";
+                break;
+            }
+        }
+    }
+    return out;
+}
+
+void Registry::reset() {
+    const std::lock_guard lock{mu_};
+    for (auto& [name, c] : counters_) c->reset();
+    for (auto& [name, g] : gauges_) g->reset();
+    for (auto& [name, h] : histograms_) h->reset();
+}
+
+Registry& Registry::global() {
+    static Registry registry;
+    return registry;
+}
+
+}  // namespace cosoft::obs

@@ -1,0 +1,149 @@
+#include "cosoft/obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <thread>
+
+namespace cosoft::obs {
+
+Tracer& Tracer::instance() {
+    static Tracer tracer;
+    return tracer;
+}
+
+std::uint64_t Tracer::now_ns() noexcept {
+    return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                          std::chrono::steady_clock::now().time_since_epoch())
+                                          .count());
+}
+
+TraceContext Tracer::start_trace() noexcept {
+    if (!enabled()) return {};
+    return TraceContext{next_span_id(), 0};
+}
+
+Tracer::Ring& Tracer::this_thread_ring() {
+    // The shared_ptr keeps the ring alive in rings_ after the thread exits,
+    // so spans recorded by short-lived workers (TCP reader/writer threads)
+    // still appear in collect().
+    thread_local std::shared_ptr<Ring> ring = [this] {
+        auto r = std::make_shared<Ring>(ring_capacity_.load(std::memory_order_relaxed));
+        const std::lock_guard lock{rings_mu_};
+        rings_.push_back(r);
+        return r;
+    }();
+    return *ring;
+}
+
+void Tracer::record(const Span& span) {
+    Ring& ring = this_thread_ring();
+    const std::lock_guard lock{ring.mu};
+    ring.spans[ring.next] = span;
+    ring.next = (ring.next + 1) % ring.spans.size();
+    ring.size = std::min(ring.size + 1, ring.spans.size());
+}
+
+std::vector<Span> Tracer::collect() const {
+    std::vector<std::shared_ptr<Ring>> rings;
+    {
+        const std::lock_guard lock{rings_mu_};
+        rings = rings_;
+    }
+    std::vector<Span> out;
+    for (const auto& ring : rings) {
+        const std::lock_guard lock{ring->mu};
+        // Oldest first: the ring holds `size` spans ending just before `next`.
+        const std::size_t cap = ring->spans.size();
+        for (std::size_t i = 0; i < ring->size; ++i) {
+            out.push_back(ring->spans[(ring->next + cap - ring->size + i) % cap]);
+        }
+    }
+    std::sort(out.begin(), out.end(), [](const Span& a, const Span& b) { return a.start_ns < b.start_ns; });
+    return out;
+}
+
+void Tracer::clear() {
+    const std::lock_guard lock{rings_mu_};
+    for (const auto& ring : rings_) {
+        const std::lock_guard ring_lock{ring->mu};
+        ring->next = 0;
+        ring->size = 0;
+    }
+}
+
+void Tracer::set_ring_capacity(std::size_t spans) noexcept {
+    ring_capacity_.store(spans == 0 ? 1 : spans, std::memory_order_relaxed);
+}
+
+namespace {
+
+void append_json_escaped(std::string& out, const char* s) {
+    for (; *s != '\0'; ++s) {
+        if (*s == '"' || *s == '\\') out.push_back('\\');
+        out.push_back(*s);
+    }
+}
+
+std::string hex_id(std::uint64_t v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "0x%llx", static_cast<unsigned long long>(v));
+    return buf;
+}
+
+}  // namespace
+
+std::string Tracer::chrome_trace_json() const {
+    const std::vector<Span> spans = collect();
+    std::string out = "{\"traceEvents\":[";
+    bool first = true;
+    for (const Span& s : spans) {
+        if (!first) out += ",";
+        first = false;
+        out += "{\"name\":\"";
+        append_json_escaped(out, s.name);
+        out += "\",\"cat\":\"";
+        append_json_escaped(out, s.category);
+        // Complete ("X") events in microseconds; duration keeps 3 decimals so
+        // sub-microsecond stages stay visible in the viewer.
+        char num[160];
+        std::snprintf(num, sizeof(num),
+                      "\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%llu,",
+                      static_cast<double>(s.start_ns) / 1000.0, static_cast<double>(s.duration_ns) / 1000.0,
+                      static_cast<unsigned long long>(s.tid));
+        out += num;
+        out += "\"args\":{\"trace\":\"" + hex_id(s.trace) + "\",\"span\":\"" + hex_id(s.span) +
+               "\",\"parent\":\"" + hex_id(s.parent) + "\"";
+        if (s.arg != 0) out += ",\"action\":" + std::to_string(s.arg);
+        out += "}}";
+    }
+    out += "]}";
+    return out;
+}
+
+ScopedSpan::ScopedSpan(const char* name, const char* category, TraceContext parent, std::uint64_t arg)
+    : parent_(parent) {
+    Tracer& tracer = Tracer::instance();
+    if (!tracer.enabled() || !parent.valid()) return;
+    active_ = true;
+    span_.trace = parent.trace;
+    span_.span = tracer.next_span_id();
+    span_.parent = parent.span;
+    span_.name = name;
+    span_.category = category;
+    span_.arg = arg;
+    span_.tid = std::hash<std::thread::id>{}(std::this_thread::get_id());
+    span_.start_ns = Tracer::now_ns();
+}
+
+ScopedSpan::~ScopedSpan() {
+    if (!active_) return;
+    const std::uint64_t end = Tracer::now_ns();
+    // Clamp to 1ns: a span that fit inside one clock tick must still render
+    // with a visible extent (and tests can assert non-zero durations).
+    span_.duration_ns = end > span_.start_ns ? end - span_.start_ns : 1;
+    Tracer::instance().record(span_);
+}
+
+}  // namespace cosoft::obs

@@ -56,6 +56,9 @@ std::vector<MessageRule> build_rules() {
     c2s(tag_of<FetchState>(), "FetchState");
     c2s(tag_of<SetCouplingMode>(), "SetCouplingMode");
     c2s(tag_of<SyncRequest>(), "SyncRequest");
+    // Monitoring clients (cosoft-stat) query without ever registering.
+    c2s(tag_of<StatusQuery>(), "StatusQuery", /*needs_registration=*/false);
+    s2c(tag_of<StatusReport>(), "StatusReport");
     return rules;
 }
 
@@ -151,6 +154,8 @@ void ConformanceChecker::check_client_to_server(const Message& msg) {
         unregister_sent_ = true;
     } else if (const auto* m = std::get_if<RegistryQuery>(&msg)) {
         request(m->request, Expect::kRegistryReply);
+    } else if (const auto* m = std::get_if<StatusQuery>(&msg)) {
+        request(m->request, Expect::kStatusReport);
     } else if (const auto* m = std::get_if<FetchState>(&msg)) {
         request(m->request, Expect::kStateReply);
     } else if (const auto* m = std::get_if<CoupleReq>(&msg)) {
@@ -232,6 +237,11 @@ void ConformanceChecker::check_server_to_client(const Message& msg) {
         if (m->request != 0) consume(dir, msg, m->request, Expect::kAck);
         return;
     }
+    if (const auto* m = std::get_if<StatusReport>(&msg)) {
+        // StatusReport answers monitoring clients that never register.
+        consume(dir, msg, m->request, Expect::kStatusReport);
+        return;
+    }
     if (!registered_) {
         violation(dir, msg, "server push before registration completed");
         return;
@@ -300,8 +310,8 @@ Status CheckedChannel::send(Frame frame) {
     [[maybe_unused]] const std::size_t before = checker_->violations().size();
     checker_->observe_frame(Direction::kClientToServer, frame);
     CO_CHECK_MSG(checker_->violations().size() == before, checker_->violations().back());
-    stats_.frames_sent++;
-    stats_.bytes_sent += frame.size();
+    frames_sent_.inc();
+    bytes_sent_.inc(frame.size());
     return inner_->send(std::move(frame));
 }
 

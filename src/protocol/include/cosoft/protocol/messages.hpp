@@ -32,6 +32,7 @@
 #include "cosoft/common/bytes.hpp"
 #include "cosoft/common/error.hpp"
 #include "cosoft/common/ids.hpp"
+#include "cosoft/obs/trace.hpp"
 #include "cosoft/protocol/frame.hpp"
 #include "cosoft/toolkit/events.hpp"
 #include "cosoft/toolkit/snapshot.hpp"
@@ -338,11 +339,54 @@ struct SyncRequest {
     friend bool operator==(const SyncRequest&, const SyncRequest&) = default;
 };
 
+// --- wire-level introspection --------------------------------------------------
+
+/// Per-connection view the server reports in a StatusReport: who is attached
+/// and what its channel's counters say right now.
+struct ConnectionStatus {
+    InstanceId instance = kInvalidInstance;
+    std::string user_name;
+    std::string app_name;
+    bool registered = false;
+    std::uint64_t frames_sent = 0;      ///< server -> this connection
+    std::uint64_t frames_received = 0;  ///< this connection -> server
+    std::uint64_t bytes_sent = 0;
+    std::uint64_t bytes_received = 0;
+    std::uint64_t backpressure_events = 0;
+    std::uint64_t send_queue_peak_bytes = 0;
+    std::uint64_t queued_frames = 0;  ///< outbound frames not yet on the wire
+    friend bool operator==(const ConnectionStatus&, const ConnectionStatus&) = default;
+};
+
+/// Asks a live server for its metrics-registry snapshot. Allowed before
+/// registration so a pure monitoring client (tools/cosoft-stat) can attach,
+/// query, and leave without joining the session.
+struct StatusQuery {
+    ActionId request = 0;
+    friend bool operator==(const StatusQuery&, const StatusQuery&) = default;
+};
+
+struct StatusReport {
+    ActionId request = 0;
+    std::string metrics_text;  ///< the registry in Prometheus text exposition
+    std::vector<ConnectionStatus> connections;
+    friend bool operator==(const StatusReport&, const StatusReport&) = default;
+};
+
 using Message = std::variant<Register, RegisterAck, Unregister, RegistryQuery, RegistryReply, CoupleReq,
                              DecoupleReq, GroupUpdate, LockReq, LockGrant, LockDeny, LockNotify, EventMsg,
                              ExecuteEvent, ExecuteAck, CopyTo, CopyFrom, RemoteCopy, StateQuery, StateReply,
                              ApplyState, HistorySave, UndoReq, RedoReq, Command, CommandDeliver, PermissionSet,
-                             Ack, FetchState, SetCouplingMode, SyncRequest>;
+                             Ack, FetchState, SetCouplingMode, SyncRequest, StatusQuery, StatusReport>;
+
+/// Leading byte of the optional trace-context frame extension. Deliberately
+/// far above every variant index (and distinct from 0xFF, the canonical
+///// unknown tag): a frame starting with this byte carries
+/// [kTraceExtensionTag][trace u64][span u64] before the ordinary message
+/// bytes. Decoders without tracing support reject it as unknown; decoders
+/// from this revision strip it, so untraced frames are byte-identical to the
+/// previous wire format.
+inline constexpr std::uint8_t kTraceExtensionTag = 0xE7;
 
 /// Serializes a message into an immutable, refcounted transport frame. The
 /// returned Frame is what travels the whole message path: broadcast fan-out
@@ -350,14 +394,29 @@ using Message = std::variant<Register, RegisterAck, Unregister, RegistryQuery, R
 /// exactly once no matter how many recipients it has.
 [[nodiscard]] Frame encode_message(const Message& msg);
 
-/// Total encode_message() calls since start (or the last reset). The
+/// Same, prefixing the trace-context extension when `trace` is valid (the
+/// invalid context encodes exactly like the overload above).
+[[nodiscard]] Frame encode_message(const Message& msg, const obs::TraceContext& trace);
+
+/// Total encode_message() calls since start (or the last reset), backed by
+/// the cosoft_protocol_encodes_total counter in obs::Registry::global(). The
 /// instrumentation behind the encode-once guarantee: tests and bench_fanout
 /// assert that a broadcast costs one encode regardless of partner count.
 [[nodiscard]] std::uint64_t encode_count() noexcept;
 void reset_encode_count() noexcept;
 
-/// Parses a transport frame.
+/// Parses a transport frame, dropping any trace-context extension.
 [[nodiscard]] Result<Message> decode_message(std::span<const std::uint8_t> frame);
+
+/// A decoded frame plus the trace context it carried (invalid when the frame
+/// had no extension).
+struct DecodedFrame {
+    Message message;
+    obs::TraceContext trace;
+};
+
+/// Parses a transport frame, preserving the trace-context extension.
+[[nodiscard]] Result<DecodedFrame> decode_frame(std::span<const std::uint8_t> frame);
 
 [[nodiscard]] std::string_view message_name(const Message& msg) noexcept;
 

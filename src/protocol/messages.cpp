@@ -1,6 +1,6 @@
 #include "cosoft/protocol/messages.hpp"
 
-#include <atomic>
+#include "cosoft/obs/metrics.hpp"
 
 namespace cosoft::protocol {
 
@@ -210,6 +210,25 @@ struct Encoder {
         w.u64(m.request);
         encode(w, m.object);
     }
+    void operator()(const StatusQuery& m) { w.u64(m.request); }
+    void operator()(const StatusReport& m) {
+        w.u64(m.request);
+        w.str(m.metrics_text);
+        w.u32(static_cast<std::uint32_t>(m.connections.size()));
+        for (const ConnectionStatus& c : m.connections) {
+            w.u32(c.instance);
+            w.str(c.user_name);
+            w.str(c.app_name);
+            w.boolean(c.registered);
+            w.u64(c.frames_sent);
+            w.u64(c.frames_received);
+            w.u64(c.bytes_sent);
+            w.u64(c.bytes_received);
+            w.u64(c.backpressure_events);
+            w.u64(c.send_queue_peak_bytes);
+            w.u64(c.queued_frames);
+        }
+    }
 };
 
 }  // namespace
@@ -227,24 +246,42 @@ ObjectRef decode_object_ref(ByteReader& r) {
 }
 
 namespace {
-// Relaxed is enough: the counter is read for assertions on quiesced systems,
-// never for synchronization.
-std::atomic<std::uint64_t> g_encode_count{0};
+// The encode-once instrumentation lives in the global metrics registry; the
+// function-local reference keeps the hot path at one relaxed increment.
+obs::Counter& encode_counter() {
+    static obs::Counter& counter = obs::Registry::global().counter("cosoft_protocol_encodes_total");
+    return counter;
+}
 }  // namespace
 
-std::uint64_t encode_count() noexcept { return g_encode_count.load(std::memory_order_relaxed); }
-void reset_encode_count() noexcept { g_encode_count.store(0, std::memory_order_relaxed); }
+std::uint64_t encode_count() noexcept { return encode_counter().value(); }
+void reset_encode_count() noexcept { encode_counter().reset(); }
 
 Frame encode_message(const Message& msg) {
-    g_encode_count.fetch_add(1, std::memory_order_relaxed);
+    encode_counter().inc();
     ByteWriter w;
     w.u8(static_cast<std::uint8_t>(msg.index()));
     std::visit(Encoder{w}, msg);
     return Frame{w.take()};
 }
 
-Result<Message> decode_message(std::span<const std::uint8_t> frame) {
-    ByteReader r{frame};
+Frame encode_message(const Message& msg, const obs::TraceContext& trace) {
+    if (!trace.valid()) return encode_message(msg);
+    encode_counter().inc();
+    ByteWriter w;
+    w.u8(kTraceExtensionTag);
+    w.u64(trace.trace);
+    w.u64(trace.span);
+    w.u8(static_cast<std::uint8_t>(msg.index()));
+    std::visit(Encoder{w}, msg);
+    return Frame{w.take()};
+}
+
+namespace {
+
+/// Decodes the message body (tag + payload + exhaustion check) from `r`,
+/// which may already have consumed a trace extension prefix.
+Result<Message> decode_body(ByteReader& r) {
     const std::uint8_t tag = r.u8();
     Message msg;
     switch (tag) {
@@ -494,6 +531,36 @@ Result<Message> decode_message(std::span<const std::uint8_t> frame) {
             msg = std::move(m);
             break;
         }
+        case tag_of<StatusQuery>(): {
+            StatusQuery m;
+            m.request = r.u64();
+            msg = m;
+            break;
+        }
+        case tag_of<StatusReport>(): {
+            StatusReport m;
+            m.request = r.u64();
+            m.metrics_text = r.str();
+            const std::uint32_t n = r.u32();
+            m.connections.reserve(std::min<std::uint32_t>(n, 4096));
+            for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
+                ConnectionStatus c;
+                c.instance = r.u32();
+                c.user_name = r.str();
+                c.app_name = r.str();
+                c.registered = r.boolean();
+                c.frames_sent = r.u64();
+                c.frames_received = r.u64();
+                c.bytes_sent = r.u64();
+                c.bytes_received = r.u64();
+                c.backpressure_events = r.u64();
+                c.send_queue_peak_bytes = r.u64();
+                c.queued_frames = r.u64();
+                m.connections.push_back(std::move(c));
+            }
+            msg = std::move(m);
+            break;
+        }
         default:
             return Error{ErrorCode::kBadMessage, "unknown message tag " + std::to_string(tag)};
     }
@@ -502,6 +569,34 @@ Result<Message> decode_message(std::span<const std::uint8_t> frame) {
                      std::string{"malformed "} + std::string{message_name(msg)} + " frame"};
     }
     return msg;
+}
+
+}  // namespace
+
+Result<DecodedFrame> decode_frame(std::span<const std::uint8_t> frame) {
+    ByteReader r{frame};
+    DecodedFrame out;
+    if (!frame.empty() && frame.front() == kTraceExtensionTag) {
+        (void)r.u8();
+        out.trace.trace = r.u64();
+        out.trace.span = r.u64();
+        // A zero trace id is the invalid context and never encoded; treating
+        // it as an error keeps extension frames canonical (one prefix, valid
+        // ids), so nesting the extension is also rejected here.
+        if (!r.ok() || !out.trace.valid()) {
+            return Error{ErrorCode::kBadMessage, "malformed trace-context extension"};
+        }
+    }
+    auto msg = decode_body(r);
+    if (!msg) return msg.error();
+    out.message = std::move(msg).value();
+    return out;
+}
+
+Result<Message> decode_message(std::span<const std::uint8_t> frame) {
+    auto decoded = decode_frame(frame);
+    if (!decoded) return decoded.error();
+    return std::move(decoded).value().message;
 }
 
 std::string_view message_name(const Message& msg) noexcept {
@@ -537,6 +632,8 @@ std::string_view message_name(const Message& msg) noexcept {
         std::string_view operator()(const FetchState&) { return "FetchState"; }
         std::string_view operator()(const SetCouplingMode&) { return "SetCouplingMode"; }
         std::string_view operator()(const SyncRequest&) { return "SyncRequest"; }
+        std::string_view operator()(const StatusQuery&) { return "StatusQuery"; }
+        std::string_view operator()(const StatusReport&) { return "StatusReport"; }
     };
     return std::visit(Namer{}, msg);
 }

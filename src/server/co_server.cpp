@@ -10,6 +10,53 @@ namespace cosoft::server {
 
 using namespace protocol;
 
+namespace {
+
+using StageTimer = obs::ScopedTimer;
+
+std::vector<double> stage_bounds() { return obs::Histogram::exponential_buckets(1.0, 2.0, 20); }
+
+}  // namespace
+
+CoServer::Metrics::Metrics(obs::Registry& r)
+    : messages_received(r.counter("cosoft_server_messages_received_total")),
+      messages_sent(r.counter("cosoft_server_messages_sent_total")),
+      malformed_frames(r.counter("cosoft_server_malformed_frames_total")),
+      events_broadcast(r.counter("cosoft_server_events_broadcast_total")),
+      locks_granted(r.counter("cosoft_server_locks_granted_total")),
+      locks_denied(r.counter("cosoft_server_locks_denied_total")),
+      states_applied(r.counter("cosoft_server_states_applied_total")),
+      group_updates(r.counter("cosoft_server_group_updates_total")),
+      commands_routed(r.counter("cosoft_server_commands_routed_total")),
+      events_deferred(r.counter("cosoft_server_events_deferred_total")),
+      events_flushed(r.counter("cosoft_server_events_flushed_total")),
+      broadcast_encodes(r.counter("cosoft_server_broadcast_encodes_total")),
+      frames_fanned_out(r.counter("cosoft_server_frames_fanned_out_total")),
+      send_queue_peak_frames(r.gauge("cosoft_server_send_queue_peak_frames")),
+      stage_lock_us(r.histogram("cosoft_server_stage_lock_us", stage_bounds())),
+      stage_broadcast_us(r.histogram("cosoft_server_stage_broadcast_us", stage_bounds())),
+      stage_ack_us(r.histogram("cosoft_server_stage_ack_us", stage_bounds())),
+      stage_copy_us(r.histogram("cosoft_server_stage_copy_us", stage_bounds())) {}
+
+ServerStats CoServer::stats() const noexcept {
+    ServerStats s;
+    s.messages_received = metrics_.messages_received.value();
+    s.messages_sent = metrics_.messages_sent.value();
+    s.malformed_frames = metrics_.malformed_frames.value();
+    s.events_broadcast = metrics_.events_broadcast.value();
+    s.locks_granted = metrics_.locks_granted.value();
+    s.locks_denied = metrics_.locks_denied.value();
+    s.states_applied = metrics_.states_applied.value();
+    s.group_updates = metrics_.group_updates.value();
+    s.commands_routed = metrics_.commands_routed.value();
+    s.events_deferred = metrics_.events_deferred.value();
+    s.events_flushed = metrics_.events_flushed.value();
+    s.broadcast_encodes = metrics_.broadcast_encodes.value();
+    s.frames_fanned_out = metrics_.frames_fanned_out.value();
+    s.send_queue_peak_frames = metrics_.send_queue_peak_frames.value();
+    return s;
+}
+
 InstanceId CoServer::attach(std::shared_ptr<net::Channel> channel) {
     const InstanceId id = next_instance_++;
     Conn conn;
@@ -38,24 +85,33 @@ std::vector<RegistrationRecord> CoServer::registrations() const {
 }
 
 void CoServer::handle_frame(InstanceId from, const protocol::Frame& frame) {
-    ++stats_.messages_received;
-    auto decoded = decode_message(frame);
+    metrics_.messages_received.inc();
+    auto decoded = decode_frame(frame);
     if (!decoded) {
-        ++stats_.malformed_frames;
+        metrics_.malformed_frames.inc();
         journal_.record(true, from, "<malformed>", frame.size());
         return;  // malformed frame: drop (transport is trusted)
     }
 
-    Message& msg = decoded.value();
+    Message& msg = decoded.value().message;
+    // The received context is the default causal parent for everything this
+    // dispatch sends; handlers that open their own span override it.
+    current_trace_ = decoded.value().trace;
     journal_.record(true, from, std::string{message_name(msg)}, frame.size());
     const auto conn = conns_.find(from);
-    if (conn == conns_.end()) return;
+    if (conn == conns_.end()) {
+        current_trace_ = {};
+        return;
+    }
 
-    // Everything except Register requires a completed registration.
-    if (!conn->second.registered && !std::holds_alternative<Register>(msg)) {
+    // Everything except Register (and StatusQuery: monitoring clients never
+    // register) requires a completed registration.
+    if (!conn->second.registered && !std::holds_alternative<Register>(msg) &&
+        !std::holds_alternative<StatusQuery>(msg)) {
         if (const auto* req = std::get_if<RegistryQuery>(&msg)) {
             ack(from, req->request, Status{ErrorCode::kUnknownInstance, "not registered"});
         }
+        current_trace_ = {};
         return;
     }
 
@@ -72,12 +128,14 @@ void CoServer::handle_frame(InstanceId from, const protocol::Frame& frame) {
                                  std::is_same_v<T, CopyFrom> || std::is_same_v<T, RemoteCopy> ||
                                  std::is_same_v<T, FetchState> || std::is_same_v<T, UndoReq> ||
                                  std::is_same_v<T, RedoReq> || std::is_same_v<T, PermissionSet> ||
-                                 std::is_same_v<T, SetCouplingMode> || std::is_same_v<T, SyncRequest>) {
+                                 std::is_same_v<T, SetCouplingMode> || std::is_same_v<T, SyncRequest> ||
+                                 std::is_same_v<T, StatusQuery>) {
                 handle(from, m);
             }
             // Server-to-client message types arriving here are ignored.
         },
         msg);
+    current_trace_ = {};
 
     // Dispatch boundary: in checked builds every message leaves the four
     // databases (§2.1) in a consistent state or the server aborts loudly.
@@ -167,22 +225,53 @@ std::vector<std::string> CoServer::check_invariants() const {
         }
         if (queue.empty()) out.push_back("server: empty deferred queue for " + to_string(object));
     }
+
+    // Cross-counter invariants. All operands are server-side counters
+    // mutated only on the dispatch thread, so the reads are exact even when
+    // the channels themselves live on TCP I/O threads.
+    std::uint64_t fanout_sum = departed_broadcast_enqueued_;
+    for (const auto& [id, conn] : conns_) fanout_sum += conn.broadcast_enqueued;
+    if (metrics_.frames_fanned_out.value() != fanout_sum) {
+        out.push_back("server: frames_fanned_out " + std::to_string(metrics_.frames_fanned_out.value()) +
+                      " != sum of per-connection broadcast enqueues " + std::to_string(fanout_sum));
+    }
+    if (metrics_.broadcast_encodes.value() > metrics_.frames_fanned_out.value()) {
+        out.push_back("server: broadcast_encodes " + std::to_string(metrics_.broadcast_encodes.value()) +
+                      " exceeds frames_fanned_out " + std::to_string(metrics_.frames_fanned_out.value()) +
+                      " (an encoded broadcast reached no connection)");
+    }
+    if (metrics_.locks_granted.value() + metrics_.locks_denied.value() > metrics_.messages_received.value()) {
+        out.push_back("server: lock outcomes (" +
+                      std::to_string(metrics_.locks_granted.value() + metrics_.locks_denied.value()) +
+                      ") exceed messages received (" + std::to_string(metrics_.messages_received.value()) +
+                      ")");
+    }
     return out;
 }
 
 void CoServer::send(InstanceId to, const Message& msg) {
     if (!conns_.contains(to)) return;
-    send_frame(to, encode_message(msg), message_name(msg));
+    send_frame(to, encode_message(msg, current_trace_), message_name(msg));
 }
 
 void CoServer::broadcast(const std::vector<InstanceId>& recipients, const Message& msg) {
-    if (recipients.empty()) return;
-    // Encode exactly once; every recipient's queue shares the same payload.
-    const Frame frame = encode_message(msg);
-    ++stats_.broadcast_encodes;
-    const std::string_view name = message_name(msg);
+    // Filter to live connections *before* encoding: every encode must fan
+    // out to at least one queue, so broadcast_encodes <= frames_fanned_out
+    // holds exactly (checked by the cross-counter invariants).
+    std::vector<InstanceId> live;
+    live.reserve(recipients.size());
     for (const InstanceId to : recipients) {
-        ++stats_.frames_fanned_out;
+        const auto it = conns_.find(to);
+        if (it != conns_.end() && it->second.channel->connected()) live.push_back(to);
+    }
+    if (live.empty()) return;
+    // Encode exactly once; every recipient's queue shares the same payload.
+    const Frame frame = encode_message(msg, current_trace_);
+    metrics_.broadcast_encodes.inc();
+    const std::string_view name = message_name(msg);
+    for (const InstanceId to : live) {
+        metrics_.frames_fanned_out.inc();
+        ++conns_.at(to).broadcast_enqueued;
         send_frame(to, frame, name);
     }
 }
@@ -190,11 +279,10 @@ void CoServer::broadcast(const std::vector<InstanceId>& recipients, const Messag
 void CoServer::send_frame(InstanceId to, const Frame& frame, std::string_view name) {
     const auto it = conns_.find(to);
     if (it == conns_.end() || !it->second.channel->connected()) return;
-    ++stats_.messages_sent;
+    metrics_.messages_sent.inc();
     journal_.record(false, to, std::string{name}, frame.size());
     (void)it->second.channel->send(frame);
-    const std::size_t depth = it->second.channel->outbound_queued_frames();
-    if (depth > stats_.send_queue_peak_frames) stats_.send_queue_peak_frames = depth;
+    metrics_.send_queue_peak_frames.update_max(it->second.channel->outbound_queued_frames());
 }
 
 std::size_t CoServer::outbound_queued(InstanceId instance) const {
@@ -295,6 +383,9 @@ void CoServer::cleanup(InstanceId instance) {
         ack(requester, request, Status{ErrorCode::kUnknownInstance, "copy source instance terminated"});
     }
 
+    // Keep the fan-out invariant exact across departures: the per-connection
+    // enqueue count moves into the departed accumulator before the Conn dies.
+    departed_broadcast_enqueued_ += it->second.broadcast_enqueued;
     conns_.erase(it);
     broadcast_components(affected);
 }
@@ -351,7 +442,7 @@ void CoServer::broadcast_group(const std::vector<ObjectRef>& group) {
             owners.push_back(o.instance);
         }
     }
-    stats_.group_updates += owners.size();
+    metrics_.group_updates.inc(owners.size());
     broadcast(owners, GroupUpdate{group});
 }
 
@@ -380,6 +471,12 @@ void CoServer::notify_locks(const std::vector<ObjectRef>& objects, const ObjectR
 }
 
 void CoServer::handle(InstanceId from, const LockReq& msg) {
+    const StageTimer timer{metrics_.stage_lock_us};
+    // The grant/deny/notify frames this handler sends all descend from the
+    // client's dispatch span (carried on the LockReq frame).
+    const obs::ScopedSpan span{"server.lock", "server", current_trace_, msg.action};
+    current_trace_ = span.context();
+
     const LockTable::ActionKey key{from, msg.action};
     // The server's couple relation is authoritative: re-derive the group
     // rather than trusting the client's (possibly stale) replica.
@@ -391,7 +488,7 @@ void CoServer::handle(InstanceId from, const LockReq& msg) {
     const UserId user = user_of(from);
     for (const ObjectRef& o : group) {
         if (!permissions_.check(user, o, Right::kModify)) {
-            ++stats_.locks_denied;
+            metrics_.locks_denied.inc();
             send(from, LockDeny{msg.action, o});
             return;
         }
@@ -399,14 +496,15 @@ void CoServer::handle(InstanceId from, const LockReq& msg) {
 
     ObjectRef conflict;
     if (Status s = locks_.try_lock_all(key, group, &conflict); !s.is_ok()) {
-        ++stats_.locks_denied;
+        metrics_.locks_denied.inc();
         send(from, LockDeny{msg.action, conflict});
         return;
     }
-    ++stats_.locks_granted;
+    metrics_.locks_granted.inc();
 
     PendingAction pending;
     pending.key = key;
+    pending.trace = span.context();
     pending_actions_[action_hash(key)] = pending;
 
     notify_locks(group, msg.source, true, msg.action);
@@ -414,6 +512,10 @@ void CoServer::handle(InstanceId from, const LockReq& msg) {
 }
 
 void CoServer::handle(InstanceId from, EventMsg msg) {
+    const StageTimer timer{metrics_.stage_broadcast_us};
+    const obs::ScopedSpan span{"server.broadcast", "server", current_trace_, msg.action};
+    current_trace_ = span.context();
+
     const LockTable::ActionKey key{from, msg.action};
     const auto it = pending_actions_.find(action_hash(key));
     if (it == pending_actions_.end()) return;  // stale or never locked
@@ -423,6 +525,9 @@ void CoServer::handle(InstanceId from, EventMsg msg) {
     pending.event_seen = true;
     pending.awaiting = 1;  // the source's own completion ack
     pending.per_instance[from] += 1;
+    // Broadcast supersedes lock as the newest server-side stage: the unlock
+    // span that closes this action should chain from here.
+    if (span.context().valid()) pending.trace = span.context();
 
     // One ExecuteEvent carries the whole locked target set; each owning
     // instance gets the same shared frame once (encoded exactly once by
@@ -432,7 +537,7 @@ void CoServer::handle(InstanceId from, EventMsg msg) {
     std::vector<InstanceId> recipients;
     for (const ObjectRef& target : locked) {
         if (target == msg.source) continue;
-        ++stats_.events_broadcast;  // one re-execution order per target
+        metrics_.events_broadcast.inc();  // one re-execution order per target
         targets.push_back(target);
         if (std::find(recipients.begin(), recipients.end(), target.instance) == recipients.end()) {
             recipients.push_back(target.instance);
@@ -447,12 +552,13 @@ void CoServer::handle(InstanceId from, EventMsg msg) {
     // single-target orders).
     for (const ObjectRef& target : graph_.group_of(msg.source)) {
         if (target == msg.source || !loose_objects_.contains(target)) continue;
-        ++stats_.events_deferred;
+        metrics_.events_deferred.inc();
         deferred_[target].push_back(ExecuteEvent{msg.action, msg.source, {target}, msg.relative_path, msg.event});
     }
 }
 
 void CoServer::handle(InstanceId from, const ExecuteAck& msg) {
+    const StageTimer timer{metrics_.stage_ack_us};
     // The ack may come from any instance that re-executed; find the action
     // by scanning pending actions for one awaiting this instance.
     for (auto& [h, pending] : pending_actions_) {
@@ -472,14 +578,24 @@ void CoServer::finish_action(const LockTable::ActionKey& key) {
     // `key` is often a reference into the PendingAction node itself (the
     // ExecuteAck handler passes pending.key); copy it before erase() frees it.
     const LockTable::ActionKey finished = key;
+    obs::TraceContext parent;
+    if (const auto it = pending_actions_.find(action_hash(finished)); it != pending_actions_.end()) {
+        parent = it->second.trace;
+    }
+    // The unlock closes the causal chain the action opened at lock time.
+    const obs::ScopedSpan span{"server.unlock", "server", parent, finished.action};
+    const obs::TraceContext restore = current_trace_;
+    current_trace_ = span.context().valid() ? span.context() : restore;
     pending_actions_.erase(action_hash(finished));
     const auto released = locks_.unlock_action(finished);
     if (!released.empty()) notify_locks(released, ObjectRef{}, false, finished.action);
+    current_trace_ = restore;
 }
 
 // --- sync-by-state (§3.1) -------------------------------------------------------
 
 void CoServer::handle(InstanceId from, CopyTo msg) {
+    const StageTimer timer{metrics_.stage_copy_us};
     const UserId user = user_of(from);
     if (!known_object_instance(msg.dest)) {
         ack(from, msg.request, Status{ErrorCode::kUnknownInstance, "copy destination instance not registered"});
@@ -489,7 +605,7 @@ void CoServer::handle(InstanceId from, CopyTo msg) {
         ack(from, msg.request, Status{ErrorCode::kPermissionDenied, "modify right missing on destination"});
         return;
     }
-    ++stats_.states_applied;
+    metrics_.states_applied.inc();
     ApplyState apply;
     apply.request = msg.request;
     apply.dest_path = msg.dest.path;
@@ -550,6 +666,7 @@ void CoServer::handle(InstanceId from, const FetchState& msg) {
 }
 
 void CoServer::handle(InstanceId from, StateReply msg) {
+    const StageTimer timer{metrics_.stage_copy_us};
     const auto it = pending_copies_.find(msg.request);
     if (it == pending_copies_.end()) return;
     if (it->second.source.instance != from) return;  // only the queried owner may answer
@@ -568,7 +685,7 @@ void CoServer::handle(InstanceId from, StateReply msg) {
         ack(pc.requester, pc.requester_request, Status{ErrorCode::kUnknownObject, to_string(pc.source)});
         return;
     }
-    ++stats_.states_applied;
+    metrics_.states_applied.inc();
     ApplyState apply;
     apply.request = pc.requester_request;
     apply.dest_path = pc.dest.path;
@@ -597,7 +714,7 @@ void CoServer::handle(InstanceId from, HistorySave msg) {
 }
 
 void CoServer::send_history_apply(const ObjectRef& object, toolkit::UiState state, HistoryTag tag) {
-    ++stats_.states_applied;
+    metrics_.states_applied.inc();
     ApplyState apply;
     apply.request = 0;
     apply.dest_path = object.path;
@@ -650,7 +767,7 @@ void CoServer::handle(InstanceId from, Command msg) {
             recipients.push_back(id);
         }
         std::sort(recipients.begin(), recipients.end());  // deterministic fan-out order
-        stats_.commands_routed += recipients.size();
+        metrics_.commands_routed.inc(recipients.size());
         broadcast(recipients, CommandDeliver{from, std::move(msg.name), std::move(msg.payload)});
         ack(from, msg.request, Status::ok());
         return;
@@ -660,7 +777,7 @@ void CoServer::handle(InstanceId from, Command msg) {
         ack(from, msg.request, Status{ErrorCode::kUnknownInstance, "command target not registered"});
         return;
     }
-    ++stats_.commands_routed;
+    metrics_.commands_routed.inc();
     send(msg.target, CommandDeliver{from, std::move(msg.name), std::move(msg.payload)});
     ack(from, msg.request, Status::ok());
 }
@@ -671,7 +788,7 @@ void CoServer::flush_deferred(const ObjectRef& object) {
     const auto it = deferred_.find(object);
     if (it == deferred_.end()) return;
     for (ExecuteEvent& ev : it->second) {
-        ++stats_.events_flushed;
+        metrics_.events_flushed.inc();
         send(object.instance, std::move(ev));
     }
     deferred_.erase(it);
@@ -719,6 +836,40 @@ void CoServer::handle(InstanceId from, const PermissionSet& msg) {
     }
     permissions_.set(msg.user, msg.object, rights, msg.allow);
     ack(from, msg.request, Status::ok());
+}
+
+// --- wire-level introspection -------------------------------------------------------
+
+void CoServer::handle(InstanceId from, const StatusQuery& msg) {
+    StatusReport report;
+    report.request = msg.request;
+    report.metrics_text = registry_.prometheus_text();
+
+    std::vector<InstanceId> ids;
+    ids.reserve(conns_.size());
+    for (const auto& [id, conn] : conns_) ids.push_back(id);
+    std::sort(ids.begin(), ids.end());
+    report.connections.reserve(ids.size());
+    for (const InstanceId id : ids) {
+        const Conn& conn = conns_.at(id);
+        const net::ChannelStats ch = conn.channel->stats();
+        ConnectionStatus cs;
+        cs.instance = id;
+        cs.user_name = conn.record.user_name;
+        cs.app_name = conn.record.app_name;
+        cs.registered = conn.registered;
+        // The server holds its end of each channel, so sent/received are
+        // from the server's point of view.
+        cs.frames_sent = ch.frames_sent;
+        cs.frames_received = ch.frames_received;
+        cs.bytes_sent = ch.bytes_sent;
+        cs.bytes_received = ch.bytes_received;
+        cs.backpressure_events = ch.backpressure_events;
+        cs.send_queue_peak_bytes = ch.send_queue_peak_bytes;
+        cs.queued_frames = conn.channel->outbound_queued_frames();
+        report.connections.push_back(std::move(cs));
+    }
+    send(from, report);
 }
 
 void CoServer::fingerprint(ByteWriter& w) const {
@@ -807,9 +958,9 @@ void CoServer::fingerprint(ByteWriter& w) const {
 
     // Only the counters that feed safety properties: including the raw
     // message totals would make every state unique and defeat pruning.
-    w.u64(stats_.events_broadcast);
-    w.u64(stats_.events_deferred);
-    w.u64(stats_.events_flushed);
+    w.u64(metrics_.events_broadcast.value());
+    w.u64(metrics_.events_deferred.value());
+    w.u64(metrics_.events_flushed.value());
 }
 
 }  // namespace cosoft::server

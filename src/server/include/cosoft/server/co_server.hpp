@@ -20,6 +20,8 @@
 #include "cosoft/common/error.hpp"
 #include "cosoft/common/ids.hpp"
 #include "cosoft/net/channel.hpp"
+#include "cosoft/obs/metrics.hpp"
+#include "cosoft/obs/trace.hpp"
 #include "cosoft/protocol/messages.hpp"
 #include "cosoft/server/couple_graph.hpp"
 #include "cosoft/server/history_store.hpp"
@@ -29,6 +31,10 @@
 
 namespace cosoft::server {
 
+/// Plain point-in-time copy of the server's counters. Built on demand by
+/// stats() from the server's obs::Registry — the registry instruments are
+/// the single source of truth; this struct only preserves the historical
+/// copyable-snapshot API that tests and benches rely on.
 struct ServerStats {
     std::uint64_t messages_received = 0;
     std::uint64_t messages_sent = 0;
@@ -64,7 +70,12 @@ class CoServer {
     [[nodiscard]] const LockTable& locks() const noexcept { return locks_; }
     [[nodiscard]] const HistoryStore& history() const noexcept { return history_; }
     [[nodiscard]] const PermissionTable& permissions() const noexcept { return permissions_; }
-    [[nodiscard]] const ServerStats& stats() const noexcept { return stats_; }
+    /// By-value snapshot of the counters (assembled from the registry).
+    [[nodiscard]] ServerStats stats() const noexcept;
+    /// The server's own metrics registry: every ServerStats counter plus the
+    /// per-stage latency histograms, in Prometheus-compatible naming.
+    [[nodiscard]] obs::Registry& registry() noexcept { return registry_; }
+    [[nodiscard]] const obs::Registry& registry() const noexcept { return registry_; }
     [[nodiscard]] const Journal& journal() const noexcept { return journal_; }
     [[nodiscard]] Journal& journal() noexcept { return journal_; }
     [[nodiscard]] bool is_loose(const ObjectRef& object) const { return loose_objects_.contains(object); }
@@ -102,6 +113,9 @@ class CoServer {
         std::shared_ptr<net::Channel> channel;
         protocol::RegistrationRecord record;
         bool registered = false;
+        /// How many shared broadcast frames were enqueued to this connection
+        /// (feeds the frames_fanned_out cross-counter invariant).
+        std::uint64_t broadcast_enqueued = 0;
     };
 
     /// A lock/broadcast cycle in flight: tracks how many ExecuteAcks are
@@ -111,6 +125,9 @@ class CoServer {
         bool event_seen = false;  ///< the holder's EventMsg has arrived
         std::size_t awaiting = 0;
         std::unordered_map<InstanceId, std::size_t> per_instance;
+        /// Causal context of the newest server-side span of this action;
+        /// the unlock span attaches here when the last ack arrives.
+        obs::TraceContext trace;
     };
 
     /// A CopyFrom/RemoteCopy/FetchState waiting for the source's StateReply.
@@ -144,6 +161,7 @@ class CoServer {
     void handle(InstanceId from, const protocol::RedoReq& msg);
     void handle(InstanceId from, protocol::Command msg);
     void handle(InstanceId from, const protocol::PermissionSet& msg);
+    void handle(InstanceId from, const protocol::StatusQuery& msg);
 
     void cleanup(InstanceId instance);
     void send(InstanceId to, const protocol::Message& msg);
@@ -185,7 +203,38 @@ class CoServer {
     std::unordered_set<ObjectRef> loose_objects_;
     std::unordered_map<ObjectRef, std::vector<protocol::ExecuteEvent>> deferred_;
 
-    ServerStats stats_;
+    /// Stable references into registry_ for the hot-path counters; resolved
+    /// once at construction so no dispatch ever takes the registry lock.
+    struct Metrics {
+        explicit Metrics(obs::Registry& r);
+        obs::Counter& messages_received;
+        obs::Counter& messages_sent;
+        obs::Counter& malformed_frames;
+        obs::Counter& events_broadcast;
+        obs::Counter& locks_granted;
+        obs::Counter& locks_denied;
+        obs::Counter& states_applied;
+        obs::Counter& group_updates;
+        obs::Counter& commands_routed;
+        obs::Counter& events_deferred;
+        obs::Counter& events_flushed;
+        obs::Counter& broadcast_encodes;
+        obs::Counter& frames_fanned_out;
+        obs::Gauge& send_queue_peak_frames;
+        obs::Histogram& stage_lock_us;
+        obs::Histogram& stage_broadcast_us;
+        obs::Histogram& stage_ack_us;
+        obs::Histogram& stage_copy_us;
+    };
+
+    obs::Registry registry_;
+    Metrics metrics_{registry_};
+    /// Trace context of the message currently being dispatched (or of the
+    /// server-side span wrapping its handler); attached to every frame the
+    /// dispatch sends. Invalid outside a dispatch and when tracing is off.
+    obs::TraceContext current_trace_;
+    /// broadcast_enqueued totals of connections that have since detached.
+    std::uint64_t departed_broadcast_enqueued_ = 0;
     Journal journal_;
 
     static std::uint64_t action_hash(const LockTable::ActionKey& key) noexcept {

@@ -1,0 +1,208 @@
+// Unit tests for the obs metrics layer: counters, gauges, histograms,
+// registry snapshots, and the Prometheus text exposition.
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cosoft/net/sim_network.hpp"
+#include "cosoft/obs/metrics.hpp"
+#include "cosoft/server/co_server.hpp"
+
+namespace cosoft::obs {
+namespace {
+
+TEST(Counter, IncrementAndReset) {
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(41);
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Gauge, UpdateMaxIsMonotone) {
+    Gauge g;
+    g.update_max(10);
+    g.update_max(5);
+    EXPECT_EQ(g.value(), 10u);
+    g.update_max(25);
+    EXPECT_EQ(g.value(), 25u);
+    g.set(3);
+    EXPECT_EQ(g.value(), 3u);
+}
+
+TEST(Counter, ConcurrentIncrementsAllLand) {
+    Counter c;
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 10000;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&c] {
+            for (int i = 0; i < kPerThread; ++i) c.inc();
+        });
+    }
+    for (auto& t : threads) t.join();
+    EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(Histogram, CountSumAndBuckets) {
+    Histogram h{{1.0, 10.0, 100.0}};
+    h.observe(0.5);
+    h.observe(5.0);
+    h.observe(50.0);
+    h.observe(500.0);  // overflow bucket
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_DOUBLE_EQ(h.sum(), 555.5);
+    const auto cumulative = h.cumulative_buckets();
+    ASSERT_EQ(cumulative.size(), 4u);  // 3 bounds + Inf
+    EXPECT_EQ(cumulative[0], 1u);
+    EXPECT_EQ(cumulative[1], 2u);
+    EXPECT_EQ(cumulative[2], 3u);
+    EXPECT_EQ(cumulative[3], 4u);
+}
+
+TEST(Histogram, QuantileInterpolatesWithinBucket) {
+    Histogram h{{10.0, 20.0, 40.0}};
+    for (int i = 0; i < 100; ++i) h.observe(15.0);  // all in (10, 20]
+    // Every observation is in the second bucket, so every quantile lands
+    // between its bounds.
+    const double p50 = h.quantile(0.5);
+    EXPECT_GT(p50, 10.0);
+    EXPECT_LE(p50, 20.0);
+    const double p99 = h.quantile(0.99);
+    EXPECT_GT(p99, p50 - 1e-9);
+    EXPECT_LE(p99, 20.0);
+}
+
+TEST(Histogram, QuantileEmptyIsZeroAndOverflowClamps) {
+    Histogram h{{1.0, 2.0}};
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+    h.observe(1000.0);
+    // The +Inf bucket cannot be interpolated; the estimate clamps to the
+    // highest finite bound (the Prometheus convention).
+    EXPECT_DOUBLE_EQ(h.quantile(0.99), 2.0);
+}
+
+TEST(Histogram, ExponentialBuckets) {
+    const auto bounds = Histogram::exponential_buckets(1.0, 2.0, 5);
+    const std::vector<double> expected{1.0, 2.0, 4.0, 8.0, 16.0};
+    EXPECT_EQ(bounds, expected);
+}
+
+TEST(Registry, SameNameReturnsSameInstrument) {
+    Registry r;
+    Counter& a = r.counter("x_total");
+    Counter& b = r.counter("x_total");
+    EXPECT_EQ(&a, &b);
+    a.inc();
+    EXPECT_EQ(b.value(), 1u);
+    Histogram& h1 = r.histogram("h_us", {1.0, 2.0});
+    Histogram& h2 = r.histogram("h_us", {99.0});  // bounds ignored on re-registration
+    EXPECT_EQ(&h1, &h2);
+    EXPECT_EQ(h2.upper_bounds().size(), 2u);
+}
+
+TEST(Registry, SnapshotIsSortedAndComplete) {
+    Registry r;
+    r.counter("zeta_total").inc(3);
+    r.gauge("alpha_peak").set(7);
+    r.histogram("mid_us", {1.0}).observe(0.5);
+    const auto samples = r.snapshot();
+    ASSERT_EQ(samples.size(), 3u);
+    EXPECT_TRUE(std::is_sorted(samples.begin(), samples.end(),
+                               [](const MetricSample& a, const MetricSample& b) { return a.name < b.name; }));
+    for (const MetricSample& s : samples) {
+        if (s.name == "zeta_total") {
+            EXPECT_EQ(s.type, MetricType::kCounter);
+            EXPECT_EQ(s.value, 3u);
+        } else if (s.name == "alpha_peak") {
+            EXPECT_EQ(s.type, MetricType::kGauge);
+            EXPECT_EQ(s.value, 7u);
+        } else {
+            EXPECT_EQ(s.type, MetricType::kHistogram);
+            EXPECT_EQ(s.value, 1u);  // observation count
+            ASSERT_EQ(s.cumulative.size(), 2u);
+            EXPECT_EQ(s.cumulative.back(), 1u);
+        }
+    }
+}
+
+TEST(Registry, PrometheusTextFormat) {
+    Registry r;
+    r.counter("requests_total").inc(5);
+    r.gauge("queue_peak").set(9);
+    r.histogram("latency_us", {1.0, 10.0}).observe(4.0);
+    const std::string text = r.prometheus_text();
+    EXPECT_NE(text.find("# TYPE requests_total counter"), std::string::npos);
+    EXPECT_NE(text.find("requests_total 5"), std::string::npos);
+    EXPECT_NE(text.find("# TYPE queue_peak gauge"), std::string::npos);
+    EXPECT_NE(text.find("queue_peak 9"), std::string::npos);
+    EXPECT_NE(text.find("# TYPE latency_us histogram"), std::string::npos);
+    EXPECT_NE(text.find("latency_us_bucket{le=\"1\"} 0"), std::string::npos);
+    EXPECT_NE(text.find("latency_us_bucket{le=\"10\"} 1"), std::string::npos);
+    EXPECT_NE(text.find("latency_us_bucket{le=\"+Inf\"} 1"), std::string::npos);
+    EXPECT_NE(text.find("latency_us_sum 4"), std::string::npos);
+    EXPECT_NE(text.find("latency_us_count 1"), std::string::npos);
+}
+
+TEST(Registry, ResetZeroesEverything) {
+    Registry r;
+    r.counter("a_total").inc(2);
+    r.gauge("b_peak").update_max(5);
+    r.histogram("c_us", {1.0}).observe(3.0);
+    r.reset();
+    EXPECT_EQ(r.counter("a_total").value(), 0u);
+    EXPECT_EQ(r.gauge("b_peak").value(), 0u);
+    EXPECT_EQ(r.histogram("c_us", {1.0}).count(), 0u);
+}
+
+TEST(Registry, GlobalIsAProcessSingleton) {
+    Registry& a = Registry::global();
+    Registry& b = Registry::global();
+    EXPECT_EQ(&a, &b);
+}
+
+TEST(ScopedTimer, RecordsOneObservation) {
+    Histogram h{Histogram::exponential_buckets(1.0, 4.0, 10)};
+    { const ScopedTimer timer{h}; }
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_GE(h.sum(), 0.0);
+}
+
+TEST(Introspection, StatusQueryReturnsRegistrySnapshotWithoutRegistering) {
+    // A monitoring client never registers: attach a raw pipe, ask, get the
+    // server's Prometheus text plus one row per live connection.
+    net::SimNetwork net;
+    server::CoServer server;
+    auto [monitor, server_end] = net.make_pipe();
+    server.attach(server_end);
+
+    protocol::StatusReport report;
+    bool got_report = false;
+    monitor->on_receive([&](const protocol::Frame& frame) {
+        auto decoded = protocol::decode_message(frame);
+        ASSERT_TRUE(decoded.is_ok());
+        if (auto* r = std::get_if<protocol::StatusReport>(&decoded.value())) {
+            report = std::move(*r);
+            got_report = true;
+        }
+    });
+    ASSERT_TRUE(monitor->send(protocol::encode_message(protocol::Message{protocol::StatusQuery{7}})).is_ok());
+    net.run_all();
+
+    ASSERT_TRUE(got_report);
+    EXPECT_EQ(report.request, 7u);
+    EXPECT_NE(report.metrics_text.find("cosoft_server_messages_received_total 1"), std::string::npos);
+    EXPECT_NE(report.metrics_text.find("cosoft_server_frames_fanned_out_total"), std::string::npos);
+    ASSERT_EQ(report.connections.size(), 1u);
+    EXPECT_FALSE(report.connections[0].registered);
+    EXPECT_EQ(report.connections[0].frames_received, 1u);  // the query itself
+}
+
+}  // namespace
+}  // namespace cosoft::obs

@@ -183,11 +183,23 @@ Message random_message(std::size_t index, sim::Rng& rng) {
         case 28: return FetchState{rng.next(), random_ref(rng)};
         case 29: return SetCouplingMode{rng.next(), random_ref(rng), rng.chance(0.5)};
         case 30: return SyncRequest{rng.next(), random_ref(rng)};
+        case 31: return StatusQuery{rng.next()};
+        case 32: {
+            StatusReport report{rng.next(), random_name(rng), {}};
+            const std::uint64_t n = rng.below(4);
+            for (std::uint64_t i = 0; i < n; ++i) {
+                report.connections.push_back(ConnectionStatus{
+                    static_cast<InstanceId>(rng.below(1000)), random_name(rng), random_name(rng),
+                    rng.chance(0.5), rng.below(1 << 20), rng.below(1 << 20), rng.below(1 << 20),
+                    rng.below(1 << 20), rng.below(100), rng.below(1 << 20), rng.below(100)});
+            }
+            return report;
+        }
         default: return Unregister{};
     }
 }
 
-static_assert(std::variant_size_v<Message> == 31,
+static_assert(std::variant_size_v<Message> == 33,
               "a Message alternative was added or removed: extend random_message() to cover it");
 
 class EveryMessageRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};

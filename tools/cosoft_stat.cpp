@@ -1,0 +1,106 @@
+// cosoft-stat — wire-level introspection client for a running COSOFT server.
+//
+// Connects over TCP, sends a StatusQuery (legal without registering: the
+// server treats status queries as monitoring traffic), and pretty-prints the
+// StatusReport: the server's metrics registry in Prometheus text exposition
+// plus one row per live connection.
+//
+// Usage: ./cosoft-stat [host] [port] [--raw]
+//   host    server host (default 127.0.0.1)
+//   port    server port (default 7494, cosoftd's default)
+//   --raw   print only the raw Prometheus text (for scraping pipelines)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "cosoft/net/tcp.hpp"
+#include "cosoft/protocol/messages.hpp"
+
+using namespace cosoft;
+
+namespace {
+
+int run(const std::string& host, std::uint16_t port, bool raw) {
+    auto connected = net::tcp_connect(host, port);
+    if (!connected.is_ok()) {
+        std::fprintf(stderr, "cosoft-stat: cannot connect to %s:%u: %s\n", host.c_str(), port,
+                     connected.error().message.c_str());
+        return 1;
+    }
+    auto channel = connected.value();
+
+    protocol::StatusReport report;
+    bool got_report = false;
+    channel->on_receive([&](const protocol::Frame& frame) {
+        auto decoded = protocol::decode_message(frame);
+        if (!decoded) return;
+        if (auto* r = std::get_if<protocol::StatusReport>(&decoded.value())) {
+            report = std::move(*r);
+            got_report = true;
+        }
+    });
+
+    const Status sent = channel->send(protocol::encode_message(protocol::Message{protocol::StatusQuery{1}}));
+    if (!sent.is_ok()) {
+        std::fprintf(stderr, "cosoft-stat: send failed: %s\n", sent.message().c_str());
+        return 1;
+    }
+
+    // One query, one report: poll until it lands or the server goes quiet.
+    for (int i = 0; i < 50 && !got_report && channel->connected(); ++i) {
+        (void)channel->poll_blocking(/*timeout_ms=*/100);
+    }
+    if (!got_report) {
+        std::fprintf(stderr, "cosoft-stat: no StatusReport from %s:%u (timed out)\n", host.c_str(), port);
+        return 1;
+    }
+
+    if (raw) {
+        std::fputs(report.metrics_text.c_str(), stdout);
+        return 0;
+    }
+
+    std::printf("== cosoft server %s:%u ==\n\n", host.c_str(), port);
+    std::printf("-- connections (%zu) --\n", report.connections.size());
+    std::printf("%-9s %-12s %-16s %-4s %10s %10s %12s %12s %6s %10s %7s\n", "instance", "user", "app",
+                "reg", "fr_sent", "fr_recv", "bytes_sent", "bytes_recv", "bkpr", "peak_bytes", "queued");
+    for (const protocol::ConnectionStatus& c : report.connections) {
+        std::printf("%-9u %-12s %-16s %-4s %10llu %10llu %12llu %12llu %6llu %10llu %7llu\n", c.instance,
+                    c.user_name.empty() ? "-" : c.user_name.c_str(),
+                    c.app_name.empty() ? "-" : c.app_name.c_str(), c.registered ? "yes" : "no",
+                    static_cast<unsigned long long>(c.frames_sent),
+                    static_cast<unsigned long long>(c.frames_received),
+                    static_cast<unsigned long long>(c.bytes_sent),
+                    static_cast<unsigned long long>(c.bytes_received),
+                    static_cast<unsigned long long>(c.backpressure_events),
+                    static_cast<unsigned long long>(c.send_queue_peak_bytes),
+                    static_cast<unsigned long long>(c.queued_frames));
+    }
+    std::printf("\n-- metrics registry --\n%s", report.metrics_text.c_str());
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 7494;
+    bool raw = false;
+    int positional = 0;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--raw") == 0) {
+            raw = true;
+        } else if (std::strcmp(argv[i], "--help") == 0) {
+            std::printf("usage: cosoft-stat [host] [port] [--raw]\n");
+            return 0;
+        } else if (positional == 0) {
+            host = argv[i];
+            ++positional;
+        } else {
+            port = static_cast<std::uint16_t>(std::strtoul(argv[i], nullptr, 10));
+            ++positional;
+        }
+    }
+    return run(host, port, raw);
+}
