@@ -1,0 +1,259 @@
+// F6 — session-sharded server core on the shared transport reactor.
+//
+// One server process hosts S independent coupling sessions over real TCP.
+// The shared poll(2) reactor owns every connection's socket I/O and a fixed
+// worker pool dispatches the sessions, so transport+dispatch thread count is
+// constant in S; the legacy baseline (thread-per-connection transport, as
+// the pre-reactor server ran) grows linearly with connections. This bench
+// measures both shapes at 1/8/64 sessions × 4 connections each — command
+// broadcast throughput and measured server-side thread count — and emits
+// BENCH_sessions.json for the check harness:
+//
+//   (a) commands/sec fanned out across all sessions (1 sender + 3 receivers
+//       per session, 1 KiB payloads, end-to-end over localhost sockets);
+//   (b) server transport+dispatch threads, from /proc/self/status deltas —
+//       must be identical at S=1 and S=64 in reactor mode.
+//
+// `--smoke` trims the round count so the binary doubles as a fast ctest
+// entry (label: bench).
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "cosoft/client/co_app.hpp"
+#include "cosoft/net/reactor.hpp"
+#include "cosoft/net/tcp.hpp"
+#include "cosoft/server/session_manager.hpp"
+
+namespace {
+
+using namespace cosoft;
+using namespace cosoft::bench;
+using client::CoApp;
+
+constexpr std::size_t kConnsPerSession = 4;  // 1 sender + 3 command receivers
+constexpr std::size_t kPayloadBytes = 1 << 10;
+
+/// Threads of this process, from /proc/self/status (Linux).
+int process_thread_count() {
+    std::FILE* f = std::fopen("/proc/self/status", "r");
+    if (f == nullptr) return -1;
+    char line[256];
+    int threads = -1;
+    while (std::fgets(line, sizeof line, f) != nullptr) {
+        if (std::sscanf(line, "Threads: %d", &threads) == 1) break;
+    }
+    std::fclose(f);
+    return threads;
+}
+
+/// One server under load: S sessions × kConnsPerSession TCP clients.
+struct SessionRig {
+    std::shared_ptr<net::Reactor> reactor;  ///< null in legacy mode
+    std::unique_ptr<server::SessionManager> mgr;
+    std::unique_ptr<net::TcpListener> listener;
+    std::vector<std::unique_ptr<CoApp>> apps;
+    std::vector<std::shared_ptr<net::TcpChannel>> clients;
+    std::atomic<std::uint64_t> delivered{0};
+    int server_threads = 0;
+
+    /// `legacy` = thread-per-connection transport (the pre-reactor shape);
+    /// otherwise every accepted fd lands on one shared private reactor.
+    bool build(std::size_t sessions, bool legacy) {
+        const int before = process_thread_count();
+
+        server::SessionManagerOptions options;
+        options.workers = 4;
+        net::ListenOptions listen_options;
+        listen_options.backlog = 128;
+        if (legacy) {
+            listen_options.thread_per_connection = true;
+        } else {
+            reactor = net::Reactor::create();
+            listen_options.reactor = reactor;
+            options.reactor = reactor;
+        }
+        mgr = std::make_unique<server::SessionManager>(options);
+        auto listen = net::TcpListener::create(0, listen_options);
+        if (!listen.is_ok()) return false;
+        listener = std::move(listen.value());
+
+        for (std::size_t s = 0; s < sessions; ++s) {
+            const std::string room = "room" + std::to_string(s);
+            for (std::size_t c = 0; c < kConnsPerSession; ++c) {
+                auto client = net::tcp_connect("127.0.0.1", listener->port());
+                if (!client.is_ok()) return false;
+                auto accepted = listener->accept(2000);
+                if (!accepted.is_ok()) return false;
+                mgr->attach(accepted.value());
+                const std::size_t n = apps.size();
+                auto app = std::make_unique<CoApp>("bench", "u" + std::to_string(n),
+                                                   static_cast<UserId>(n + 1));
+                if (c != 0) {
+                    app->on_command("bench", [this](InstanceId, std::span<const std::uint8_t>) {
+                        delivered.fetch_add(1, std::memory_order_relaxed);
+                    });
+                }
+                app->connect(client.value(), room);
+                clients.push_back(client.value());
+                apps.push_back(std::move(app));
+            }
+        }
+        if (!pump_until([&] {
+                for (const auto& a : apps) {
+                    if (!a->online()) return false;
+                }
+                return true;
+            })) {
+            return false;
+        }
+        server_threads = process_thread_count() - before;
+        return true;
+    }
+
+    template <typename Pred>
+    bool pump_until(Pred pred, int timeout_ms = 20000) {
+        using Clock = std::chrono::steady_clock;
+        const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+        while (!pred()) {
+            std::size_t dispatched = 0;
+            for (auto& ch : clients) dispatched += ch->poll();
+            if (Clock::now() > deadline) return false;
+            if (dispatched == 0) std::this_thread::sleep_for(std::chrono::microseconds(100));
+        }
+        return true;
+    }
+};
+
+struct SessionSample {
+    std::string mode;
+    std::size_t sessions = 0;
+    int server_threads = 0;
+    double commands_per_sec = 0;   ///< broadcast operations completed per second
+    double deliveries_per_sec = 0; ///< CommandDeliver frames applied per second
+};
+
+/// Runs `rounds` of every-session-broadcasts and measures end-to-end rate.
+bool run_one(SessionSample& sample, std::size_t sessions, bool legacy, std::size_t rounds) {
+    SessionRig rig;
+    if (!rig.build(sessions, legacy)) return false;
+    sample.mode = legacy ? "thread_per_connection" : "reactor";
+    sample.sessions = sessions;
+    sample.server_threads = rig.server_threads;
+
+    const std::vector<std::uint8_t> payload(kPayloadBytes, 0x5a);
+    const std::uint64_t expected_per_round =
+        static_cast<std::uint64_t>(sessions) * (kConnsPerSession - 1);
+
+    // Warm-up round (also proves the fan-out path before timing).
+    for (std::size_t s = 0; s < sessions; ++s) {
+        rig.apps[s * kConnsPerSession]->send_command("bench", payload);
+    }
+    if (!rig.pump_until([&] { return rig.delivered.load() >= expected_per_round; })) return false;
+
+    rig.delivered.store(0);
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t r = 0; r < rounds; ++r) {
+        for (std::size_t s = 0; s < sessions; ++s) {
+            rig.apps[s * kConnsPerSession]->send_command("bench", payload);
+        }
+        if (!rig.pump_until([&] { return rig.delivered.load() >= (r + 1) * expected_per_round; })) {
+            return false;
+        }
+    }
+    const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
+    sample.commands_per_sec = static_cast<double>(rounds * sessions) / elapsed.count();
+    sample.deliveries_per_sec = static_cast<double>(rounds * expected_per_round) / elapsed.count();
+
+    rig.mgr->quiesce();
+    const auto violations = rig.mgr->check_invariants();
+    for (const auto& v : violations) std::fprintf(stderr, "invariant: %s\n", v.c_str());
+    return violations.empty();
+}
+
+void write_json(const std::vector<SessionSample>& samples, const char* path) {
+    std::ofstream f(path);
+    f << "{\n  \"bench\": \"sessions\",\n  \"connections_per_session\": " << kConnsPerSession
+      << ",\n  \"payload_bytes\": " << kPayloadBytes << ",\n  \"dispatch_workers\": 4,\n  \"rows\": [\n";
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        const SessionSample& s = samples[i];
+        f << "    {\"mode\": \"" << s.mode << "\", \"sessions\": " << s.sessions
+          << ", \"connections\": " << s.sessions * kConnsPerSession
+          << ", \"server_threads\": " << s.server_threads
+          << ", \"commands_per_sec\": " << s.commands_per_sec
+          << ", \"deliveries_per_sec\": " << s.deliveries_per_sec << "}"
+          << (i + 1 < samples.size() ? "," : "") << "\n";
+    }
+    f << "  ]\n}\n";
+    std::printf("\nwrote %s\n", path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    }
+    const std::size_t rounds = smoke ? 20 : 200;
+
+    // Client channels share this process: warm the global client reactor so
+    // it never counts against a server's thread delta.
+    (void)net::Reactor::shared();
+
+    artifact_header("F6", "session-sharded server over a shared reactor",
+                    "constant transport+dispatch threads at any session count, vs "
+                    "thread-per-connection growth");
+    row("%-24s %-10s %-13s %-16s %-16s", "mode", "sessions", "srv_threads", "commands/s",
+        "deliveries/s");
+
+    std::vector<SessionSample> samples;
+    for (const bool legacy : {false, true}) {
+        for (const std::size_t sessions : {1u, 8u, 64u}) {
+            SessionSample sample;
+            if (!run_one(sample, sessions, legacy, rounds)) {
+                std::fprintf(stderr, "FAIL: %s run at %zu sessions did not complete\n",
+                             legacy ? "thread-per-connection" : "reactor", sessions);
+                return 1;
+            }
+            row("%-24s %-10zu %-13d %-16.0f %-16.0f", sample.mode.c_str(), sample.sessions,
+                sample.server_threads, sample.commands_per_sec, sample.deliveries_per_sec);
+            samples.push_back(sample);
+        }
+    }
+
+    write_json(samples, "BENCH_sessions.json");
+
+    // Sanity for the check harness: the reactor shape must be flat in S
+    // (workers + 1 reactor thread, whether the process hosts 1 session or
+    // 64), and the legacy shape must actually grow (it burns a transport
+    // thread per connection).
+    const SessionSample& reactor_1 = samples[0];
+    const SessionSample& reactor_64 = samples[2];
+    const SessionSample& legacy_1 = samples[3];
+    const SessionSample& legacy_64 = samples[5];
+    if (reactor_1.server_threads != reactor_64.server_threads) {
+        std::fprintf(stderr, "FAIL: reactor server threads grew with sessions (%d at 1, %d at 64)\n",
+                     reactor_1.server_threads, reactor_64.server_threads);
+        return 1;
+    }
+    if (legacy_64.server_threads <= legacy_1.server_threads) {
+        std::fprintf(stderr,
+                     "FAIL: thread-per-connection baseline did not grow with sessions "
+                     "(%d at 1, %d at 64) — is it really thread-per-connection?\n",
+                     legacy_1.server_threads, legacy_64.server_threads);
+        return 1;
+    }
+    std::printf("\nreactor server threads: %d at 1 session, %d at 64 sessions (constant)\n",
+                reactor_1.server_threads, reactor_64.server_threads);
+    std::printf("thread-per-connection baseline: %d at 1 session, %d at 64 sessions\n",
+                legacy_1.server_threads, legacy_64.server_threads);
+    return 0;
+}

@@ -74,11 +74,12 @@ client::CoApp::Done ack(const std::string& what) {
 
 int main(int argc, char** argv) {
     if (argc < 3) {
-        std::fprintf(stderr, "usage: %s <port> <user-name>\n", argv[0]);
+        std::fprintf(stderr, "usage: %s <port> <user-name> [session]\n", argv[0]);
         return 1;
     }
     const auto port = static_cast<std::uint16_t>(std::strtoul(argv[1], nullptr, 10));
     const std::string user = argv[2];
+    const std::string session = argc > 3 ? argv[3] : "";
 
     auto conn = net::tcp_connect("127.0.0.1", port);
     if (!conn.is_ok()) {
@@ -86,9 +87,10 @@ int main(int argc, char** argv) {
         return 1;
     }
     client::CoApp app{"shell", user, static_cast<UserId>(std::hash<std::string>{}(user) & 0xffff)};
-    app.connect(conn.value());
+    app.connect(conn.value(), session);
     while (!app.online()) conn.value()->poll_blocking(100);
-    std::printf("connected as instance %u (user %s). Type 'help'.\n", app.instance(), user.c_str());
+    std::printf("connected as instance %u (user %s, session %s). Type 'help'.\n", app.instance(),
+                user.c_str(), session.empty() ? "(default)" : session.c_str());
 
     std::string line;
     bool running = true;

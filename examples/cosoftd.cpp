@@ -1,12 +1,19 @@
 // cosoftd — a standalone COSOFT server daemon over TCP.
 //
-// Runs the central controller on a port; any number of CoApp clients (from
-// any process on the machine) can connect with net::tcp_connect and register.
-// This mirrors the deployment of the original system: one coordinator,
-// applications on workstations around it.
+// Runs the session-sharded central controller on a port: a SessionManager
+// hosting any number of named coupling sessions, created on demand as
+// clients register into them. This mirrors (and extends) the deployment of
+// the original system: one coordinator process, applications on
+// workstations around it — now serving many independent sessions at once.
 //
-// Usage: ./cosoftd [port] [--max-seconds N]
+// Threading: one private transport reactor owns every connection's socket
+// I/O, a small worker pool dispatches session traffic (serial per session,
+// concurrent across sessions), and the main thread only accepts. Thread
+// count is O(workers + 1), independent of connections and sessions.
+//
+// Usage: ./cosoftd [port] [--workers N] [--max-seconds N]
 //   port           listening port (default 7494; 0 = ephemeral, printed)
+//   --workers      dispatch worker threads (default 4)
 //   --max-seconds  optional self-termination for scripted runs
 #include <atomic>
 #include <chrono>
@@ -14,11 +21,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <thread>
-#include <vector>
 
+#include "cosoft/net/reactor.hpp"
 #include "cosoft/net/tcp.hpp"
-#include "cosoft/server/co_server.hpp"
+#include "cosoft/server/session_manager.hpp"
 
 using namespace cosoft;
 
@@ -33,58 +39,61 @@ void handle_signal(int) { g_stop.store(true); }
 int main(int argc, char** argv) {
     std::uint16_t port = 7494;
     long max_seconds = -1;
+    std::size_t workers = 4;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--max-seconds") == 0 && i + 1 < argc) {
             max_seconds = std::strtol(argv[++i], nullptr, 10);
+        } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+            workers = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
         } else {
             port = static_cast<std::uint16_t>(std::strtoul(argv[i], nullptr, 10));
         }
     }
+    if (workers == 0) workers = 1;  // inline mode needs a pump; always pool here
 
-    auto listener = net::TcpListener::create(port);
+    // A private reactor keeps the registered-fd invariant exact: every fd it
+    // owns is one of this server's connections.
+    auto reactor = net::Reactor::create();
+    net::ListenOptions listen_options;
+    listen_options.reactor = reactor;
+    auto listener = net::TcpListener::create(port, listen_options);
     if (!listener.is_ok()) {
         std::fprintf(stderr, "cosoftd: cannot listen on port %u: %s\n", port,
                      listener.error().message.c_str());
         return 1;
     }
-    std::printf("cosoftd: listening on 127.0.0.1:%u\n", listener.value()->port());
+    std::printf("cosoftd: listening on 127.0.0.1:%u (%zu workers + 1 reactor thread)\n",
+                listener.value()->port(), workers);
     std::fflush(stdout);
 
     std::signal(SIGINT, handle_signal);
     std::signal(SIGTERM, handle_signal);
 
-    server::CoServer server;
-    std::vector<std::shared_ptr<net::TcpChannel>> channels;
+    server::SessionManagerOptions options;
+    options.workers = workers;
+    options.reactor = reactor;
+    server::SessionManager manager(options);
+
     const auto start = std::chrono::steady_clock::now();
-    std::uint64_t last_reported_messages = 0;
+    std::uint64_t last_reported_frames = 0;
 
     while (!g_stop.load()) {
-        // Accept anything pending (non-blocking poll on the listen socket).
-        while (true) {
-            auto accepted = listener.value()->accept(/*timeout_ms=*/0);
-            if (!accepted.is_ok()) break;
-            const InstanceId id = server.attach(accepted.value());
-            channels.push_back(accepted.value());
+        // The accept loop is all this thread does: frames dispatch on the
+        // worker pool, socket I/O on the reactor.
+        auto accepted = listener.value()->accept(/*timeout_ms=*/200);
+        if (accepted.is_ok()) {
+            const InstanceId id = manager.attach(accepted.value());
             std::printf("cosoftd: connection accepted, pre-assigned instance %u\n", id);
             std::fflush(stdout);
         }
 
-        // Dispatch inbound frames on this (single) server thread.
-        std::size_t dispatched = 0;
-        for (auto& ch : channels) dispatched += ch->poll();
-
-        // Drop closed channels (CoServer already cleaned their state).
-        std::erase_if(channels, [](const auto& ch) { return !ch->connected(); });
-
-        if (dispatched == 0) std::this_thread::sleep_for(std::chrono::microseconds(500));
-
-        const auto& st = server.stats();
-        if (st.messages_received >= last_reported_messages + 1000) {
-            last_reported_messages = st.messages_received;
-            std::printf("cosoftd: %llu msgs in, %llu out, %zu connections, %zu couple links\n",
-                        static_cast<unsigned long long>(st.messages_received),
-                        static_cast<unsigned long long>(st.messages_sent), channels.size(),
-                        server.couples().link_count());
+        const std::uint64_t routed =
+            manager.registry().counter("cosoft_server_sessions_frames_routed_total").value();
+        if (routed >= last_reported_frames + 1000) {
+            last_reported_frames = routed;
+            std::printf("cosoftd: %llu frames routed, %zu connections, %zu sessions\n",
+                        static_cast<unsigned long long>(routed), manager.connection_count(),
+                        manager.session_count());
             std::fflush(stdout);
         }
         if (max_seconds >= 0 &&
@@ -93,10 +102,10 @@ int main(int argc, char** argv) {
         }
     }
 
-    const auto& st = server.stats();
-    std::printf("cosoftd: shutting down — %llu messages routed, %llu events broadcast, %llu locks granted\n",
-                static_cast<unsigned long long>(st.messages_received),
-                static_cast<unsigned long long>(st.events_broadcast),
-                static_cast<unsigned long long>(st.locks_granted));
+    std::printf("cosoftd: shutting down — %llu frames routed across %llu sessions created\n",
+                static_cast<unsigned long long>(
+                    manager.registry().counter("cosoft_server_sessions_frames_routed_total").value()),
+                static_cast<unsigned long long>(
+                    manager.registry().counter("cosoft_server_sessions_created_total").value()));
     return 0;
 }

@@ -43,15 +43,17 @@ fi
 if [ -n "$BENCH" ]; then
   # Reuse whatever generator build/ already has; a fresh tree gets the default.
   cmake -B build -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
-  cmake --build build --target bench_fanout
+  cmake --build build --target bench_fanout bench_sessions
   echo "=== bench smoke: ctest -L bench ==="
   # --no-tests=ignore: a tree without registered bench tests skips gracefully
   # instead of failing the gate.
   ctest --test-dir build -L bench --output-on-failure --no-tests=ignore
-  if [ -f build/bench/BENCH_fanout.json ]; then
-    echo "=== BENCH_fanout.json ==="
-    cat build/bench/BENCH_fanout.json
-  fi
+  for artifact in BENCH_fanout.json BENCH_sessions.json; do
+    if [ -f "build/bench/$artifact" ]; then
+      echo "=== $artifact ==="
+      cat "build/bench/$artifact"
+    fi
+  done
   exit 0
 fi
 

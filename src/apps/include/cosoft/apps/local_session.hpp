@@ -1,7 +1,10 @@
-// LocalSession: a complete in-process COSOFT session — one CoServer and any
-// number of CoApp clients wired through a deterministic SimNetwork. Used by
-// the examples, the test suite, and the benchmark harness; also convenient
-// for embedding a whole multi-user session in a single process.
+// LocalSession: a complete in-process COSOFT session — a SessionManager
+// hosting the pinned default coupling session and any number of CoApp
+// clients wired through a deterministic SimNetwork. The manager runs in
+// inline-dispatch mode (no workers), so everything stays single-threaded and
+// deterministic. Used by the examples, the test suite, and the benchmark
+// harness; also convenient for embedding a whole multi-user session in a
+// single process.
 #pragma once
 
 #include <memory>
@@ -12,7 +15,8 @@
 #include "cosoft/common/check.hpp"
 #include "cosoft/net/sim_network.hpp"
 #include "cosoft/protocol/conformance.hpp"
-#include "cosoft/server/co_server.hpp"
+#include "cosoft/server/co_server.hpp"  // CoServer compat spelling for embedders
+#include "cosoft/server/session_manager.hpp"
 
 namespace cosoft::apps {
 
@@ -30,7 +34,7 @@ class LocalSession {
     client::CoApp& add_app(const std::string& app_name, const std::string& user_name, UserId user) {
         auto app = std::make_unique<client::CoApp>(app_name, user_name, user);
         auto [client_end, server_end] = network_.make_pipe(pipe_);
-        server_.attach(server_end);
+        manager_.attach(server_end);
         std::shared_ptr<net::Channel> link = client_end;
         std::shared_ptr<protocol::ConformanceChecker> checker;
         if (conformance_) {
@@ -49,7 +53,10 @@ class LocalSession {
     void run() { network_.run_all(); }
 
     [[nodiscard]] net::SimNetwork& net() noexcept { return network_; }
-    [[nodiscard]] server::CoServer& server() noexcept { return server_; }
+    [[nodiscard]] server::SessionManager& manager() noexcept { return manager_; }
+    /// The default coupling session every added app joins (pinned: it
+    /// survives even when the last app leaves).
+    [[nodiscard]] server::CoSession& server() noexcept { return server_; }
     [[nodiscard]] client::CoApp& app(std::size_t i) { return *apps_.at(i); }
     [[nodiscard]] std::size_t app_count() const noexcept { return apps_.size(); }
 
@@ -96,7 +103,8 @@ class LocalSession {
     net::PipeConfig pipe_;
     bool conformance_ = checked_build();
     net::SimNetwork network_;
-    server::CoServer server_;
+    server::SessionManager manager_;
+    server::CoSession& server_ = manager_.default_session();
     std::vector<std::unique_ptr<client::CoApp>> apps_;
     std::vector<Pipe> ends_;
     std::vector<std::shared_ptr<protocol::ConformanceChecker>> checkers_;

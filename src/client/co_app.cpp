@@ -41,8 +41,9 @@ CoApp::~CoApp() {
     if (channel_) channel_->close();
 }
 
-void CoApp::connect(std::shared_ptr<net::Channel> channel) {
+void CoApp::connect(std::shared_ptr<net::Channel> channel, std::string session) {
     channel_ = std::move(channel);
+    session_ = std::move(session);
     channel_->on_receive([this](const protocol::Frame& frame) { handle_frame(frame); });
     channel_->on_close([this] {
         instance_ = kInvalidInstance;
@@ -69,7 +70,7 @@ void CoApp::connect(std::shared_ptr<net::Channel> channel) {
             if (pe.done) pe.done(Status{ErrorCode::kTransport, "server connection lost"});
         }
     });
-    send(Register{user_, user_name_, host_name_, app_name_});
+    send(Register{user_, user_name_, host_name_, app_name_, protocol::kProtocolVersion, session_});
 }
 
 void CoApp::send(const Message& msg) {

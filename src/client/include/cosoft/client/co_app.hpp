@@ -55,9 +55,12 @@ class CoApp {
     CoApp& operator=(const CoApp&) = delete;
     ~CoApp();
 
-    /// Attaches the channel to the central server and registers. With the
-    /// SimNetwork, run the event queue to complete registration.
-    void connect(std::shared_ptr<net::Channel> channel);
+    /// Attaches the channel to the central server and registers into
+    /// `session` ("" = the server's default session; a sharded server
+    /// creates the named session on demand). With the SimNetwork, run the
+    /// event queue to complete registration.
+    void connect(std::shared_ptr<net::Channel> channel, std::string session = {});
+    [[nodiscard]] const std::string& session() const noexcept { return session_; }
     [[nodiscard]] bool online() const noexcept {
         return instance_ != kInvalidInstance && channel_ != nullptr && channel_->connected();
     }
@@ -249,6 +252,7 @@ class CoApp {
     std::string app_name_;
     std::string user_name_;
     std::string host_name_;
+    std::string session_;  ///< coupling session named at connect() ("" = default)
     UserId user_;
 
     toolkit::WidgetTree tree_;

@@ -1,6 +1,10 @@
-// One explorable instance of a scenario: a CoServer, N CoApps, SimNetwork
-// pipes routed through a ScheduleController, and a ConformanceChecker on
-// every client connection. The explorer advances a World by applying
+// One explorable instance of a scenario: a SessionManager hosting the pinned
+// default session, N CoApps, SimNetwork pipes routed through a
+// ScheduleController, and a ConformanceChecker on every client connection.
+// The manager dispatches inline (no workers), so every frame delivery stays
+// a deterministic synchronous call chain under the controller's schedule —
+// exactly the property exploration relies on. The explorer advances a World
+// by applying
 // Choices; the World answers which choices exist, whether the state is
 // quiescent, what its canonical digest is, and whether any safety property
 // is currently violated.
@@ -22,7 +26,7 @@
 #include "cosoft/mc/trace.hpp"
 #include "cosoft/net/sim_network.hpp"
 #include "cosoft/protocol/conformance.hpp"
-#include "cosoft/server/co_server.hpp"
+#include "cosoft/server/session_manager.hpp"
 
 namespace cosoft::mc {
 
@@ -68,7 +72,8 @@ class World {
 
     [[nodiscard]] const Scenario& scenario() const noexcept { return scenario_; }
     [[nodiscard]] ScheduleController& controller() noexcept { return controller_; }
-    [[nodiscard]] server::CoServer& server() noexcept { return server_; }
+    [[nodiscard]] server::SessionManager& manager() noexcept { return manager_; }
+    [[nodiscard]] server::CoSession& server() noexcept { return server_; }
     [[nodiscard]] client::CoApp& app(int i) { return *apps_.at(static_cast<std::size_t>(i)); }
     [[nodiscard]] int app_count() const noexcept { return static_cast<int>(apps_.size()); }
     /// Endpoint labels, index-aligned with Choice::index for deliver/drop.
@@ -82,7 +87,8 @@ class World {
     Options options_;
     ScheduleController controller_;
     net::SimNetwork network_;
-    server::CoServer server_;
+    server::SessionManager manager_;
+    server::CoSession& server_ = manager_.default_session();
     std::vector<std::unique_ptr<client::CoApp>> apps_;
     std::vector<std::shared_ptr<net::SimChannel>> client_ends_;
     std::vector<std::shared_ptr<protocol::ConformanceChecker>> checkers_;

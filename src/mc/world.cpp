@@ -33,7 +33,7 @@ World::World(const Scenario& scenario, const Options& options) : scenario_(scena
         const std::string tag = "c" + std::to_string(i);
         controller_.register_endpoint(server_end, tag + "->srv");  // even index: into the server
         controller_.register_endpoint(client_end, "srv->" + tag);  // odd index: into client i
-        server_.attach(server_end);
+        manager_.attach(server_end);
 
         auto app = std::make_unique<client::CoApp>("app" + std::to_string(i), "user" + std::to_string(i),
                                                    static_cast<UserId>(i + 1));
@@ -128,6 +128,7 @@ std::pair<std::uint64_t, std::uint64_t> World::digest() const {
 std::vector<std::string> World::step_violations() const {
     std::vector<std::string> out;
     for (const std::string& s : server_.check_invariants()) out.push_back("invariants: " + s);
+    for (const std::string& s : manager_.check_invariants()) out.push_back("invariants: " + s);
     for (const auto& checker : checkers_) {
         for (const std::string& v : checker->violations()) out.push_back("conformance: " + v);
     }

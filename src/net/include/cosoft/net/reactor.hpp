@@ -1,0 +1,104 @@
+// A shared poll(2) reactor: one background thread owning the socket I/O of
+// any number of TcpChannels.
+//
+// The previous transport spent a reader thread and a writer thread per
+// connection — O(2·connections) threads, which dies long before "heavy
+// traffic from millions of users". The reactor inverts the ownership: every
+// channel registers its fd here, and a single loop thread multiplexes all of
+// them with poll(2) — nonblocking reads into each channel's inbox,
+// nonblocking writes draining each channel's bounded outbound queue. Server
+// thread count becomes O(worker shards + 1 reactor), independent of how many
+// clients are attached.
+//
+// Ownership and lifetime:
+//  - Channels register in their constructor and deregister in their
+//    destructor. remove() is a blocking handshake: it returns only after the
+//    loop thread has passed a safe point and will never touch the channel
+//    again, so a destructing channel cannot race its own I/O.
+//  - Reactor::shared() is the process-wide default instance (created lazily,
+//    one thread for the whole process). Servers that want the registered-fd
+//    invariant checked (see SessionManager) create a private reactor with
+//    Reactor::create() so client ends in the same process don't mix in.
+//  - A channel may never destruct on the reactor thread itself: handlers the
+//    loop invokes (receive in reactor-delivery mode, backpressure drain
+//    edges) must not drop the last reference to their channel.
+//
+// The loop wakes on I/O readiness, on the self-pipe (new channel, new
+// outbound data, close requests), and at least every kTickMs to enforce
+// drain deadlines on lingering closes.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cosoft::net {
+
+class TcpChannel;
+
+class Reactor {
+  public:
+    /// A fresh reactor with its own loop thread. Prefer this for servers:
+    /// a private reactor makes registered_count() == the server's own live
+    /// connections, which the checked builds assert.
+    [[nodiscard]] static std::shared_ptr<Reactor> create();
+
+    /// The process-wide default reactor (lazily created, never destroyed
+    /// before static teardown). Channels constructed without an explicit
+    /// reactor land here.
+    [[nodiscard]] static const std::shared_ptr<Reactor>& shared();
+
+    ~Reactor();
+    Reactor(const Reactor&) = delete;
+    Reactor& operator=(const Reactor&) = delete;
+
+    /// Channels currently registered with this reactor (== live fds owned by
+    /// the loop). The SessionManager's checked invariant compares this
+    /// against its live connection count.
+    [[nodiscard]] std::size_t registered_count() const;
+
+    /// Threads this reactor contributes to the process: always exactly one.
+    [[nodiscard]] static constexpr int thread_count() noexcept { return 1; }
+
+    /// True when the calling thread is this reactor's loop thread (handlers
+    /// running on the loop use this to avoid self-deadlocking handshakes).
+    [[nodiscard]] bool on_reactor_thread() const noexcept {
+        return std::this_thread::get_id() == thread_.get_id();
+    }
+
+  private:
+    friend class TcpChannel;
+
+    /// How long the loop sleeps in poll(2) when nothing is ready; bounds the
+    /// latency of drain-deadline enforcement and removal handshakes.
+    static constexpr int kTickMs = 20;
+
+    Reactor();
+
+    // Channel-facing API (TcpChannel only).
+    void add(TcpChannel* channel);
+    /// Blocks until the loop thread has dropped every reference to
+    /// `channel`. Must not be called from the reactor thread.
+    void remove(TcpChannel* channel);
+    /// Nudges the loop to re-derive poll interest (new outbound data, close
+    /// requested, abort). Cheap and safe from any thread.
+    void wake();
+
+    void loop();
+    void wake_locked();
+    void drain_wake_pipe();
+
+    mutable std::mutex mu_;
+    std::condition_variable removal_cv_;
+    std::vector<TcpChannel*> channels_;          ///< registered; loop snapshots under mu_
+    std::vector<TcpChannel*> pending_removals_;  ///< handshakes awaiting the loop's safe point
+    bool stop_ = false;
+    int wake_fds_[2] = {-1, -1};  ///< self-pipe: [0] polled by the loop, [1] written by wake()
+    bool wake_pending_ = false;   ///< coalesces wake() writes between loop iterations
+    std::thread thread_;
+};
+
+}  // namespace cosoft::net

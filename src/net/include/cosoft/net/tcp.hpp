@@ -1,33 +1,43 @@
 // Localhost TCP transport: the same Channel interface as SimNetwork pipes,
 // over real sockets. Frames are length-prefixed (4-byte little-endian size).
 //
-// Threading model: a background reader thread per channel enqueues complete
-// inbound frames and a background writer thread drains the bounded outbound
-// queue; the owner calls poll() to dispatch inbound frames on its own
-// thread, so all COSOFT logic stays single-threaded exactly as with
-// SimNetwork. send() only enqueues (sharing the Frame's refcounted payload)
-// and never blocks on the socket, so one stalled peer cannot stall the
-// sender's dispatch loop — the queue absorbs the skew and backpressure makes
-// it visible:
+// Threading model: all socket I/O for every TcpChannel runs on one shared
+// net::Reactor thread (poll(2) over the registered fds — see reactor.hpp),
+// so the transport costs O(1) threads no matter how many connections exist,
+// instead of the reader+writer pair per connection it used to spend. The
+// reactor enqueues complete inbound frames and drains the bounded outbound
+// queue with nonblocking writes; the owner calls poll() to dispatch inbound
+// frames on its own thread, so all COSOFT logic stays single-threaded
+// exactly as with SimNetwork. send() only enqueues (sharing the Frame's
+// refcounted payload) and never blocks on the socket, so one stalled peer
+// cannot stall the sender's dispatch loop — the queue absorbs the skew and
+// backpressure makes it visible:
 //
 //  - Crossing `high_watermark` queued bytes fires the backpressure handler
 //    with congested=true (once per onset; again with congested=false when
-//    the writer drains below half the watermark).
-//  - A send that would exceed `max_bytes` either blocks until the writer
+//    the reactor drains below half the watermark).
+//  - A send that would exceed `max_bytes` either blocks until the reactor
 //    frees space (OverflowPolicy::kBlock, the SimNetwork-like default) or
 //    fails the send and closes the channel (kDisconnect, fail-fast for
 //    servers that must not wait on a dead peer).
 //
 // Thread safety (verified by test_tcp_stress and test_backpressure under the
 // tsan preset): send(), poll()/poll_blocking(), and close() may each be
-// called from different threads concurrently; the writer thread serializes
-// frames on the wire, and the socket fd stays open until the destructor so a
-// racing close() never yanks it from under the reader or writer. Handlers
-// (receive/close/backpressure) and configure_send_queue() must be installed
-// before concurrent use begins, and the destructor must not race other calls
-// on the same object. The backpressure handler runs on whichever thread
-// detects the edge: the sending thread (onset, overflow) or the writer
-// thread (drain).
+// called from different threads concurrently; the reactor serializes frames
+// on the wire, and the socket fd stays open until the destructor so a racing
+// close() never yanks it from under the reactor. Handlers (receive/close/
+// backpressure) and configure_send_queue() must be installed before
+// concurrent use begins, and the destructor must not race other calls on the
+// same object. The backpressure handler runs on whichever thread detects the
+// edge: the sending thread (onset, overflow) or the reactor thread (drain) —
+// so it must never block on reactor-driven progress.
+//
+// Reactor delivery (enable_reactor_delivery): servers that shard dispatch
+// themselves (SessionManager) can opt a channel out of the poll() model and
+// have the receive handler invoked directly on the reactor thread as frames
+// complete. The handler must be cheap (enqueue-and-schedule); the close
+// handler then also fires on the reactor thread. poll()/poll_blocking() must
+// not be used on a channel in this mode.
 #pragma once
 
 #include <atomic>
@@ -38,15 +48,16 @@
 #include <memory>
 #include <mutex>
 #include <string>
-#include <thread>
+#include <vector>
 
 #include "cosoft/net/channel.hpp"
+#include "cosoft/net/reactor.hpp"
 
 namespace cosoft::net {
 
 /// What send() does when the outbound queue is at `max_bytes`.
 enum class OverflowPolicy : std::uint8_t {
-    kBlock,       ///< wait for the writer to free space (backpressure propagates to the caller)
+    kBlock,       ///< wait for the reactor to free space (backpressure propagates to the caller)
     kDisconnect,  ///< fail the send and close the channel (fail-fast)
 };
 
@@ -54,7 +65,7 @@ struct SendQueueOptions {
     std::size_t max_bytes = 8U << 20;       ///< hard cap on queued payload bytes
     std::size_t high_watermark = 2U << 20;  ///< backpressure-signal threshold
     OverflowPolicy overflow = OverflowPolicy::kBlock;
-    /// On close(), how long the writer may keep flushing already-accepted
+    /// On close(), how long the reactor may keep flushing already-accepted
     /// frames to a peer that is slow to read before giving up.
     int drain_timeout_ms = 5000;
 };
@@ -62,7 +73,7 @@ struct SendQueueOptions {
 class TcpChannel final : public Channel {
   public:
     /// congested=true when queued bytes cross the high watermark (or a
-    /// kDisconnect overflow fires), false when the writer drains below half
+    /// kDisconnect overflow fires), false when the reactor drains below half
     /// of it. `queued_bytes` is the occupancy at the edge.
     using BackpressureHandler = std::function<void(bool congested, std::size_t queued_bytes)>;
 
@@ -73,10 +84,10 @@ class TcpChannel final : public Channel {
     void on_close(CloseHandler handler) override { close_handler_ = std::move(handler); }
     [[nodiscard]] bool connected() const override { return connected_.load(std::memory_order_acquire); }
 
-    /// Stops accepting sends, lets the writer flush already-accepted frames
+    /// Stops accepting sends, lets the reactor flush already-accepted frames
     /// (bounded by SendQueueOptions::drain_timeout_ms), then completes the
     /// shutdown with a FIN. Never blocks the caller. While draining, the
-    /// reader keeps consuming (and discarding) inbound bytes — letting them
+    /// reactor keeps consuming (and discarding) inbound bytes — letting them
     /// rot in the kernel buffer closes our receive window and can wedge the
     /// whole connection, flush included, behind the peer's retransmit
     /// backoff.
@@ -97,55 +108,121 @@ class TcpChannel final : public Channel {
     /// elapsed. Returns the number of frames dispatched.
     std::size_t poll_blocking(int timeout_ms);
 
-  private:
-    friend class TcpListener;
-    friend Result<std::shared_ptr<TcpChannel>> tcp_connect(const std::string&, std::uint16_t);
+    /// Switches the channel to reactor delivery: the receive handler runs on
+    /// the reactor thread per completed frame (frames already buffered are
+    /// dispatched first, in order, on the calling thread), and the close
+    /// handler fires on the reactor thread once the peer is gone. Install
+    /// both handlers before calling this; do not use poll() afterwards.
+    void enable_reactor_delivery();
 
-    explicit TcpChannel(int fd);
-    void reader_loop();
-    /// Reads exactly `n` bytes, polling so abort requests interrupt a quiet
-    /// peer. 1 = ok, 0 = orderly EOF, -1 = error/abort.
-    int read_some(std::uint8_t* data, std::size_t n);
-    void writer_loop();
-    /// Writes one length-prefixed frame, polling so abort/drain-deadline
-    /// requests interrupt a stalled peer. False = give up (link is dead or
-    /// the drain budget ran out).
-    bool write_frame(const protocol::Frame& frame);
-    bool write_some(const std::uint8_t* data, std::size_t n);
+    /// The reactor whose loop thread owns this channel's socket I/O.
+    [[nodiscard]] const std::shared_ptr<Reactor>& reactor() const noexcept { return reactor_; }
+
+  private:
+    friend class Reactor;
+    friend class TcpListener;
+    friend Result<std::shared_ptr<TcpChannel>> tcp_connect(const std::string&, std::uint16_t,
+                                                           std::shared_ptr<Reactor>);
+
+    TcpChannel(int fd, std::shared_ptr<Reactor> reactor);
+
+    // --- Reactor-facing surface (loop thread only) ------------------------
+    [[nodiscard]] int fd() const noexcept { return fd_; }
+    /// Poll events the loop should watch this fd for (POLLIN while the read
+    /// side is open, POLLOUT while a write is pending).
+    [[nodiscard]] short poll_interest();
+    /// One reactor visit: reads while data is available, advances the
+    /// outbound flush, and enforces the drain deadline. Called every loop
+    /// iteration (revents may be 0 on a pure tick).
+    void service(short revents);
+
+    void handle_readable();
+    /// Inbound read side is finished (EOF, error, oversized frame, abort).
+    void fail_read_side();
+    void service_write();
+    /// Write side is finished without flushing (dead link, drain-deadline
+    /// give-up, abort): drops queued frames and releases dtor/sender waits.
+    void fail_write_side();
+    /// Hands one complete inbound frame to the inbox or, in reactor
+    /// delivery, straight to the receive handler.
+    void deliver_inbound(protocol::Frame frame);
+    /// In reactor delivery, reports the close from the loop thread once the
+    /// channel is down (same once-only contract as poll()).
+    void report_close_from_reactor();
     /// Immediate teardown (overflow kDisconnect): drops queued frames.
     void abort_close();
 
     int fd_;
+    std::shared_ptr<Reactor> reactor_;
     std::atomic<bool> connected_{true};
     std::atomic<bool> peer_gone_{false};
     std::atomic<bool> close_reported_{false};
-    std::thread reader_;
-    std::thread writer_;
-    std::mutex mu_;  ///< guards inbox_ and the receive-side stats
+    /// kDisconnect overflow: tear everything down at the next reactor visit.
+    std::atomic<bool> abort_{false};
+
+    std::mutex mu_;  ///< guards inbox_, reactor_delivery_, and the receive-side stats
     std::deque<protocol::Frame> inbox_;
+    bool reactor_delivery_ = false;
     ReceiveHandler receive_;
     CloseHandler close_handler_;
 
+    // Inbound parse state: reactor thread only.
+    bool read_open_ = true;
+    bool rx_in_payload_ = false;
+    std::uint8_t rx_header_[4] = {};
+    std::size_t rx_header_have_ = 0;
+    std::uint32_t rx_size_ = 0;
+    std::vector<std::uint8_t> rx_payload_;
+    std::size_t rx_payload_have_ = 0;
+
     SendQueueOptions send_opts_;
     BackpressureHandler backpressure_;
-    mutable std::mutex out_mu_;  ///< guards outbox_*, congested_, draining_, and send-side stats
-    std::condition_variable out_cv_;    ///< writer waits for work / drain / abort
-    std::condition_variable space_cv_;  ///< kBlock senders wait for queue space
+    mutable std::mutex out_mu_;  ///< guards outbox_*, congested_, flush_complete_, send-side stats
+    std::condition_variable space_cv_;    ///< kBlock senders wait for queue space
+    std::condition_variable flushed_cv_;  ///< destructor waits for the outbound flush to settle
     std::deque<protocol::Frame> outbox_;
     std::size_t outbox_bytes_ = 0;
     bool congested_ = false;
-    /// close() requested: flush, then shut down. Atomic because write_some()
-    /// checks it mid-frame without taking out_mu_; drain_deadline_ is written
-    /// once before the release store, so the acquire load orders the read.
+    /// The write side has reached its final state (drained + SHUT_WR, dead
+    /// link, deadline give-up, or abort); the destructor may proceed.
+    bool flush_complete_ = false;
+    /// close() requested: flush, then shut down. Atomic because the reactor
+    /// checks it without taking out_mu_; drain_deadline_ is written once
+    /// before the release store, so the acquire load orders the read.
     std::atomic<bool> draining_{false};
     std::chrono::steady_clock::time_point drain_deadline_{};
-    std::atomic<bool> writer_abort_{false};
+
+    // Outbound write state: reactor thread only.
+    bool wr_active_ = false;  ///< a frame is mid-write (popped from outbox_)
+    bool wr_shut_ = false;    ///< write side retired; never arm POLLOUT again
+    std::uint8_t wr_header_[4] = {};
+    std::size_t wr_off_ = 0;  ///< bytes of header+payload already written
+    protocol::Frame wr_frame_;
+};
+
+struct ListenOptions {
+    /// Pending-connection queue handed to ::listen. The old hardcoded 16
+    /// stays the default; accept-heavy servers should raise it.
+    int backlog = 16;
+    /// Set SO_REUSEADDR before bind (default on, as before) — but a failure
+    /// to set it now surfaces as an error instead of being ignored.
+    bool reuse_addr = true;
+    /// Reactor that accepted channels register with; nullptr means the
+    /// process-wide Reactor::shared(). Servers pass their own private
+    /// reactor so registered_count() tracks exactly their connections.
+    std::shared_ptr<Reactor> reactor;
+    /// Legacy baseline for benchmarks: give every accepted connection its
+    /// own dedicated reactor (one I/O thread per connection), overriding
+    /// `reactor`. This is the thread-per-connection cost model the shared
+    /// reactor replaced — measured against it in bench_sessions.
+    bool thread_per_connection = false;
 };
 
 class TcpListener {
   public:
     /// Binds and listens on 127.0.0.1:`port`; port 0 picks an ephemeral port.
-    static Result<std::unique_ptr<TcpListener>> create(std::uint16_t port);
+    static Result<std::unique_ptr<TcpListener>> create(std::uint16_t port,
+                                                       ListenOptions options = {});
     ~TcpListener();
 
     TcpListener(const TcpListener&) = delete;
@@ -157,12 +234,16 @@ class TcpListener {
     Result<std::shared_ptr<TcpChannel>> accept(int timeout_ms = -1);
 
   private:
-    TcpListener(int fd, std::uint16_t port) : fd_(fd), port_(port) {}
+    TcpListener(int fd, std::uint16_t port, ListenOptions options)
+        : fd_(fd), port_(port), options_(std::move(options)) {}
     int fd_;
     std::uint16_t port_;
+    ListenOptions options_;
 };
 
-/// Connects to 127.0.0.1:`port`.
-Result<std::shared_ptr<TcpChannel>> tcp_connect(const std::string& host, std::uint16_t port);
+/// Connects to 127.0.0.1:`port`. The channel registers with `reactor`
+/// (nullptr = the process-wide Reactor::shared()).
+Result<std::shared_ptr<TcpChannel>> tcp_connect(const std::string& host, std::uint16_t port,
+                                                std::shared_ptr<Reactor> reactor = nullptr);
 
 }  // namespace cosoft::net

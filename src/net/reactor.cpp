@@ -1,0 +1,126 @@
+#include "cosoft/net/reactor.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+
+#include "cosoft/common/check.hpp"
+#include "cosoft/net/tcp.hpp"
+
+namespace cosoft::net {
+
+std::shared_ptr<Reactor> Reactor::create() { return std::shared_ptr<Reactor>(new Reactor()); }
+
+const std::shared_ptr<Reactor>& Reactor::shared() {
+    static const std::shared_ptr<Reactor> instance = create();
+    return instance;
+}
+
+Reactor::Reactor() {
+    const int rc = ::pipe(wake_fds_);
+    CO_CHECK_MSG(rc == 0, "reactor self-pipe creation failed");
+    (void)rc;
+    for (int fd : wake_fds_) {
+        ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL, 0) | O_NONBLOCK);
+        ::fcntl(fd, F_SETFD, FD_CLOEXEC);
+    }
+    thread_ = std::thread([this] { loop(); });
+}
+
+Reactor::~Reactor() {
+    {
+        std::lock_guard lock{mu_};
+        stop_ = true;
+        wake_locked();
+    }
+    if (thread_.joinable()) thread_.join();
+    ::close(wake_fds_[0]);
+    ::close(wake_fds_[1]);
+}
+
+std::size_t Reactor::registered_count() const {
+    std::lock_guard lock{mu_};
+    return channels_.size();
+}
+
+void Reactor::add(TcpChannel* channel) {
+    std::lock_guard lock{mu_};
+    channels_.push_back(channel);
+    wake_locked();
+}
+
+void Reactor::remove(TcpChannel* channel) {
+    CO_CHECK_MSG(!on_reactor_thread(),
+                 "a channel may not deregister from the reactor's own thread");
+    std::unique_lock lock{mu_};
+    if (stop_ && !thread_.joinable()) {
+        // Static-teardown path: the loop is gone, nothing references the channel.
+        std::erase(channels_, channel);
+        return;
+    }
+    pending_removals_.push_back(channel);
+    wake_locked();
+    removal_cv_.wait(lock, [&] {
+        return std::find(pending_removals_.begin(), pending_removals_.end(), channel) ==
+               pending_removals_.end();
+    });
+}
+
+void Reactor::wake() {
+    std::lock_guard lock{mu_};
+    wake_locked();
+}
+
+void Reactor::wake_locked() {
+    if (wake_pending_) return;
+    wake_pending_ = true;
+    const char byte = 0;
+    // Nonblocking: if the pipe is somehow full, a wakeup is already pending.
+    (void)::write(wake_fds_[1], &byte, 1);
+}
+
+void Reactor::drain_wake_pipe() {
+    std::array<char, 64> sink{};
+    while (::read(wake_fds_[0], sink.data(), sink.size()) > 0) {
+    }
+}
+
+void Reactor::loop() {
+    std::vector<TcpChannel*> snapshot;
+    std::vector<pollfd> pfds;
+    for (;;) {
+        {
+            std::unique_lock lock{mu_};
+            if (!pending_removals_.empty()) {
+                // Safe point: no channel callback is on this thread's stack, so
+                // completing a removal here guarantees the destructing channel is
+                // never touched again.
+                for (TcpChannel* gone : pending_removals_) std::erase(channels_, gone);
+                pending_removals_.clear();
+                removal_cv_.notify_all();
+            }
+            if (stop_) return;
+            snapshot = channels_;
+            wake_pending_ = false;
+        }
+
+        pfds.clear();
+        pfds.push_back(pollfd{wake_fds_[0], POLLIN, 0});
+        for (TcpChannel* channel : snapshot) {
+            pfds.push_back(pollfd{channel->fd(), channel->poll_interest(), 0});
+        }
+        (void)::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), kTickMs);
+
+        if ((pfds[0].revents & POLLIN) != 0) drain_wake_pipe();
+        for (std::size_t i = 0; i < snapshot.size(); ++i) {
+            // service() also advances time-based state (drain deadlines), so
+            // every channel is visited each tick even with no revents.
+            snapshot[i]->service(pfds[i + 1].revents);
+        }
+    }
+}
+
+}  // namespace cosoft::net

@@ -1,6 +1,7 @@
 #include "cosoft/net/tcp.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -9,78 +10,280 @@
 
 #include <cerrno>
 #include <cstring>
+#include <thread>
 
 namespace cosoft::net {
 
-TcpChannel::TcpChannel(int fd) : fd_(fd) {
+namespace {
+
+constexpr std::uint32_t kMaxFrame = 64U << 20;
+
+/// Frames the reactor processes per channel per visit before yielding to the
+/// other registered fds: poll(2) is level-triggered, so leftover readiness is
+/// reported again on the next iteration. Keeps one firehose peer from
+/// starving everyone else on the shared loop thread.
+constexpr int kFramesPerVisit = 64;
+
+void set_nonblocking(int fd) { ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL, 0) | O_NONBLOCK); }
+
+}  // namespace
+
+TcpChannel::TcpChannel(int fd, std::shared_ptr<Reactor> reactor)
+    : fd_(fd), reactor_(std::move(reactor)) {
     int one = 1;
     ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-    reader_ = std::thread([this] { reader_loop(); });
-    writer_ = std::thread([this] { writer_loop(); });
+    // The reactor does all I/O nonblocking: a stalled peer must cost a
+    // skipped visit, never a blocked loop thread.
+    set_nonblocking(fd_);
+    reactor_->add(this);
 }
 
 TcpChannel::~TcpChannel() {
     close();
-    // The writer exits once the drain completes (bounded by the drain
-    // budget); only then may the reader stop consuming — its lingering reads
-    // are what keep a bursty peer from wedging our own flush.
-    if (writer_.joinable()) writer_.join();
-    ::shutdown(fd_, SHUT_RD);
-    if (reader_.joinable()) reader_.join();
-    // The fd is closed here, not in close(): the reader and writer threads
-    // may still be blocked on it when close() runs, and closing an fd in use
-    // by another thread invites fd-reuse corruption. shutdown() is what
-    // actually unblocks them.
+    // Wait for the reactor to settle the write side: flush within the drain
+    // budget, SHUT_WR, or give up on a dead/stalled peer. The read side
+    // keeps consuming (discarding) inbound bytes throughout — those
+    // lingering reads are what keep a bursty peer from wedging our own
+    // flush behind a closed receive window.
+    {
+        std::unique_lock lock{out_mu_};
+        flushed_cv_.wait(lock, [&] { return flush_complete_; });
+    }
+    // Blocking handshake: after remove() returns, the loop thread will never
+    // touch this channel (or its fd) again, so closing the fd here cannot
+    // race the reactor into fd-reuse corruption.
+    reactor_->remove(this);
     ::close(fd_);
 }
 
-int TcpChannel::read_some(std::uint8_t* data, std::size_t n) {
-    while (n > 0) {
-        if (writer_abort_.load(std::memory_order_acquire)) return -1;
-        pollfd pfd{fd_, POLLIN, 0};
-        const int ready = ::poll(&pfd, 1, 50);
-        if (ready < 0) {
-            if (errno == EINTR) continue;
-            return -1;
+// --------------------------------------------------------------------------
+// Reactor-facing surface (loop thread).
+
+short TcpChannel::poll_interest() {
+    short events = 0;
+    if (read_open_) events |= POLLIN;
+    if (!wr_shut_) {
+        bool want_write = wr_active_ || draining_.load(std::memory_order_acquire);
+        if (!want_write) {
+            const std::lock_guard lock{out_mu_};
+            want_write = !outbox_.empty();
         }
-        if (ready == 0) continue;  // quiet peer; re-check abort
-        const ssize_t r = ::recv(fd_, data, n, MSG_DONTWAIT);
-        if (r < 0) {
-            if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
-            return -1;
-        }
-        if (r == 0) return 0;  // orderly shutdown
-        data += r;
-        n -= static_cast<std::size_t>(r);
+        if (want_write) events |= POLLOUT;
     }
-    return 1;
+    return events;
 }
 
-void TcpChannel::reader_loop() {
-    for (;;) {
-        std::uint8_t size_buf[4];
-        if (read_some(size_buf, 4) <= 0) break;
-        const std::uint32_t size = static_cast<std::uint32_t>(size_buf[0]) |
-                                   (static_cast<std::uint32_t>(size_buf[1]) << 8) |
-                                   (static_cast<std::uint32_t>(size_buf[2]) << 16) |
-                                   (static_cast<std::uint32_t>(size_buf[3]) << 24);
-        constexpr std::uint32_t kMaxFrame = 64U << 20;
-        if (size > kMaxFrame) break;
-        std::vector<std::uint8_t> payload(size);
-        if (size > 0 && read_some(payload.data(), size) <= 0) break;
-        if (!connected_.load(std::memory_order_acquire)) continue;  // closing: drain and discard
+void TcpChannel::service(short revents) {
+    if (abort_.load(std::memory_order_acquire)) {
+        if (read_open_) fail_read_side();
+        if (!wr_shut_) fail_write_side();
+    } else {
+        if ((revents & (POLLIN | POLLHUP | POLLERR)) != 0) handle_readable();
+        service_write();
+    }
+    report_close_from_reactor();
+}
+
+void TcpChannel::handle_readable() {
+    if (!read_open_) return;
+    for (int frames = 0; frames < kFramesPerVisit; ++frames) {
+        while (rx_header_have_ < 4) {
+            const ssize_t r =
+                ::recv(fd_, rx_header_ + rx_header_have_, 4 - rx_header_have_, MSG_DONTWAIT);
+            if (r < 0) {
+                if (errno == EINTR) continue;
+                if (errno == EAGAIN || errno == EWOULDBLOCK) return;  // drained for now
+                fail_read_side();
+                return;
+            }
+            if (r == 0) {  // orderly shutdown
+                fail_read_side();
+                return;
+            }
+            rx_header_have_ += static_cast<std::size_t>(r);
+        }
+        if (!rx_in_payload_) {
+            rx_size_ = static_cast<std::uint32_t>(rx_header_[0]) |
+                       (static_cast<std::uint32_t>(rx_header_[1]) << 8) |
+                       (static_cast<std::uint32_t>(rx_header_[2]) << 16) |
+                       (static_cast<std::uint32_t>(rx_header_[3]) << 24);
+            if (rx_size_ > kMaxFrame) {
+                fail_read_side();
+                return;
+            }
+            rx_payload_.resize(rx_size_);
+            rx_payload_have_ = 0;
+            rx_in_payload_ = true;
+        }
+        while (rx_payload_have_ < rx_size_) {
+            const ssize_t r = ::recv(fd_, rx_payload_.data() + rx_payload_have_,
+                                     rx_size_ - rx_payload_have_, MSG_DONTWAIT);
+            if (r < 0) {
+                if (errno == EINTR) continue;
+                if (errno == EAGAIN || errno == EWOULDBLOCK) return;  // mid-frame; resume later
+                fail_read_side();
+                return;
+            }
+            if (r == 0) {
+                fail_read_side();
+                return;
+            }
+            rx_payload_have_ += static_cast<std::size_t>(r);
+        }
+        rx_in_payload_ = false;
+        rx_header_have_ = 0;
+        deliver_inbound(protocol::Frame{std::move(rx_payload_)});
+        rx_payload_ = {};
+    }
+}
+
+void TcpChannel::deliver_inbound(protocol::Frame frame) {
+    if (!connected_.load(std::memory_order_acquire)) return;  // closing: drain and discard
+    // Reactor-delivery dispatch holds mu_ so it cannot interleave with the
+    // buffered-frame drain inside enable_reactor_delivery(): frame order is
+    // preserved across the mode switch.
+    const std::lock_guard lock{mu_};
+    if (reactor_delivery_) {
+        frames_received_.inc();
+        bytes_received_.inc(frame.size());
+        if (receive_) receive_(frame);
+    } else {
+        inbox_.push_back(std::move(frame));
+    }
+}
+
+void TcpChannel::fail_read_side() {
+    read_open_ = false;
+    {
+        // Taken so a kBlock sender between its predicate check and its wait
+        // cannot miss the peer_gone_ wakeup.
+        const std::lock_guard lock{out_mu_};
+        peer_gone_.store(true, std::memory_order_release);
+    }
+    space_cv_.notify_all();
+}
+
+void TcpChannel::service_write() {
+    if (wr_shut_) return;
+    const bool draining = draining_.load(std::memory_order_acquire);
+    if (draining && std::chrono::steady_clock::now() >= drain_deadline_) {
+        bool done;
         {
-            const std::lock_guard lock{mu_};
-            inbox_.emplace_back(std::move(payload));
+            const std::lock_guard lock{out_mu_};
+            done = !wr_active_ && outbox_.empty();
+        }
+        if (!done) {
+            // The drain budget ran out on a peer that stopped reading:
+            // remaining queued frames are dropped, and the owner learns
+            // through the (poll-reported) close.
+            fail_write_side();
+            return;
         }
     }
-    peer_gone_.store(true, std::memory_order_release);
+    for (int frames = 0; frames < kFramesPerVisit; ++frames) {
+        if (!wr_active_) {
+            bool decongested = false;
+            std::size_t queued = 0;
+            {
+                const std::lock_guard lock{out_mu_};
+                if (outbox_.empty()) {
+                    if (draining && !flush_complete_) {
+                        // Everything accepted has been flushed; tell the peer
+                        // we are done and retire the write side.
+                        ::shutdown(fd_, SHUT_WR);
+                        wr_shut_ = true;
+                        flush_complete_ = true;
+                    }
+                } else {
+                    wr_frame_ = std::move(outbox_.front());
+                    outbox_.pop_front();
+                    outbox_bytes_ -= wr_frame_.size();
+                    queued = outbox_bytes_;
+                    if (congested_ && outbox_bytes_ <= send_opts_.high_watermark / 2) {
+                        congested_ = false;
+                        decongested = true;
+                    }
+                    const auto size = static_cast<std::uint32_t>(wr_frame_.size());
+                    wr_header_[0] = static_cast<std::uint8_t>(size);
+                    wr_header_[1] = static_cast<std::uint8_t>(size >> 8);
+                    wr_header_[2] = static_cast<std::uint8_t>(size >> 16);
+                    wr_header_[3] = static_cast<std::uint8_t>(size >> 24);
+                    wr_off_ = 0;
+                    wr_active_ = true;
+                }
+            }
+            if (wr_shut_) {
+                flushed_cv_.notify_all();
+                return;
+            }
+            space_cv_.notify_all();
+            if (decongested && backpressure_) backpressure_(false, queued);
+            if (!wr_active_) return;  // queue empty, not draining: nothing to do
+        }
+        while (wr_off_ < 4 + wr_frame_.size()) {
+            const std::uint8_t* data;
+            std::size_t n;
+            if (wr_off_ < 4) {
+                data = wr_header_ + wr_off_;
+                n = 4 - wr_off_;
+            } else {
+                data = wr_frame_.data() + (wr_off_ - 4);
+                n = wr_frame_.size() - (wr_off_ - 4);
+            }
+            const ssize_t w = ::send(fd_, data, n, MSG_NOSIGNAL | MSG_DONTWAIT);
+            if (w < 0) {
+                if (errno == EINTR) continue;
+                if (errno == EAGAIN || errno == EWOULDBLOCK) return;  // POLLOUT stays armed
+                fail_write_side();
+                return;
+            }
+            wr_off_ += static_cast<std::size_t>(w);
+        }
+        wr_active_ = false;
+        wr_frame_ = protocol::Frame{};  // release the payload refcount promptly
+    }
 }
+
+void TcpChannel::fail_write_side() {
+    wr_shut_ = true;
+    wr_active_ = false;
+    wr_frame_ = protocol::Frame{};
+    ::shutdown(fd_, SHUT_RDWR);
+    {
+        const std::lock_guard lock{out_mu_};
+        outbox_.clear();
+        outbox_bytes_ = 0;
+        flush_complete_ = true;
+        peer_gone_.store(true, std::memory_order_release);
+    }
+    space_cv_.notify_all();
+    flushed_cv_.notify_all();
+}
+
+void TcpChannel::report_close_from_reactor() {
+    bool down;
+    {
+        const std::lock_guard lock{mu_};
+        if (!reactor_delivery_) return;
+        down = (peer_gone_.load(std::memory_order_acquire) ||
+                !connected_.load(std::memory_order_acquire)) &&
+               inbox_.empty();
+    }
+    if (!down) return;
+    bool expected = false;
+    if (close_reported_.compare_exchange_strong(expected, true, std::memory_order_acq_rel)) {
+        if (close_handler_) close_handler_();
+    }
+}
+
+// --------------------------------------------------------------------------
+// Owner-facing surface.
 
 Status TcpChannel::send(protocol::Frame frame) {
     if (!connected()) return Status{ErrorCode::kTransport, "channel closed"};
     const std::size_t size = frame.size();
     bool onset = false;
+    bool was_idle = false;
     std::size_t queued = 0;
     {
         std::unique_lock lock{out_mu_};
@@ -95,22 +298,23 @@ Status TcpChannel::send(protocol::Frame frame) {
                 abort_close();
                 return Status{ErrorCode::kTransport, "outbound queue overflow"};
             }
-            // kBlock: the caller absorbs the backpressure until the writer
+            // kBlock: the caller absorbs the backpressure until the reactor
             // frees space (or the channel dies under us).
             space_cv_.wait(lock, [&] {
                 return outbox_bytes_ + size <= send_opts_.max_bytes || outbox_.empty() ||
                        !connected_.load(std::memory_order_acquire) ||
                        peer_gone_.load(std::memory_order_acquire) ||
-                       writer_abort_.load(std::memory_order_acquire);
+                       abort_.load(std::memory_order_acquire);
             });
             if (!connected_.load(std::memory_order_acquire) ||
-                writer_abort_.load(std::memory_order_acquire)) {
+                abort_.load(std::memory_order_acquire)) {
                 return Status{ErrorCode::kTransport, "channel closed"};
             }
             if (peer_gone_.load(std::memory_order_acquire)) {
                 return Status{ErrorCode::kTransport, "peer gone"};
             }
         }
+        was_idle = outbox_.empty();
         outbox_.push_back(std::move(frame));
         outbox_bytes_ += size;
         frames_sent_.inc();
@@ -123,86 +327,11 @@ Status TcpChannel::send(protocol::Frame frame) {
             queued = outbox_bytes_;
         }
     }
-    out_cv_.notify_one();
+    // Only the empty→nonempty edge needs a wakeup: with frames already
+    // queued the reactor has POLLOUT armed and will keep draining.
+    if (was_idle) reactor_->wake();
     if (onset && backpressure_) backpressure_(true, queued);
     return Status::ok();
-}
-
-void TcpChannel::writer_loop() {
-    for (;;) {
-        protocol::Frame frame;
-        bool decongested = false;
-        std::size_t queued = 0;
-        {
-            std::unique_lock lock{out_mu_};
-            out_cv_.wait(lock, [&] {
-                return !outbox_.empty() || draining_.load(std::memory_order_acquire) ||
-                       writer_abort_.load(std::memory_order_acquire);
-            });
-            if (writer_abort_.load(std::memory_order_acquire)) return;
-            if (outbox_.empty()) {
-                // draining_ with an empty queue: everything accepted has been
-                // flushed; tell the peer we are done and retire.
-                ::shutdown(fd_, SHUT_WR);
-                return;
-            }
-            frame = std::move(outbox_.front());
-            outbox_.pop_front();
-            outbox_bytes_ -= frame.size();
-            queued = outbox_bytes_;
-            if (congested_ && outbox_bytes_ <= send_opts_.high_watermark / 2) {
-                congested_ = false;
-                decongested = true;
-            }
-        }
-        space_cv_.notify_all();
-        if (decongested && backpressure_) backpressure_(false, queued);
-        if (!write_frame(frame)) {
-            // Link dead, aborted, or the drain budget ran out on a peer that
-            // stopped reading: remaining queued frames are dropped, and the
-            // owner learns through the (poll-reported) close.
-            peer_gone_.store(true, std::memory_order_release);
-            ::shutdown(fd_, SHUT_RDWR);
-            space_cv_.notify_all();
-            return;
-        }
-    }
-}
-
-bool TcpChannel::write_frame(const protocol::Frame& frame) {
-    std::uint8_t size_buf[4];
-    const auto size = static_cast<std::uint32_t>(frame.size());
-    size_buf[0] = static_cast<std::uint8_t>(size);
-    size_buf[1] = static_cast<std::uint8_t>(size >> 8);
-    size_buf[2] = static_cast<std::uint8_t>(size >> 16);
-    size_buf[3] = static_cast<std::uint8_t>(size >> 24);
-    if (!write_some(size_buf, 4)) return false;
-    return frame.empty() || write_some(frame.data(), frame.size());
-}
-
-bool TcpChannel::write_some(const std::uint8_t* data, std::size_t n) {
-    while (n > 0) {
-        if (writer_abort_.load(std::memory_order_acquire)) return false;
-        if (draining_.load(std::memory_order_acquire) &&
-            std::chrono::steady_clock::now() >= drain_deadline_) {
-            return false;
-        }
-        pollfd pfd{fd_, POLLOUT, 0};
-        const int ready = ::poll(&pfd, 1, 50);
-        if (ready < 0) {
-            if (errno == EINTR) continue;
-            return false;
-        }
-        if (ready == 0) continue;  // not writable yet; re-check abort/deadline
-        const ssize_t w = ::send(fd_, data, n, MSG_NOSIGNAL | MSG_DONTWAIT);
-        if (w < 0) {
-            if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
-            return false;
-        }
-        data += w;
-        n -= static_cast<std::size_t>(w);
-    }
-    return true;
 }
 
 std::size_t TcpChannel::outbound_queued_frames() const {
@@ -233,7 +362,7 @@ std::size_t TcpChannel::poll() {
     if ((peer_gone_.load(std::memory_order_acquire) ||
          !connected_.load(std::memory_order_acquire)) &&
         batch.empty()) {
-        // peer_gone_ is set after the reader's final enqueue, so once it is
+        // peer_gone_ is set after the reactor's final enqueue, so once it is
         // visible the inbox can only shrink: an empty inbox here means every
         // frame has been dispatched and the close may be reported.
         bool drained;
@@ -263,39 +392,67 @@ std::size_t TcpChannel::poll_blocking(int timeout_ms) {
     }
 }
 
+void TcpChannel::enable_reactor_delivery() {
+    const std::lock_guard lock{mu_};
+    reactor_delivery_ = true;
+    // Frames that raced in before the switch drain here, under mu_, so the
+    // reactor (blocked on mu_ in deliver_inbound) cannot reorder around them.
+    while (!inbox_.empty()) {
+        protocol::Frame frame = std::move(inbox_.front());
+        inbox_.pop_front();
+        frames_received_.inc();
+        bytes_received_.inc(frame.size());
+        if (receive_) receive_(frame);
+    }
+}
+
 void TcpChannel::close() {
     if (connected_.exchange(false, std::memory_order_acq_rel)) {
-        // Outbound drains: the writer flushes already-accepted frames within
+        // Outbound drains: the reactor flushes already-accepted frames within
         // the drain budget, then completes the shutdown with SHUT_WR. The
-        // reader keeps consuming (discarding) inbound bytes meanwhile — see
-        // the header comment — and stops at the peer's FIN or when the
-        // destructor shuts the read side down after the writer retires.
+        // read side keeps consuming (discarding) inbound bytes meanwhile —
+        // see the header comment — and stops at the peer's FIN or when the
+        // destructor deregisters the fd after the flush settles.
         drain_deadline_ = std::chrono::steady_clock::now() +
                           std::chrono::milliseconds(send_opts_.drain_timeout_ms);
         draining_.store(true, std::memory_order_release);
-        out_cv_.notify_all();
         space_cv_.notify_all();
+        reactor_->wake();
     }
 }
 
 void TcpChannel::abort_close() {
-    writer_abort_.store(true, std::memory_order_release);
+    abort_.store(true, std::memory_order_release);
     connected_.store(false, std::memory_order_release);
+    // shutdown (not close) is safe while the reactor polls the fd: the fd
+    // number stays valid until the destructor's deregistration.
     ::shutdown(fd_, SHUT_RDWR);
-    out_cv_.notify_all();
     space_cv_.notify_all();
+    reactor_->wake();
 }
 
-Result<std::unique_ptr<TcpListener>> TcpListener::create(std::uint16_t port) {
+// --------------------------------------------------------------------------
+// Listener / connect.
+
+Result<std::unique_ptr<TcpListener>> TcpListener::create(std::uint16_t port,
+                                                         ListenOptions options) {
     const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd < 0) return Error{ErrorCode::kTransport, std::strerror(errno)};
-    int one = 1;
-    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    if (options.reuse_addr) {
+        int one = 1;
+        if (::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one) < 0) {
+            const Error err{ErrorCode::kTransport,
+                            std::string{"SO_REUSEADDR: "} + std::strerror(errno)};
+            ::close(fd);
+            return err;
+        }
+    }
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
     addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
     addr.sin_port = htons(port);
-    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0 || ::listen(fd, 16) < 0) {
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0 ||
+        ::listen(fd, options.backlog) < 0) {
         const Error err{ErrorCode::kTransport, std::strerror(errno)};
         ::close(fd);
         return err;
@@ -306,7 +463,8 @@ Result<std::unique_ptr<TcpListener>> TcpListener::create(std::uint16_t port) {
         ::close(fd);
         return err;
     }
-    return std::unique_ptr<TcpListener>(new TcpListener(fd, ntohs(addr.sin_port)));
+    return std::unique_ptr<TcpListener>(
+        new TcpListener(fd, ntohs(addr.sin_port), std::move(options)));
 }
 
 TcpListener::~TcpListener() { ::close(fd_); }
@@ -318,10 +476,15 @@ Result<std::shared_ptr<TcpChannel>> TcpListener::accept(int timeout_ms) {
     if (ready == 0) return Error{ErrorCode::kTransport, "accept timeout"};
     const int conn = ::accept(fd_, nullptr, nullptr);
     if (conn < 0) return Error{ErrorCode::kTransport, std::strerror(errno)};
-    return std::shared_ptr<TcpChannel>(new TcpChannel(conn));
+    std::shared_ptr<Reactor> reactor =
+        options_.thread_per_connection
+            ? Reactor::create()
+            : (options_.reactor ? options_.reactor : Reactor::shared());
+    return std::shared_ptr<TcpChannel>(new TcpChannel(conn, std::move(reactor)));
 }
 
-Result<std::shared_ptr<TcpChannel>> tcp_connect(const std::string& host, std::uint16_t port) {
+Result<std::shared_ptr<TcpChannel>> tcp_connect(const std::string& host, std::uint16_t port,
+                                                std::shared_ptr<Reactor> reactor) {
     const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd < 0) return Error{ErrorCode::kTransport, std::strerror(errno)};
     sockaddr_in addr{};
@@ -336,7 +499,8 @@ Result<std::shared_ptr<TcpChannel>> tcp_connect(const std::string& host, std::ui
         ::close(fd);
         return err;
     }
-    return std::shared_ptr<TcpChannel>(new TcpChannel(fd));
+    if (!reactor) reactor = Reactor::shared();
+    return std::shared_ptr<TcpChannel>(new TcpChannel(fd, std::move(reactor)));
 }
 
 }  // namespace cosoft::net

@@ -128,12 +128,20 @@ void ConformanceChecker::check_client_to_server(const Message& msg) {
     }
     const MessageRule& rule = message_rules()[msg.index()];
     if (const auto* reg = std::get_if<Register>(&msg)) {
-        (void)reg;
         if (registered_) {
             violation(dir, msg, "Register after registration already completed");
             return;
         }
-        register_sent_ = true;  // retries before RegisterAck are legal
+        // Retries before RegisterAck are legal, but a connection belongs to
+        // exactly one session: naming a different one mid-handshake would
+        // make the server's routing ambiguous.
+        if (register_sent_ && reg->session != session_) {
+            violation(dir, msg, "Register retry names a different session ('" + session_ +
+                                    "' then '" + reg->session + "')");
+            return;
+        }
+        session_ = reg->session;
+        register_sent_ = true;
         return;
     }
     if (rule.needs_registration && !registered_) {
@@ -283,6 +291,7 @@ void ConformanceChecker::fingerprint(ByteWriter& w) const {
     w.boolean(register_sent_);
     w.boolean(registered_);
     w.boolean(unregister_sent_);
+    w.str(session_);
     w.u64(violations_.size());
 
     const auto write_sorted = [&w](const auto& map, const auto& value_of) {

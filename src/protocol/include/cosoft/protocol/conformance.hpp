@@ -64,6 +64,9 @@ class ConformanceChecker {
     [[nodiscard]] const std::vector<std::string>& violations() const noexcept { return violations_; }
     [[nodiscard]] std::size_t frames_observed() const noexcept { return frames_observed_; }
     [[nodiscard]] const std::string& label() const noexcept { return label_; }
+    /// Session named by the connection's Register ("" before the handshake
+    /// or for the default session).
+    [[nodiscard]] const std::string& session() const noexcept { return session_; }
 
     /// Canonical serialization of the checker state (cosoft-mc state hash:
     /// two interleavings only merge when the checker would also behave
@@ -91,6 +94,7 @@ class ConformanceChecker {
     bool register_sent_ = false;
     bool registered_ = false;       ///< RegisterAck observed
     bool unregister_sent_ = false;
+    std::string session_;           ///< session named by the first Register
 
     std::unordered_map<ActionId, Expect> outstanding_;       ///< client requests awaiting a response
     std::unordered_map<ActionId, LockPhase> own_actions_;    ///< client's floor-control actions

@@ -78,8 +78,9 @@ struct RegistrationRecord {
 // --- session ---------------------------------------------------------------
 
 /// Wire protocol version; the server refuses registrations from clients
-/// built against a different revision.
-inline constexpr std::uint32_t kProtocolVersion = 1;
+/// built against a different revision. v2 added session scoping: Register
+/// names the session to join, and status messages carry per-session rows.
+inline constexpr std::uint32_t kProtocolVersion = 2;
 
 struct Register {
     UserId user = kInvalidUser;
@@ -87,6 +88,10 @@ struct Register {
     std::string host_name;
     std::string app_name;
     std::uint32_t version = kProtocolVersion;
+    /// Named coupling session to join; the server creates it on first join.
+    /// Empty selects the default session — a single-session deployment never
+    /// has to mention sessions at all.
+    std::string session;
     friend bool operator==(const Register&, const Register&) = default;
 };
 
@@ -355,7 +360,20 @@ struct ConnectionStatus {
     std::uint64_t backpressure_events = 0;
     std::uint64_t send_queue_peak_bytes = 0;
     std::uint64_t queued_frames = 0;  ///< outbound frames not yet on the wire
+    std::string session;              ///< session this connection is joined to ("" until registered)
     friend bool operator==(const ConnectionStatus&, const ConnectionStatus&) = default;
+};
+
+/// Per-session rollup inside a StatusReport: one row per live coupling
+/// session hosted by the (sharded) server process.
+struct SessionStatus {
+    std::string name;  ///< "" is the default session
+    std::uint32_t connections = 0;
+    std::uint32_t registered = 0;   ///< connections past the Register handshake
+    std::uint64_t locks_held = 0;
+    std::uint64_t broadcasts = 0;   ///< events fanned out by this session
+    std::uint64_t couples = 0;      ///< live couple edges in the session's graph
+    friend bool operator==(const SessionStatus&, const SessionStatus&) = default;
 };
 
 /// Asks a live server for its metrics-registry snapshot. Allowed before
@@ -370,6 +388,7 @@ struct StatusReport {
     ActionId request = 0;
     std::string metrics_text;  ///< the registry in Prometheus text exposition
     std::vector<ConnectionStatus> connections;
+    std::vector<SessionStatus> sessions;  ///< per-session breakdown (sharded servers)
     friend bool operator==(const StatusReport&, const StatusReport&) = default;
 };
 

@@ -73,6 +73,7 @@ struct Encoder {
         w.str(m.host_name);
         w.str(m.app_name);
         w.u32(m.version);
+        w.str(m.session);
     }
     void operator()(const RegisterAck& m) { w.u32(m.instance); }
     void operator()(const Unregister&) {}
@@ -227,6 +228,16 @@ struct Encoder {
             w.u64(c.backpressure_events);
             w.u64(c.send_queue_peak_bytes);
             w.u64(c.queued_frames);
+            w.str(c.session);
+        }
+        w.u32(static_cast<std::uint32_t>(m.sessions.size()));
+        for (const SessionStatus& s : m.sessions) {
+            w.str(s.name);
+            w.u32(s.connections);
+            w.u32(s.registered);
+            w.u64(s.locks_held);
+            w.u64(s.broadcasts);
+            w.u64(s.couples);
         }
     }
 };
@@ -292,6 +303,7 @@ Result<Message> decode_body(ByteReader& r) {
             m.host_name = r.str();
             m.app_name = r.str();
             m.version = r.u32();
+            m.session = r.str();
             msg = std::move(m);
             break;
         }
@@ -556,7 +568,20 @@ Result<Message> decode_body(ByteReader& r) {
                 c.backpressure_events = r.u64();
                 c.send_queue_peak_bytes = r.u64();
                 c.queued_frames = r.u64();
+                c.session = r.str();
                 m.connections.push_back(std::move(c));
+            }
+            const std::uint32_t ns = r.u32();
+            m.sessions.reserve(std::min<std::uint32_t>(ns, 4096));
+            for (std::uint32_t i = 0; i < ns && r.ok(); ++i) {
+                SessionStatus s;
+                s.name = r.str();
+                s.connections = r.u32();
+                s.registered = r.u32();
+                s.locks_held = r.u64();
+                s.broadcasts = r.u64();
+                s.couples = r.u64();
+                m.sessions.push_back(std::move(s));
             }
             msg = std::move(m);
             break;

@@ -1,4 +1,4 @@
-#include "cosoft/server/co_server.hpp"
+#include "cosoft/server/co_session.hpp"
 
 #include <algorithm>
 #include <tuple>
@@ -18,7 +18,7 @@ std::vector<double> stage_bounds() { return obs::Histogram::exponential_buckets(
 
 }  // namespace
 
-CoServer::Metrics::Metrics(obs::Registry& r)
+CoSession::Metrics::Metrics(obs::Registry& r)
     : messages_received(r.counter("cosoft_server_messages_received_total")),
       messages_sent(r.counter("cosoft_server_messages_sent_total")),
       malformed_frames(r.counter("cosoft_server_malformed_frames_total")),
@@ -38,7 +38,7 @@ CoServer::Metrics::Metrics(obs::Registry& r)
       stage_ack_us(r.histogram("cosoft_server_stage_ack_us", stage_bounds())),
       stage_copy_us(r.histogram("cosoft_server_stage_copy_us", stage_bounds())) {}
 
-ServerStats CoServer::stats() const noexcept {
+ServerStats CoSession::stats() const noexcept {
     ServerStats s;
     s.messages_received = metrics_.messages_received.value();
     s.messages_sent = metrics_.messages_sent.value();
@@ -57,7 +57,7 @@ ServerStats CoServer::stats() const noexcept {
     return s;
 }
 
-InstanceId CoServer::attach(std::shared_ptr<net::Channel> channel) {
+InstanceId CoSession::attach(std::shared_ptr<net::Channel> channel) {
     const InstanceId id = next_instance_++;
     Conn conn;
     conn.channel = std::move(channel);
@@ -69,12 +69,35 @@ InstanceId CoServer::attach(std::shared_ptr<net::Channel> channel) {
     return id;
 }
 
-void CoServer::detach(InstanceId instance) {
+void CoSession::adopt(InstanceId instance, std::shared_ptr<net::Channel> channel) {
+    // Manager-assigned ids are allocated process-wide; keep next_instance_
+    // strictly above every adopted id so the id < next_instance_ invariant
+    // (and any future attach()) stays sound.
+    next_instance_ = std::max(next_instance_, instance + 1);
+    Conn conn;
+    conn.channel = std::move(channel);
+    conn.record.instance = instance;
+    conns_.emplace(instance, std::move(conn));
+    CO_CHECK_INVARIANTS(*this);
+}
+
+void CoSession::detach(InstanceId instance) {
     cleanup(instance);
     CO_CHECK_INVARIANTS(*this);
 }
 
-std::vector<RegistrationRecord> CoServer::registrations() const {
+protocol::SessionStatus CoSession::session_status() const {
+    protocol::SessionStatus s;
+    s.name = name_;
+    s.connections = static_cast<std::uint32_t>(conns_.size());
+    s.registered = static_cast<std::uint32_t>(registered_count());
+    s.locks_held = locks_.locked_count();
+    s.broadcasts = metrics_.events_broadcast.value();
+    s.couples = graph_.link_count();
+    return s;
+}
+
+std::vector<RegistrationRecord> CoSession::registrations() const {
     std::vector<RegistrationRecord> out;
     for (const auto& [id, conn] : conns_) {
         if (conn.registered) out.push_back(conn.record);
@@ -84,7 +107,7 @@ std::vector<RegistrationRecord> CoServer::registrations() const {
     return out;
 }
 
-void CoServer::handle_frame(InstanceId from, const protocol::Frame& frame) {
+void CoSession::handle_frame(InstanceId from, const protocol::Frame& frame) {
     metrics_.messages_received.inc();
     auto decoded = decode_frame(frame);
     if (!decoded) {
@@ -142,7 +165,7 @@ void CoServer::handle_frame(InstanceId from, const protocol::Frame& frame) {
     CO_CHECK_INVARIANTS(*this);
 }
 
-std::vector<std::string> CoServer::check_invariants() const {
+std::vector<std::string> CoSession::check_invariants() const {
     std::vector<std::string> out;
     const auto merge = [&out](std::vector<std::string> violations) {
         out.insert(out.end(), std::make_move_iterator(violations.begin()),
@@ -249,12 +272,12 @@ std::vector<std::string> CoServer::check_invariants() const {
     return out;
 }
 
-void CoServer::send(InstanceId to, const Message& msg) {
+void CoSession::send(InstanceId to, const Message& msg) {
     if (!conns_.contains(to)) return;
     send_frame(to, encode_message(msg, current_trace_), message_name(msg));
 }
 
-void CoServer::broadcast(const std::vector<InstanceId>& recipients, const Message& msg) {
+void CoSession::broadcast(const std::vector<InstanceId>& recipients, const Message& msg) {
     // Filter to live connections *before* encoding: every encode must fan
     // out to at least one queue, so broadcast_encodes <= frames_fanned_out
     // holds exactly (checked by the cross-counter invariants).
@@ -276,7 +299,7 @@ void CoServer::broadcast(const std::vector<InstanceId>& recipients, const Messag
     }
 }
 
-void CoServer::send_frame(InstanceId to, const Frame& frame, std::string_view name) {
+void CoSession::send_frame(InstanceId to, const Frame& frame, std::string_view name) {
     const auto it = conns_.find(to);
     if (it == conns_.end() || !it->second.channel->connected()) return;
     metrics_.messages_sent.inc();
@@ -285,34 +308,34 @@ void CoServer::send_frame(InstanceId to, const Frame& frame, std::string_view na
     metrics_.send_queue_peak_frames.update_max(it->second.channel->outbound_queued_frames());
 }
 
-std::size_t CoServer::outbound_queued(InstanceId instance) const {
+std::size_t CoSession::outbound_queued(InstanceId instance) const {
     const auto it = conns_.find(instance);
     return it == conns_.end() ? 0 : it->second.channel->outbound_queued_frames();
 }
 
-std::size_t CoServer::outbound_queued_total() const {
+std::size_t CoSession::outbound_queued_total() const {
     std::size_t total = 0;
     for (const auto& [id, conn] : conns_) total += conn.channel->outbound_queued_frames();
     return total;
 }
 
-void CoServer::ack(InstanceId to, ActionId request, const Status& status) {
+void CoSession::ack(InstanceId to, ActionId request, const Status& status) {
     send(to, Ack{request, status.code(), status.message()});
 }
 
-UserId CoServer::user_of(InstanceId instance) const {
+UserId CoSession::user_of(InstanceId instance) const {
     const auto it = conns_.find(instance);
     return it == conns_.end() ? kInvalidUser : it->second.record.user;
 }
 
-bool CoServer::known_object_instance(const ObjectRef& ref) const {
+bool CoSession::known_object_instance(const ObjectRef& ref) const {
     const auto it = conns_.find(ref.instance);
     return it != conns_.end() && it->second.registered;
 }
 
 // --- session -----------------------------------------------------------------
 
-void CoServer::handle(InstanceId from, Register msg) {
+void CoSession::handle(InstanceId from, Register msg) {
     auto& conn = conns_.at(from);
     if (msg.version != kProtocolVersion) {
         ack(from, 0,
@@ -328,13 +351,13 @@ void CoServer::handle(InstanceId from, Register msg) {
     send(from, RegisterAck{from});
 }
 
-void CoServer::handle(InstanceId from, const Unregister&) { cleanup(from); }
+void CoSession::handle(InstanceId from, const Unregister&) { cleanup(from); }
 
-void CoServer::handle(InstanceId from, const RegistryQuery& msg) {
+void CoSession::handle(InstanceId from, const RegistryQuery& msg) {
     send(from, RegistryReply{msg.request, registrations()});
 }
 
-void CoServer::cleanup(InstanceId instance) {
+void CoSession::cleanup(InstanceId instance) {
     const auto it = conns_.find(instance);
     if (it == conns_.end()) return;
 
@@ -392,7 +415,7 @@ void CoServer::cleanup(InstanceId instance) {
 
 // --- coupling ----------------------------------------------------------------
 
-void CoServer::handle(InstanceId from, const CoupleReq& msg) {
+void CoSession::handle(InstanceId from, const CoupleReq& msg) {
     const UserId user = user_of(from);
     if (!known_object_instance(msg.source) || !known_object_instance(msg.dest)) {
         ack(from, msg.request, Status{ErrorCode::kUnknownInstance, "couple endpoint instance not registered"});
@@ -411,7 +434,7 @@ void CoServer::handle(InstanceId from, const CoupleReq& msg) {
     ack(from, msg.request, Status::ok());
 }
 
-void CoServer::handle(InstanceId from, const DecoupleReq& msg) {
+void CoSession::handle(InstanceId from, const DecoupleReq& msg) {
     if (!msg.dest.valid()) {
         // Object destroyed: remove it from every coupling it participates in.
         const auto affected = graph_.remove_object(msg.source);
@@ -433,7 +456,7 @@ void CoServer::handle(InstanceId from, const DecoupleReq& msg) {
     ack(from, msg.request, Status::ok());
 }
 
-void CoServer::broadcast_group(const std::vector<ObjectRef>& group) {
+void CoSession::broadcast_group(const std::vector<ObjectRef>& group) {
     // Unique owners in first-appearance order: deterministic fan-out, and the
     // GroupUpdate body is recipient-independent, so one encode serves all.
     std::vector<InstanceId> owners;
@@ -446,14 +469,14 @@ void CoServer::broadcast_group(const std::vector<ObjectRef>& group) {
     broadcast(owners, GroupUpdate{group});
 }
 
-void CoServer::broadcast_components(const std::vector<ObjectRef>& objects) {
+void CoSession::broadcast_components(const std::vector<ObjectRef>& objects) {
     if (objects.empty()) return;
     for (const auto& component : graph_.components_of(objects)) broadcast_group(component);
 }
 
 // --- floor control / sync-by-action (§3.2) ------------------------------------
 
-void CoServer::notify_locks(const std::vector<ObjectRef>& objects, const ObjectRef& source, bool locked,
+void CoSession::notify_locks(const std::vector<ObjectRef>& objects, const ObjectRef& source, bool locked,
                             ActionId action) {
     // One LockNotify carries the whole affected set; receivers filter to the
     // objects they own (CoApp already does), so the frame is identical for
@@ -470,7 +493,7 @@ void CoServer::notify_locks(const std::vector<ObjectRef>& objects, const ObjectR
     broadcast(owners, LockNotify{action, locked, std::move(affected)});
 }
 
-void CoServer::handle(InstanceId from, const LockReq& msg) {
+void CoSession::handle(InstanceId from, const LockReq& msg) {
     const StageTimer timer{metrics_.stage_lock_us};
     // The grant/deny/notify frames this handler sends all descend from the
     // client's dispatch span (carried on the LockReq frame).
@@ -511,7 +534,7 @@ void CoServer::handle(InstanceId from, const LockReq& msg) {
     send(from, LockGrant{msg.action});
 }
 
-void CoServer::handle(InstanceId from, EventMsg msg) {
+void CoSession::handle(InstanceId from, EventMsg msg) {
     const StageTimer timer{metrics_.stage_broadcast_us};
     const obs::ScopedSpan span{"server.broadcast", "server", current_trace_, msg.action};
     current_trace_ = span.context();
@@ -557,7 +580,7 @@ void CoServer::handle(InstanceId from, EventMsg msg) {
     }
 }
 
-void CoServer::handle(InstanceId from, const ExecuteAck& msg) {
+void CoSession::handle(InstanceId from, const ExecuteAck& msg) {
     const StageTimer timer{metrics_.stage_ack_us};
     // The ack may come from any instance that re-executed; find the action
     // by scanning pending actions for one awaiting this instance.
@@ -574,7 +597,7 @@ void CoServer::handle(InstanceId from, const ExecuteAck& msg) {
     }
 }
 
-void CoServer::finish_action(const LockTable::ActionKey& key) {
+void CoSession::finish_action(const LockTable::ActionKey& key) {
     // `key` is often a reference into the PendingAction node itself (the
     // ExecuteAck handler passes pending.key); copy it before erase() frees it.
     const LockTable::ActionKey finished = key;
@@ -594,7 +617,7 @@ void CoServer::finish_action(const LockTable::ActionKey& key) {
 
 // --- sync-by-state (§3.1) -------------------------------------------------------
 
-void CoServer::handle(InstanceId from, CopyTo msg) {
+void CoSession::handle(InstanceId from, CopyTo msg) {
     const StageTimer timer{metrics_.stage_copy_us};
     const UserId user = user_of(from);
     if (!known_object_instance(msg.dest)) {
@@ -618,7 +641,7 @@ void CoServer::handle(InstanceId from, CopyTo msg) {
     ack(from, msg.request, Status::ok());
 }
 
-void CoServer::handle(InstanceId from, const CopyFrom& msg) {
+void CoSession::handle(InstanceId from, const CopyFrom& msg) {
     const UserId user = user_of(from);
     if (!known_object_instance(msg.source)) {
         ack(from, msg.request, Status{ErrorCode::kUnknownInstance, "copy source instance not registered"});
@@ -633,7 +656,7 @@ void CoServer::handle(InstanceId from, const CopyFrom& msg) {
     send(msg.source.instance, StateQuery{sreq, msg.source.path});
 }
 
-void CoServer::handle(InstanceId from, const RemoteCopy& msg) {
+void CoSession::handle(InstanceId from, const RemoteCopy& msg) {
     const UserId user = user_of(from);
     if (!known_object_instance(msg.source) || !known_object_instance(msg.dest)) {
         ack(from, msg.request, Status{ErrorCode::kUnknownInstance, "remote copy endpoint not registered"});
@@ -649,7 +672,7 @@ void CoServer::handle(InstanceId from, const RemoteCopy& msg) {
     send(msg.source.instance, StateQuery{sreq, msg.source.path});
 }
 
-void CoServer::handle(InstanceId from, const FetchState& msg) {
+void CoSession::handle(InstanceId from, const FetchState& msg) {
     const UserId user = user_of(from);
     if (!known_object_instance(msg.source)) {
         ack(from, msg.request, Status{ErrorCode::kUnknownInstance, "fetch source instance not registered"});
@@ -665,7 +688,7 @@ void CoServer::handle(InstanceId from, const FetchState& msg) {
     send(msg.source.instance, StateQuery{sreq, msg.source.path});
 }
 
-void CoServer::handle(InstanceId from, StateReply msg) {
+void CoSession::handle(InstanceId from, StateReply msg) {
     const StageTimer timer{metrics_.stage_copy_us};
     const auto it = pending_copies_.find(msg.request);
     if (it == pending_copies_.end()) return;
@@ -698,7 +721,7 @@ void CoServer::handle(InstanceId from, StateReply msg) {
     ack(pc.requester, pc.requester_request, Status::ok());
 }
 
-void CoServer::handle(InstanceId from, HistorySave msg) {
+void CoSession::handle(InstanceId from, HistorySave msg) {
     if (msg.object.instance != from) return;  // instances may only back up their own objects
     switch (msg.tag) {
         case HistoryTag::kNormal:
@@ -713,7 +736,7 @@ void CoServer::handle(InstanceId from, HistorySave msg) {
     }
 }
 
-void CoServer::send_history_apply(const ObjectRef& object, toolkit::UiState state, HistoryTag tag) {
+void CoSession::send_history_apply(const ObjectRef& object, toolkit::UiState state, HistoryTag tag) {
     metrics_.states_applied.inc();
     ApplyState apply;
     apply.request = 0;
@@ -727,7 +750,7 @@ void CoServer::send_history_apply(const ObjectRef& object, toolkit::UiState stat
     send(object.instance, apply);
 }
 
-void CoServer::handle(InstanceId from, const UndoReq& msg) {
+void CoSession::handle(InstanceId from, const UndoReq& msg) {
     const UserId user = user_of(from);
     if (!permissions_.check(user, msg.object, Right::kModify)) {
         ack(from, msg.request, Status{ErrorCode::kPermissionDenied, "modify right missing"});
@@ -742,7 +765,7 @@ void CoServer::handle(InstanceId from, const UndoReq& msg) {
     ack(from, msg.request, Status::ok());
 }
 
-void CoServer::handle(InstanceId from, const RedoReq& msg) {
+void CoSession::handle(InstanceId from, const RedoReq& msg) {
     const UserId user = user_of(from);
     if (!permissions_.check(user, msg.object, Right::kModify)) {
         ack(from, msg.request, Status{ErrorCode::kPermissionDenied, "modify right missing"});
@@ -759,7 +782,7 @@ void CoServer::handle(InstanceId from, const RedoReq& msg) {
 
 // --- protocol extension (§3.4) ---------------------------------------------------
 
-void CoServer::handle(InstanceId from, Command msg) {
+void CoSession::handle(InstanceId from, Command msg) {
     if (msg.target == kInvalidInstance) {
         std::vector<InstanceId> recipients;
         for (const auto& [id, conn] : conns_) {
@@ -784,7 +807,7 @@ void CoServer::handle(InstanceId from, Command msg) {
 
 // --- loose coupling (time relaxation, §2.2) ------------------------------------------
 
-void CoServer::flush_deferred(const ObjectRef& object) {
+void CoSession::flush_deferred(const ObjectRef& object) {
     const auto it = deferred_.find(object);
     if (it == deferred_.end()) return;
     for (ExecuteEvent& ev : it->second) {
@@ -794,7 +817,7 @@ void CoServer::flush_deferred(const ObjectRef& object) {
     deferred_.erase(it);
 }
 
-void CoServer::handle(InstanceId from, const SetCouplingMode& msg) {
+void CoSession::handle(InstanceId from, const SetCouplingMode& msg) {
     if (msg.object.instance != from) {
         ack(from, msg.request,
             Status{ErrorCode::kPermissionDenied, "only the owning instance may change coupling mode"});
@@ -809,7 +832,7 @@ void CoServer::handle(InstanceId from, const SetCouplingMode& msg) {
     ack(from, msg.request, Status::ok());
 }
 
-void CoServer::handle(InstanceId from, const SyncRequest& msg) {
+void CoSession::handle(InstanceId from, const SyncRequest& msg) {
     if (msg.object.instance != from) {
         ack(from, msg.request, Status{ErrorCode::kPermissionDenied, "only the owner may sync an object"});
         return;
@@ -822,7 +845,7 @@ void CoServer::handle(InstanceId from, const SyncRequest& msg) {
 
 // --- permissions -------------------------------------------------------------------
 
-void CoServer::handle(InstanceId from, const PermissionSet& msg) {
+void CoSession::handle(InstanceId from, const PermissionSet& msg) {
     // Only the owner of an object may configure access to it.
     if (msg.object.instance != from) {
         ack(from, msg.request,
@@ -840,7 +863,7 @@ void CoServer::handle(InstanceId from, const PermissionSet& msg) {
 
 // --- wire-level introspection -------------------------------------------------------
 
-void CoServer::handle(InstanceId from, const StatusQuery& msg) {
+void CoSession::handle(InstanceId from, const StatusQuery& msg) {
     StatusReport report;
     report.request = msg.request;
     report.metrics_text = registry_.prometheus_text();
@@ -867,12 +890,15 @@ void CoServer::handle(InstanceId from, const StatusQuery& msg) {
         cs.backpressure_events = ch.backpressure_events;
         cs.send_queue_peak_bytes = ch.send_queue_peak_bytes;
         cs.queued_frames = conn.channel->outbound_queued_frames();
+        cs.session = name_;
         report.connections.push_back(std::move(cs));
     }
+    report.sessions.push_back(session_status());
     send(from, report);
 }
 
-void CoServer::fingerprint(ByteWriter& w) const {
+void CoSession::fingerprint(ByteWriter& w) const {
+    w.str(name_);
     std::vector<InstanceId> ids;
     ids.reserve(conns_.size());
     for (const auto& [id, conn] : conns_) ids.push_back(id);

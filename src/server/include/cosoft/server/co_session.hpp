@@ -1,0 +1,281 @@
+// One COSOFT coupling session: the per-session core of the central server
+// (Fig. 4).
+//
+// "A central controller (the server) coordinates the communication and
+// access control. A centralized database residing on the server consists of
+// four categories of data: the access permissions, the registration records,
+// the historical UI states, and the lock table." (§2.1)
+//
+// The paper's server mediates exactly one session; CoSession is that
+// mediator, owning one universe of the four databases plus the in-flight
+// action/copy tables and its own metrics registry. A process that hosts many
+// independent sessions puts a SessionManager (session_manager.hpp) in front:
+// the manager routes each connection to the session its Register names and
+// serializes each session's dispatch while running different sessions
+// concurrently. Nothing in this class is thread-safe by itself — all calls
+// into one CoSession must be serialized (the sim thread, a single TCP pump
+// loop, or the manager's per-session strand).
+//
+// The session is transport-agnostic: attach() accepts any net::Channel (a
+// SimNetwork pipe or a TCP connection) and installs its own handlers —
+// the standalone single-session mode every test and the mc model checker
+// use. Under a SessionManager, connections arrive through adopt()/deliver()
+// instead: the manager owns the channel handlers and feeds decoded traffic
+// in, so the session never touches transport threading.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "cosoft/common/error.hpp"
+#include "cosoft/common/ids.hpp"
+#include "cosoft/net/channel.hpp"
+#include "cosoft/obs/metrics.hpp"
+#include "cosoft/obs/trace.hpp"
+#include "cosoft/protocol/messages.hpp"
+#include "cosoft/server/couple_graph.hpp"
+#include "cosoft/server/history_store.hpp"
+#include "cosoft/server/journal.hpp"
+#include "cosoft/server/lock_table.hpp"
+#include "cosoft/server/permission_table.hpp"
+
+namespace cosoft::server {
+
+/// Plain point-in-time copy of the server's counters. Built on demand by
+/// stats() from the server's obs::Registry — the registry instruments are
+/// the single source of truth; this struct only preserves the historical
+/// copyable-snapshot API that tests and benches rely on.
+struct ServerStats {
+    std::uint64_t messages_received = 0;
+    std::uint64_t messages_sent = 0;
+    std::uint64_t malformed_frames = 0;   ///< frames that failed to decode (journaled, dropped)
+    std::uint64_t events_broadcast = 0;   ///< re-execution orders fanned out (one per locked target)
+    std::uint64_t locks_granted = 0;
+    std::uint64_t locks_denied = 0;
+    std::uint64_t states_applied = 0;     ///< ApplyState messages sent
+    std::uint64_t group_updates = 0;
+    std::uint64_t commands_routed = 0;
+    std::uint64_t events_deferred = 0;    ///< re-executions queued for loose objects
+    std::uint64_t events_flushed = 0;     ///< deferred re-executions delivered
+    std::uint64_t broadcast_encodes = 0;  ///< encode_message calls made by broadcast paths
+    std::uint64_t frames_fanned_out = 0;  ///< connections a shared broadcast frame was enqueued to
+    std::uint64_t send_queue_peak_frames = 0;  ///< max per-connection outbound depth seen at send time
+};
+
+class CoSession {
+  public:
+    /// `name` is the session's routing key ("" = the default session).
+    explicit CoSession(std::string name = {}) : name_(std::move(name)) {}
+    CoSession(const CoSession&) = delete;
+    CoSession& operator=(const CoSession&) = delete;
+
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+    /// Adopts a freshly connected client channel. The returned id is the
+    /// instance identifier the client will receive in RegisterAck. Installs
+    /// the channel's receive/close handlers (standalone single-session mode).
+    InstanceId attach(std::shared_ptr<net::Channel> channel);
+
+    /// Manager-mode adopt: takes ownership of the connection under an id the
+    /// SessionManager already assigned (globally unique across sessions) and
+    /// does NOT touch the channel's handlers — the manager keeps routing the
+    /// transport and feeds frames in through deliver().
+    void adopt(InstanceId instance, std::shared_ptr<net::Channel> channel);
+
+    /// Manager-mode dispatch: decodes and handles one inbound frame from
+    /// `from` exactly as the attach()-installed receive handler would.
+    void deliver(InstanceId from, const protocol::Frame& frame) { handle_frame(from, frame); }
+
+    /// Gracefully detaches (same cleanup as a closed channel).
+    void detach(InstanceId instance);
+
+    // Introspection (tests, benches, the classroom moderator UI).
+    [[nodiscard]] const CoupleGraph& couples() const noexcept { return graph_; }
+    [[nodiscard]] const LockTable& locks() const noexcept { return locks_; }
+    [[nodiscard]] const HistoryStore& history() const noexcept { return history_; }
+    [[nodiscard]] const PermissionTable& permissions() const noexcept { return permissions_; }
+    /// By-value snapshot of the counters (assembled from the registry).
+    [[nodiscard]] ServerStats stats() const noexcept;
+    /// The server's own metrics registry: every ServerStats counter plus the
+    /// per-stage latency histograms, in Prometheus-compatible naming.
+    [[nodiscard]] obs::Registry& registry() noexcept { return registry_; }
+    [[nodiscard]] const obs::Registry& registry() const noexcept { return registry_; }
+    [[nodiscard]] const Journal& journal() const noexcept { return journal_; }
+    [[nodiscard]] Journal& journal() noexcept { return journal_; }
+    [[nodiscard]] bool is_loose(const ObjectRef& object) const { return loose_objects_.contains(object); }
+    [[nodiscard]] std::size_t deferred_count(const ObjectRef& object) const {
+        const auto it = deferred_.find(object);
+        return it == deferred_.end() ? 0 : it->second.size();
+    }
+    [[nodiscard]] std::size_t connection_count() const noexcept { return conns_.size(); }
+    [[nodiscard]] std::size_t registered_count() const noexcept {
+        std::size_t n = 0;
+        for (const auto& [id, conn] : conns_) n += conn.registered ? 1 : 0;
+        return n;
+    }
+    /// One StatusReport row summarizing this session (cosoft-stat topology).
+    [[nodiscard]] protocol::SessionStatus session_status() const;
+    [[nodiscard]] std::size_t pending_action_count() const noexcept { return pending_actions_.size(); }
+    /// Outbound frames accepted but not yet on the wire for one connection
+    /// (0 for unknown instances and synchronous transports).
+    [[nodiscard]] std::size_t outbound_queued(InstanceId instance) const;
+    /// Sum of outbound_queued over all connections.
+    [[nodiscard]] std::size_t outbound_queued_total() const;
+    [[nodiscard]] std::vector<protocol::RegistrationRecord> registrations() const;
+
+    /// Canonical serialization of the entire server state (all four §2.1
+    /// databases, connections, in-flight actions/copies, and the counters
+    /// that drive future behaviour). Independent of hash-map iteration
+    /// order; the journal is excluded (diagnostics, ring-buffered). Used by
+    /// cosoft-mc to hash states for interleaving pruning.
+    void fingerprint(ByteWriter& w) const;
+
+    /// Cross-database invariants (§2.1): the lock table, couple graph, and
+    /// history store must be internally consistent, every lock holder and
+    /// couple endpoint must belong to a registered connection, in-flight
+    /// actions must balance their acknowledgement counters, and deferred
+    /// queues may exist only for loose objects. Returns human-readable
+    /// violations (empty = consistent). COSOFT_CHECKED builds verify this
+    /// after every dispatched message; tests call it directly.
+    [[nodiscard]] std::vector<std::string> check_invariants() const;
+
+  private:
+    struct Conn {
+        std::shared_ptr<net::Channel> channel;
+        protocol::RegistrationRecord record;
+        bool registered = false;
+        /// How many shared broadcast frames were enqueued to this connection
+        /// (feeds the frames_fanned_out cross-counter invariant).
+        std::uint64_t broadcast_enqueued = 0;
+    };
+
+    /// A lock/broadcast cycle in flight: tracks how many ExecuteAcks are
+    /// still outstanding before the group can be unlocked.
+    struct PendingAction {
+        LockTable::ActionKey key;
+        bool event_seen = false;  ///< the holder's EventMsg has arrived
+        std::size_t awaiting = 0;
+        std::unordered_map<InstanceId, std::size_t> per_instance;
+        /// Causal context of the newest server-side span of this action;
+        /// the unlock span attaches here when the last ack arrives.
+        obs::TraceContext trace;
+    };
+
+    /// A CopyFrom/RemoteCopy/FetchState waiting for the source's StateReply.
+    struct PendingCopy {
+        InstanceId requester = kInvalidInstance;
+        protocol::ActionId requester_request = 0;
+        ObjectRef source;
+        ObjectRef dest;  ///< where the state will be applied
+        protocol::MergeMode mode = protocol::MergeMode::kStrict;
+        bool fetch_only = false;  ///< FetchState: route the reply back raw
+    };
+
+    void handle_frame(InstanceId from, const protocol::Frame& frame);
+    void handle(InstanceId from, protocol::Register msg);
+    void handle(InstanceId from, const protocol::Unregister& msg);
+    void handle(InstanceId from, const protocol::RegistryQuery& msg);
+    void handle(InstanceId from, const protocol::CoupleReq& msg);
+    void handle(InstanceId from, const protocol::DecoupleReq& msg);
+    void handle(InstanceId from, const protocol::LockReq& msg);
+    void handle(InstanceId from, protocol::EventMsg msg);
+    void handle(InstanceId from, const protocol::ExecuteAck& msg);
+    void handle(InstanceId from, protocol::CopyTo msg);
+    void handle(InstanceId from, const protocol::CopyFrom& msg);
+    void handle(InstanceId from, const protocol::RemoteCopy& msg);
+    void handle(InstanceId from, const protocol::FetchState& msg);
+    void handle(InstanceId from, const protocol::SetCouplingMode& msg);
+    void handle(InstanceId from, const protocol::SyncRequest& msg);
+    void handle(InstanceId from, protocol::StateReply msg);
+    void handle(InstanceId from, protocol::HistorySave msg);
+    void handle(InstanceId from, const protocol::UndoReq& msg);
+    void handle(InstanceId from, const protocol::RedoReq& msg);
+    void handle(InstanceId from, protocol::Command msg);
+    void handle(InstanceId from, const protocol::PermissionSet& msg);
+    void handle(InstanceId from, const protocol::StatusQuery& msg);
+
+    void cleanup(InstanceId instance);
+    void send(InstanceId to, const protocol::Message& msg);
+    /// Encode-once fan-out: serializes `msg` a single time and enqueues the
+    /// same refcounted Frame to every recipient connection.
+    void broadcast(const std::vector<InstanceId>& recipients, const protocol::Message& msg);
+    /// Enqueues an already-encoded frame (shared, never copied) to one
+    /// connection, with journaling and queue-depth accounting.
+    void send_frame(InstanceId to, const protocol::Frame& frame, std::string_view name);
+    void ack(InstanceId to, protocol::ActionId request, const Status& status);
+    /// Broadcasts the group membership to every instance owning a member.
+    void broadcast_group(const std::vector<ObjectRef>& group);
+    /// Re-broadcasts the (possibly split) components covering `objects`.
+    void broadcast_components(const std::vector<ObjectRef>& objects);
+    void notify_locks(const std::vector<ObjectRef>& objects, const ObjectRef& source, bool locked,
+                      protocol::ActionId action);
+    void finish_action(const LockTable::ActionKey& key);
+    /// Applies the undo/redo state `state` to `object`'s owner.
+    void send_history_apply(const ObjectRef& object, toolkit::UiState state, protocol::HistoryTag tag);
+
+    [[nodiscard]] UserId user_of(InstanceId instance) const;
+    [[nodiscard]] bool known_object_instance(const ObjectRef& ref) const;
+
+    std::string name_;
+    std::unordered_map<InstanceId, Conn> conns_;
+    InstanceId next_instance_ = 1;
+
+    CoupleGraph graph_;
+    LockTable locks_;
+    HistoryStore history_;
+    PermissionTable permissions_;
+
+    std::unordered_map<std::uint64_t, PendingAction> pending_actions_;  // keyed by hash(key)
+    std::unordered_map<std::uint64_t, PendingCopy> pending_copies_;     // keyed by server req id
+    std::uint64_t next_server_request_ = 1;
+
+    /// Flushes everything queued for a loose object to its owner.
+    void flush_deferred(const ObjectRef& object);
+
+    std::unordered_set<ObjectRef> loose_objects_;
+    std::unordered_map<ObjectRef, std::vector<protocol::ExecuteEvent>> deferred_;
+
+    /// Stable references into registry_ for the hot-path counters; resolved
+    /// once at construction so no dispatch ever takes the registry lock.
+    struct Metrics {
+        explicit Metrics(obs::Registry& r);
+        obs::Counter& messages_received;
+        obs::Counter& messages_sent;
+        obs::Counter& malformed_frames;
+        obs::Counter& events_broadcast;
+        obs::Counter& locks_granted;
+        obs::Counter& locks_denied;
+        obs::Counter& states_applied;
+        obs::Counter& group_updates;
+        obs::Counter& commands_routed;
+        obs::Counter& events_deferred;
+        obs::Counter& events_flushed;
+        obs::Counter& broadcast_encodes;
+        obs::Counter& frames_fanned_out;
+        obs::Gauge& send_queue_peak_frames;
+        obs::Histogram& stage_lock_us;
+        obs::Histogram& stage_broadcast_us;
+        obs::Histogram& stage_ack_us;
+        obs::Histogram& stage_copy_us;
+    };
+
+    obs::Registry registry_;
+    Metrics metrics_{registry_};
+    /// Trace context of the message currently being dispatched (or of the
+    /// server-side span wrapping its handler); attached to every frame the
+    /// dispatch sends. Invalid outside a dispatch and when tracing is off.
+    obs::TraceContext current_trace_;
+    /// broadcast_enqueued totals of connections that have since detached.
+    std::uint64_t departed_broadcast_enqueued_ = 0;
+    Journal journal_;
+
+    static std::uint64_t action_hash(const LockTable::ActionKey& key) noexcept {
+        return (static_cast<std::uint64_t>(key.instance) << 40) ^ key.action;
+    }
+};
+
+}  // namespace cosoft::server

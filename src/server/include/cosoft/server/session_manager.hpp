@@ -1,0 +1,215 @@
+// SessionManager: many independent coupling sessions in one server process.
+//
+// The paper's server mediates a single session (one lock table, one couple
+// graph, one registry). This front-end multiplexes any number of them: a
+// connection attaches into a lobby, its Register names the session to join
+// (created on demand), and from then on every frame it sends is dispatched
+// by that session's CoSession. Empty sessions are torn down automatically
+// (the default session can be pinned so embedders keep a stable reference).
+//
+// Dispatch model — serial per session, concurrent across sessions:
+//  - Every connection owns a FIFO inbox of undecoded frames. Arriving frames
+//    are appended and a processing token is enqueued on the *strand* the
+//    connection currently belongs to (the lobby strand before Register, the
+//    session's strand after).
+//  - A strand is scheduled on the worker pool at most once at a time, so all
+//    of one session's traffic is handled serially — CoSession needs no locks
+//    — while different sessions' strands run on different workers in
+//    parallel.
+//  - A token processed by a strand the connection has moved away from is
+//    forwarded, not dispatched, so exactly one strand ever pops a given
+//    inbox and per-connection frame order is preserved across the
+//    lobby-to-session handoff.
+//
+// With `workers == 0` the manager dispatches inline on whatever thread
+// delivers the frame (SimNetwork's event loop, a single TCP pump thread, a
+// test): same routing, no threads — this is the deterministic mode tests
+// and the mc model checker build on.
+//
+// Thread ownership at steady state (TCP deployment, W workers):
+//
+//   reactor thread ──▶ TcpChannel receive handlers (reactor delivery)
+//        │                  route_frame: append inbox, schedule strand
+//        ▼
+//   worker pool (W threads) ──▶ one strand at a time: decode + CoSession
+//        │                      dispatch, session create/GC, status
+//        ▼
+//   accept thread (embedder) ──▶ attach() only
+//
+// so the process runs W + 1 threads of transport+dispatch for any number of
+// connections and sessions.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "cosoft/common/ids.hpp"
+#include "cosoft/net/channel.hpp"
+#include "cosoft/net/reactor.hpp"
+#include "cosoft/obs/metrics.hpp"
+#include "cosoft/protocol/messages.hpp"
+#include "cosoft/server/co_session.hpp"
+
+namespace cosoft::server {
+
+struct SessionManagerOptions {
+    /// Dispatch worker threads. 0 = inline dispatch on the delivering thread
+    /// (single-threaded embedders: SimNetwork, tests, the model checker).
+    std::size_t workers = 0;
+    /// Keep the default session ("") alive even when its last member leaves,
+    /// so single-session embedders can hold a stable CoSession reference.
+    bool pin_default_session = false;
+    /// The manager's private transport reactor, when it owns one (TCP
+    /// deployments). Channels attached to this manager must be registered on
+    /// this reactor; checked builds then verify that the reactor's
+    /// registered fd count equals the manager's live connection count.
+    std::shared_ptr<net::Reactor> reactor;
+};
+
+class SessionManager {
+  public:
+    explicit SessionManager(SessionManagerOptions options = {});
+    ~SessionManager();
+    SessionManager(const SessionManager&) = delete;
+    SessionManager& operator=(const SessionManager&) = delete;
+
+    /// Adopts a freshly connected client channel into the lobby. Installs
+    /// the channel's receive/close handlers; TcpChannels are switched to
+    /// reactor delivery so their frames dispatch without a pump thread. The
+    /// returned id is the instance identifier the client will receive in
+    /// RegisterAck after its Register routes it into a session.
+    InstanceId attach(std::shared_ptr<net::Channel> channel);
+
+    /// The pinned default session (creates and pins it on first call). Only
+    /// meaningful for single-session embedders; with workers > 0 the caller
+    /// must not touch the returned session while traffic is flowing.
+    CoSession& default_session();
+
+    /// Looks up a session by name (nullptr if absent). Same threading caveat
+    /// as default_session().
+    [[nodiscard]] CoSession* find_session(const std::string& name);
+
+    /// Blocks until every queued frame has been dispatched and all workers
+    /// are idle (tests; inline mode returns immediately).
+    void quiesce();
+
+    // Introspection.
+    [[nodiscard]] std::size_t session_count() const;
+    [[nodiscard]] std::size_t connection_count() const;  ///< lobby + all sessions
+    [[nodiscard]] std::size_t worker_count() const noexcept { return workers_.size(); }
+    /// Per-session rollups (cached snapshots refreshed at dispatch
+    /// boundaries; safe to call from any thread).
+    [[nodiscard]] std::vector<protocol::SessionStatus> session_statuses() const;
+    /// The manager's own registry (cosoft_server_sessions_* instruments).
+    [[nodiscard]] obs::Registry& registry() noexcept { return registry_; }
+
+    /// Manager-level invariants: routing tables consistent, and — when the
+    /// manager owns its reactor — reactor-registered fds == live
+    /// connections across the lobby and every session. Exact only at
+    /// quiescent points (no attach/accept in flight).
+    [[nodiscard]] std::vector<std::string> check_invariants() const;
+
+  private:
+    struct Strand;
+
+    struct Conn {
+        std::shared_ptr<net::Channel> channel;
+        Strand* strand = nullptr;  ///< lobby first, then the joined session's strand
+        std::deque<protocol::Frame> inbox;
+        bool adopted = false;   ///< the owning session has seen adopt()
+        bool closed = false;    ///< close routed; depart once the inbox drains
+        bool departed = false;  ///< cleanup ran; drop any stale tokens
+        std::string user_name;  ///< captured from Register for status rows
+        std::string app_name;
+    };
+
+    /// Serial execution domain: the lobby, or one session. At most one
+    /// worker runs a strand at a time (`scheduled` covers queued + running).
+    struct Strand {
+        explicit Strand(std::unique_ptr<CoSession> s) : session(std::move(s)) {}
+        std::unique_ptr<CoSession> session;  ///< null for the lobby strand
+        std::deque<InstanceId> tokens;
+        bool scheduled = false;
+        /// Connections routed to this strand (counted at routing time, so a
+        /// session whose adopt token is still queued cannot be collected).
+        std::size_t live_conns = 0;
+        bool pinned = false;
+        protocol::SessionStatus status;  ///< snapshot refreshed after dispatch
+    };
+
+    void route_frame(InstanceId id, const protocol::Frame& frame);
+    void route_close(InstanceId id);
+    /// Appends a token for `id` to its current strand and schedules it
+    /// (inline mode: runs it to completion on the calling thread).
+    void enqueue_token(std::unique_lock<std::mutex>& lock, InstanceId id);
+    void schedule(std::unique_lock<std::mutex>& lock, Strand* strand);
+    /// Runs one strand token batch; called by workers and by inline mode.
+    void run_strand(std::unique_lock<std::mutex>& lock, Strand* strand);
+    /// Processes one token for `id` on `strand` (the strand is held by the
+    /// calling worker). Returns with `lock` re-held; channels whose
+    /// connection departed are parked in `graveyard` so their (blocking)
+    /// destructors run outside mu_.
+    void process_token(std::unique_lock<std::mutex>& lock, Strand* strand, InstanceId id,
+                       std::vector<std::shared_ptr<net::Channel>>& graveyard);
+    /// Lobby dispatch of one frame: Register routes, status/registry queries
+    /// are answered, everything else is dropped (unregistered traffic).
+    void lobby_dispatch(std::unique_lock<std::mutex>& lock, InstanceId id, protocol::Frame frame);
+    Strand* find_or_create_session(std::unique_lock<std::mutex>& lock, const std::string& name);
+    /// Moves a lobby connection into `session_name` (created on demand).
+    void route_to_session(std::unique_lock<std::mutex>& lock, InstanceId id,
+                          const std::string& session_name);
+    /// Departure: session cleanup, connection erasure, session GC.
+    void depart(std::unique_lock<std::mutex>& lock, Strand* strand, InstanceId id,
+                std::vector<std::shared_ptr<net::Channel>>& graveyard);
+    void collect_if_empty(std::unique_lock<std::mutex>& lock, Strand* strand);
+    /// Checked-build subset of check_invariants() safe while traffic flows
+    /// (the reactor comparison is one-sided: accepts may be in flight).
+    void check_running_invariants(std::unique_lock<std::mutex>& lock) const;
+    /// Global (lobby) StatusReport: manager metrics, all connections, all
+    /// session rollups.
+    [[nodiscard]] protocol::StatusReport global_status(std::uint64_t request) const;
+    void refresh_status(Strand* strand);
+    void worker_loop();
+
+    SessionManagerOptions options_;
+    mutable std::mutex mu_;
+    std::condition_variable work_cv_;   ///< workers wait for runnable strands
+    std::condition_variable idle_cv_;   ///< quiesce() waits for drain
+    bool stop_ = false;
+    bool shutting_down_ = false;  ///< routing becomes a no-op during teardown
+    std::size_t busy_workers_ = 0;
+
+    std::unordered_map<InstanceId, Conn> conns_;
+    InstanceId next_instance_ = 1;
+    Strand lobby_{nullptr};
+    std::unordered_map<std::string, std::unique_ptr<Strand>> sessions_;
+    std::deque<Strand*> run_queue_;
+    std::vector<std::thread> workers_;
+
+    struct Metrics {
+        explicit Metrics(obs::Registry& r)
+            : sessions_created(r.counter("cosoft_server_sessions_created_total")),
+              sessions_destroyed(r.counter("cosoft_server_sessions_destroyed_total")),
+              sessions_active(r.gauge("cosoft_server_sessions_active")),
+              connections_active(r.gauge("cosoft_server_sessions_connections_active")),
+              frames_routed(r.counter("cosoft_server_sessions_frames_routed_total")),
+              lobby_rejects(r.counter("cosoft_server_sessions_lobby_rejects_total")) {}
+        obs::Counter& sessions_created;
+        obs::Counter& sessions_destroyed;
+        obs::Gauge& sessions_active;
+        obs::Gauge& connections_active;
+        obs::Counter& frames_routed;
+        obs::Counter& lobby_rejects;
+    };
+    obs::Registry registry_;
+    Metrics metrics_{registry_};
+};
+
+}  // namespace cosoft::server

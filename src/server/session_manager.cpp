@@ -1,0 +1,421 @@
+#include "cosoft/server/session_manager.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "cosoft/common/check.hpp"
+#include "cosoft/net/tcp.hpp"
+#include "cosoft/protocol/messages.hpp"
+
+namespace cosoft::server {
+
+using protocol::Frame;
+using protocol::Message;
+
+SessionManager::SessionManager(SessionManagerOptions options) : options_(std::move(options)) {
+    if (options_.pin_default_session) {
+        std::unique_lock<std::mutex> lock(mu_);
+        find_or_create_session(lock, std::string{})->pinned = true;
+    }
+    workers_.reserve(options_.workers);
+    for (std::size_t i = 0; i < options_.workers; ++i) {
+        workers_.emplace_back([this] { worker_loop(); });
+    }
+}
+
+SessionManager::~SessionManager() {
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        shutting_down_ = true;  // route_frame/route_close become no-ops
+        stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto& w : workers_) w.join();
+    // Channels still registered on a reactor may fire handlers until their
+    // destructors deregister them; shutting_down_ makes those calls no-ops.
+    // Destroying a TcpChannel blocks on its flush/deregistration handshake,
+    // which must not happen on a reactor thread — and never does here.
+    conns_.clear();
+    sessions_.clear();
+}
+
+InstanceId SessionManager::attach(std::shared_ptr<net::Channel> channel) {
+    InstanceId id = kInvalidInstance;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        id = next_instance_++;
+        Conn conn;
+        conn.channel = channel;
+        conn.strand = &lobby_;
+        conns_.emplace(id, std::move(conn));
+        ++lobby_.live_conns;
+        metrics_.connections_active.set(conns_.size());
+    }
+    // Handlers are installed outside mu_: reactor-delivery channels invoke
+    // them synchronously (buffered-inbox drain) from this very call.
+    channel->on_receive([this, id](const Frame& frame) { route_frame(id, frame); });
+    channel->on_close([this, id] { route_close(id); });
+    if (auto* tcp = dynamic_cast<net::TcpChannel*>(channel.get())) {
+        tcp->enable_reactor_delivery();
+    }
+    return id;
+}
+
+CoSession& SessionManager::default_session() {
+    std::unique_lock<std::mutex> lock(mu_);
+    Strand* strand = find_or_create_session(lock, std::string{});
+    strand->pinned = true;
+    return *strand->session;
+}
+
+CoSession* SessionManager::find_session(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = sessions_.find(name);
+    return it == sessions_.end() ? nullptr : it->second->session.get();
+}
+
+void SessionManager::quiesce() {
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_cv_.wait(lock, [&] { return run_queue_.empty() && busy_workers_ == 0; });
+}
+
+std::size_t SessionManager::session_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return sessions_.size();
+}
+
+std::size_t SessionManager::connection_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return conns_.size();
+}
+
+std::vector<protocol::SessionStatus> SessionManager::session_statuses() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<protocol::SessionStatus> out;
+    out.reserve(sessions_.size());
+    for (const auto& [name, strand] : sessions_) out.push_back(strand->status);
+    std::sort(out.begin(), out.end(),
+              [](const protocol::SessionStatus& a, const protocol::SessionStatus& b) { return a.name < b.name; });
+    return out;
+}
+
+std::vector<std::string> SessionManager::check_invariants() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::string> out;
+
+    // Routing tables: every connection's strand must be the lobby or a live
+    // session, and the per-strand membership counters must tile conns_.
+    std::size_t counted = lobby_.live_conns;
+    for (const auto& [name, strand] : sessions_) counted += strand->live_conns;
+    if (counted != conns_.size()) {
+        out.push_back("manager: strand membership counters sum to " + std::to_string(counted) + " but " +
+                      std::to_string(conns_.size()) + " connections are live");
+    }
+    for (const auto& [id, conn] : conns_) {
+        if (conn.strand == &lobby_) continue;
+        const bool known =
+            std::any_of(sessions_.begin(), sessions_.end(),
+                        [&](const auto& kv) { return kv.second.get() == conn.strand; });
+        if (!known) {
+            out.push_back("manager: connection " + std::to_string(id) + " routed to an unknown strand");
+        }
+    }
+
+    // Transport invariant: when the manager owns its reactor, every
+    // registered fd is one of our connections and vice versa. Exact only at
+    // quiescent points — an accept()ed channel is reactor-registered a
+    // moment before attach() records it.
+    if (options_.reactor && options_.reactor->registered_count() != conns_.size()) {
+        out.push_back("manager: reactor has " + std::to_string(options_.reactor->registered_count()) +
+                      " registered fds but " + std::to_string(conns_.size()) + " connections are live");
+    }
+    return out;
+}
+
+void SessionManager::check_running_invariants(std::unique_lock<std::mutex>& lock) const {
+    if (!checked_build()) return;
+    (void)lock;
+    std::size_t counted = lobby_.live_conns;
+    for (const auto& [name, strand] : sessions_) counted += strand->live_conns;
+    (void)counted;
+    CO_CHECK_MSG(counted == conns_.size(), "session-manager strand membership counters out of sync");
+    // An accepted-but-unattached channel makes the reactor transiently ahead
+    // of conns_, so the running check is one-sided; check_invariants()
+    // asserts equality at quiescent points.
+    CO_CHECK_MSG(!options_.reactor || options_.reactor->registered_count() >= conns_.size(),
+                 "session-manager reactor lost track of a live connection's fd");
+}
+
+void SessionManager::route_frame(InstanceId id, const Frame& frame) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (shutting_down_) return;
+    const auto it = conns_.find(id);
+    if (it == conns_.end() || it->second.departed) return;
+    it->second.inbox.push_back(frame);
+    metrics_.frames_routed.inc();
+    enqueue_token(lock, id);
+}
+
+void SessionManager::route_close(InstanceId id) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (shutting_down_) return;
+    const auto it = conns_.find(id);
+    if (it == conns_.end() || it->second.departed) return;
+    it->second.closed = true;
+    enqueue_token(lock, id);
+}
+
+void SessionManager::enqueue_token(std::unique_lock<std::mutex>& lock, InstanceId id) {
+    Strand* strand = conns_.at(id).strand;
+    strand->tokens.push_back(id);
+    schedule(lock, strand);
+}
+
+void SessionManager::schedule(std::unique_lock<std::mutex>& lock, Strand* strand) {
+    if (strand->scheduled) return;
+    strand->scheduled = true;
+    if (workers_.empty()) {
+        // Inline mode: dispatch to completion on the delivering thread. The
+        // recursion through a lobby->session handoff is bounded by the
+        // handoff chain (lobby schedules the session strand at most once per
+        // routed connection).
+        run_strand(lock, strand);
+        return;
+    }
+    run_queue_.push_back(strand);
+    work_cv_.notify_one();
+}
+
+void SessionManager::worker_loop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (true) {
+        work_cv_.wait(lock, [&] { return stop_ || !run_queue_.empty(); });
+        if (stop_) return;
+        Strand* strand = run_queue_.front();
+        run_queue_.pop_front();
+        ++busy_workers_;
+        run_strand(lock, strand);
+        --busy_workers_;
+        if (run_queue_.empty() && busy_workers_ == 0) idle_cv_.notify_all();
+    }
+}
+
+void SessionManager::run_strand(std::unique_lock<std::mutex>& lock, Strand* strand) {
+    // The strand is owned by this thread until `scheduled` is cleared: no
+    // other worker may pop its tokens or touch its CoSession.
+    std::vector<std::shared_ptr<net::Channel>> graveyard;
+    do {
+        // Process the tokens present at entry; frames that arrive during the
+        // batch reschedule the strand behind other runnable strands.
+        std::size_t budget = strand->tokens.size();
+        while (budget-- > 0 && !strand->tokens.empty()) {
+            const InstanceId id = strand->tokens.front();
+            strand->tokens.pop_front();
+            process_token(lock, strand, id, graveyard);
+        }
+    } while (workers_.empty() && !strand->tokens.empty());
+
+    if (strand->session) refresh_status(strand);
+    check_running_invariants(lock);
+
+    if (!strand->tokens.empty()) {
+        run_queue_.push_back(strand);  // still scheduled: keep the single-runner guarantee
+        work_cv_.notify_one();
+    } else {
+        strand->scheduled = false;
+        collect_if_empty(lock, strand);
+    }
+    if (!graveyard.empty()) {
+        // Channel destructors block on transport teardown (TCP flush +
+        // reactor deregistration); never run them under mu_.
+        lock.unlock();
+        graveyard.clear();
+        lock.lock();
+    }
+}
+
+void SessionManager::process_token(std::unique_lock<std::mutex>& lock, Strand* strand, InstanceId id,
+                                   std::vector<std::shared_ptr<net::Channel>>& graveyard) {
+    const auto it = conns_.find(id);
+    if (it == conns_.end() || it->second.departed) return;  // stale token
+    Conn& conn = it->second;
+    if (conn.strand != strand) {
+        // The connection moved (lobby -> session) after this token was
+        // queued. Forward instead of dispatching so exactly one strand ever
+        // pops the inbox; a connection never moves again after joining a
+        // session, so the destination strand is final.
+        conn.strand->tokens.push_back(id);
+        schedule(lock, conn.strand);
+        return;
+    }
+
+    if (!conn.inbox.empty()) {
+        Frame frame = std::move(conn.inbox.front());
+        conn.inbox.pop_front();
+        if (strand->session == nullptr) {
+            lobby_dispatch(lock, id, std::move(frame));
+        } else {
+            CoSession* session = strand->session.get();
+            const bool need_adopt = !conn.adopted;
+            conn.adopted = true;
+            auto channel = conn.channel;
+            lock.unlock();
+            // Unlocked: the strand-ownership protocol serializes every
+            // access to this CoSession, and `conn` cannot be erased while
+            // its owning strand is running it.
+            if (need_adopt) session->adopt(id, std::move(channel));
+            session->deliver(id, frame);
+            lock.lock();
+        }
+    }
+
+    // Departure is condition-based, not tied to a designated token: the
+    // token that drains the inbox of a closed connection (or the close
+    // token itself, if the inbox was already empty) performs it.
+    const auto again = conns_.find(id);
+    if (again != conns_.end() && again->second.strand == strand && again->second.closed &&
+        !again->second.departed && again->second.inbox.empty()) {
+        depart(lock, strand, id, graveyard);
+    }
+}
+
+void SessionManager::lobby_dispatch(std::unique_lock<std::mutex>& lock, InstanceId id, Frame frame) {
+    auto decoded = protocol::decode_message(frame);
+    if (!decoded) {
+        metrics_.lobby_rejects.inc();
+        return;
+    }
+    Message& msg = decoded.value();
+
+    if (auto* reg = std::get_if<protocol::Register>(&msg)) {
+        Conn& conn = conns_.at(id);
+        conn.user_name = reg->user_name;
+        conn.app_name = reg->app_name;
+        // Hand the Register itself to the session: put it back at the front
+        // of the inbox and queue a token on the session's strand, which will
+        // adopt the connection and run the version check / RegisterAck.
+        conn.inbox.push_front(std::move(frame));
+        route_to_session(lock, id, reg->session);
+        return;
+    }
+    if (const auto* query = std::get_if<protocol::StatusQuery>(&msg)) {
+        // Monitoring clients never register: the lobby answers with the
+        // whole-process view (manager metrics, every connection, one rollup
+        // row per session).
+        Frame reply = protocol::encode_message(Message{global_status(query->request)});
+        auto channel = conns_.at(id).channel;
+        lock.unlock();
+        (void)channel->send(std::move(reply));
+        lock.lock();
+        return;
+    }
+    if (const auto* query = std::get_if<protocol::RegistryQuery>(&msg)) {
+        // Same reply an unregistered connection historically got from the
+        // single-session server's registration gate.
+        Frame reply = protocol::encode_message(Message{
+            protocol::Ack{query->request, ErrorCode::kUnknownInstance, "not registered"}});
+        auto channel = conns_.at(id).channel;
+        lock.unlock();
+        (void)channel->send(std::move(reply));
+        lock.lock();
+        return;
+    }
+    // Anything else before Register is unregistered traffic: drop.
+    metrics_.lobby_rejects.inc();
+}
+
+SessionManager::Strand* SessionManager::find_or_create_session(std::unique_lock<std::mutex>& lock,
+                                                               const std::string& name) {
+    (void)lock;
+    const auto it = sessions_.find(name);
+    if (it != sessions_.end()) return it->second.get();
+    auto strand = std::make_unique<Strand>(std::make_unique<CoSession>(name));
+    Strand* raw = strand.get();
+    raw->status = raw->session->session_status();
+    sessions_.emplace(name, std::move(strand));
+    metrics_.sessions_created.inc();
+    metrics_.sessions_active.set(sessions_.size());
+    return raw;
+}
+
+void SessionManager::route_to_session(std::unique_lock<std::mutex>& lock, InstanceId id,
+                                      const std::string& session_name) {
+    Strand* target = find_or_create_session(lock, session_name);
+    Conn& conn = conns_.at(id);
+    CO_CHECK_MSG(conn.strand == &lobby_, "re-routing a connection that already joined a session");
+    conn.strand = target;
+    --lobby_.live_conns;
+    ++target->live_conns;
+    target->tokens.push_back(id);
+    schedule(lock, target);
+}
+
+void SessionManager::depart(std::unique_lock<std::mutex>& lock, Strand* strand, InstanceId id,
+                            std::vector<std::shared_ptr<net::Channel>>& graveyard) {
+    Conn& conn = conns_.at(id);
+    conn.departed = true;  // stale tokens for this id become no-ops
+    const bool adopted = conn.adopted;
+    graveyard.push_back(std::move(conn.channel));
+    if (CoSession* session = strand->session.get(); session != nullptr && adopted) {
+        lock.unlock();
+        session->detach(id);  // same cleanup + broadcasts as a closed channel
+        lock.lock();
+    }
+    conns_.erase(id);
+    --strand->live_conns;
+    metrics_.connections_active.set(conns_.size());
+    // The strand is still marked scheduled by the running batch; GC happens
+    // in run_strand once the batch ends and the strand goes idle.
+}
+
+void SessionManager::collect_if_empty(std::unique_lock<std::mutex>& lock, Strand* strand) {
+    (void)lock;
+    if (strand->session == nullptr || strand->pinned) return;
+    if (strand->live_conns != 0 || strand->scheduled || !strand->tokens.empty()) return;
+    const auto it = sessions_.find(strand->session->name());
+    if (it == sessions_.end() || it->second.get() != strand) return;
+    sessions_.erase(it);
+    metrics_.sessions_destroyed.inc();
+    metrics_.sessions_active.set(sessions_.size());
+}
+
+protocol::StatusReport SessionManager::global_status(std::uint64_t request) const {
+    protocol::StatusReport report;
+    report.request = request;
+    report.metrics_text = registry_.prometheus_text();
+    for (const auto& [id, conn] : conns_) {
+        protocol::ConnectionStatus cs;
+        cs.instance = id;
+        cs.user_name = conn.user_name;
+        cs.app_name = conn.app_name;
+        cs.registered = conn.strand != &lobby_;
+        // Channel counters are lock-free atomics: safe to snapshot while the
+        // connection's session strand runs on another worker.
+        const net::ChannelStats st = conn.channel->stats();
+        cs.frames_sent = st.frames_sent;
+        cs.frames_received = st.frames_received;
+        cs.bytes_sent = st.bytes_sent;
+        cs.bytes_received = st.bytes_received;
+        cs.backpressure_events = st.backpressure_events;
+        cs.send_queue_peak_bytes = st.send_queue_peak_bytes;
+        cs.queued_frames = conn.channel->outbound_queued_frames();
+        if (conn.strand != &lobby_) cs.session = conn.strand->session->name();
+        report.connections.push_back(std::move(cs));
+    }
+    std::sort(report.connections.begin(), report.connections.end(),
+              [](const protocol::ConnectionStatus& a, const protocol::ConnectionStatus& b) {
+                  return a.instance < b.instance;
+              });
+    for (const auto& [name, strand] : sessions_) report.sessions.push_back(strand->status);
+    std::sort(report.sessions.begin(), report.sessions.end(),
+              [](const protocol::SessionStatus& a, const protocol::SessionStatus& b) { return a.name < b.name; });
+    return report;
+}
+
+void SessionManager::refresh_status(Strand* strand) {
+    // Called only by the thread that owns the strand: reading the CoSession
+    // is safe, and the snapshot write is under mu_ for lobby readers.
+    strand->status = strand->session->session_status();
+}
+
+}  // namespace cosoft::server

@@ -140,7 +140,8 @@ RegistrationRecord random_record(sim::Rng& rng) {
 Message random_message(std::size_t index, sim::Rng& rng) {
     switch (index) {
         case 0: return Register{static_cast<UserId>(rng.below(1000)), random_name(rng), random_name(rng),
-                                random_name(rng), static_cast<std::uint32_t>(rng.below(16))};
+                                random_name(rng), static_cast<std::uint32_t>(rng.below(16)),
+                                random_name(rng)};
         case 1: return RegisterAck{static_cast<InstanceId>(rng.below(1000))};
         case 2: return Unregister{};
         case 3: return RegistryQuery{rng.next()};
@@ -185,13 +186,21 @@ Message random_message(std::size_t index, sim::Rng& rng) {
         case 30: return SyncRequest{rng.next(), random_ref(rng)};
         case 31: return StatusQuery{rng.next()};
         case 32: {
-            StatusReport report{rng.next(), random_name(rng), {}};
+            StatusReport report{rng.next(), random_name(rng), {}, {}};
             const std::uint64_t n = rng.below(4);
             for (std::uint64_t i = 0; i < n; ++i) {
                 report.connections.push_back(ConnectionStatus{
                     static_cast<InstanceId>(rng.below(1000)), random_name(rng), random_name(rng),
                     rng.chance(0.5), rng.below(1 << 20), rng.below(1 << 20), rng.below(1 << 20),
-                    rng.below(1 << 20), rng.below(100), rng.below(1 << 20), rng.below(100)});
+                    rng.below(1 << 20), rng.below(100), rng.below(1 << 20), rng.below(100),
+                    random_name(rng)});
+            }
+            const std::uint64_t ns = rng.below(4);
+            for (std::uint64_t i = 0; i < ns; ++i) {
+                report.sessions.push_back(SessionStatus{
+                    random_name(rng), static_cast<std::uint32_t>(rng.below(64)),
+                    static_cast<std::uint32_t>(rng.below(64)), rng.below(1 << 10),
+                    rng.below(1 << 20), rng.below(1 << 10)});
             }
             return report;
         }

@@ -2,8 +2,9 @@
 //
 // Connects over TCP, sends a StatusQuery (legal without registering: the
 // server treats status queries as monitoring traffic), and pretty-prints the
-// StatusReport: the server's metrics registry in Prometheus text exposition
-// plus one row per live connection.
+// StatusReport: the server's metrics registry in Prometheus text exposition,
+// one row per live coupling session (a sharded server hosts many), and one
+// row per live connection with the session it joined.
 //
 // Usage: ./cosoft-stat [host] [port] [--raw]
 //   host    server host (default 127.0.0.1)
@@ -62,14 +63,26 @@ int run(const std::string& host, std::uint16_t port, bool raw) {
     }
 
     std::printf("== cosoft server %s:%u ==\n\n", host.c_str(), port);
-    std::printf("-- connections (%zu) --\n", report.connections.size());
-    std::printf("%-9s %-12s %-16s %-4s %10s %10s %12s %12s %6s %10s %7s\n", "instance", "user", "app",
-                "reg", "fr_sent", "fr_recv", "bytes_sent", "bytes_recv", "bkpr", "peak_bytes", "queued");
+    std::printf("-- sessions (%zu) --\n", report.sessions.size());
+    std::printf("%-20s %5s %5s %7s %12s %8s\n", "session", "conns", "reg", "locks", "broadcasts",
+                "couples");
+    for (const protocol::SessionStatus& s : report.sessions) {
+        std::printf("%-20s %5u %5u %7llu %12llu %8llu\n",
+                    s.name.empty() ? "(default)" : s.name.c_str(), s.connections, s.registered,
+                    static_cast<unsigned long long>(s.locks_held),
+                    static_cast<unsigned long long>(s.broadcasts),
+                    static_cast<unsigned long long>(s.couples));
+    }
+    std::printf("\n-- connections (%zu) --\n", report.connections.size());
+    std::printf("%-9s %-12s %-16s %-12s %-4s %10s %10s %12s %12s %6s %10s %7s\n", "instance", "user",
+                "app", "session", "reg", "fr_sent", "fr_recv", "bytes_sent", "bytes_recv", "bkpr",
+                "peak_bytes", "queued");
     for (const protocol::ConnectionStatus& c : report.connections) {
-        std::printf("%-9u %-12s %-16s %-4s %10llu %10llu %12llu %12llu %6llu %10llu %7llu\n", c.instance,
-                    c.user_name.empty() ? "-" : c.user_name.c_str(),
-                    c.app_name.empty() ? "-" : c.app_name.c_str(), c.registered ? "yes" : "no",
-                    static_cast<unsigned long long>(c.frames_sent),
+        std::printf("%-9u %-12s %-16s %-12s %-4s %10llu %10llu %12llu %12llu %6llu %10llu %7llu\n",
+                    c.instance, c.user_name.empty() ? "-" : c.user_name.c_str(),
+                    c.app_name.empty() ? "-" : c.app_name.c_str(),
+                    c.registered ? (c.session.empty() ? "(default)" : c.session.c_str()) : "-",
+                    c.registered ? "yes" : "no", static_cast<unsigned long long>(c.frames_sent),
                     static_cast<unsigned long long>(c.frames_received),
                     static_cast<unsigned long long>(c.bytes_sent),
                     static_cast<unsigned long long>(c.bytes_received),
