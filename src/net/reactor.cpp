@@ -56,11 +56,12 @@ void Reactor::remove(TcpChannel* channel) {
     CO_CHECK_MSG(!on_reactor_thread(),
                  "a channel may not deregister from the reactor's own thread");
     std::unique_lock lock{mu_};
-    if (stop_ && !thread_.joinable()) {
-        // Static-teardown path: the loop is gone, nothing references the channel.
-        std::erase(channels_, channel);
-        return;
-    }
+    // Channels hold a shared_ptr to their reactor, so ~Reactor (the only
+    // place stop_ is set) cannot have run while a channel still exists to
+    // deregister; the loop below is guaranteed to be alive to service the
+    // removal. A future lifetime refactor that breaks this must rework the
+    // handshake, not rely on a teardown fast path.
+    CO_CHECK_MSG(!stop_, "reactor stopped while a channel was still registered");
     pending_removals_.push_back(channel);
     wake_locked();
     removal_cv_.wait(lock, [&] {

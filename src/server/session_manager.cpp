@@ -56,6 +56,15 @@ InstanceId SessionManager::attach(std::shared_ptr<net::Channel> channel) {
     channel->on_receive([this, id](const Frame& frame) { route_frame(id, frame); });
     channel->on_close([this, id] { route_close(id); });
     if (auto* tcp = dynamic_cast<net::TcpChannel*>(channel.get())) {
+        // A dispatch worker must never block inside send() on a peer that
+        // keeps its socket open but stops reading: overflow disconnects the
+        // stalled peer instead (kDisconnect), so one rude client cannot wedge
+        // a worker — and with it every session sharing the pool. Configured
+        // before reactor delivery starts and before the server's first send
+        // on this channel, per the tcp.hpp handler-installation contract.
+        net::SendQueueOptions send_opts;
+        send_opts.overflow = net::OverflowPolicy::kDisconnect;
+        tcp->configure_send_queue(send_opts);
         tcp->enable_reactor_delivery();
     }
     return id;
@@ -384,6 +393,10 @@ protocol::StatusReport SessionManager::global_status(std::uint64_t request) cons
     report.request = request;
     report.metrics_text = registry_.prometheus_text();
     for (const auto& [id, conn] : conns_) {
+        // depart() nulls conn.channel (into the graveyard) and drops mu_
+        // around session->detach() before erasing the conn, so a departing
+        // entry can be observed here with no channel to snapshot.
+        if (conn.departed || conn.channel == nullptr) continue;
         protocol::ConnectionStatus cs;
         cs.instance = id;
         cs.user_name = conn.user_name;

@@ -7,6 +7,7 @@
 // 64 concurrent sessions.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <memory>
@@ -289,6 +290,74 @@ TEST(SessionTcp, IsolationHoldsAcrossSessionsOverSockets) {
     EXPECT_EQ(mgr.session_count(), 2u);
     EXPECT_EQ(mgr.connection_count(), 4u);
     // Quiescent: the private reactor owns exactly one fd per connection.
+    EXPECT_TRUE(mgr.check_invariants().empty());
+}
+
+TEST(SessionTcp, StatusQueriesRaceConnectionDepartures) {
+    auto reactor = net::Reactor::create();
+    SessionManagerOptions options;
+    options.workers = 4;
+    options.reactor = reactor;
+    SessionManager mgr(options);
+
+    net::ListenOptions listen_options;
+    listen_options.reactor = reactor;
+    auto listener = net::TcpListener::create(0, listen_options);
+    ASSERT_TRUE(listener.is_ok());
+
+    // A monitoring client: unregistered, so every StatusQuery is answered by
+    // the lobby with global_status(), which walks conns_. Meanwhile peers
+    // churn in and out of a session on other workers; depart() parks a
+    // departing connection's channel in the graveyard (nulling conn.channel)
+    // while the conn is still in conns_. Regression: the walk used to
+    // dereference that nulled channel and crash.
+    auto monitor = net::tcp_connect("127.0.0.1", listener.value()->port());
+    ASSERT_TRUE(monitor.is_ok());
+    auto monitor_served = listener.value()->accept(2000);
+    ASSERT_TRUE(monitor_served.is_ok());
+    mgr.attach(monitor_served.value());
+
+    std::atomic<int> replies{0};
+    monitor.value()->on_receive([&](const protocol::Frame&) { replies.fetch_add(1); });
+
+    std::atomic<bool> churn_done{false};
+    std::thread monitor_thread([&] {
+        std::uint64_t request = 1;
+        while (!churn_done.load()) {
+            (void)monitor.value()->send(
+                protocol::encode_message(protocol::Message{protocol::StatusQuery{request++}}));
+            monitor.value()->poll();
+            std::this_thread::sleep_for(std::chrono::microseconds(50));
+        }
+    });
+
+    for (int i = 0; i < 200; ++i) {
+        auto c = net::tcp_connect("127.0.0.1", listener.value()->port());
+        ASSERT_TRUE(c.is_ok());
+        auto s = listener.value()->accept(2000);
+        ASSERT_TRUE(s.is_ok());
+        mgr.attach(s.value());
+        protocol::Register reg;
+        reg.user = static_cast<UserId>(i + 1);
+        reg.user_name = "churn" + std::to_string(i);
+        reg.app_name = "editor";
+        reg.session = "churn";
+        (void)c.value()->send(protocol::encode_message(protocol::Message{reg}));
+        // Dropping the client closes it: the server adopts the Register and
+        // immediately departs, overlapping session detach with lobby status.
+    }
+    churn_done.store(true);
+    monitor_thread.join();
+
+    using Clock = std::chrono::steady_clock;
+    const auto deadline = Clock::now() + std::chrono::seconds(5);
+    while (mgr.connection_count() != 1 && Clock::now() < deadline) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    monitor.value()->poll();
+    EXPECT_GT(replies.load(), 0);
+    mgr.quiesce();
+    EXPECT_EQ(mgr.connection_count(), 1u);
     EXPECT_TRUE(mgr.check_invariants().empty());
 }
 
