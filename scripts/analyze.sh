@@ -1,0 +1,36 @@
+#!/bin/sh
+# Clang thread-safety analysis gate: builds the whole tree with
+# -Werror=thread-safety so any hole in the capability annotations
+# (thread_annotations.hpp) fails the build.
+#
+#   scripts/analyze.sh
+#
+# Uses the `analyze` CMake preset (build/analyze), which configures with
+# COSOFT_ANALYZE=ON and COSOFT_CHECKED=ON so the annotated checked paths are
+# compiled and analyzed too. Configure + build only — the runtime batteries
+# run under the asan/tsan/checked presets, not here (this gate is itself
+# registered with ctest, so running ctest from inside it would recurse).
+#
+# Clang is optional tooling: when no clang++ binary exists on this machine
+# the gate degrades to a loud no-op so that check.sh keeps working on
+# gcc-only containers. Install clang (any version >= 14) to arm it.
+set -eu
+cd "$(dirname "$0")/.."
+
+CLANGXX=""
+for candidate in clang++ clang++-19 clang++-18 clang++-17 clang++-16 clang++-15 clang++-14; do
+  if command -v "$candidate" >/dev/null 2>&1; then
+    CLANGXX="$candidate"
+    break
+  fi
+done
+if [ -z "$CLANGXX" ]; then
+  echo "analyze.sh: no clang++ binary found on PATH; skipping the analyze gate." >&2
+  echo "analyze.sh: install clang (any version >= 14) to arm it." >&2
+  exit 0
+fi
+
+echo "analyze.sh: building with $CLANGXX and -Werror=thread-safety (build/analyze)"
+cmake --preset analyze -DCMAKE_CXX_COMPILER="$CLANGXX"
+cmake --build --preset analyze
+echo "analyze.sh: clean"

@@ -4,16 +4,22 @@
 #
 #   scripts/check.sh                  ordinary build in build/
 #   scripts/check.sh --sanitize=asan  AddressSanitizer+UBSan preset (checked)
-#   scripts/check.sh --sanitize=tsan  ThreadSanitizer preset
+#   scripts/check.sh --sanitize=tsan  ThreadSanitizer preset (thread checkers on)
+#   scripts/check.sh --sanitize=checked  checked invariants, no sanitizers
+#   scripts/check.sh --analyze        clang -Werror=thread-safety gate (build only)
 #   scripts/check.sh --mc             bounded model-checking sweep (cosoft-mc)
 #   scripts/check.sh --bench          benchmark smoke run (ctest label: bench)
 #   scripts/check.sh --obs            observability suite only (ctest label: obs)
+#   scripts/check.sh --all            the full sweep: ordinary (with lint),
+#                                     analyze, then asan/tsan/checked batteries
 #
-# Sanitizer runs use the CMakePresets.json trees (build/asan, build/tsan)
-# and stop after ctest: examples and benchmarks are only exercised by the
-# ordinary flavor. The --mc flavor builds the ordinary tree, then runs a
-# bounded cosoft-mc sweep over every registered scenario (fault-free plus
-# one-drop and one-crash budgets) and fails on any property violation.
+# Sanitizer runs use the CMakePresets.json trees (build/asan, build/tsan,
+# build/checked) and stop after ctest: examples and benchmarks are only
+# exercised by the ordinary flavor. The --mc flavor builds the ordinary tree,
+# then runs a bounded cosoft-mc sweep over every registered scenario
+# (fault-free plus one-drop and one-crash budgets) and fails on any property
+# violation. --analyze delegates to scripts/analyze.sh (a loud no-op on
+# machines without clang, just like the lint gate).
 set -e
 cd "$(dirname "$0")/.."
 
@@ -21,15 +27,32 @@ SANITIZE=""
 MC=""
 BENCH=""
 OBS=""
+ANALYZE=""
 for arg in "$@"; do
   case "$arg" in
-    --sanitize=asan|--sanitize=tsan) SANITIZE="${arg#--sanitize=}" ;;
+    --sanitize=asan|--sanitize=tsan|--sanitize=checked) SANITIZE="${arg#--sanitize=}" ;;
+    --analyze) ANALYZE=1 ;;
     --mc) MC=1 ;;
     --bench) BENCH=1 ;;
     --obs) OBS=1 ;;
-    *) echo "check.sh: unknown argument '$arg' (expected --sanitize=asan|tsan, --mc, --bench, or --obs)" >&2; exit 2 ;;
+    --all)
+      # Run each flavor in a child invocation so `set -e` stops on the first
+      # failing gate and every flavor keeps its own tree.
+      "$0"
+      "$0" --analyze
+      "$0" --sanitize=asan
+      "$0" --sanitize=tsan
+      "$0" --sanitize=checked
+      echo "check.sh: --all sweep passed (ordinary+lint, analyze, asan, tsan, checked)"
+      exit 0
+      ;;
+    *) echo "check.sh: unknown argument '$arg' (expected --sanitize=asan|tsan|checked, --analyze, --mc, --bench, --obs, or --all)" >&2; exit 2 ;;
   esac
 done
+
+if [ -n "$ANALYZE" ]; then
+  exec scripts/analyze.sh
+fi
 
 if [ -n "$OBS" ]; then
   # Reuse whatever generator build/ already has; a fresh tree gets the default.

@@ -1,0 +1,61 @@
+// Machine-checked threading model, part 2: the lock-order deadlock detector.
+//
+// Every co::Mutex acquisition in a COSOFT_THREAD_CHECKED build (the
+// `checked`, `asan`, and `tsan` presets) records held-before edges into one
+// process-global directed graph: a thread that acquires B while holding A
+// contributes the edge A -> B. Nodes are *lock classes* (the name each
+// co::Mutex carries, e.g. "net.TcpChannel.out"), not instances, so the graph
+// captures the locking discipline itself and stays small and stable no
+// matter how many channels or sessions come and go.
+//
+// The graph must remain a DAG. An acquisition that would close a cycle is a
+// potential deadlock — even if this particular run never interleaved into
+// the actual hang — and is reported *before* the thread blocks, with the
+// acquisition stack of every edge on the cycle plus the stack of the
+// offending acquisition ("both witness stacks"). The default handler aborts
+// through cosoft::detail::check_failed; tests install a capturing handler.
+//
+// Edges are recorded at first witness only, so the steady-state cost of an
+// acquisition is one shared-lock hash probe per lock currently held by the
+// thread (usually zero or one).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+namespace cosoft {
+
+class Mutex;
+
+/// True when this translation unit compiles the runtime thread checkers
+/// (lock-order graph + strand confinement) in.
+constexpr bool thread_checked_build() noexcept {
+#if defined(COSOFT_THREAD_CHECKED)
+    return true;
+#else
+    return false;
+#endif
+}
+
+namespace lockorder {
+
+/// Handler invoked with the human-readable violation report. Installing a
+/// handler (tests) replaces the default abort; passing nullptr restores it.
+/// The offending edge is NOT added to the graph, so a handled violation
+/// leaves the detector armed and the graph a DAG.
+using ViolationHandler = std::function<void(const std::string& report)>;
+
+/// Installs `handler` for lock-order violations process-wide and returns the
+/// previous one. Test-only: not synchronized against in-flight acquisitions.
+ViolationHandler set_violation_handler(ViolationHandler handler);
+
+/// Number of distinct lock classes seen so far (0 in unchecked builds).
+std::size_t node_count();
+/// Number of distinct held-before edges recorded so far.
+std::size_t edge_count();
+/// Locks the calling thread currently holds (checked builds; else 0).
+std::size_t held_by_this_thread();
+
+}  // namespace lockorder
+}  // namespace cosoft

@@ -1,0 +1,299 @@
+#include "cosoft/common/lock_order.hpp"
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <shared_mutex>
+#include <string_view>
+#include <type_traits>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "cosoft/common/check.hpp"
+#include "cosoft/common/thread_annotations.hpp"
+
+#if defined(__GLIBC__)
+#include <execinfo.h>
+#endif
+
+namespace cosoft::lockorder {
+
+namespace {
+
+constexpr std::size_t kMaxStackFrames = 24;
+
+/// A captured acquisition stack: raw return addresses, symbolized only when
+/// a report is being built (capture must stay cheap — it runs once per new
+/// edge and once per violation, never on the steady-state hot path).
+struct Stack {
+    void* frames[kMaxStackFrames] = {};
+    int depth = 0;
+
+    static Stack capture() noexcept {
+        Stack s;
+#if defined(__GLIBC__)
+        s.depth = ::backtrace(s.frames, static_cast<int>(kMaxStackFrames));
+#endif
+        return s;
+    }
+
+    void append_to(std::string& out) const {
+#if defined(__GLIBC__)
+        if (depth > 0) {
+            char** symbols = ::backtrace_symbols(const_cast<void* const*>(frames), depth);
+            for (int i = 0; i < depth; ++i) {
+                out += "    #";
+                out += std::to_string(i);
+                out += ' ';
+                if (symbols != nullptr && symbols[i] != nullptr) {
+                    out += symbols[i];
+                } else {
+                    char buf[32];
+                    std::snprintf(buf, sizeof buf, "%p", frames[i]);
+                    out += buf;
+                }
+                out += '\n';
+            }
+            ::free(symbols);  // NOLINT(cppcoreguidelines-no-malloc) — backtrace_symbols contract
+            return;
+        }
+#endif
+        out += "    (no stack captured on this platform)\n";
+    }
+};
+
+struct Edge {
+    int from = -1;
+    int to = -1;
+    Stack witness;  ///< the acquisition that first created this edge
+};
+
+/// One lock the calling thread currently holds.
+struct Held {
+    int node = -1;
+    const Mutex* mu = nullptr;
+};
+
+/// The process-global graph. Leaked on purpose: mutexes in function-local
+/// statics (Reactor::shared(), Tracer::instance()) are still acquired during
+/// static teardown, after a non-leaked graph would already be gone.
+class Graph {
+  public:
+    static Graph& instance() {
+        static Graph* g = new Graph;  // intentionally leaked, see class comment
+        return *g;
+    }
+
+    /// Lock-class name -> stable node id (interned on first sight). The
+    /// caller caches the id in Mutex::order_id_, so this runs once per
+    /// instance.
+    int intern_name(const char* raw_name) {
+        std::unique_lock lock{mu_};
+        auto [it, inserted] =
+            nodes_.try_emplace(std::string{raw_name}, static_cast<int>(names_.size()));
+        if (inserted) names_.push_back(it->first);
+        return it->second;
+    }
+
+    /// Records `from -> to` if unseen; reports a violation instead of
+    /// inserting when the edge would close a cycle (keeping the graph a DAG
+    /// and the detector armed after a handled violation).
+    void add_edge(int from, int to) {
+        const std::uint64_t key = edge_key(from, to);
+        {
+            std::shared_lock lock{mu_};
+            if (edges_.contains(key)) return;  // steady state: one hash probe
+        }
+        std::unique_lock lock{mu_};
+        if (edges_.contains(key)) return;
+        if (from == to) {
+            report_cycle(lock, from, to, /*existing_path=*/{});
+            return;
+        }
+        // Adding from->to closes a cycle iff `from` is already reachable
+        // from `to`; the DFS also yields the witness path for the report.
+        std::vector<int> path;
+        if (reachable(to, from, path)) {
+            report_cycle(lock, from, to, path);
+            return;
+        }
+        adjacency_[from].push_back(to);
+        edges_.emplace(key, Edge{from, to, Stack::capture()});
+    }
+
+    ViolationHandler swap_handler(ViolationHandler handler) {
+        std::unique_lock lock{mu_};
+        std::swap(handler, handler_);
+        return handler;
+    }
+
+    std::size_t node_count() const {
+        std::shared_lock lock{mu_};
+        return names_.size();
+    }
+    std::size_t edge_count() const {
+        std::shared_lock lock{mu_};
+        return edges_.size();
+    }
+
+  private:
+    Graph() = default;
+
+    static std::uint64_t edge_key(int from, int to) noexcept {
+        return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(from)) << 32) |
+               static_cast<std::uint32_t>(to);
+    }
+
+    /// DFS from -> target; on success `path` holds the node sequence
+    /// from .. target (inclusive).
+    bool reachable(int from, int target, std::vector<int>& path) const {
+        path.push_back(from);
+        if (from == target) return true;
+        const auto it = adjacency_.find(from);
+        if (it != adjacency_.end()) {
+            for (const int next : it->second) {
+                if (reachable(next, target, path)) return true;
+            }
+        }
+        path.pop_back();
+        return false;
+    }
+
+    void report_cycle(std::unique_lock<std::shared_mutex>& lock, int from, int to,
+                      const std::vector<int>& existing_path) {
+        std::string report = "lock-order cycle: acquiring \"";
+        report += names_[static_cast<std::size_t>(to)];
+        report += "\" while holding \"";
+        report += names_[static_cast<std::size_t>(from)];
+        report += "\" inverts the established order\n";
+        if (from == to) {
+            report +=
+                "  two locks of the same class held at once: with no instance order, two threads\n"
+                "  taking the pair in opposite order deadlock\n";
+        }
+        report += "  new edge \"";
+        report += names_[static_cast<std::size_t>(from)];
+        report += "\" -> \"";
+        report += names_[static_cast<std::size_t>(to)];
+        report += "\", acquisition stack:\n";
+        Stack::capture().append_to(report);
+        for (std::size_t i = 0; i + 1 < existing_path.size(); ++i) {
+            const std::uint64_t key = edge_key(existing_path[i], existing_path[i + 1]);
+            const auto it = edges_.find(key);
+            report += "  established edge \"";
+            report += names_[static_cast<std::size_t>(existing_path[i])];
+            report += "\" -> \"";
+            report += names_[static_cast<std::size_t>(existing_path[i + 1])];
+            report += "\", first witnessed at:\n";
+            if (it != edges_.end()) {
+                it->second.witness.append_to(report);
+            } else {
+                report += "    (edge record missing)\n";
+            }
+        }
+        ViolationHandler handler = handler_;
+        lock.unlock();  // the handler (default: abort) must not run under the graph lock
+        if (handler) {
+            handler(report);
+            return;
+        }
+        detail::check_failed("lock-order DAG has no cycle", __FILE__, __LINE__, report);
+    }
+
+    mutable std::shared_mutex mu_;
+    std::unordered_map<std::string, int> nodes_;   ///< lock-class name -> node id
+    std::vector<std::string_view> names_;          ///< node id -> name (views into nodes_ keys)
+    std::unordered_map<int, std::vector<int>> adjacency_;
+    std::unordered_map<std::uint64_t, Edge> edges_;
+    ViolationHandler handler_;
+};
+
+/// The calling thread's currently-held locks. Deliberately a trivially-
+/// destructible fixed array, not a std::vector: mutexes living in static
+/// singletons (Reactor::shared()) are acquired by static destructors at
+/// process exit, after a vector's TLS destructor would already have freed
+/// its buffer — pushing into it then corrupts the heap.
+struct HeldStack {
+    static constexpr std::size_t kMaxHeld = 16;
+    Held entries[kMaxHeld];
+    std::size_t depth = 0;
+};
+static_assert(std::is_trivially_destructible_v<HeldStack>);
+
+HeldStack& held_stack() {
+    thread_local HeldStack held;
+    return held;
+}
+
+}  // namespace
+
+// The intern-id caching lives inline in the hooks: they are the only friends
+// of Mutex, so only they can write the private order_id_ cache.
+
+void on_acquiring(const Mutex* mu) {
+    Graph& graph = Graph::instance();
+    int node = mu->order_id();
+    if (node < 0) {
+        node = graph.intern_name(mu->name());
+        mu->order_id_.store(node, std::memory_order_relaxed);
+    }
+    const HeldStack& stack = held_stack();
+    for (std::size_t i = 0; i < stack.depth; ++i) {
+        const Held& held = stack.entries[i];
+        if (held.mu == mu) {
+            // Same-instance recursion deadlocks std::mutex outright; report
+            // before blocking so the hang comes with a diagnosis.
+            std::string report = "recursive acquisition of \"";
+            report += mu->name();
+            report += "\" (same co::Mutex instance already held by this thread)\n";
+            Stack::capture().append_to(report);
+            detail::check_failed("no recursive co::Mutex acquisition", __FILE__, __LINE__, report);
+        }
+        graph.add_edge(held.node, node);
+    }
+}
+
+void on_acquired(const Mutex* mu) {
+    int node = mu->order_id();
+    if (node < 0) {
+        node = Graph::instance().intern_name(mu->name());
+        mu->order_id_.store(node, std::memory_order_relaxed);
+    }
+    HeldStack& stack = held_stack();
+    if (stack.depth == HeldStack::kMaxHeld) {
+        detail::check_failed("a thread holds at most 16 co::Mutexes at once", __FILE__, __LINE__,
+                             std::string{"overflow acquiring: "} + mu->name());
+    }
+    stack.entries[stack.depth++] = Held{node, mu};
+}
+
+void on_released(const Mutex* mu) {
+    HeldStack& stack = held_stack();
+    for (std::size_t i = stack.depth; i > 0; --i) {
+        if (stack.entries[i - 1].mu == mu) {
+            for (std::size_t j = i - 1; j + 1 < stack.depth; ++j) {
+                stack.entries[j] = stack.entries[j + 1];
+            }
+            --stack.depth;
+            return;
+        }
+    }
+    // Releasing a lock this thread never recorded: bookkeeping is broken.
+    detail::check_failed("released co::Mutex was held by this thread", __FILE__, __LINE__,
+                         std::string{"lock: "} + mu->name());
+}
+
+ViolationHandler set_violation_handler(ViolationHandler handler) {
+    return Graph::instance().swap_handler(std::move(handler));
+}
+
+std::size_t node_count() { return Graph::instance().node_count(); }
+std::size_t edge_count() { return Graph::instance().edge_count(); }
+std::size_t held_by_this_thread() { return held_stack().depth; }
+
+}  // namespace cosoft::lockorder

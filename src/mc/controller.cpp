@@ -19,6 +19,7 @@ int ScheduleController::find(const net::SimChannel* dest) const noexcept {
 }
 
 void ScheduleController::on_frame(const std::shared_ptr<net::SimChannel>& dest, protocol::Frame frame) {
+    strand_checker_.assert_on_strand();
     const int e = find(dest.get());
     if (e < 0) {
         deliver_now(*dest, frame);
@@ -28,6 +29,7 @@ void ScheduleController::on_frame(const std::shared_ptr<net::SimChannel>& dest, 
 }
 
 void ScheduleController::on_peer_close(const std::shared_ptr<net::SimChannel>& dest) {
+    strand_checker_.assert_on_strand();
     const int e = find(dest.get());
     if (e < 0) {
         close_now(*dest);
@@ -63,6 +65,7 @@ int ScheduleController::first_pending() const noexcept {
 }
 
 void ScheduleController::deliver_head(int endpoint) {
+    strand_checker_.assert_on_strand();
     Endpoint& ep = at(endpoint);
     CO_CHECK_MSG(!ep.queue.empty(), "deliver_head on an empty endpoint");
     Pending item = std::move(ep.queue.front());
@@ -77,6 +80,7 @@ void ScheduleController::deliver_head(int endpoint) {
 }
 
 void ScheduleController::drop_head(int endpoint) {
+    strand_checker_.assert_on_strand();
     Endpoint& ep = at(endpoint);
     CO_CHECK_MSG(!ep.queue.empty() && !ep.queue.front().close, "drop_head needs a pending frame");
     ep.queue.pop_front();

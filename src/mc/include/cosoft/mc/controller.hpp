@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "cosoft/common/bytes.hpp"
+#include "cosoft/common/strand_check.hpp"
 #include "cosoft/net/sim_network.hpp"
 
 namespace cosoft::mc {
@@ -23,6 +24,11 @@ class ScheduleController final : public net::FrameScheduler {
         bool close = false;     ///< peer-close notification
         protocol::Frame frame;  ///< valid when !close; shares the sender's encode
     };
+
+    // Thread-only confinement: on_frame fires under whatever strand the
+    // scenario's dispatch happens to be running — all on the explorer's one
+    // thread, which is the identity that matters.
+    ScheduleController() { strand_checker_.set_thread_only(true); }
 
     /// Registers a destination endpoint; frames addressed to it queue up
     /// under the returned index. Frames for unregistered destinations are
@@ -63,7 +69,11 @@ class ScheduleController final : public net::FrameScheduler {
     [[nodiscard]] Endpoint& at(int endpoint) { return endpoints_.at(static_cast<std::size_t>(endpoint)); }
     [[nodiscard]] int find(const net::SimChannel* dest) const noexcept;
 
-    std::vector<Endpoint> endpoints_;
+    /// The explorer drives the controller from exactly one thread; the
+    /// checker turns a concurrent exploration bug into a loud failure
+    /// instead of a corrupted interleaving count.
+    StrandChecker strand_checker_{"mc.ScheduleController"};
+    CO_STRAND_CONFINED std::vector<Endpoint> endpoints_;
 };
 
 }  // namespace cosoft::mc

@@ -31,9 +31,10 @@
 #include <condition_variable>
 #include <cstddef>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "cosoft/common/thread_annotations.hpp"
 
 namespace cosoft::net {
 
@@ -88,16 +89,19 @@ class Reactor {
     void wake();
 
     void loop();
-    void wake_locked();
+    void wake_locked() CO_REQUIRES(mu_);
     void drain_wake_pipe();
 
-    mutable std::mutex mu_;
+    mutable co::Mutex mu_{"net.Reactor.mu"};
     std::condition_variable removal_cv_;
-    std::vector<TcpChannel*> channels_;          ///< registered; loop snapshots under mu_
-    std::vector<TcpChannel*> pending_removals_;  ///< handshakes awaiting the loop's safe point
-    bool stop_ = false;
+    std::vector<TcpChannel*> channels_
+        CO_GUARDED_BY(mu_);  ///< registered; loop snapshots under mu_
+    std::vector<TcpChannel*> pending_removals_
+        CO_GUARDED_BY(mu_);  ///< handshakes awaiting the loop's safe point
+    bool stop_ CO_GUARDED_BY(mu_) = false;
     int wake_fds_[2] = {-1, -1};  ///< self-pipe: [0] polled by the loop, [1] written by wake()
-    bool wake_pending_ = false;   ///< coalesces wake() writes between loop iterations
+    bool wake_pending_ CO_GUARDED_BY(mu_) =
+        false;  ///< coalesces wake() writes between loop iterations
     std::thread thread_;
 };
 

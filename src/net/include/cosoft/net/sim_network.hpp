@@ -3,7 +3,11 @@
 // with optional probabilistic frame loss for failure-injection tests.
 //
 // All delivery happens synchronously inside EventQueue::step()/run_all(), so
-// an entire client-server session is reproducible from a seed.
+// an entire client-server session is reproducible from a seed. The whole
+// simulated network is single-threaded by contract; in thread-checked builds
+// every channel operation asserts on the owning SimNetwork's StrandChecker,
+// so a stray thread wandering into a simulation fails loudly instead of
+// corrupting the deterministic run.
 #pragma once
 
 #include <cstdint>
@@ -11,6 +15,7 @@
 #include <memory>
 #include <utility>
 
+#include "cosoft/common/strand_check.hpp"
 #include "cosoft/net/channel.hpp"
 #include "cosoft/sim/event_queue.hpp"
 #include "cosoft/sim/rng.hpp"
@@ -53,8 +58,13 @@ class FrameScheduler {
 /// Factory and owner of the event queue driving all simulated channels.
 class SimNetwork {
   public:
-    SimNetwork() = default;
-    explicit SimNetwork(sim::EventQueue* external_queue) : external_(external_queue) {}
+    // Thread-only confinement: an inline-mode SessionManager legally runs
+    // many session strands on the one embedder thread, and every one of
+    // them replies through this network — only a foreign *thread* is a bug.
+    SimNetwork() { strand_checker_.set_thread_only(true); }
+    explicit SimNetwork(sim::EventQueue* external_queue) : external_(external_queue) {
+        strand_checker_.set_thread_only(true);
+    }
 
     /// Routes all subsequent traffic through `scheduler` (nullptr restores
     /// normal EventQueue delivery). The scheduler must outlive the channels.
@@ -72,8 +82,13 @@ class SimNetwork {
     [[nodiscard]] sim::EventQueue& queue() noexcept { return external_ ? *external_ : owned_; }
     [[nodiscard]] sim::SimTime now() noexcept { return queue().now(); }
 
+    /// Single-threaded-use checker shared by every channel of this network
+    /// (thread-checked builds; no-op otherwise).
+    [[nodiscard]] StrandChecker& strand_checker() noexcept { return strand_checker_; }
+
   private:
-    sim::EventQueue owned_;
+    StrandChecker strand_checker_{"net.SimNetwork"};
+    CO_STRAND_CONFINED sim::EventQueue owned_;
     sim::EventQueue* external_ = nullptr;
     FrameScheduler* scheduler_ = nullptr;
 };
@@ -96,11 +111,11 @@ class SimChannel final : public Channel, public std::enable_shared_from_this<Sim
 
     SimNetwork* net_;
     PipeConfig config_;
-    sim::Rng rng_;
+    CO_STRAND_CONFINED sim::Rng rng_;
     std::weak_ptr<SimChannel> peer_;
-    ReceiveHandler receive_;
-    CloseHandler close_handler_;
-    bool connected_ = true;
+    CO_STRAND_CONFINED ReceiveHandler receive_;
+    CO_STRAND_CONFINED CloseHandler close_handler_;
+    CO_STRAND_CONFINED bool connected_ = true;
 };
 
 }  // namespace cosoft::net

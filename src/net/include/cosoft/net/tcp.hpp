@@ -46,10 +46,10 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "cosoft/common/thread_annotations.hpp"
 #include "cosoft/net/channel.hpp"
 #include "cosoft/net/reactor.hpp"
 
@@ -80,8 +80,8 @@ class TcpChannel final : public Channel {
     ~TcpChannel() override;
 
     Status send(protocol::Frame frame) override;
-    void on_receive(ReceiveHandler handler) override { receive_ = std::move(handler); }
-    void on_close(CloseHandler handler) override { close_handler_ = std::move(handler); }
+    void on_receive(ReceiveHandler handler) override;
+    void on_close(CloseHandler handler) override;
     [[nodiscard]] bool connected() const override { return connected_.load(std::memory_order_acquire); }
 
     /// Stops accepting sends, lets the reactor flush already-accepted frames
@@ -93,8 +93,8 @@ class TcpChannel final : public Channel {
     /// backoff.
     void close() override;
 
-    void configure_send_queue(const SendQueueOptions& opts) { send_opts_ = opts; }
-    void on_backpressure(BackpressureHandler handler) { backpressure_ = std::move(handler); }
+    void configure_send_queue(const SendQueueOptions& opts);
+    void on_backpressure(BackpressureHandler handler);
 
     [[nodiscard]] std::size_t outbound_queued_frames() const override;
     [[nodiscard]] std::size_t outbound_queued_bytes() const override;
@@ -160,13 +160,18 @@ class TcpChannel final : public Channel {
     /// kDisconnect overflow: tear everything down at the next reactor visit.
     std::atomic<bool> abort_{false};
 
-    std::mutex mu_;  ///< guards inbox_, reactor_delivery_, and the receive-side stats
-    std::deque<protocol::Frame> inbox_;
-    bool reactor_delivery_ = false;
-    ReceiveHandler receive_;
-    CloseHandler close_handler_;
+    co::Mutex mu_{"net.TcpChannel.inbox"};  ///< guards the receive side
+    std::deque<protocol::Frame> inbox_ CO_GUARDED_BY(mu_);
+    bool reactor_delivery_ CO_GUARDED_BY(mu_) = false;
+    // Handlers are mu_-guarded so a (contractually discouraged) late install
+    // cannot tear a std::function read; dispatch paths copy under mu_ and
+    // invoke the copy outside it (except deliver_inbound, which documents
+    // holding mu_ across the reactor-delivery callback for frame ordering).
+    ReceiveHandler receive_ CO_GUARDED_BY(mu_);
+    CloseHandler close_handler_ CO_GUARDED_BY(mu_);
 
-    // Inbound parse state: reactor thread only.
+    // Inbound parse state: reactor thread only (service() asserts this in
+    // thread-checked builds).
     bool read_open_ = true;
     bool rx_in_payload_ = false;
     std::uint8_t rx_header_[4] = {};
@@ -175,24 +180,29 @@ class TcpChannel final : public Channel {
     std::vector<std::uint8_t> rx_payload_;
     std::size_t rx_payload_have_ = 0;
 
-    SendQueueOptions send_opts_;
-    BackpressureHandler backpressure_;
-    mutable std::mutex out_mu_;  ///< guards outbox_*, congested_, flush_complete_, send-side stats
+    // Send queue configuration is out_mu_-guarded: configure_send_queue()
+    // used to write it unsynchronized against reactor reads (high_watermark
+    // in service_write, drain_timeout_ms in close) — a real guarded-state
+    // escape the thread-safety migration surfaced.
+    SendQueueOptions send_opts_ CO_GUARDED_BY(out_mu_);
+    BackpressureHandler backpressure_ CO_GUARDED_BY(out_mu_);
+    mutable co::Mutex out_mu_{"net.TcpChannel.out"};  ///< guards the send side
     std::condition_variable space_cv_;    ///< kBlock senders wait for queue space
     std::condition_variable flushed_cv_;  ///< destructor waits for the outbound flush to settle
-    std::deque<protocol::Frame> outbox_;
-    std::size_t outbox_bytes_ = 0;
-    bool congested_ = false;
+    std::deque<protocol::Frame> outbox_ CO_GUARDED_BY(out_mu_);
+    std::size_t outbox_bytes_ CO_GUARDED_BY(out_mu_) = 0;
+    bool congested_ CO_GUARDED_BY(out_mu_) = false;
     /// The write side has reached its final state (drained + SHUT_WR, dead
     /// link, deadline give-up, or abort); the destructor may proceed.
-    bool flush_complete_ = false;
-    /// close() requested: flush, then shut down. Atomic because the reactor
-    /// checks it without taking out_mu_; drain_deadline_ is written once
-    /// before the release store, so the acquire load orders the read.
+    bool flush_complete_ CO_GUARDED_BY(out_mu_) = false;
+    /// close() requested: flush, then shut down. Atomic so poll_interest()
+    /// and service() can check it without out_mu_; the deadline itself is
+    /// out_mu_-guarded (it used to ride a fragile release/acquire
+    /// side-channel on this flag).
     std::atomic<bool> draining_{false};
-    std::chrono::steady_clock::time_point drain_deadline_{};
+    std::chrono::steady_clock::time_point drain_deadline_ CO_GUARDED_BY(out_mu_){};
 
-    // Outbound write state: reactor thread only.
+    // Outbound write state: reactor thread only (see service()).
     bool wr_active_ = false;  ///< a frame is mid-write (popped from outbox_)
     bool wr_shut_ = false;    ///< write side retired; never arm POLLOUT again
     std::uint8_t wr_header_[4] = {};

@@ -32,7 +32,7 @@ Reactor::Reactor() {
 
 Reactor::~Reactor() {
     {
-        std::lock_guard lock{mu_};
+        const MutexLock lock{mu_};
         stop_ = true;
         wake_locked();
     }
@@ -42,12 +42,12 @@ Reactor::~Reactor() {
 }
 
 std::size_t Reactor::registered_count() const {
-    std::lock_guard lock{mu_};
+    const MutexLock lock{mu_};
     return channels_.size();
 }
 
 void Reactor::add(TcpChannel* channel) {
-    std::lock_guard lock{mu_};
+    const MutexLock lock{mu_};
     channels_.push_back(channel);
     wake_locked();
 }
@@ -55,7 +55,7 @@ void Reactor::add(TcpChannel* channel) {
 void Reactor::remove(TcpChannel* channel) {
     CO_CHECK_MSG(!on_reactor_thread(),
                  "a channel may not deregister from the reactor's own thread");
-    std::unique_lock lock{mu_};
+    MutexLock lock{mu_};
     // Channels hold a shared_ptr to their reactor, so ~Reactor (the only
     // place stop_ is set) cannot have run while a channel still exists to
     // deregister; the loop below is guaranteed to be alive to service the
@@ -64,14 +64,16 @@ void Reactor::remove(TcpChannel* channel) {
     CO_CHECK_MSG(!stop_, "reactor stopped while a channel was still registered");
     pending_removals_.push_back(channel);
     wake_locked();
-    removal_cv_.wait(lock, [&] {
-        return std::find(pending_removals_.begin(), pending_removals_.end(), channel) ==
-               pending_removals_.end();
-    });
+    // Explicit wait loop (not a predicate lambda): the thread-safety
+    // analysis does not carry the held capability into lambda bodies.
+    while (std::find(pending_removals_.begin(), pending_removals_.end(), channel) !=
+           pending_removals_.end()) {
+        lock.wait(removal_cv_);
+    }
 }
 
 void Reactor::wake() {
-    std::lock_guard lock{mu_};
+    const MutexLock lock{mu_};
     wake_locked();
 }
 
@@ -94,7 +96,7 @@ void Reactor::loop() {
     std::vector<pollfd> pfds;
     for (;;) {
         {
-            std::unique_lock lock{mu_};
+            const MutexLock lock{mu_};
             if (!pending_removals_.empty()) {
                 // Safe point: no channel callback is on this thread's stack, so
                 // completing a removal here guarantees the destructing channel is

@@ -18,6 +18,7 @@ void FrameScheduler::deliver_now(SimChannel& dest, const protocol::Frame& frame)
 void FrameScheduler::close_now(SimChannel& dest) { dest.peer_closed(); }
 
 Status SimChannel::send(protocol::Frame frame) {
+    net_->strand_checker().assert_on_strand();
     if (!connected_) return Status{ErrorCode::kTransport, "channel closed"};
     auto peer = peer_.lock();
     if (!peer || !peer->connected_) return Status{ErrorCode::kTransport, "peer gone"};
@@ -43,6 +44,7 @@ Status SimChannel::send(protocol::Frame frame) {
 }
 
 void SimChannel::deliver(const protocol::Frame& frame) {
+    net_->strand_checker().assert_on_strand();
     if (!connected_) return;  // closed while the frame was in flight
     frames_received_.inc();
     bytes_received_.inc(frame.size());
@@ -50,6 +52,7 @@ void SimChannel::deliver(const protocol::Frame& frame) {
 }
 
 void SimChannel::close() {
+    net_->strand_checker().assert_on_strand();
     if (!connected_) return;
     connected_ = false;
     if (auto peer = peer_.lock()) {

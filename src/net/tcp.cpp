@@ -12,6 +12,8 @@
 #include <cstring>
 #include <thread>
 
+#include "cosoft/common/check.hpp"
+
 namespace cosoft::net {
 
 namespace {
@@ -38,6 +40,26 @@ TcpChannel::TcpChannel(int fd, std::shared_ptr<Reactor> reactor)
     reactor_->add(this);
 }
 
+void TcpChannel::on_receive(ReceiveHandler handler) {
+    const MutexLock lock{mu_};
+    receive_ = std::move(handler);
+}
+
+void TcpChannel::on_close(CloseHandler handler) {
+    const MutexLock lock{mu_};
+    close_handler_ = std::move(handler);
+}
+
+void TcpChannel::configure_send_queue(const SendQueueOptions& opts) {
+    const MutexLock lock{out_mu_};
+    send_opts_ = opts;
+}
+
+void TcpChannel::on_backpressure(BackpressureHandler handler) {
+    const MutexLock lock{out_mu_};
+    backpressure_ = std::move(handler);
+}
+
 TcpChannel::~TcpChannel() {
     close();
     // Wait for the reactor to settle the write side: flush within the drain
@@ -46,8 +68,8 @@ TcpChannel::~TcpChannel() {
     // lingering reads are what keep a bursty peer from wedging our own
     // flush behind a closed receive window.
     {
-        std::unique_lock lock{out_mu_};
-        flushed_cv_.wait(lock, [&] { return flush_complete_; });
+        MutexLock lock{out_mu_};
+        while (!flush_complete_) lock.wait(flushed_cv_);
     }
     // Blocking handshake: after remove() returns, the loop thread will never
     // touch this channel (or its fd) again, so closing the fd here cannot
@@ -65,7 +87,7 @@ short TcpChannel::poll_interest() {
     if (!wr_shut_) {
         bool want_write = wr_active_ || draining_.load(std::memory_order_acquire);
         if (!want_write) {
-            const std::lock_guard lock{out_mu_};
+            const MutexLock lock{out_mu_};
             want_write = !outbox_.empty();
         }
         if (want_write) events |= POLLOUT;
@@ -74,6 +96,14 @@ short TcpChannel::poll_interest() {
 }
 
 void TcpChannel::service(short revents) {
+#if defined(COSOFT_THREAD_CHECKED)
+    // The rx_*/wr_* parse state is confined to the reactor loop; this is the
+    // single entry point for all of it.
+    if (!reactor_->on_reactor_thread()) {
+        detail::check_failed("TcpChannel::service runs only on the reactor thread", __FILE__,
+                             __LINE__, "foreign thread entered the reactor-only I/O path");
+    }
+#endif
     if (abort_.load(std::memory_order_acquire)) {
         if (read_open_) fail_read_side();
         if (!wr_shut_) fail_write_side();
@@ -142,7 +172,7 @@ void TcpChannel::deliver_inbound(protocol::Frame frame) {
     // Reactor-delivery dispatch holds mu_ so it cannot interleave with the
     // buffered-frame drain inside enable_reactor_delivery(): frame order is
     // preserved across the mode switch.
-    const std::lock_guard lock{mu_};
+    const MutexLock lock{mu_};
     if (reactor_delivery_) {
         frames_received_.inc();
         bytes_received_.inc(frame.size());
@@ -157,7 +187,7 @@ void TcpChannel::fail_read_side() {
     {
         // Taken so a kBlock sender between its predicate check and its wait
         // cannot miss the peer_gone_ wakeup.
-        const std::lock_guard lock{out_mu_};
+        const MutexLock lock{out_mu_};
         peer_gone_.store(true, std::memory_order_release);
     }
     space_cv_.notify_all();
@@ -166,13 +196,15 @@ void TcpChannel::fail_read_side() {
 void TcpChannel::service_write() {
     if (wr_shut_) return;
     const bool draining = draining_.load(std::memory_order_acquire);
-    if (draining && std::chrono::steady_clock::now() >= drain_deadline_) {
+    if (draining) {
+        bool expired;
         bool done;
         {
-            const std::lock_guard lock{out_mu_};
+            const MutexLock lock{out_mu_};
+            expired = std::chrono::steady_clock::now() >= drain_deadline_;
             done = !wr_active_ && outbox_.empty();
         }
-        if (!done) {
+        if (expired && !done) {
             // The drain budget ran out on a peer that stopped reading:
             // remaining queued frames are dropped, and the owner learns
             // through the (poll-reported) close.
@@ -184,8 +216,9 @@ void TcpChannel::service_write() {
         if (!wr_active_) {
             bool decongested = false;
             std::size_t queued = 0;
+            BackpressureHandler bp;
             {
-                const std::lock_guard lock{out_mu_};
+                const MutexLock lock{out_mu_};
                 if (outbox_.empty()) {
                     if (draining && !flush_complete_) {
                         // Everything accepted has been flushed; tell the peer
@@ -202,6 +235,7 @@ void TcpChannel::service_write() {
                     if (congested_ && outbox_bytes_ <= send_opts_.high_watermark / 2) {
                         congested_ = false;
                         decongested = true;
+                        bp = backpressure_;
                     }
                     const auto size = static_cast<std::uint32_t>(wr_frame_.size());
                     wr_header_[0] = static_cast<std::uint8_t>(size);
@@ -217,7 +251,7 @@ void TcpChannel::service_write() {
                 return;
             }
             space_cv_.notify_all();
-            if (decongested && backpressure_) backpressure_(false, queued);
+            if (decongested && bp) bp(false, queued);
             if (!wr_active_) return;  // queue empty, not draining: nothing to do
         }
         while (wr_off_ < 4 + wr_frame_.size()) {
@@ -250,7 +284,7 @@ void TcpChannel::fail_write_side() {
     wr_frame_ = protocol::Frame{};
     ::shutdown(fd_, SHUT_RDWR);
     {
-        const std::lock_guard lock{out_mu_};
+        const MutexLock lock{out_mu_};
         outbox_.clear();
         outbox_bytes_ = 0;
         flush_complete_ = true;
@@ -262,17 +296,19 @@ void TcpChannel::fail_write_side() {
 
 void TcpChannel::report_close_from_reactor() {
     bool down;
+    CloseHandler handler;
     {
-        const std::lock_guard lock{mu_};
+        const MutexLock lock{mu_};
         if (!reactor_delivery_) return;
         down = (peer_gone_.load(std::memory_order_acquire) ||
                 !connected_.load(std::memory_order_acquire)) &&
                inbox_.empty();
+        if (down) handler = close_handler_;
     }
     if (!down) return;
     bool expected = false;
     if (close_reported_.compare_exchange_strong(expected, true, std::memory_order_acq_rel)) {
-        if (close_handler_) close_handler_();
+        if (handler) handler();
     }
 }
 
@@ -285,27 +321,31 @@ Status TcpChannel::send(protocol::Frame frame) {
     bool onset = false;
     bool was_idle = false;
     std::size_t queued = 0;
+    BackpressureHandler bp;
     {
-        std::unique_lock lock{out_mu_};
+        MutexLock lock{out_mu_};
         // A lone frame larger than the whole cap is still accepted when the
         // queue is empty: the bound must not make oversized frames unsendable.
         if (outbox_bytes_ + size > send_opts_.max_bytes && !outbox_.empty()) {
             if (send_opts_.overflow == OverflowPolicy::kDisconnect) {
                 backpressure_events_.inc();
                 queued = outbox_bytes_;
+                bp = backpressure_;
                 lock.unlock();
-                if (backpressure_) backpressure_(true, queued);
+                if (bp) bp(true, queued);
                 abort_close();
                 return Status{ErrorCode::kTransport, "outbound queue overflow"};
             }
             // kBlock: the caller absorbs the backpressure until the reactor
-            // frees space (or the channel dies under us).
-            space_cv_.wait(lock, [&] {
-                return outbox_bytes_ + size <= send_opts_.max_bytes || outbox_.empty() ||
-                       !connected_.load(std::memory_order_acquire) ||
-                       peer_gone_.load(std::memory_order_acquire) ||
-                       abort_.load(std::memory_order_acquire);
-            });
+            // frees space (or the channel dies under us). Explicit wait loop:
+            // the thread-safety analysis does not carry the held capability
+            // into lambda bodies.
+            while (!(outbox_bytes_ + size <= send_opts_.max_bytes || outbox_.empty() ||
+                     !connected_.load(std::memory_order_acquire) ||
+                     peer_gone_.load(std::memory_order_acquire) ||
+                     abort_.load(std::memory_order_acquire))) {
+                lock.wait(space_cv_);
+            }
             if (!connected_.load(std::memory_order_acquire) ||
                 abort_.load(std::memory_order_acquire)) {
                 return Status{ErrorCode::kTransport, "channel closed"};
@@ -325,37 +365,40 @@ Status TcpChannel::send(protocol::Frame frame) {
             backpressure_events_.inc();
             onset = true;
             queued = outbox_bytes_;
+            bp = backpressure_;
         }
     }
     // Only the empty→nonempty edge needs a wakeup: with frames already
     // queued the reactor has POLLOUT armed and will keep draining.
     if (was_idle) reactor_->wake();
-    if (onset && backpressure_) backpressure_(true, queued);
+    if (onset && bp) bp(true, queued);
     return Status::ok();
 }
 
 std::size_t TcpChannel::outbound_queued_frames() const {
-    const std::lock_guard lock{out_mu_};
+    const MutexLock lock{out_mu_};
     return outbox_.size();
 }
 
 std::size_t TcpChannel::outbound_queued_bytes() const {
-    const std::lock_guard lock{out_mu_};
+    const MutexLock lock{out_mu_};
     return outbox_bytes_;
 }
 
 std::size_t TcpChannel::poll() {
     std::deque<protocol::Frame> batch;
+    ReceiveHandler receive;
     {
-        const std::lock_guard lock{mu_};
+        const MutexLock lock{mu_};
         batch.swap(inbox_);
         for (const auto& frame : batch) {
             frames_received_.inc();
             bytes_received_.inc(frame.size());
         }
+        receive = receive_;
     }
     for (const auto& frame : batch) {
-        if (receive_) receive_(frame);
+        if (receive) receive(frame);
     }
     // A locally closed channel reports closure the same way a vanished peer
     // does: once every already-received frame has been dispatched.
@@ -366,13 +409,15 @@ std::size_t TcpChannel::poll() {
         // visible the inbox can only shrink: an empty inbox here means every
         // frame has been dispatched and the close may be reported.
         bool drained;
+        CloseHandler close_handler;
         {
-            const std::lock_guard lock{mu_};
+            const MutexLock lock{mu_};
             drained = inbox_.empty();
+            close_handler = close_handler_;
         }
         bool expected = false;
         if (drained && close_reported_.compare_exchange_strong(expected, true, std::memory_order_acq_rel)) {
-            if (close_handler_) close_handler_();
+            if (close_handler) close_handler();
         }
     }
     return batch.size();
@@ -393,7 +438,7 @@ std::size_t TcpChannel::poll_blocking(int timeout_ms) {
 }
 
 void TcpChannel::enable_reactor_delivery() {
-    const std::lock_guard lock{mu_};
+    const MutexLock lock{mu_};
     reactor_delivery_ = true;
     // Frames that raced in before the switch drain here, under mu_, so the
     // reactor (blocked on mu_ in deliver_inbound) cannot reorder around them.
@@ -413,8 +458,11 @@ void TcpChannel::close() {
         // read side keeps consuming (discarding) inbound bytes meanwhile —
         // see the header comment — and stops at the peer's FIN or when the
         // destructor deregisters the fd after the flush settles.
-        drain_deadline_ = std::chrono::steady_clock::now() +
-                          std::chrono::milliseconds(send_opts_.drain_timeout_ms);
+        {
+            const MutexLock lock{out_mu_};
+            drain_deadline_ = std::chrono::steady_clock::now() +
+                              std::chrono::milliseconds(send_opts_.drain_timeout_ms);
+        }
         draining_.store(true, std::memory_order_release);
         space_cv_.notify_all();
         reactor_->wake();

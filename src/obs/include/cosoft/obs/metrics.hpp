@@ -15,9 +15,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "cosoft/common/thread_annotations.hpp"
 
 namespace cosoft::obs {
 
@@ -141,11 +142,11 @@ class Registry {
     static Registry& global();
 
   private:
-    mutable std::mutex mu_;
+    mutable co::Mutex mu_{"obs.Registry.mu"};
     // node-based maps: references into the mapped values are stable.
-    std::map<std::string, std::unique_ptr<Counter>> counters_;
-    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_ CO_GUARDED_BY(mu_);
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_ CO_GUARDED_BY(mu_);
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_ CO_GUARDED_BY(mu_);
 };
 
 }  // namespace cosoft::obs

@@ -16,9 +16,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "cosoft/common/thread_annotations.hpp"
 
 namespace cosoft::obs {
 
@@ -85,10 +86,12 @@ class Tracer {
   private:
     struct Ring {
         explicit Ring(std::size_t cap) : spans(cap) {}
-        mutable std::mutex mu;
-        std::vector<Span> spans;
-        std::size_t next = 0;
-        std::size_t size = 0;
+        // Lock order: Tracer.rings before Ring.mu (clear() locks the ring
+        // list, then each ring; collect() copies the list first instead).
+        mutable co::Mutex mu{"obs.Tracer.ring"};
+        std::vector<Span> spans CO_GUARDED_BY(mu);
+        std::size_t next CO_GUARDED_BY(mu) = 0;
+        std::size_t size CO_GUARDED_BY(mu) = 0;
     };
 
     Tracer() = default;
@@ -97,8 +100,9 @@ class Tracer {
     std::atomic<bool> enabled_{false};
     std::atomic<std::uint64_t> next_id_{1};
     std::atomic<std::size_t> ring_capacity_{4096};
-    mutable std::mutex rings_mu_;
-    std::vector<std::shared_ptr<Ring>> rings_;  ///< keeps rings alive past thread exit
+    mutable co::Mutex rings_mu_{"obs.Tracer.rings"};
+    std::vector<std::shared_ptr<Ring>> rings_
+        CO_GUARDED_BY(rings_mu_);  ///< keeps rings alive past thread exit
 };
 
 /// RAII span: starts timing on construction, records on destruction. Inactive

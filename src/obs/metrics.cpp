@@ -79,28 +79,28 @@ std::vector<double> Histogram::exponential_buckets(double start, double factor, 
 }
 
 Counter& Registry::counter(const std::string& name) {
-    const std::lock_guard lock{mu_};
+    const MutexLock lock{mu_};
     auto& slot = counters_[name];
     if (!slot) slot = std::make_unique<Counter>();
     return *slot;
 }
 
 Gauge& Registry::gauge(const std::string& name) {
-    const std::lock_guard lock{mu_};
+    const MutexLock lock{mu_};
     auto& slot = gauges_[name];
     if (!slot) slot = std::make_unique<Gauge>();
     return *slot;
 }
 
 Histogram& Registry::histogram(const std::string& name, std::vector<double> upper_bounds) {
-    const std::lock_guard lock{mu_};
+    const MutexLock lock{mu_};
     auto& slot = histograms_[name];
     if (!slot) slot = std::make_unique<Histogram>(std::move(upper_bounds));
     return *slot;
 }
 
 std::vector<MetricSample> Registry::snapshot() const {
-    const std::lock_guard lock{mu_};
+    const MutexLock lock{mu_};
     std::vector<MetricSample> out;
     out.reserve(counters_.size() + gauges_.size() + histograms_.size());
     for (const auto& [name, c] : counters_) {
@@ -171,7 +171,7 @@ std::string Registry::prometheus_text() const {
 }
 
 void Registry::reset() {
-    const std::lock_guard lock{mu_};
+    const MutexLock lock{mu_};
     for (auto& [name, c] : counters_) c->reset();
     for (auto& [name, g] : gauges_) g->reset();
     for (auto& [name, h] : histograms_) h->reset();

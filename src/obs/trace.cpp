@@ -30,7 +30,7 @@ Tracer::Ring& Tracer::this_thread_ring() {
     // still appear in collect().
     thread_local std::shared_ptr<Ring> ring = [this] {
         auto r = std::make_shared<Ring>(ring_capacity_.load(std::memory_order_relaxed));
-        const std::lock_guard lock{rings_mu_};
+        const MutexLock lock{rings_mu_};
         rings_.push_back(r);
         return r;
     }();
@@ -39,7 +39,7 @@ Tracer::Ring& Tracer::this_thread_ring() {
 
 void Tracer::record(const Span& span) {
     Ring& ring = this_thread_ring();
-    const std::lock_guard lock{ring.mu};
+    const MutexLock lock{ring.mu};
     ring.spans[ring.next] = span;
     ring.next = (ring.next + 1) % ring.spans.size();
     ring.size = std::min(ring.size + 1, ring.spans.size());
@@ -48,12 +48,12 @@ void Tracer::record(const Span& span) {
 std::vector<Span> Tracer::collect() const {
     std::vector<std::shared_ptr<Ring>> rings;
     {
-        const std::lock_guard lock{rings_mu_};
+        const MutexLock lock{rings_mu_};
         rings = rings_;
     }
     std::vector<Span> out;
     for (const auto& ring : rings) {
-        const std::lock_guard lock{ring->mu};
+        const MutexLock lock{ring->mu};
         // Oldest first: the ring holds `size` spans ending just before `next`.
         const std::size_t cap = ring->spans.size();
         for (std::size_t i = 0; i < ring->size; ++i) {
@@ -65,9 +65,9 @@ std::vector<Span> Tracer::collect() const {
 }
 
 void Tracer::clear() {
-    const std::lock_guard lock{rings_mu_};
+    const MutexLock lock{rings_mu_};
     for (const auto& ring : rings_) {
-        const std::lock_guard ring_lock{ring->mu};
+        const MutexLock ring_lock{ring->mu};
         ring->next = 0;
         ring->size = 0;
     }

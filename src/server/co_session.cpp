@@ -58,6 +58,7 @@ ServerStats CoSession::stats() const noexcept {
 }
 
 InstanceId CoSession::attach(std::shared_ptr<net::Channel> channel) {
+    strand_checker_.assert_on_strand();
     const InstanceId id = next_instance_++;
     Conn conn;
     conn.channel = std::move(channel);
@@ -70,6 +71,7 @@ InstanceId CoSession::attach(std::shared_ptr<net::Channel> channel) {
 }
 
 void CoSession::adopt(InstanceId instance, std::shared_ptr<net::Channel> channel) {
+    strand_checker_.assert_on_strand();
     // Manager-assigned ids are allocated process-wide; keep next_instance_
     // strictly above every adopted id so the id < next_instance_ invariant
     // (and any future attach()) stays sound.
@@ -82,6 +84,7 @@ void CoSession::adopt(InstanceId instance, std::shared_ptr<net::Channel> channel
 }
 
 void CoSession::detach(InstanceId instance) {
+    strand_checker_.assert_on_strand();
     cleanup(instance);
     CO_CHECK_INVARIANTS(*this);
 }
@@ -108,6 +111,7 @@ std::vector<RegistrationRecord> CoSession::registrations() const {
 }
 
 void CoSession::handle_frame(InstanceId from, const protocol::Frame& frame) {
+    strand_checker_.assert_on_strand();
     metrics_.messages_received.inc();
     auto decoded = decode_frame(frame);
     if (!decoded) {

@@ -14,7 +14,11 @@
 // serializes each session's dispatch while running different sessions
 // concurrently. Nothing in this class is thread-safe by itself — all calls
 // into one CoSession must be serialized (the sim thread, a single TCP pump
-// loop, or the manager's per-session strand).
+// loop, or the manager's per-session strand). In COSOFT_THREAD_CHECKED
+// builds that contract is enforced: the session's StrandChecker binds to the
+// owning dispatch context at first touch and fails any mutating call
+// (attach/adopt/deliver/detach) from a foreign strand or thread — see
+// cosoft/common/strand_check.hpp.
 //
 // The session is transport-agnostic: attach() accepts any net::Channel (a
 // SimNetwork pipe or a TCP connection) and installs its own handlers —
@@ -33,6 +37,7 @@
 
 #include "cosoft/common/error.hpp"
 #include "cosoft/common/ids.hpp"
+#include "cosoft/common/strand_check.hpp"
 #include "cosoft/net/channel.hpp"
 #include "cosoft/obs/metrics.hpp"
 #include "cosoft/obs/trace.hpp"
@@ -143,6 +148,13 @@ class CoSession {
     /// after every dispatched message; tests call it directly.
     [[nodiscard]] std::vector<std::string> check_invariants() const;
 
+    /// Strict strand confinement (thread-checked builds): once bound, only
+    /// the owning strand may call the mutating surface — no bare-thread
+    /// fallback. The SessionManager sets this when it runs dispatch workers,
+    /// enforcing the "must not touch while traffic flows" caveat on
+    /// default_session()/find_session().
+    void set_strand_strict(bool strict) noexcept { strand_checker_.set_strict(strict); }
+
   private:
     struct Conn {
         std::shared_ptr<net::Channel> channel;
@@ -221,16 +233,27 @@ class CoSession {
     [[nodiscard]] bool known_object_instance(const ObjectRef& ref) const;
 
     std::string name_;
-    std::unordered_map<InstanceId, Conn> conns_;
+    /// Verifies the "all calls serialized" contract on the mutating dispatch
+    /// surface. Const introspection is deliberately not instrumented: the
+    /// documented usage reads sessions from other threads only at quiescent
+    /// points, which the checker cannot distinguish from races.
+    StrandChecker strand_checker_{"server.CoSession"};
+
+    // The four §2.1 databases and the in-flight tables are CO_STRAND_CONFINED:
+    // unguarded by design, safe because every mutating entry point runs on
+    // the session's serial dispatch strand.
+    CO_STRAND_CONFINED std::unordered_map<InstanceId, Conn> conns_;
     InstanceId next_instance_ = 1;
 
-    CoupleGraph graph_;
-    LockTable locks_;
-    HistoryStore history_;
-    PermissionTable permissions_;
+    CO_STRAND_CONFINED CoupleGraph graph_;
+    CO_STRAND_CONFINED LockTable locks_;
+    CO_STRAND_CONFINED HistoryStore history_;
+    CO_STRAND_CONFINED PermissionTable permissions_;
 
-    std::unordered_map<std::uint64_t, PendingAction> pending_actions_;  // keyed by hash(key)
-    std::unordered_map<std::uint64_t, PendingCopy> pending_copies_;     // keyed by server req id
+    CO_STRAND_CONFINED std::unordered_map<std::uint64_t, PendingAction>
+        pending_actions_;  // keyed by hash(key)
+    CO_STRAND_CONFINED std::unordered_map<std::uint64_t, PendingCopy>
+        pending_copies_;  // keyed by server req id
     std::uint64_t next_server_request_ = 1;
 
     /// Flushes everything queued for a loose object to its owner.

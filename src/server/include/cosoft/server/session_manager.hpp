@@ -44,13 +44,14 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "cosoft/common/ids.hpp"
+#include "cosoft/common/strand_check.hpp"
+#include "cosoft/common/thread_annotations.hpp"
 #include "cosoft/net/channel.hpp"
 #include "cosoft/net/reactor.hpp"
 #include "cosoft/obs/metrics.hpp"
@@ -148,50 +149,52 @@ class SessionManager {
     void route_close(InstanceId id);
     /// Appends a token for `id` to its current strand and schedules it
     /// (inline mode: runs it to completion on the calling thread).
-    void enqueue_token(std::unique_lock<std::mutex>& lock, InstanceId id);
-    void schedule(std::unique_lock<std::mutex>& lock, Strand* strand);
+    void enqueue_token(MutexLock& lock, InstanceId id) CO_REQUIRES(mu_);
+    void schedule(MutexLock& lock, Strand* strand) CO_REQUIRES(mu_);
     /// Runs one strand token batch; called by workers and by inline mode.
-    void run_strand(std::unique_lock<std::mutex>& lock, Strand* strand);
+    void run_strand(MutexLock& lock, Strand* strand) CO_REQUIRES(mu_);
     /// Processes one token for `id` on `strand` (the strand is held by the
     /// calling worker). Returns with `lock` re-held; channels whose
     /// connection departed are parked in `graveyard` so their (blocking)
     /// destructors run outside mu_.
-    void process_token(std::unique_lock<std::mutex>& lock, Strand* strand, InstanceId id,
-                       std::vector<std::shared_ptr<net::Channel>>& graveyard);
+    void process_token(MutexLock& lock, Strand* strand, InstanceId id,
+                       std::vector<std::shared_ptr<net::Channel>>& graveyard) CO_REQUIRES(mu_);
     /// Lobby dispatch of one frame: Register routes, status/registry queries
     /// are answered, everything else is dropped (unregistered traffic).
-    void lobby_dispatch(std::unique_lock<std::mutex>& lock, InstanceId id, protocol::Frame frame);
-    Strand* find_or_create_session(std::unique_lock<std::mutex>& lock, const std::string& name);
+    void lobby_dispatch(MutexLock& lock, InstanceId id, protocol::Frame frame) CO_REQUIRES(mu_);
+    Strand* find_or_create_session(MutexLock& lock, const std::string& name) CO_REQUIRES(mu_);
     /// Moves a lobby connection into `session_name` (created on demand).
-    void route_to_session(std::unique_lock<std::mutex>& lock, InstanceId id,
-                          const std::string& session_name);
+    void route_to_session(MutexLock& lock, InstanceId id, const std::string& session_name)
+        CO_REQUIRES(mu_);
     /// Departure: session cleanup, connection erasure, session GC.
-    void depart(std::unique_lock<std::mutex>& lock, Strand* strand, InstanceId id,
-                std::vector<std::shared_ptr<net::Channel>>& graveyard);
-    void collect_if_empty(std::unique_lock<std::mutex>& lock, Strand* strand);
+    void depart(MutexLock& lock, Strand* strand, InstanceId id,
+                std::vector<std::shared_ptr<net::Channel>>& graveyard) CO_REQUIRES(mu_);
+    void collect_if_empty(MutexLock& lock, Strand* strand) CO_REQUIRES(mu_);
     /// Checked-build subset of check_invariants() safe while traffic flows
     /// (the reactor comparison is one-sided: accepts may be in flight).
-    void check_running_invariants(std::unique_lock<std::mutex>& lock) const;
+    void check_running_invariants(MutexLock& lock) const CO_REQUIRES(mu_);
     /// Global (lobby) StatusReport: manager metrics, all connections, all
     /// session rollups.
-    [[nodiscard]] protocol::StatusReport global_status(std::uint64_t request) const;
-    void refresh_status(Strand* strand);
+    [[nodiscard]] protocol::StatusReport global_status(std::uint64_t request) const
+        CO_REQUIRES(mu_);
+    void refresh_status(Strand* strand) CO_REQUIRES(mu_);
     void worker_loop();
 
     SessionManagerOptions options_;
-    mutable std::mutex mu_;
+    mutable co::Mutex mu_{"server.SessionManager.mu"};
     std::condition_variable work_cv_;   ///< workers wait for runnable strands
     std::condition_variable idle_cv_;   ///< quiesce() waits for drain
-    bool stop_ = false;
-    bool shutting_down_ = false;  ///< routing becomes a no-op during teardown
-    std::size_t busy_workers_ = 0;
+    bool stop_ CO_GUARDED_BY(mu_) = false;
+    bool shutting_down_ CO_GUARDED_BY(mu_) =
+        false;  ///< routing becomes a no-op during teardown
+    std::size_t busy_workers_ CO_GUARDED_BY(mu_) = 0;
 
-    std::unordered_map<InstanceId, Conn> conns_;
-    InstanceId next_instance_ = 1;
-    Strand lobby_{nullptr};
-    std::unordered_map<std::string, std::unique_ptr<Strand>> sessions_;
-    std::deque<Strand*> run_queue_;
-    std::vector<std::thread> workers_;
+    std::unordered_map<InstanceId, Conn> conns_ CO_GUARDED_BY(mu_);
+    InstanceId next_instance_ CO_GUARDED_BY(mu_) = 1;
+    Strand lobby_ CO_GUARDED_BY(mu_){nullptr};
+    std::unordered_map<std::string, std::unique_ptr<Strand>> sessions_ CO_GUARDED_BY(mu_);
+    std::deque<Strand*> run_queue_ CO_GUARDED_BY(mu_);
+    std::vector<std::thread> workers_;  ///< written in the ctor, joined in the dtor
 
     struct Metrics {
         explicit Metrics(obs::Registry& r)

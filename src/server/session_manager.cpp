@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "cosoft/common/check.hpp"
+#include "cosoft/common/strand_check.hpp"
 #include "cosoft/net/tcp.hpp"
 #include "cosoft/protocol/messages.hpp"
 
@@ -14,7 +15,7 @@ using protocol::Message;
 
 SessionManager::SessionManager(SessionManagerOptions options) : options_(std::move(options)) {
     if (options_.pin_default_session) {
-        std::unique_lock<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         find_or_create_session(lock, std::string{})->pinned = true;
     }
     workers_.reserve(options_.workers);
@@ -25,7 +26,7 @@ SessionManager::SessionManager(SessionManagerOptions options) : options_(std::mo
 
 SessionManager::~SessionManager() {
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        const MutexLock lock(mu_);
         shutting_down_ = true;  // route_frame/route_close become no-ops
         stop_ = true;
     }
@@ -42,7 +43,7 @@ SessionManager::~SessionManager() {
 InstanceId SessionManager::attach(std::shared_ptr<net::Channel> channel) {
     InstanceId id = kInvalidInstance;
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        const MutexLock lock(mu_);
         id = next_instance_++;
         Conn conn;
         conn.channel = channel;
@@ -71,35 +72,37 @@ InstanceId SessionManager::attach(std::shared_ptr<net::Channel> channel) {
 }
 
 CoSession& SessionManager::default_session() {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     Strand* strand = find_or_create_session(lock, std::string{});
     strand->pinned = true;
     return *strand->session;
 }
 
 CoSession* SessionManager::find_session(const std::string& name) {
-    std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     const auto it = sessions_.find(name);
     return it == sessions_.end() ? nullptr : it->second->session.get();
 }
 
 void SessionManager::quiesce() {
-    std::unique_lock<std::mutex> lock(mu_);
-    idle_cv_.wait(lock, [&] { return run_queue_.empty() && busy_workers_ == 0; });
+    MutexLock lock(mu_);
+    // Explicit wait loop: the thread-safety analysis does not carry the held
+    // capability into lambda bodies.
+    while (!run_queue_.empty() || busy_workers_ != 0) lock.wait(idle_cv_);
 }
 
 std::size_t SessionManager::session_count() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     return sessions_.size();
 }
 
 std::size_t SessionManager::connection_count() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     return conns_.size();
 }
 
 std::vector<protocol::SessionStatus> SessionManager::session_statuses() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     std::vector<protocol::SessionStatus> out;
     out.reserve(sessions_.size());
     for (const auto& [name, strand] : sessions_) out.push_back(strand->status);
@@ -109,7 +112,7 @@ std::vector<protocol::SessionStatus> SessionManager::session_statuses() const {
 }
 
 std::vector<std::string> SessionManager::check_invariants() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     std::vector<std::string> out;
 
     // Routing tables: every connection's strand must be the lobby or a live
@@ -141,7 +144,7 @@ std::vector<std::string> SessionManager::check_invariants() const {
     return out;
 }
 
-void SessionManager::check_running_invariants(std::unique_lock<std::mutex>& lock) const {
+void SessionManager::check_running_invariants(MutexLock& lock) const {
     if (!checked_build()) return;
     (void)lock;
     std::size_t counted = lobby_.live_conns;
@@ -156,7 +159,7 @@ void SessionManager::check_running_invariants(std::unique_lock<std::mutex>& lock
 }
 
 void SessionManager::route_frame(InstanceId id, const Frame& frame) {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (shutting_down_) return;
     const auto it = conns_.find(id);
     if (it == conns_.end() || it->second.departed) return;
@@ -166,7 +169,7 @@ void SessionManager::route_frame(InstanceId id, const Frame& frame) {
 }
 
 void SessionManager::route_close(InstanceId id) {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (shutting_down_) return;
     const auto it = conns_.find(id);
     if (it == conns_.end() || it->second.departed) return;
@@ -174,13 +177,13 @@ void SessionManager::route_close(InstanceId id) {
     enqueue_token(lock, id);
 }
 
-void SessionManager::enqueue_token(std::unique_lock<std::mutex>& lock, InstanceId id) {
+void SessionManager::enqueue_token(MutexLock& lock, InstanceId id) {
     Strand* strand = conns_.at(id).strand;
     strand->tokens.push_back(id);
     schedule(lock, strand);
 }
 
-void SessionManager::schedule(std::unique_lock<std::mutex>& lock, Strand* strand) {
+void SessionManager::schedule(MutexLock& lock, Strand* strand) {
     if (strand->scheduled) return;
     strand->scheduled = true;
     if (workers_.empty()) {
@@ -196,9 +199,9 @@ void SessionManager::schedule(std::unique_lock<std::mutex>& lock, Strand* strand
 }
 
 void SessionManager::worker_loop() {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     while (true) {
-        work_cv_.wait(lock, [&] { return stop_ || !run_queue_.empty(); });
+        while (!stop_ && run_queue_.empty()) lock.wait(work_cv_);
         if (stop_) return;
         Strand* strand = run_queue_.front();
         run_queue_.pop_front();
@@ -209,9 +212,13 @@ void SessionManager::worker_loop() {
     }
 }
 
-void SessionManager::run_strand(std::unique_lock<std::mutex>& lock, Strand* strand) {
+void SessionManager::run_strand(MutexLock& lock, Strand* strand) {
     // The strand is owned by this thread until `scheduled` is cleared: no
-    // other worker may pop its tokens or touch its CoSession.
+    // other worker may pop its tokens or touch its CoSession. The scope
+    // publishes that ownership so the CoSession's StrandChecker can verify
+    // it (nested scopes from inline-mode lobby->session handoffs restore
+    // correctly).
+    const StrandScope strand_scope(strand);
     std::vector<std::shared_ptr<net::Channel>> graveyard;
     do {
         // Process the tokens present at entry; frames that arrive during the
@@ -243,7 +250,7 @@ void SessionManager::run_strand(std::unique_lock<std::mutex>& lock, Strand* stra
     }
 }
 
-void SessionManager::process_token(std::unique_lock<std::mutex>& lock, Strand* strand, InstanceId id,
+void SessionManager::process_token(MutexLock& lock, Strand* strand, InstanceId id,
                                    std::vector<std::shared_ptr<net::Channel>>& graveyard) {
     const auto it = conns_.find(id);
     if (it == conns_.end() || it->second.departed) return;  // stale token
@@ -288,7 +295,7 @@ void SessionManager::process_token(std::unique_lock<std::mutex>& lock, Strand* s
     }
 }
 
-void SessionManager::lobby_dispatch(std::unique_lock<std::mutex>& lock, InstanceId id, Frame frame) {
+void SessionManager::lobby_dispatch(MutexLock& lock, InstanceId id, Frame frame) {
     auto decoded = protocol::decode_message(frame);
     if (!decoded) {
         metrics_.lobby_rejects.inc();
@@ -333,13 +340,17 @@ void SessionManager::lobby_dispatch(std::unique_lock<std::mutex>& lock, Instance
     metrics_.lobby_rejects.inc();
 }
 
-SessionManager::Strand* SessionManager::find_or_create_session(std::unique_lock<std::mutex>& lock,
+SessionManager::Strand* SessionManager::find_or_create_session(MutexLock& lock,
                                                                const std::string& name) {
     (void)lock;
     const auto it = sessions_.find(name);
     if (it != sessions_.end()) return it->second.get();
     auto strand = std::make_unique<Strand>(std::make_unique<CoSession>(name));
     Strand* raw = strand.get();
+    // With dispatch workers, embedders must not touch the session while
+    // traffic flows: strict confinement removes the checker's bare-thread
+    // fallback so such a touch fails instead of racing.
+    raw->session->set_strand_strict(!workers_.empty());
     raw->status = raw->session->session_status();
     sessions_.emplace(name, std::move(strand));
     metrics_.sessions_created.inc();
@@ -347,7 +358,7 @@ SessionManager::Strand* SessionManager::find_or_create_session(std::unique_lock<
     return raw;
 }
 
-void SessionManager::route_to_session(std::unique_lock<std::mutex>& lock, InstanceId id,
+void SessionManager::route_to_session(MutexLock& lock, InstanceId id,
                                       const std::string& session_name) {
     Strand* target = find_or_create_session(lock, session_name);
     Conn& conn = conns_.at(id);
@@ -359,7 +370,7 @@ void SessionManager::route_to_session(std::unique_lock<std::mutex>& lock, Instan
     schedule(lock, target);
 }
 
-void SessionManager::depart(std::unique_lock<std::mutex>& lock, Strand* strand, InstanceId id,
+void SessionManager::depart(MutexLock& lock, Strand* strand, InstanceId id,
                             std::vector<std::shared_ptr<net::Channel>>& graveyard) {
     Conn& conn = conns_.at(id);
     conn.departed = true;  // stale tokens for this id become no-ops
@@ -377,7 +388,7 @@ void SessionManager::depart(std::unique_lock<std::mutex>& lock, Strand* strand, 
     // in run_strand once the batch ends and the strand goes idle.
 }
 
-void SessionManager::collect_if_empty(std::unique_lock<std::mutex>& lock, Strand* strand) {
+void SessionManager::collect_if_empty(MutexLock& lock, Strand* strand) {
     (void)lock;
     if (strand->session == nullptr || strand->pinned) return;
     if (strand->live_conns != 0 || strand->scheduled || !strand->tokens.empty()) return;
